@@ -1,0 +1,426 @@
+// Benchmarks regenerating the paper's evaluation, one benchmark per table or
+// figure plus the DESIGN.md ablations.
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benchmarks come in two flavours: "live/..." runs the real
+// goroutine runtime on this host (worker count = GOMAXPROCS), "simulated/..."
+// replays the workload on the deterministic 16-processor machine model that
+// reproduces the paper's Encore Multimax setting. The simulated benchmarks
+// report the achieved parallel efficiency via custom benchmark metrics
+// (eff/op), so the paper's headline numbers appear directly in the benchmark
+// output.
+package doacross
+
+import (
+	"fmt"
+	"testing"
+
+	"doacross/internal/core"
+	"doacross/internal/depgraph"
+	"doacross/internal/doconsider"
+	"doacross/internal/experiments"
+	"doacross/internal/flags"
+	"doacross/internal/machine"
+	"doacross/internal/sched"
+	"doacross/internal/stencil"
+	"doacross/internal/testloop"
+	"doacross/internal/trisolve"
+)
+
+// liveWorkers is the worker count used by the live benchmarks.
+var liveWorkers = experiments.DefaultLiveWorkers()
+
+func liveOptions() core.Options {
+	return core.Options{
+		Workers:      liveWorkers,
+		Policy:       sched.Dynamic,
+		Chunk:        128,
+		WaitStrategy: flags.WaitSpinYield,
+	}
+}
+
+// BenchmarkFigure6TestLoop regenerates Figure 6 (Section 3.1): the efficiency
+// of the preprocessed doacross on the Figure 4 test loop as a function of L.
+func BenchmarkFigure6TestLoop(b *testing.B) {
+	// Simulated: the full paper-scale sweep at P=16.
+	b.Run("simulated/full-sweep", func(b *testing.B) {
+		cfg := experiments.DefaultFigure6Config()
+		var last experiments.Figure6Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			last, err = experiments.RunFigure6(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportFig6Metrics(b, last)
+	})
+
+	// Simulated single points for the two M values at a representative even L.
+	for _, m := range []int{1, 5} {
+		for _, l := range []int{1, 14} {
+			name := fmt.Sprintf("simulated/M=%d/L=%d", m, l)
+			b.Run(name, func(b *testing.B) {
+				tc := testloop.Config{N: 10000, M: m, L: l}
+				g := tc.Graph()
+				rp := machine.ReadPredsFromAccess(tc.Access())
+				cm := experiments.Figure6CostModel(m)
+				var eff float64
+				for i := 0; i < b.N; i++ {
+					res, err := machine.Simulate(g, machine.Config{
+						Processors: experiments.PaperProcessors,
+						Policy:     sched.Cyclic,
+						ReadPreds:  rp,
+					}, cm)
+					if err != nil {
+						b.Fatal(err)
+					}
+					eff = res.Efficiency
+				}
+				b.ReportMetric(eff, "eff")
+			})
+		}
+	}
+
+	// Live: the real runtime on this host, sequential vs. doacross.
+	for _, l := range []int{1, 14} {
+		tc := testloop.Config{N: 20000, M: 5, L: l}
+		loop := tc.Loop()
+		base := tc.InitialData()
+		b.Run(fmt.Sprintf("live/sequential/L=%d", l), func(b *testing.B) {
+			y := append([]float64(nil), base...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(y, base)
+				core.RunSequential(loop, y)
+			}
+		})
+		b.Run(fmt.Sprintf("live/doacross/L=%d", l), func(b *testing.B) {
+			rt := core.NewRuntime(loop.Data, liveOptions())
+			y := append([]float64(nil), base...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(y, base)
+				if _, err := rt.Run(loop, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func reportFig6Metrics(b *testing.B, res experiments.Figure6Result) {
+	if len(res.Points) == 0 {
+		return
+	}
+	for _, p := range res.Points {
+		if p.L == 1 {
+			b.ReportMetric(p.Efficiency, fmt.Sprintf("effM%dL1", p.M))
+		}
+		if p.L == 14 {
+			b.ReportMetric(p.Efficiency, fmt.Sprintf("effM%dL14", p.M))
+		}
+	}
+}
+
+// BenchmarkTable1TriangularSolve regenerates Table 1 (Section 3.2): sparse
+// triangular solves on the five test systems.
+func BenchmarkTable1TriangularSolve(b *testing.B) {
+	// Simulated: the full five-problem table at P=16.
+	b.Run("simulated/full-table", func(b *testing.B) {
+		cfg := experiments.DefaultTable1Config()
+		var last experiments.Table1Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			last, err = experiments.RunTable1(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if len(last.Rows) > 0 {
+			plainLo, plainHi, reLo, reHi := last.SpeedupSummary()
+			b.ReportMetric(plainLo, "plainEffMin")
+			b.ReportMetric(plainHi, "plainEffMax")
+			b.ReportMetric(reLo, "reordEffMin")
+			b.ReportMetric(reHi, "reordEffMax")
+		}
+	})
+
+	// Live solves per problem (the two smaller systems keep bench time sane).
+	for _, prob := range []stencil.Problem{stencil.SPE2, stencil.FivePoint} {
+		l, _, err := stencil.LowerFactor(prob, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rhs := stencil.RHS(l.N, 7)
+		b.Run(fmt.Sprintf("live/sequential/%v", prob), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				trisolve.SolveSequential(l, rhs)
+			}
+		})
+		b.Run(fmt.Sprintf("live/doacross/%v", prob), func(b *testing.B) {
+			opts := liveOptions()
+			opts.Chunk = 32
+			for i := 0; i < b.N; i++ {
+				if _, _, err := trisolve.SolveDoacross(l, rhs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("live/doacross-reordered/%v", prob), func(b *testing.B) {
+			opts := liveOptions()
+			opts.Chunk = 32
+			for i := 0; i < b.N; i++ {
+				if _, _, err := trisolve.SolveDoacrossReordered(l, rhs, doconsider.Level, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOverhead measures Ablation A: the preprocessing,
+// postprocessing and dependency-check overhead on a dependency-free loop
+// (odd L), the decomposition behind the paper's odd-L efficiency floors.
+func BenchmarkAblationOverhead(b *testing.B) {
+	b.Run("simulated", func(b *testing.B) {
+		var rows []experiments.OverheadRow
+		for i := 0; i < b.N; i++ {
+			var err error
+			rows, err = experiments.RunOverheadAblation(10000, []int{1, 5}, experiments.PaperProcessors)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if len(rows) == 2 {
+			b.ReportMetric(rows[0].FullDoacrossEff, "floorM1")
+			b.ReportMetric(rows[1].FullDoacrossEff, "floorM5")
+		}
+	})
+	// Live: isolate the inspector and postprocessor phases of the runtime.
+	tc := testloop.Config{N: 50000, M: 1, L: 1}
+	loop := tc.Loop()
+	b.Run("live/inspector", func(b *testing.B) {
+		rt := core.NewRuntime(loop.Data, liveOptions())
+		for i := 0; i < b.N; i++ {
+			rt.Inspect(loop)
+		}
+	})
+	b.Run("live/full-doacross", func(b *testing.B) {
+		rt := core.NewRuntime(loop.Data, liveOptions())
+		y := tc.InitialData()
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.Run(loop, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("live/doall-baseline", func(b *testing.B) {
+		rt := core.NewRuntime(loop.Data, liveOptions())
+		y := tc.InitialData()
+		for i := 0; i < b.N; i++ {
+			rt.RunDoall(loop, y)
+		}
+	})
+}
+
+// BenchmarkAblationBlocked measures Ablation B: the strip-mined (blocked)
+// doacross of Section 2.3 across block sizes, live and simulated.
+func BenchmarkAblationBlocked(b *testing.B) {
+	tc := testloop.Config{N: 20000, M: 1, L: 12}
+	b.Run("simulated", func(b *testing.B) {
+		var rows []experiments.BlockedRow
+		for i := 0; i < b.N; i++ {
+			var err error
+			rows, err = experiments.RunBlockedAblation(tc, []int{250, 1000, 5000, 20000}, experiments.PaperProcessors)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if len(rows) > 0 {
+			b.ReportMetric(rows[0].Efficiency, "effSmallBlock")
+			b.ReportMetric(rows[len(rows)-1].Efficiency, "effFullBlock")
+		}
+	})
+	loop := tc.Loop()
+	base := tc.InitialData()
+	for _, block := range []int{1000, 20000} {
+		b.Run(fmt.Sprintf("live/block=%d", block), func(b *testing.B) {
+			rt := core.NewRuntime(loop.Data, liveOptions())
+			y := append([]float64(nil), base...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(y, base)
+				if _, err := rt.RunBlocked(loop, y, block); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLinearSubscript measures Ablation C: the inspector-based
+// doacross against the linear-subscript variant that eliminates the
+// preprocessing phase (Section 2.3).
+func BenchmarkAblationLinearSubscript(b *testing.B) {
+	tc := testloop.Config{N: 20000, M: 1, L: 12}
+	loop := tc.Loop()
+	base := tc.InitialData()
+	b.Run("live/inspector", func(b *testing.B) {
+		rt := core.NewRuntime(loop.Data, liveOptions())
+		y := append([]float64(nil), base...)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(y, base)
+			if _, err := rt.Run(loop, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("live/linear-subscript", func(b *testing.B) {
+		rt := core.NewRuntime(loop.Data, liveOptions())
+		y := append([]float64(nil), base...)
+		sub := tc.Subscript()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(y, base)
+			if _, err := rt.RunLinear(loop, y, sub); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("simulated", func(b *testing.B) {
+		var rows []experiments.LinearRow
+		for i := 0; i < b.N; i++ {
+			var err error
+			rows, err = experiments.RunLinearAblation(10000, 1, []int{12}, experiments.PaperProcessors)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if len(rows) == 1 {
+			b.ReportMetric(rows[0].InspectorEff, "inspectorEff")
+			b.ReportMetric(rows[0].LinearEff, "linearEff")
+		}
+	})
+}
+
+// BenchmarkAblationSyncStrategy measures Ablation D: the cost of the
+// synchronization strategy (the paper's busy wait vs. a yielding spin vs.
+// parked notification vs. epoch-versioned tables) on the live runtime.
+func BenchmarkAblationSyncStrategy(b *testing.B) {
+	l, _, err := stencil.LowerFactor(stencil.FivePoint, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := stencil.RHS(l.N, 7)
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"spin-yield", core.Options{Workers: liveWorkers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitSpinYield}},
+		{"notify", core.Options{Workers: liveWorkers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitNotify}},
+		{"spin-yield-epoch", core.Options{Workers: liveWorkers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitSpinYield, UseEpochTables: true}},
+	}
+	for _, tc := range cases {
+		b.Run("live/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := trisolve.SolveDoacross(l, rhs, tc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOrdering measures Ablation E: doconsider ordering
+// strategies on the Table 1 dependency graphs (simulated at P=16).
+func BenchmarkAblationOrdering(b *testing.B) {
+	b.Run("simulated/5-PT", func(b *testing.B) {
+		var rows []experiments.OrderingRow
+		for i := 0; i < b.N; i++ {
+			var err error
+			rows, err = experiments.RunOrderingAblation([]stencil.Problem{stencil.FivePoint}, experiments.PaperProcessors, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Efficiency, "eff_"+r.Strategy.String())
+		}
+	})
+	// The planning cost itself (building the reordering) matters for a
+	// runtime system; measure it live.
+	l, _, err := stencil.LowerFactor(stencil.SevenPoint, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := trisolve.Graph(l)
+	for _, s := range doconsider.Strategies {
+		b.Run("live/plan/"+s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				doconsider.NewPlan(g, s)
+			}
+		})
+	}
+}
+
+// BenchmarkProcessorSweep measures Ablation F (extension): the simulated
+// efficiency of the doacross triangular solve as the machine size grows.
+func BenchmarkProcessorSweep(b *testing.B) {
+	b.Run("simulated/trisolve-5PT", func(b *testing.B) {
+		var res experiments.SweepResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = experiments.RunProcessorSweepTrisolve(stencil.FivePoint, experiments.DefaultSweepProcessors, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, p := range res.Points {
+			if p.Processors == 16 || p.Processors == 64 {
+				b.ReportMetric(p.ReorderedEff, fmt.Sprintf("reordEffP%d", p.Processors))
+			}
+		}
+	})
+}
+
+// BenchmarkSubstrates measures the supporting subsystems on their own:
+// dependency-graph construction, the inspector, ILU(0) factorization and the
+// discrete-event simulator. These are not paper results but bound the
+// runtime cost of using the library.
+func BenchmarkSubstrates(b *testing.B) {
+	tc := testloop.Config{N: 20000, M: 5, L: 12}
+	b.Run("depgraph/build", func(b *testing.B) {
+		acc := tc.Access()
+		for i := 0; i < b.N; i++ {
+			depgraph.Build(acc)
+		}
+	})
+	b.Run("stencil/ilu0-5pt", func(b *testing.B) {
+		a, err := stencil.FivePointGrid(63, 63)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := stencil.LowerFactor(stencil.FivePoint, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		_ = a
+	})
+	b.Run("machine/simulate-7pt", func(b *testing.B) {
+		l, _, err := stencil.LowerFactor(stencil.SevenPoint, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := trisolve.Graph(l)
+		cm := experiments.TrisolveCostModel(l)
+		for i := 0; i < b.N; i++ {
+			if _, err := machine.Simulate(g, machine.Config{Processors: 16, Policy: sched.Cyclic}, cm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

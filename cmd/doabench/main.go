@@ -1,0 +1,200 @@
+// Command doabench regenerates every table and figure of the paper's
+// evaluation section, plus the design-choice ablations described in
+// DESIGN.md.
+//
+// Usage:
+//
+//	doabench -experiment fig6        # Figure 6: test-loop efficiency vs. L
+//	doabench -experiment table1      # Table 1: sparse triangular solves
+//	doabench -experiment overhead    # Ablation A: runtime overhead decomposition
+//	doabench -experiment blocked     # Ablation B: strip-mined doacross
+//	doabench -experiment linear      # Ablation C: linear-subscript variant
+//	doabench -experiment ordering    # Ablation E: doconsider ordering strategies
+//	doabench -experiment sweep       # Ablation F: processor-count sweep (extension)
+//	doabench -experiment live        # live goroutine measurements on this host
+//	doabench -experiment all         # everything above
+//
+// Flags -procs, -n and -seed override the simulated processor count, the
+// Figure 6 iteration count and the SPE perturbation seed. The -check flag
+// verifies the paper's qualitative claims and exits non-zero when a claim is
+// violated. The -format flag renders the fig6/table1/sweep tables as text,
+// Markdown or CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"doacross/internal/experiments"
+	"doacross/internal/stencil"
+	"doacross/internal/testloop"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig6 | table1 | overhead | blocked | linear | ordering | sweep | live | all")
+		procs      = flag.Int("procs", experiments.PaperProcessors, "simulated processor count")
+		n          = flag.Int("n", 10000, "Figure 6 outer iteration count")
+		seed       = flag.Int64("seed", 1, "seed for the synthetic SPE operators")
+		check      = flag.Bool("check", false, "verify the paper's qualitative claims and fail if violated")
+		liveReps   = flag.Int("live-reps", 3, "repetitions for live measurements")
+		format     = flag.String("format", "text", "output format for fig6/table1/sweep: text | markdown | csv")
+	)
+	flag.Parse()
+
+	failures := 0
+	run := func(name string, f func() (string, []string, error)) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		out, problems, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		if *check {
+			if len(problems) == 0 {
+				fmt.Printf("[check] %s: all qualitative claims reproduced\n\n", name)
+			} else {
+				for _, p := range problems {
+					fmt.Printf("[check] %s: VIOLATION: %s\n", name, p)
+				}
+				fmt.Println()
+				failures += len(problems)
+			}
+		}
+	}
+
+	run("fig6", func() (string, []string, error) {
+		cfg := experiments.DefaultFigure6Config()
+		cfg.N = *n
+		cfg.Processors = *procs
+		res, err := experiments.RunFigure6(cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		out, err := res.AsTable().Format(*format)
+		if err != nil {
+			return "", nil, err
+		}
+		return out, res.CheckShape(), nil
+	})
+
+	run("table1", func() (string, []string, error) {
+		cfg := experiments.DefaultTable1Config()
+		cfg.Processors = *procs
+		cfg.Seed = *seed
+		res, err := experiments.RunTable1(cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		out, err := res.AsTable().Format(*format)
+		if err != nil {
+			return "", nil, err
+		}
+		return out, res.CheckShape(), nil
+	})
+
+	run("overhead", func() (string, []string, error) {
+		rows, err := experiments.RunOverheadAblation(*n, []int{1, 5}, *procs)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.FormatOverhead(rows), nil, nil
+	})
+
+	run("blocked", func() (string, []string, error) {
+		tc := testloop.Config{N: *n, M: 1, L: 12}
+		rows, err := experiments.RunBlockedAblation(tc, []int{125, 250, 500, 1000, 2500, 5000, *n}, *procs)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.FormatBlocked(rows), nil, nil
+	})
+
+	run("linear", func() (string, []string, error) {
+		rows, err := experiments.RunLinearAblation(*n, 1, []int{1, 4, 8, 12, 14}, *procs)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.FormatLinear(rows), nil, nil
+	})
+
+	run("ordering", func() (string, []string, error) {
+		rows, err := experiments.RunOrderingAblation(stencil.Problems, *procs, *seed)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.FormatOrdering(rows), nil, nil
+	})
+
+	run("sweep", func() (string, []string, error) {
+		var out strings.Builder
+		var problems []string
+		emit := func(s experiments.SweepResult) error {
+			rendered, err := s.AsTable().Format(*format)
+			if err != nil {
+				return err
+			}
+			out.WriteString(rendered)
+			out.WriteByte('\n')
+			problems = append(problems, s.CheckShape()...)
+			return nil
+		}
+		loopSweep, err := experiments.RunProcessorSweepTestLoop(testloop.Config{N: *n, M: 5, L: 12}, experiments.DefaultSweepProcessors)
+		if err != nil {
+			return "", nil, err
+		}
+		if err := emit(loopSweep); err != nil {
+			return "", nil, err
+		}
+		for _, prob := range []stencil.Problem{stencil.FivePoint, stencil.SevenPoint} {
+			s, err := experiments.RunProcessorSweepTrisolve(prob, experiments.DefaultSweepProcessors, *seed)
+			if err != nil {
+				return "", nil, err
+			}
+			if err := emit(s); err != nil {
+				return "", nil, err
+			}
+		}
+		return out.String(), problems, nil
+	})
+
+	run("live", func() (string, []string, error) {
+		workers := experiments.DefaultLiveWorkers()
+		var results []experiments.LiveResult
+		for _, tc := range []testloop.Config{
+			{N: *n, M: 5, L: 1},
+			{N: *n, M: 5, L: 14},
+			// WorkPerTerm restores the paper's work-to-overhead regime (a
+			// Multimax iteration cost microseconds); these rows show the live
+			// runtime scaling on this host.
+			{N: *n, M: 5, L: 1, WorkPerTerm: 400},
+			{N: *n, M: 5, L: 14, WorkPerTerm: 400},
+		} {
+			r, err := experiments.RunLiveTestLoop(tc, workers, *liveReps)
+			if err != nil {
+				return "", nil, err
+			}
+			results = append(results, r)
+		}
+		for _, prob := range []stencil.Problem{stencil.FivePoint, stencil.SevenPoint} {
+			for _, reordered := range []bool{false, true} {
+				r, err := experiments.RunLiveTrisolve(prob, workers, *liveReps, reordered)
+				if err != nil {
+					return "", nil, err
+				}
+				results = append(results, r)
+			}
+		}
+		return experiments.FormatLive(results), nil, nil
+	})
+
+	if *check && failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d qualitative claims violated\n", failures)
+		os.Exit(2)
+	}
+}

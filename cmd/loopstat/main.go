@@ -1,0 +1,117 @@
+// Command loopstat analyses the execution-time dependency structure of the
+// workloads used in the paper: the Figure 4 test loop for a given (N, M, L)
+// and the triangular solves of Table 1. It reports the dependency graph's
+// levels, critical path and maximum achievable speedup, and the effect of the
+// doconsider orderings — the information a user needs to predict whether a
+// preprocessed doacross will pay off.
+//
+// Usage:
+//
+//	loopstat -kind testloop -n 10000 -m 5 -l 12
+//	loopstat -kind trisolve -problem 7-PT
+//	loopstat -kind testloop -n 20 -m 1 -l 4 -dot    # emit Graphviz DOT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"doacross/internal/depgraph"
+	"doacross/internal/doconsider"
+	"doacross/internal/stencil"
+	"doacross/internal/testloop"
+	"doacross/internal/trisolve"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "testloop", "testloop | trisolve")
+		n       = flag.Int("n", 10000, "test loop outer iteration count")
+		m       = flag.Int("m", 5, "test loop inner length M")
+		l       = flag.Int("l", 12, "test loop parameter L")
+		problem = flag.String("problem", "5-PT", "trisolve problem: SPE2, SPE5, 5-PT, 7-PT, 9-PT")
+		seed    = flag.Int64("seed", 1, "seed for synthetic SPE operators")
+		dot     = flag.Bool("dot", false, "emit the dependency graph in Graphviz DOT format (small graphs only)")
+	)
+	flag.Parse()
+
+	var g *depgraph.Graph
+	var title string
+	switch *kind {
+	case "testloop":
+		tc := testloop.Config{N: *n, M: *m, L: *l}
+		if err := tc.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g = tc.Graph()
+		title = fmt.Sprintf("Figure 4 test loop N=%d M=%d L=%d", *n, *m, *l)
+	case "trisolve":
+		var prob stencil.Problem
+		found := false
+		for _, p := range stencil.Problems {
+			if strings.EqualFold(p.String(), *problem) {
+				prob, found = p, true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown problem %q\n", *problem)
+			os.Exit(1)
+		}
+		lower, _, err := stencil.LowerFactor(prob, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g = trisolve.Graph(lower)
+		title = fmt.Sprintf("forward substitution for the ILU(0) factor of %v (%d equations)", prob, lower.N)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(1)
+	}
+
+	if *dot {
+		if g.N > 200 {
+			fmt.Fprintf(os.Stderr, "graph has %d nodes; DOT output is limited to 200\n", g.N)
+			os.Exit(1)
+		}
+		fmt.Print(g.DOT(*kind))
+		return
+	}
+
+	st := g.Analyze()
+	fmt.Printf("Dependency structure of %s\n", title)
+	fmt.Printf("  iterations        %d\n", st.Iterations)
+	fmt.Printf("  dependency edges  %d\n", st.Edges)
+	fmt.Printf("  wavefront levels  %d\n", st.Levels)
+	fmt.Printf("  widest level      %d iterations\n", st.MaxLevelWidth)
+	fmt.Printf("  mean level width  %.1f iterations\n", st.MeanLevelWidth)
+	fmt.Printf("  critical path     %d iterations\n", st.CriticalPathLen)
+	fmt.Printf("  max speedup       %.1fx (unit cost, unbounded processors)\n", st.MaxSpeedup)
+	if st.Independent {
+		fmt.Println("  the loop is fully independent: a doall would suffice")
+	}
+
+	fmt.Println("\nDoconsider orderings (mean positions between dependent iterations — larger is more slack):")
+	for _, s := range doconsider.Strategies {
+		plan := doconsider.NewPlan(g, s)
+		fmt.Printf("  %-18s mean wait distance %8.1f\n", s.String(), plan.MeanWaitDistance)
+	}
+
+	profile := g.ParallelismProfile()
+	if len(profile) > 0 {
+		fmt.Println("\nParallelism profile (iterations per wavefront level, first 20 levels):")
+		limit := len(profile)
+		if limit > 20 {
+			limit = 20
+		}
+		for lvl := 0; lvl < limit; lvl++ {
+			fmt.Printf("  level %3d: %d\n", lvl, profile[lvl])
+		}
+		if len(profile) > limit {
+			fmt.Printf("  ... (%d more levels)\n", len(profile)-limit)
+		}
+	}
+}

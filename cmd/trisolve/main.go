@@ -1,0 +1,126 @@
+// Command trisolve generates one of the paper's five test triangular systems
+// and solves it with the executors compared in Table 1, reporting wall-clock
+// times on the host and verifying all solutions against the sequential
+// substitution.
+//
+// Usage:
+//
+//	trisolve -problem 5-PT -workers 8 -solver all
+//	trisolve -problem SPE2 -solver doacross-reordered
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"doacross/internal/core"
+	"doacross/internal/flags"
+	"doacross/internal/sched"
+	"doacross/internal/sparse"
+	"doacross/internal/stencil"
+	"doacross/internal/trace"
+	"doacross/internal/trisolve"
+)
+
+func problemByName(name string) (stencil.Problem, error) {
+	for _, p := range stencil.Problems {
+		if strings.EqualFold(p.String(), name) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown problem %q (choose from SPE2, SPE5, 5-PT, 7-PT, 9-PT)", name)
+}
+
+var solverKinds = map[string]trisolve.SolverKind{
+	"sequential":         trisolve.Sequential,
+	"doacross":           trisolve.Doacross,
+	"doacross-reordered": trisolve.DoacrossReordered,
+	"doacross-linear":    trisolve.LinearSubscript,
+	"level-scheduled":    trisolve.LevelScheduled,
+}
+
+func main() {
+	var (
+		problem   = flag.String("problem", "5-PT", "test system: SPE2, SPE5, 5-PT, 7-PT or 9-PT")
+		workers   = flag.Int("workers", 4, "number of workers for the parallel solvers")
+		solver    = flag.String("solver", "all", "sequential | doacross | doacross-reordered | doacross-linear | level-scheduled | all")
+		repeat    = flag.Int("repeat", 3, "timing repetitions (best is reported)")
+		seed      = flag.Int64("seed", 1, "seed for the synthetic SPE operators")
+		showTrace = flag.Bool("trace", false, "print a per-worker execution trace summary of the doacross solve")
+	)
+	flag.Parse()
+
+	prob, err := problemByName(*problem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Building %v (%d equations) and its ILU(0) lower factor...\n", prob, prob.Equations())
+	l, _, err := stencil.LowerFactor(prob, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rhs := stencil.RHS(l.N, 7)
+	g := trisolve.Graph(l)
+	st := g.Analyze()
+	fmt.Printf("Dependency structure: %s\n\n", st)
+
+	reference := trisolve.SolveSequential(l, rhs)
+	opts := core.Options{Workers: *workers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitSpinYield}
+
+	names := []string{"sequential", "doacross", "doacross-reordered", "doacross-linear", "level-scheduled"}
+	fmt.Printf("%-20s %12s %10s %10s  %s\n", "solver", "time", "speedup", "eff", "check")
+	var seqTime time.Duration
+	for _, name := range names {
+		if *solver != "all" && *solver != name {
+			continue
+		}
+		kind := solverKinds[name]
+		var out []float64
+		sample := trace.Measure(*repeat, func() {
+			var solveErr error
+			out, _, solveErr = trisolve.Solve(kind, l, rhs, opts)
+			if solveErr != nil {
+				fmt.Fprintln(os.Stderr, solveErr)
+				os.Exit(1)
+			}
+		})
+		best := sample.Min()
+		if name == "sequential" {
+			seqTime = best
+		}
+		check := "ok"
+		if d := sparse.VecMaxDiff(out, reference); d > 1e-9 {
+			check = fmt.Sprintf("MISMATCH %.2e", d)
+		}
+		speedup, eff := 0.0, 0.0
+		if seqTime > 0 && name != "sequential" {
+			speedup = trace.Speedup(seqTime, best)
+			eff = trace.Efficiency(seqTime, best, *workers)
+		}
+		fmt.Printf("%-20s %12v %10.2f %10.2f  %s\n", name, best, speedup, eff, check)
+	}
+
+	if *showTrace {
+		loop, err := trisolve.Loop(l, rhs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tracedOpts := opts
+		tracedOpts.CollectTrace = true
+		rt := core.NewRuntime(l.N, tracedOpts)
+		y := make([]float64, l.N)
+		if _, err := rt.Run(loop, y); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(rt.Trace().Summarize())
+	}
+}

@@ -1,0 +1,87 @@
+// Krylov solver: the application that motivates the paper's Section 3.2
+// experiments.
+//
+// The paper notes that the solution of sparse triangular systems "accounts
+// for a large fraction of the sequential execution time of linear solvers
+// that use Krylov methods". This example solves a Poisson problem on a
+// 63x63 grid with ILU(0)-preconditioned conjugate gradients and shows the
+// preprocessed doacross slotting in as the preconditioner's forward
+// substitution: the iteration counts and the solution are identical to the
+// sequential preconditioner, because the doacross computes exactly the
+// sequential result.
+//
+// Run with:
+//
+//	go run ./examples/krylov
+package main
+
+import (
+	"fmt"
+
+	"doacross/internal/core"
+	"doacross/internal/doconsider"
+	"doacross/internal/experiments"
+	"doacross/internal/flags"
+	"doacross/internal/krylov"
+	"doacross/internal/sched"
+	"doacross/internal/sparse"
+	"doacross/internal/stencil"
+	"doacross/internal/trisolve"
+)
+
+func main() {
+	a, err := stencil.FivePointGrid(63, 63)
+	if err != nil {
+		panic(err)
+	}
+	b := stencil.RHS(a.Rows, 3)
+	workers := experiments.DefaultLiveWorkers()
+	fmt.Printf("Poisson problem on a 63x63 grid: %d unknowns, %d nonzeros\n\n", a.Rows, a.NNZ())
+
+	// Plain CG (no preconditioner).
+	xPlain := make([]float64, a.Rows)
+	plain, err := krylov.CG(a, b, xPlain, nil, krylov.Options{Tolerance: 1e-8})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-44s %s\n", "CG, no preconditioner:", plain)
+
+	// ILU(0)-PCG with the standard sequential triangular solves.
+	xSeq, seqRes, err := krylov.SolveWithILU(a, b, nil, krylov.Options{Tolerance: 1e-8})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-44s %s\n", "ILU(0)-PCG, sequential forward solve:", seqRes)
+
+	// ILU(0)-PCG with both preconditioner substitutions run as preprocessed
+	// doacross loops (forward for L, backward for U), iterations reordered by
+	// the doconsider transform.
+	opts := core.Options{Workers: workers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitSpinYield}
+	xPar, parRes, err := krylov.SolveWithILU(a, b, func(p *sparse.ILUPreconditioner) {
+		p.SolveLower = func(tr *sparse.Triangular, rhs, y []float64) []float64 {
+			sol, _, solveErr := trisolve.SolveDoacrossReordered(tr, rhs, doconsider.Level, opts)
+			if solveErr != nil {
+				panic(solveErr)
+			}
+			copy(y, sol)
+			return y
+		}
+		p.SolveUpper = func(tr *sparse.Triangular, rhs, y []float64) []float64 {
+			sol, _, solveErr := trisolve.SolveUpperDoacrossReordered(tr, rhs, doconsider.Level, opts)
+			if solveErr != nil {
+				panic(solveErr)
+			}
+			copy(y, sol)
+			return y
+		}
+	}, krylov.Options{Tolerance: 1e-8})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-44s %s\n", "ILU(0)-PCG, doacross forward solve:", parRes)
+
+	fmt.Printf("\nsolution agreement: |x_doacross - x_sequential| = %.3g\n", sparse.VecMaxDiff(xSeq, xPar))
+	fmt.Printf("iteration counts identical: %v (the doacross reproduces the sequential solve bit-for-bit in exact arithmetic)\n",
+		seqRes.Iterations == parRes.Iterations)
+	fmt.Printf("preconditioning benefit: %d CG iterations without, %d with ILU(0)\n", plain.Iterations, seqRes.Iterations)
+}

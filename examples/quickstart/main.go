@@ -1,0 +1,95 @@
+// Quickstart: parallelize the paper's Figure 1 loop with the preprocessed
+// doacross.
+//
+// The loop is
+//
+//	do i = 1, N
+//	  y(a(i)) = 2 * y(b(i)) + i
+//	end do
+//
+// where the index arrays a and b are only known at run time, so a compiler
+// cannot tell which iterations depend on which. The preprocessed doacross
+// discovers and enforces the dependencies at execution time: an inspector
+// records who writes what, the executor busy-waits only on genuine
+// flow dependencies, and anti-dependencies are satisfied by renaming.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"doacross/internal/core"
+	"doacross/internal/flags"
+	"doacross/internal/sched"
+	"doacross/internal/sparse"
+)
+
+func main() {
+	const n = 100000
+	const dataLen = 2 * n
+
+	// Execution-time index arrays: a is a random permutation prefix (no two
+	// iterations write the same element — the paper's no-output-dependency
+	// requirement), b points anywhere, so the loop contains a mixture of
+	// true dependencies, anti-dependencies and independent reads.
+	rng := rand.New(rand.NewSource(42))
+	a := rng.Perm(dataLen)[:n]
+	b := make([]int, n)
+	for i := range b {
+		b[i] = rng.Intn(dataLen)
+	}
+
+	loop := &core.Loop{
+		N:      n,
+		Data:   dataLen,
+		Writes: func(i int) []int { return a[i : i+1] },
+		Reads:  func(i int) []int { return b[i : i+1] },
+		Body: func(i int, v *core.Values) {
+			// v.Load performs the execution-time dependency check of the
+			// paper's Figure 5: it waits when (and only when) y(b(i)) is
+			// produced by an earlier iteration, and otherwise returns the old
+			// value.
+			v.Store(a[i], 2*v.Load(b[i])+float64(i))
+		},
+	}
+	if err := loop.Validate(); err != nil {
+		panic(err)
+	}
+
+	y0 := make([]float64, dataLen)
+	for i := range y0 {
+		y0[i] = rng.NormFloat64()
+	}
+
+	// Reference: the original sequential loop.
+	seq := append([]float64(nil), y0...)
+	core.RunSequential(loop, seq)
+
+	// Parallel: inspector + executor + postprocessor.
+	par := append([]float64(nil), y0...)
+	rt := core.NewRuntime(dataLen, core.Options{
+		Workers:      4,
+		Policy:       sched.Dynamic,
+		Chunk:        256,
+		WaitStrategy: flags.WaitSpinYield,
+	})
+	report, err := rt.Run(loop, par)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("Preprocessed doacross quickstart (Figure 1 loop)")
+	fmt.Printf("  iterations         %d\n", report.Iterations)
+	fmt.Printf("  workers            %d\n", report.Workers)
+	fmt.Printf("  inspector time     %v\n", report.PreTime)
+	fmt.Printf("  executor time      %v\n", report.ExecTime)
+	fmt.Printf("  postprocess time   %v\n", report.PostTime)
+	fmt.Printf("  true dependencies  %d\n", report.TrueDeps)
+	fmt.Printf("  anti/none reads    %d\n", report.AntiOrNone)
+	fmt.Printf("  max |par - seq|    %.3g\n", sparse.VecMaxDiff(par, seq))
+	fmt.Printf("  scratch reusable   %v\n", rt.ScratchClean())
+}

@@ -1,0 +1,206 @@
+// Package core implements the paper's primary contribution: the preprocessed
+// doacross loop (Saltz & Mirchandaney, ICASE Interim Report 11, 1990).
+//
+// A Loop describes a loop whose iterations read and write elements of a
+// shared float64 array through subscripts that are only known at run time.
+// The runtime executes it in three phases, exactly as in the paper:
+//
+//  1. Inspect (preprocessing, fully parallel): record in the iter table which
+//     iteration writes each array element (iter[a(i)] = i, everything else
+//     MAXINT).
+//  2. Execute: run the iterations concurrently. Every right-hand-side read
+//     consults the iter table; reads of elements produced by an earlier
+//     iteration busy-wait on the element's ready flag and then use the newly
+//     computed value (ynew), reads of elements produced by a later iteration
+//     or by no iteration use the old value (y), so anti-dependencies are
+//     satisfied by renaming.
+//  3. Postprocess (fully parallel): copy the newly computed elements back
+//     into y and reset the iter/ready entries that were used, so the scratch
+//     arrays can be reused by the next doacross loop.
+//
+// The package also provides the paper's Section 2.3 variants (the
+// strip-mined/blocked doacross and the linear-subscript doacross that needs
+// no inspector), plus baseline executors (sequential, doall, oracle doacross)
+// used by the experiments.
+package core
+
+import (
+	"fmt"
+
+	"doacross/internal/flags"
+)
+
+// Loop describes a runtime-dependent loop over a shared data array.
+//
+// The description separates what the compiler's symbolic transformation would
+// know statically (N, the shape of the body) from what only exists at run
+// time (the index arrays consulted by Writes and the subscripts the body
+// computes).
+type Loop struct {
+	// N is the number of iterations (the original loop runs i = 0..N-1).
+	N int
+	// Data is the length of the shared array y the loop reads and writes.
+	Data int
+	// Writes returns the data elements written by iteration i (the paper's
+	// a(i); usually a single element). The preprocessed doacross assumes no
+	// output dependencies: no element may be written by two different
+	// iterations.
+	Writes func(i int) []int
+	// Reads returns the data elements iteration i may read. It is consulted
+	// only by analysis layers (dependency graph construction, the machine
+	// simulator, the doconsider reordering) — the executor itself discovers
+	// reads dynamically through Values.Load, exactly as the paper's
+	// transformed loop does. Reads may be nil when no analysis is needed.
+	Reads func(i int) []int
+	// Body executes iteration i. All accesses to the shared array must go
+	// through v: v.Load(e) performs the execution-time dependency check and
+	// returns the correct (old or new) value; v.Store(e, x) writes the new
+	// value. The runtime marks the elements in Writes(i) as ready after Body
+	// returns.
+	Body func(i int, v *Values)
+}
+
+// Validate checks the structural requirements of the preprocessed doacross:
+// sane sizes and no output dependencies between iterations.
+func (l *Loop) Validate() error {
+	if l.N < 0 {
+		return fmt.Errorf("core: negative iteration count %d", l.N)
+	}
+	if l.Data < 0 {
+		return fmt.Errorf("core: negative data length %d", l.Data)
+	}
+	if l.Writes == nil || l.Body == nil {
+		return fmt.Errorf("core: Loop requires Writes and Body")
+	}
+	writer := make(map[int]int)
+	for i := 0; i < l.N; i++ {
+		for _, e := range l.Writes(i) {
+			if e < 0 || e >= l.Data {
+				return fmt.Errorf("core: iteration %d writes element %d outside data length %d", i, e, l.Data)
+			}
+			if prev, ok := writer[e]; ok && prev != i {
+				return fmt.Errorf("core: output dependency: element %d written by iterations %d and %d", e, prev, i)
+			}
+			writer[e] = i
+		}
+	}
+	return nil
+}
+
+// Values gives a loop body access to the shared array with the paper's
+// execution-time dependency checks. A Values is specific to one iteration of
+// one run and must not be retained after the body returns.
+type Values struct {
+	iter     writerTable
+	ready    readyWaiter
+	old      []float64
+	new      []float64
+	i        int
+	strategy flags.WaitStrategy
+	// counters for tracing
+	waits      int
+	truedeps   int
+	selfdeps   int
+	antiOrNone int
+}
+
+// writerTable abstracts IterTable and EpochIterTable.
+type writerTable interface {
+	Classify(e, i int) (flags.Dependence, int64)
+	Record(e, i int)
+	Len() int
+}
+
+// readyWaiter abstracts ReadyFlags and EpochFlags.
+type readyWaiter interface {
+	Set(e int)
+	IsDone(e int) bool
+	WaitFor(e int, strategy flags.WaitStrategy) int
+}
+
+// Iteration returns the original index of the iteration the body is
+// executing. Bodies that need the index receive it as an argument as well;
+// this accessor exists for helper code shared between bodies.
+func (v *Values) Iteration() int { return v.i }
+
+// Load returns the value of element e as the original sequential loop would
+// have observed it at this iteration: if e is written by an earlier
+// iteration, Load waits for that iteration and returns the newly computed
+// value; if e is written by this iteration, it returns the newly computed
+// value without waiting; otherwise it returns the old value.
+//
+// Load implements statements S3–S8 of the paper's Figure 5.
+func (v *Values) Load(e int) float64 {
+	dep, _ := v.iter.Classify(e, v.i)
+	switch dep {
+	case flags.TrueDep:
+		v.truedeps++
+		v.waits += v.ready.WaitFor(e, v.strategy)
+		return v.new[e]
+	case flags.SelfDep:
+		v.selfdeps++
+		return v.new[e]
+	default:
+		v.antiOrNone++
+		return v.old[e]
+	}
+}
+
+// LoadOld returns the value element e had before the loop started, without
+// any dependency check. Bodies use it for elements that are known never to be
+// written by the loop.
+func (v *Values) LoadOld(e int) float64 { return v.old[e] }
+
+// LoadNew returns the in-progress new value of element e without any
+// dependency check or wait. It is intended for a body reading back an element
+// it has itself written during this iteration (the paper's ynew(a(i))
+// accumulation in Figure 5).
+func (v *Values) LoadNew(e int) float64 { return v.new[e] }
+
+// Store writes the new value of element e. The element only becomes visible
+// to other iterations once the runtime marks it ready after the body returns.
+func (v *Values) Store(e int, x float64) { v.new[e] = x }
+
+// Waits reports how many polling steps this iteration spent waiting on
+// unsatisfied true dependencies.
+func (v *Values) Waits() int { return v.waits }
+
+// RunSequential executes the loop exactly as the original (untransformed)
+// sequential loop would, applying all writes in iteration order directly to
+// y. It is the reference the doacross results are compared against and the
+// T_seq used in parallel-efficiency calculations.
+func RunSequential(l *Loop, y []float64) {
+	v := &Values{}
+	for i := 0; i < l.N; i++ {
+		v.reset(seqTable{}, seqReady{}, y, y, i, flags.WaitSpin)
+		l.Body(i, v)
+	}
+}
+
+// seqTable classifies every read as a self dependence so Load returns the
+// current contents of y (which already reflects all earlier writes, because
+// old and new alias the same array in RunSequential).
+type seqTable struct{}
+
+func (seqTable) Classify(e, i int) (flags.Dependence, int64) { return flags.SelfDep, int64(i) }
+func (seqTable) Record(e, i int)                             {}
+func (seqTable) Len() int                                    { return 0 }
+
+type seqReady struct{}
+
+func (seqReady) Set(e int)                               {}
+func (seqReady) IsDone(e int) bool                       { return true }
+func (seqReady) WaitFor(e int, s flags.WaitStrategy) int { return 0 }
+
+func (v *Values) reset(t writerTable, r readyWaiter, old, new []float64, i int, s flags.WaitStrategy) {
+	v.iter = t
+	v.ready = r
+	v.old = old
+	v.new = new
+	v.i = i
+	v.strategy = s
+	v.waits = 0
+	v.truedeps = 0
+	v.selfdeps = 0
+	v.antiOrNone = 0
+}

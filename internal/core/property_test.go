@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"doacross/internal/depgraph"
+	"doacross/internal/doconsider"
+	"doacross/internal/flags"
+	"doacross/internal/sched"
+	"doacross/internal/sparse"
+)
+
+// TestPropertyDoacrossEquivalentToSequential is the central correctness
+// property of the paper's construct: for ANY loop with runtime-determined
+// subscripts (no output dependencies), the preprocessed doacross produces
+// exactly the result of the sequential loop, for any worker count, policy,
+// wait strategy and table implementation.
+func TestPropertyDoacrossEquivalentToSequential(t *testing.T) {
+	f := func(seed int64, workerBits, policyBits, strategyBits, epochBit uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(120)
+		l, y := randomFigure1(rng, n)
+		seq := append([]float64(nil), y...)
+		RunSequential(l, seq)
+
+		workers := int(workerBits)%7 + 1
+		policy := sched.Policy(int(policyBits) % 3)
+		strategy := flags.WaitStrategy(int(strategyBits)%2 + 1) // SpinYield or Notify
+		opts := Options{
+			Workers:        workers,
+			Policy:         policy,
+			Chunk:          1 + rng.Intn(16),
+			WaitStrategy:   strategy,
+			UseEpochTables: epochBit%2 == 0,
+		}
+		par := append([]float64(nil), y...)
+		rt := NewRuntime(l.Data, opts)
+		if _, err := rt.Run(l, par); err != nil {
+			return false
+		}
+		return sparse.VecMaxDiff(seq, par) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBlockedEquivalentToSequential checks the same property for the
+// strip-mined variant over random block sizes.
+func TestPropertyBlockedEquivalentToSequential(t *testing.T) {
+	f := func(seed int64, blockBits uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(100)
+		l, y := randomFigure1(rng, n)
+		seq := append([]float64(nil), y...)
+		RunSequential(l, seq)
+		block := int(blockBits)%n + 1
+		par := append([]float64(nil), y...)
+		rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
+		if _, err := rt.RunBlocked(l, par, block); err != nil {
+			return false
+		}
+		return sparse.VecMaxDiff(seq, par) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyReorderedEquivalentToSequential checks that executing under any
+// doconsider ordering (all of which are topological) preserves the sequential
+// semantics.
+func TestPropertyReorderedEquivalentToSequential(t *testing.T) {
+	f := func(seed int64, strategyBits uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(100)
+		l, y := randomFigure1(rng, n)
+		g := depgraph.Build(depgraph.Access{N: l.N, Writes: l.Writes, Reads: l.Reads})
+		strategy := doconsider.Strategies[int(strategyBits)%len(doconsider.Strategies)]
+		order := doconsider.Order(g, strategy)
+		if err := doconsider.Validate(g, order); err != nil {
+			return false
+		}
+		seq := append([]float64(nil), y...)
+		RunSequential(l, seq)
+		par := append([]float64(nil), y...)
+		rt := NewRuntime(l.Data, Options{Workers: 5, Order: order, WaitStrategy: flags.WaitSpinYield})
+		if _, err := rt.Run(l, par); err != nil {
+			return false
+		}
+		return sparse.VecMaxDiff(seq, par) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyScratchAlwaysCleanAfterRun checks the paper's reuse invariant:
+// after postprocessing, every iter entry is back to MAXINT and every ready
+// flag back to NOTDONE, whatever the loop looked like.
+func TestPropertyScratchAlwaysCleanAfterRun(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(80)
+		l, y := randomFigure1(rng, n)
+		rt := NewRuntime(l.Data, Options{Workers: 3, WaitStrategy: flags.WaitSpinYield})
+		if _, err := rt.Run(l, y); err != nil {
+			return false
+		}
+		return rt.ScratchClean()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestManyWorkersFewIterations stresses the degenerate case where the worker
+// count far exceeds the iteration count.
+func TestManyWorkersFewIterations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l, y := randomFigure1(rng, 5)
+	seq := append([]float64(nil), y...)
+	RunSequential(l, seq)
+	for _, workers := range []int{8, 64, 200} {
+		par := append([]float64(nil), y...)
+		rt := NewRuntime(l.Data, Options{Workers: workers, WaitStrategy: flags.WaitSpinYield})
+		if _, err := rt.Run(l, par); err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.VecMaxDiff(seq, par); d != 0 {
+			t.Fatalf("workers=%d: mismatch %v", workers, d)
+		}
+	}
+}
+
+// TestEmptyAndSingleIterationLoops covers the boundary sizes.
+func TestEmptyAndSingleIterationLoops(t *testing.T) {
+	empty := &Loop{N: 0, Data: 4, Writes: func(int) []int { return nil }, Body: func(int, *Values) {}}
+	rt := NewRuntime(4, Options{Workers: 3})
+	y := []float64{1, 2, 3, 4}
+	if _, err := rt.Run(empty, y); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 1 || y[3] != 4 {
+		t.Fatal("empty loop modified data")
+	}
+
+	single := &Loop{
+		N: 1, Data: 4,
+		Writes: func(int) []int { return []int{2} },
+		Body:   func(i int, v *Values) { v.Store(2, v.LoadOld(0)*10) },
+	}
+	if _, err := rt.Run(single, y); err != nil {
+		t.Fatal(err)
+	}
+	if y[2] != 10 {
+		t.Fatalf("single-iteration loop result %v", y)
+	}
+}
+
+// TestLongDependencyChainManyWorkers verifies that a worst-case loop (a pure
+// chain) still terminates and produces the right answer when every iteration
+// must wait for its predecessor across worker boundaries.
+func TestLongDependencyChainManyWorkers(t *testing.T) {
+	n := 3000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = i
+		if i > 0 {
+			b[i] = i - 1
+		} else {
+			b[i] = 0
+		}
+	}
+	l := figure1Loop(a, b, n)
+	y := make([]float64, n)
+	y[0] = 1
+	seq := append([]float64(nil), y...)
+	RunSequential(l, seq)
+	for _, policy := range []sched.Policy{sched.Block, sched.Cyclic, sched.Dynamic} {
+		par := append([]float64(nil), y...)
+		rt := NewRuntime(n, Options{Workers: 8, Policy: policy, Chunk: 4, WaitStrategy: flags.WaitSpinYield})
+		if _, err := rt.Run(l, par); err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.VecMaxDiff(seq, par); d != 0 {
+			t.Fatalf("policy %v: chain mismatch %v", policy, d)
+		}
+	}
+}
+
+// TestMultipleWritesPerIteration exercises loops where an iteration writes
+// more than one element (the paper's construct permits this as long as no
+// element is written twice).
+func TestMultipleWritesPerIteration(t *testing.T) {
+	n := 200
+	dataLen := 3 * n
+	l := &Loop{
+		N:    n,
+		Data: dataLen,
+		Writes: func(i int) []int {
+			return []int{3 * i, 3*i + 1}
+		},
+		Reads: func(i int) []int {
+			if i == 0 {
+				return nil
+			}
+			return []int{3 * (i - 1), 3*(i-1) + 1}
+		},
+		Body: func(i int, v *Values) {
+			if i == 0 {
+				v.Store(0, 1)
+				v.Store(1, 2)
+				return
+			}
+			v.Store(3*i, v.Load(3*(i-1))+1)
+			v.Store(3*i+1, v.Load(3*(i-1)+1)*1.01)
+		},
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, dataLen)
+	seq := append([]float64(nil), y...)
+	RunSequential(l, seq)
+	par := append([]float64(nil), y...)
+	rt := NewRuntime(dataLen, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
+	if _, err := rt.Run(l, par); err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.VecMaxDiff(seq, par); d != 0 {
+		t.Fatalf("multi-write mismatch %v", d)
+	}
+	if !rt.ScratchClean() {
+		t.Error("scratch not clean after multi-write loop")
+	}
+}

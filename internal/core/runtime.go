@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"doacross/internal/flags"
+	"doacross/internal/sched"
+)
+
+// Options configures a doacross Runtime.
+type Options struct {
+	// Workers is the number of concurrent workers (processors). Zero means 1.
+	Workers int
+	// Policy selects how iterations are assigned to workers.
+	Policy sched.Policy
+	// Chunk is the chunk size used by the Dynamic policy (0 = default).
+	Chunk int
+	// WaitStrategy selects how true-dependency waits are performed. The
+	// default (zero value) is the paper's busy wait; WaitSpinYield is
+	// recommended when Workers exceeds GOMAXPROCS.
+	WaitStrategy flags.WaitStrategy
+	// UseEpochTables replaces the MAXINT/NOTDONE reset protocol of the
+	// paper's postprocessing phase with epoch-versioned tables that reset in
+	// O(1). This is a design-choice ablation; results are identical.
+	UseEpochTables bool
+	// Order, when non-nil, is the execution order produced by a doconsider
+	// reordering: position k of the parallel loop executes original
+	// iteration Order[k]. It must be a permutation of 0..N-1 that respects
+	// all true dependencies (see doconsider.Validate). Nil means natural
+	// order.
+	Order []int
+	// CollectTrace records a per-iteration execution trace (start/end time,
+	// worker, wait polls) retrievable through Runtime.Trace after Run. It
+	// adds two clock readings per iteration, so leave it off for
+	// performance-sensitive runs.
+	CollectTrace bool
+}
+
+// Report describes one doacross execution: the time spent in each of the
+// three phases and aggregate synchronization counters.
+type Report struct {
+	Workers     int
+	Iterations  int
+	PreTime     time.Duration
+	ExecTime    time.Duration
+	PostTime    time.Duration
+	TotalTime   time.Duration
+	TrueDeps    int64
+	SelfDeps    int64
+	AntiOrNone  int64
+	WaitPolls   int64
+	Order       string
+	WaitPolicy  string
+	SchedPolicy string
+}
+
+// String renders the report in a compact human-readable form.
+func (r Report) String() string {
+	return fmt.Sprintf("P=%d iters=%d pre=%v exec=%v post=%v total=%v truedeps=%d waits=%d",
+		r.Workers, r.Iterations, r.PreTime, r.ExecTime, r.PostTime, r.TotalTime, r.TrueDeps, r.WaitPolls)
+}
+
+// Runtime holds the reusable scratch state of the preprocessed doacross: the
+// iter table, the ready flags, the ynew buffer and the worker pool. As in
+// Section 2.1 of the paper, one Runtime is shared by successive doacross
+// loops over data arrays of the same length, and its postprocessing phase
+// restores the scratch state so the next loop can start immediately.
+type Runtime struct {
+	opts Options
+	pool *sched.Pool
+
+	dataLen int
+	iter    *flags.IterTable
+	ready   *flags.ReadyFlags
+	eIter   *flags.EpochIterTable
+	eReady  *flags.EpochFlags
+	ynew    []float64
+
+	// lastTrace holds the per-iteration trace of the most recent Run when
+	// Options.CollectTrace is set.
+	lastTrace *Trace
+}
+
+// NewRuntime creates a runtime whose scratch arrays cover data arrays of
+// length dataLen.
+func NewRuntime(dataLen int, opts Options) *Runtime {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	rt := &Runtime{
+		opts:    opts,
+		pool:    sched.NewPool(opts.Workers),
+		dataLen: dataLen,
+		ynew:    make([]float64, dataLen),
+	}
+	if opts.UseEpochTables {
+		rt.eIter = flags.NewEpochIterTable(dataLen)
+		rt.eReady = flags.NewEpochFlags(dataLen)
+	} else {
+		rt.iter = flags.NewIterTable(dataLen)
+		rt.ready = flags.NewReadyFlags(dataLen)
+		if opts.WaitStrategy == flags.WaitNotify {
+			rt.ready.EnableNotify()
+		}
+	}
+	return rt
+}
+
+// Workers reports the number of workers the runtime uses.
+func (rt *Runtime) Workers() int { return rt.opts.Workers }
+
+// Options returns a copy of the runtime's configuration.
+func (rt *Runtime) Options() Options { return rt.opts }
+
+// table and waiter return the active scratch structures behind small adapter
+// types so the executor code is independent of the reset protocol.
+func (rt *Runtime) table() writerTable {
+	if rt.opts.UseEpochTables {
+		return rt.eIter
+	}
+	return rt.iter
+}
+
+func (rt *Runtime) waiter() readyWaiter {
+	if rt.opts.UseEpochTables {
+		return epochWaiter{rt.eReady}
+	}
+	return flagWaiter{rt.ready}
+}
+
+// flagWaiter adapts flags.ReadyFlags to the readyWaiter interface.
+type flagWaiter struct{ f *flags.ReadyFlags }
+
+func (w flagWaiter) Set(e int)                               { w.f.Set(e) }
+func (w flagWaiter) IsDone(e int) bool                       { return w.f.IsDone(e) }
+func (w flagWaiter) WaitFor(e int, s flags.WaitStrategy) int { return w.f.Wait(e, s) }
+
+// epochWaiter adapts flags.EpochFlags to the readyWaiter interface.
+type epochWaiter struct{ f *flags.EpochFlags }
+
+func (w epochWaiter) Set(e int)                               { w.f.Set(e) }
+func (w epochWaiter) IsDone(e int) bool                       { return w.f.IsDone(e) }
+func (w epochWaiter) WaitFor(e int, s flags.WaitStrategy) int { return w.f.Wait(e) }
+
+// Run executes the full preprocessed doacross — inspector, executor,
+// postprocessor — on the loop, updating y in place exactly as the sequential
+// loop would have. It returns a report of the execution.
+//
+// The loop's data length must not exceed the runtime's. Run may be called
+// repeatedly (with the same or different loops); the scratch arrays are
+// reused across calls as in the paper.
+func (rt *Runtime) Run(l *Loop, y []float64) (Report, error) {
+	if l.Data > rt.dataLen {
+		return Report{}, fmt.Errorf("core: loop data length %d exceeds runtime capacity %d", l.Data, rt.dataLen)
+	}
+	if len(y) < l.Data {
+		return Report{}, fmt.Errorf("core: data slice length %d shorter than loop data %d", len(y), l.Data)
+	}
+	if rt.opts.Order != nil && len(rt.opts.Order) != l.N {
+		return Report{}, fmt.Errorf("core: execution order has %d entries for %d iterations", len(rt.opts.Order), l.N)
+	}
+
+	rep := Report{
+		Workers:     rt.opts.Workers,
+		Iterations:  l.N,
+		WaitPolicy:  rt.opts.WaitStrategy.String(),
+		SchedPolicy: rt.opts.Policy.String(),
+	}
+	if rt.opts.Order != nil {
+		rep.Order = "reordered"
+	} else {
+		rep.Order = "natural"
+	}
+
+	start := time.Now()
+	rt.Inspect(l)
+	rep.PreTime = time.Since(start)
+
+	execStart := time.Now()
+	counters := rt.Execute(l, y)
+	rep.ExecTime = time.Since(execStart)
+	rep.TrueDeps = counters.trueDeps
+	rep.SelfDeps = counters.selfDeps
+	rep.AntiOrNone = counters.antiOrNone
+	rep.WaitPolls = counters.waitPolls
+
+	postStart := time.Now()
+	rt.Postprocess(l, y)
+	rep.PostTime = time.Since(postStart)
+	rep.TotalTime = time.Since(start)
+	return rep, nil
+}
+
+// Inspect is the execution-time preprocessing phase (the inspector): it runs
+// a fully parallel loop that records, for every element written by the loop,
+// the iteration that writes it (Figure 3, left, in the paper).
+func (rt *Runtime) Inspect(l *Loop) {
+	tab := rt.table()
+	rt.pool.ParallelFor(l.N, func(i int) {
+		for _, e := range l.Writes(i) {
+			tab.Record(e, i)
+		}
+	})
+}
+
+// execCounters aggregates the per-iteration dependency counters.
+type execCounters struct {
+	trueDeps   int64
+	selfDeps   int64
+	antiOrNone int64
+	waitPolls  int64
+}
+
+// Execute is the executor phase: it runs the transformed loop in parallel.
+// Reads go through Values.Load (which performs the iter check and the busy
+// wait), writes go to the ynew buffer, and each iteration's written elements
+// are marked ready when its body returns. y is only read during this phase.
+func (rt *Runtime) Execute(l *Loop, y []float64) execCounters {
+	tab := rt.table()
+	ready := rt.waiter()
+	order := rt.opts.Order
+
+	var traceBase time.Time
+	if rt.opts.CollectTrace {
+		rt.lastTrace = &Trace{Workers: rt.opts.Workers, Iterations: make([]IterTrace, l.N)}
+		traceBase = time.Now()
+	} else {
+		rt.lastTrace = nil
+	}
+
+	perWorker := make([]execCounters, rt.opts.Workers)
+	// One Values per worker, reused across that worker's iterations, keeps
+	// the executor allocation-free per iteration.
+	vals := make([]Values, rt.opts.Workers)
+	body := func(worker, pos int) {
+		i := pos
+		if order != nil {
+			i = order[pos]
+		}
+		var start time.Duration
+		if rt.lastTrace != nil {
+			start = time.Since(traceBase)
+		}
+		writes := l.Writes(i)
+		// Statement S2 of the paper's Figure 5: seed ynew(a(i)) with the old
+		// value so intra-iteration (self-dependence) reads observe the value
+		// the sequential loop would have seen before this iteration's write.
+		for _, e := range writes {
+			rt.ynew[e] = y[e]
+		}
+		v := &vals[worker]
+		v.reset(tab, ready, y, rt.ynew, i, rt.opts.WaitStrategy)
+		l.Body(i, v)
+		for _, e := range writes {
+			ready.Set(e)
+		}
+		c := &perWorker[worker]
+		c.trueDeps += int64(v.truedeps)
+		c.selfDeps += int64(v.selfdeps)
+		c.antiOrNone += int64(v.antiOrNone)
+		c.waitPolls += int64(v.waits)
+		if rt.lastTrace != nil {
+			rt.lastTrace.Iterations[pos] = IterTrace{
+				Iteration: i,
+				Position:  pos,
+				Worker:    worker,
+				Start:     start,
+				End:       time.Since(traceBase),
+				WaitPolls: v.waits,
+				TrueDeps:  v.truedeps,
+			}
+		}
+	}
+
+	if rt.opts.Policy == sched.Dynamic {
+		rt.pool.RunDynamic(l.N, rt.opts.Chunk, body)
+	} else {
+		s := sched.Build(rt.opts.Policy, l.N, rt.opts.Workers)
+		rt.pool.RunSchedule(s, body)
+	}
+
+	var total execCounters
+	for _, c := range perWorker {
+		total.trueDeps += c.trueDeps
+		total.selfDeps += c.selfDeps
+		total.antiOrNone += c.antiOrNone
+		total.waitPolls += c.waitPolls
+	}
+	return total
+}
+
+// Postprocess is the parallel postprocessing phase (Figure 3, right, in the
+// paper): for every element the loop wrote it copies the newly computed
+// value back into y, resets the element's iter entry to MAXINT and its ready
+// flag to NOTDONE. With epoch tables the resets are replaced by a single
+// epoch advance.
+func (rt *Runtime) Postprocess(l *Loop, y []float64) {
+	if rt.opts.UseEpochTables {
+		rt.pool.ParallelFor(l.N, func(i int) {
+			for _, e := range l.Writes(i) {
+				y[e] = rt.ynew[e]
+			}
+		})
+		rt.eIter.Advance()
+		rt.eReady.Advance()
+		return
+	}
+	rt.pool.ParallelFor(l.N, func(i int) {
+		for _, e := range l.Writes(i) {
+			y[e] = rt.ynew[e]
+			rt.iter.Reset(e)
+			rt.ready.Clear(e)
+		}
+	})
+}
+
+// ScratchClean reports whether the scratch arrays are back in their pristine
+// state (every iter entry MAXINT, every ready flag NOTDONE). It exists so
+// tests can verify the paper's reuse invariant after Postprocess. Epoch-table
+// runtimes are always clean by construction.
+func (rt *Runtime) ScratchClean() bool {
+	if rt.opts.UseEpochTables {
+		return true
+	}
+	for e := 0; e < rt.dataLen; e++ {
+		if rt.iter.Writer(e) != flags.MaxInt || rt.ready.IsDone(e) {
+			return false
+		}
+	}
+	return true
+}

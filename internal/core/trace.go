@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// IterTrace records how one iteration of a doacross execution behaved. Traces
+// are collected only when Options.CollectTrace is set, because stamping two
+// monotonic clock readings per iteration is measurable overhead on very small
+// loop bodies.
+type IterTrace struct {
+	// Iteration is the original iteration index.
+	Iteration int
+	// Position is the execution position (differs from Iteration when a
+	// doconsider order is active).
+	Position int
+	// Worker is the worker that executed the iteration.
+	Worker int
+	// Start and End are offsets from the beginning of the executor phase.
+	Start, End time.Duration
+	// WaitPolls is the number of polling steps spent on unsatisfied true
+	// dependencies.
+	WaitPolls int
+	// TrueDeps is the number of reads classified as true dependencies.
+	TrueDeps int
+}
+
+// Trace is the per-iteration record of one doacross execution.
+type Trace struct {
+	Workers    int
+	Iterations []IterTrace
+}
+
+// Trace returns the trace of the most recent Run when tracing was enabled,
+// or nil otherwise. The slice is owned by the runtime and overwritten by the
+// next traced Run.
+func (rt *Runtime) Trace() *Trace { return rt.lastTrace }
+
+// Summary aggregates a trace into per-worker utilization and wait statistics.
+type TraceSummary struct {
+	Workers        int
+	Iterations     int
+	Span           time.Duration
+	PerWorkerIters []int
+	PerWorkerBusy  []time.Duration
+	TotalWaitPolls int64
+	MaxWaitPolls   int
+	// LongestIteration is the iteration with the largest End-Start span.
+	LongestIteration IterTrace
+}
+
+// Summarize computes aggregate statistics from the trace.
+func (tr *Trace) Summarize() TraceSummary {
+	s := TraceSummary{
+		Workers:        tr.Workers,
+		Iterations:     len(tr.Iterations),
+		PerWorkerIters: make([]int, tr.Workers),
+		PerWorkerBusy:  make([]time.Duration, tr.Workers),
+	}
+	for _, it := range tr.Iterations {
+		if it.Worker >= 0 && it.Worker < tr.Workers {
+			s.PerWorkerIters[it.Worker]++
+			s.PerWorkerBusy[it.Worker] += it.End - it.Start
+		}
+		if it.End > s.Span {
+			s.Span = it.End
+		}
+		s.TotalWaitPolls += int64(it.WaitPolls)
+		if it.WaitPolls > s.MaxWaitPolls {
+			s.MaxWaitPolls = it.WaitPolls
+		}
+		if it.End-it.Start > s.LongestIteration.End-s.LongestIteration.Start {
+			s.LongestIteration = it
+		}
+	}
+	return s
+}
+
+// String renders the summary compactly.
+func (s TraceSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d iterations on %d workers, span %v, total wait polls %d (max %d per iteration)\n",
+		s.Iterations, s.Workers, s.Span, s.TotalWaitPolls, s.MaxWaitPolls)
+	for w := 0; w < s.Workers; w++ {
+		busyFrac := 0.0
+		if s.Span > 0 {
+			busyFrac = float64(s.PerWorkerBusy[w]) / float64(s.Span)
+		}
+		fmt.Fprintf(&b, "  worker %d: %d iterations, busy %.0f%%\n", w, s.PerWorkerIters[w], 100*busyFrac)
+	}
+	return b.String()
+}
+
+// ByStart returns the iteration traces sorted by start time, which is the
+// order a Gantt-style visualization would draw them in.
+func (tr *Trace) ByStart() []IterTrace {
+	out := append([]IterTrace(nil), tr.Iterations...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"doacross/internal/flags"
+)
+
+func tracedChainLoop(n int) *Loop {
+	return &Loop{
+		N: n, Data: n,
+		Writes: func(i int) []int { return []int{i} },
+		Body: func(i int, v *Values) {
+			if i == 0 {
+				v.Store(0, 1)
+				return
+			}
+			v.Store(i, v.Load(i-1)+1)
+		},
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	l := tracedChainLoop(20)
+	rt := NewRuntime(20, Options{Workers: 2, WaitStrategy: flags.WaitSpinYield})
+	if _, err := rt.Run(l, make([]float64, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Trace() != nil {
+		t.Error("trace collected without CollectTrace")
+	}
+}
+
+func TestTraceCollectsEveryIteration(t *testing.T) {
+	n := 50
+	l := tracedChainLoop(n)
+	rt := NewRuntime(n, Options{Workers: 3, WaitStrategy: flags.WaitSpinYield, CollectTrace: true})
+	y := make([]float64, n)
+	if _, err := rt.Run(l, y); err != nil {
+		t.Fatal(err)
+	}
+	tr := rt.Trace()
+	if tr == nil {
+		t.Fatal("no trace collected")
+	}
+	if len(tr.Iterations) != n {
+		t.Fatalf("trace has %d iterations, want %d", len(tr.Iterations), n)
+	}
+	seen := make([]bool, n)
+	for _, it := range tr.Iterations {
+		if it.End < it.Start {
+			t.Fatalf("iteration %d ends before it starts", it.Iteration)
+		}
+		if it.Worker < 0 || it.Worker >= 3 {
+			t.Fatalf("iteration %d ran on unknown worker %d", it.Iteration, it.Worker)
+		}
+		if seen[it.Iteration] {
+			t.Fatalf("iteration %d traced twice", it.Iteration)
+		}
+		seen[it.Iteration] = true
+	}
+	// Chain loop: every iteration except the first has one true dependency.
+	deps := 0
+	for _, it := range tr.Iterations {
+		deps += it.TrueDeps
+	}
+	if deps != n-1 {
+		t.Errorf("trace records %d true dependencies, want %d", deps, n-1)
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	n := 80
+	l := tracedChainLoop(n)
+	rt := NewRuntime(n, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield, CollectTrace: true})
+	if _, err := rt.Run(l, make([]float64, n)); err != nil {
+		t.Fatal(err)
+	}
+	s := rt.Trace().Summarize()
+	if s.Iterations != n || s.Workers != 4 {
+		t.Fatalf("summary header wrong: %+v", s)
+	}
+	total := 0
+	for _, c := range s.PerWorkerIters {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("per-worker counts sum to %d, want %d", total, n)
+	}
+	if s.Span <= 0 {
+		t.Error("span should be positive")
+	}
+	out := s.String()
+	if !strings.Contains(out, "worker 0") || !strings.Contains(out, "iterations") {
+		t.Errorf("summary string: %q", out)
+	}
+}
+
+func TestTraceByStartSorted(t *testing.T) {
+	n := 40
+	l := tracedChainLoop(n)
+	rt := NewRuntime(n, Options{Workers: 2, WaitStrategy: flags.WaitSpinYield, CollectTrace: true})
+	if _, err := rt.Run(l, make([]float64, n)); err != nil {
+		t.Fatal(err)
+	}
+	byStart := rt.Trace().ByStart()
+	for i := 1; i < len(byStart); i++ {
+		if byStart[i].Start < byStart[i-1].Start {
+			t.Fatal("ByStart is not sorted")
+		}
+	}
+	if len(byStart) != n {
+		t.Fatal("ByStart changed the number of records")
+	}
+}
+
+func TestTraceWithReordering(t *testing.T) {
+	// Tracing must record both the original iteration index and the
+	// execution position when a doconsider order is active.
+	n := 30
+	l := tracedChainLoop(n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i // natural order is trivially topological
+	}
+	rt := NewRuntime(n, Options{Workers: 2, Order: order, WaitStrategy: flags.WaitSpinYield, CollectTrace: true})
+	if _, err := rt.Run(l, make([]float64, n)); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range rt.Trace().Iterations {
+		if it.Iteration != order[it.Position] {
+			t.Fatalf("trace position %d records iteration %d, want %d", it.Position, it.Iteration, order[it.Position])
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"doacross/internal/flags"
+	"doacross/internal/sched"
+)
+
+// RunBlocked executes the loop with the strip-mined (blocked) variant of
+// Section 2.3: the original loop L is transformed into an outer sequential
+// loop over contiguous blocks of blockSize iterations and an inner
+// preprocessed doacross over each block. Preprocessing and postprocessing run
+// before and after every block, so the iter and ready arrays are reused block
+// after block; dependencies that cross blocks are automatically satisfied
+// because the earlier block's postprocessing has already copied its results
+// into y.
+//
+// The report aggregates the per-block phase times.
+func (rt *Runtime) RunBlocked(l *Loop, y []float64, blockSize int) (Report, error) {
+	if blockSize <= 0 {
+		return Report{}, fmt.Errorf("core: block size must be positive, got %d", blockSize)
+	}
+	if rt.opts.Order != nil {
+		return Report{}, fmt.Errorf("core: RunBlocked does not support a reordered execution order")
+	}
+	rep := Report{
+		Workers:     rt.opts.Workers,
+		Iterations:  l.N,
+		WaitPolicy:  rt.opts.WaitStrategy.String(),
+		SchedPolicy: rt.opts.Policy.String(),
+		Order:       "blocked",
+	}
+	start := time.Now()
+	for lo := 0; lo < l.N; lo += blockSize {
+		hi := lo + blockSize
+		if hi > l.N {
+			hi = l.N
+		}
+		sub := &Loop{
+			N:      hi - lo,
+			Data:   l.Data,
+			Writes: func(i int) []int { return l.Writes(lo + i) },
+			Body:   func(i int, v *Values) { l.Body(lo+i, v) },
+		}
+		if l.Reads != nil {
+			sub.Reads = func(i int) []int { return l.Reads(lo + i) }
+		}
+		// Iteration indices inside the block are shifted to be block-local;
+		// because the block runs after all earlier blocks have fully
+		// completed (and postprocessed), the relative order inside the block
+		// is all that matters for the dependency checks.
+		blockRep, err := rt.Run(sub, y)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.PreTime += blockRep.PreTime
+		rep.ExecTime += blockRep.ExecTime
+		rep.PostTime += blockRep.PostTime
+		rep.TrueDeps += blockRep.TrueDeps
+		rep.SelfDeps += blockRep.SelfDeps
+		rep.AntiOrNone += blockRep.AntiOrNone
+		rep.WaitPolls += blockRep.WaitPolls
+	}
+	rep.TotalTime = time.Since(start)
+	return rep, nil
+}
+
+// LinearSubscript describes a left-hand-side subscript of the form
+// a(i) = C*i + D with C != 0, the case Section 2.3 identifies as allowing the
+// execution-time preprocessing phase (and the iter array) to be eliminated
+// entirely: whether an element e is written by the loop, and by which
+// iteration, follows from (e-D) mod C.
+type LinearSubscript struct {
+	C, D int
+}
+
+// Writer returns the iteration that writes element e under the subscript, or
+// -1 if no iteration in [0, n) writes it.
+func (s LinearSubscript) Writer(e, n int) int {
+	if s.C == 0 {
+		return -1
+	}
+	d := e - s.D
+	if d%s.C != 0 {
+		return -1
+	}
+	i := d / s.C
+	if i < 0 || i >= n {
+		return -1
+	}
+	return i
+}
+
+// WritesFunc returns a Writes function for a Loop using this subscript.
+func (s LinearSubscript) WritesFunc() func(i int) []int {
+	return func(i int) []int { return []int{s.C*i + s.D} }
+}
+
+// linearTable implements the writerTable interface using the closed-form
+// subscript instead of an inspector-filled array.
+type linearTable struct {
+	sub LinearSubscript
+	n   int
+}
+
+func (t linearTable) Classify(e, i int) (flags.Dependence, int64) {
+	w := t.sub.Writer(e, t.n)
+	switch {
+	case w < 0:
+		return flags.AntiOrNone, flags.MaxInt
+	case w < i:
+		return flags.TrueDep, int64(w)
+	case w == i:
+		return flags.SelfDep, int64(w)
+	default:
+		return flags.AntiOrNone, int64(w)
+	}
+}
+func (t linearTable) Record(e, i int) {}
+func (t linearTable) Len() int        { return 0 }
+
+// RunLinear executes the loop with the linear-subscript variant of Section
+// 2.3: no inspector runs and no iter array is consulted; the dependency check
+// uses the closed-form subscript. The loop's Writes function must agree with
+// the subscript (Validate via Loop.Validate as usual). Postprocessing still
+// copies results back and resets the ready flags.
+func (rt *Runtime) RunLinear(l *Loop, y []float64, sub LinearSubscript) (Report, error) {
+	if sub.C == 0 {
+		return Report{}, fmt.Errorf("core: linear subscript requires C != 0")
+	}
+	if l.Data > rt.dataLen {
+		return Report{}, fmt.Errorf("core: loop data length %d exceeds runtime capacity %d", l.Data, rt.dataLen)
+	}
+	rep := Report{
+		Workers:     rt.opts.Workers,
+		Iterations:  l.N,
+		WaitPolicy:  rt.opts.WaitStrategy.String(),
+		SchedPolicy: rt.opts.Policy.String(),
+		Order:       "linear-subscript",
+	}
+	start := time.Now()
+	// No inspector phase at all — that is the point of the variant.
+	tab := linearTable{sub: sub, n: l.N}
+	ready := rt.waiter()
+
+	execStart := time.Now()
+	perWorker := make([]execCounters, rt.opts.Workers)
+	vals := make([]Values, rt.opts.Workers)
+	body := func(worker, pos int) {
+		i := pos
+		writes := l.Writes(i)
+		// Seed ynew with the old values (Figure 5, statement S2).
+		for _, e := range writes {
+			rt.ynew[e] = y[e]
+		}
+		v := &vals[worker]
+		v.reset(tab, ready, y, rt.ynew, i, rt.opts.WaitStrategy)
+		l.Body(i, v)
+		for _, e := range writes {
+			ready.Set(e)
+		}
+		c := &perWorker[worker]
+		c.trueDeps += int64(v.truedeps)
+		c.selfDeps += int64(v.selfdeps)
+		c.antiOrNone += int64(v.antiOrNone)
+		c.waitPolls += int64(v.waits)
+	}
+	if rt.opts.Policy == sched.Dynamic {
+		rt.pool.RunDynamic(l.N, rt.opts.Chunk, body)
+	} else {
+		s := sched.Build(rt.opts.Policy, l.N, rt.opts.Workers)
+		rt.pool.RunSchedule(s, body)
+	}
+	rep.ExecTime = time.Since(execStart)
+	for _, c := range perWorker {
+		rep.TrueDeps += c.trueDeps
+		rep.SelfDeps += c.selfDeps
+		rep.AntiOrNone += c.antiOrNone
+		rep.WaitPolls += c.waitPolls
+	}
+
+	postStart := time.Now()
+	if rt.opts.UseEpochTables {
+		rt.pool.ParallelFor(l.N, func(i int) {
+			for _, e := range l.Writes(i) {
+				y[e] = rt.ynew[e]
+			}
+		})
+		rt.eReady.Advance()
+	} else {
+		rt.pool.ParallelFor(l.N, func(i int) {
+			for _, e := range l.Writes(i) {
+				y[e] = rt.ynew[e]
+				rt.ready.Clear(e)
+			}
+		})
+	}
+	rep.PostTime = time.Since(postStart)
+	rep.TotalTime = time.Since(start)
+	return rep, nil
+}
+
+// RunDoall executes the loop as a doall: all iterations run concurrently with
+// no dependency checks and no synchronization, writing directly into y. It is
+// only correct for loops with no cross-iteration dependencies and exists as
+// the zero-overhead baseline the paper's odd-L efficiencies are measured
+// against.
+func (rt *Runtime) RunDoall(l *Loop, y []float64) Report {
+	rep := Report{
+		Workers:     rt.opts.Workers,
+		Iterations:  l.N,
+		Order:       "doall",
+		SchedPolicy: rt.opts.Policy.String(),
+	}
+	start := time.Now()
+	v := make([]Values, rt.opts.Workers)
+	body := func(worker, pos int) {
+		vv := &v[worker]
+		vv.reset(seqTable{}, seqReady{}, y, y, pos, rt.opts.WaitStrategy)
+		l.Body(pos, vv)
+	}
+	if rt.opts.Policy == sched.Dynamic {
+		rt.pool.RunDynamic(l.N, rt.opts.Chunk, body)
+	} else {
+		s := sched.Build(rt.opts.Policy, l.N, rt.opts.Workers)
+		rt.pool.RunSchedule(s, body)
+	}
+	rep.ExecTime = time.Since(start)
+	rep.TotalTime = rep.ExecTime
+	return rep
+}
+
+// RunOracle executes the loop as a classical doacross with a-priori dependency
+// knowledge: preds[i] lists the iterations that iteration i must wait for
+// (for example from depgraph.Build, computed off line). No iter table is
+// consulted and no inspector runs; reads always see the correct value because
+// writes still go through the ynew renaming buffer. It quantifies what the
+// execution-time checks of the preprocessed doacross cost relative to a
+// compile-time doacross that magically knows the dependencies.
+func (rt *Runtime) RunOracle(l *Loop, y []float64, preds [][]int32) (Report, error) {
+	if len(preds) != l.N {
+		return Report{}, fmt.Errorf("core: oracle dependency list has %d entries for %d iterations", len(preds), l.N)
+	}
+	if l.Data > rt.dataLen {
+		return Report{}, fmt.Errorf("core: loop data length %d exceeds runtime capacity %d", l.Data, rt.dataLen)
+	}
+	rep := Report{
+		Workers:     rt.opts.Workers,
+		Iterations:  l.N,
+		Order:       "oracle",
+		WaitPolicy:  rt.opts.WaitStrategy.String(),
+		SchedPolicy: rt.opts.Policy.String(),
+	}
+	start := time.Now()
+	done := flags.NewReadyFlags(l.N)
+	if rt.opts.WaitStrategy == flags.WaitNotify {
+		done.EnableNotify()
+	}
+	// The oracle executor needs the new values visible to dependent reads; a
+	// per-element copy into y after all predecessors finish would race, so it
+	// uses the same old/new renaming but classifies reads with a precomputed
+	// writer index.
+	writerOf := make([]int64, l.Data)
+	for e := range writerOf {
+		writerOf[e] = flags.MaxInt
+	}
+	for i := 0; i < l.N; i++ {
+		for _, e := range l.Writes(i) {
+			writerOf[e] = int64(i)
+		}
+	}
+	tab := oracleTable{writer: writerOf}
+	ready := rt.waiter()
+
+	perWorker := make([]execCounters, rt.opts.Workers)
+	vals := make([]Values, rt.opts.Workers)
+	body := func(worker, pos int) {
+		i := pos
+		for _, p := range preds[i] {
+			done.Wait(int(p), rt.opts.WaitStrategy)
+		}
+		writes := l.Writes(i)
+		// Seed ynew with the old values (Figure 5, statement S2).
+		for _, e := range writes {
+			rt.ynew[e] = y[e]
+		}
+		v := &vals[worker]
+		v.reset(tab, ready, y, rt.ynew, i, rt.opts.WaitStrategy)
+		l.Body(i, v)
+		for _, e := range writes {
+			ready.Set(e)
+		}
+		done.Set(i)
+		c := &perWorker[worker]
+		c.trueDeps += int64(v.truedeps)
+		c.waitPolls += int64(v.waits)
+	}
+	if rt.opts.Policy == sched.Dynamic {
+		rt.pool.RunDynamic(l.N, rt.opts.Chunk, body)
+	} else {
+		s := sched.Build(rt.opts.Policy, l.N, rt.opts.Workers)
+		rt.pool.RunSchedule(s, body)
+	}
+	for _, c := range perWorker {
+		rep.TrueDeps += c.trueDeps
+		rep.WaitPolls += c.waitPolls
+	}
+	rep.ExecTime = time.Since(start)
+
+	postStart := time.Now()
+	rt.pool.ParallelFor(l.N, func(i int) {
+		for _, e := range l.Writes(i) {
+			y[e] = rt.ynew[e]
+			if !rt.opts.UseEpochTables {
+				rt.ready.Clear(e)
+			}
+		}
+	})
+	if rt.opts.UseEpochTables {
+		rt.eReady.Advance()
+	}
+	rep.PostTime = time.Since(postStart)
+	rep.TotalTime = time.Since(start)
+	return rep, nil
+}
+
+// oracleTable classifies reads against a precomputed writer index (no
+// inspector, no waiting decision — waits are done on whole predecessor
+// iterations before the body runs).
+type oracleTable struct{ writer []int64 }
+
+func (t oracleTable) Classify(e, i int) (flags.Dependence, int64) {
+	w := t.writer[e]
+	switch {
+	case w < int64(i):
+		if w == flags.MaxInt {
+			return flags.AntiOrNone, w
+		}
+		return flags.TrueDep, w
+	case w == int64(i):
+		return flags.SelfDep, w
+	default:
+		return flags.AntiOrNone, w
+	}
+}
+func (t oracleTable) Record(e, i int) {}
+func (t oracleTable) Len() int        { return len(t.writer) }

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"doacross/internal/depgraph"
+	"doacross/internal/flags"
+	"doacross/internal/sparse"
+)
+
+func TestBlockedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 5; trial++ {
+		l, y := randomFigure1(rng, 150)
+		seq := append([]float64(nil), y...)
+		RunSequential(l, seq)
+		for _, block := range []int{1, 7, 32, 150, 500} {
+			par := append([]float64(nil), y...)
+			rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
+			rep, err := rt.RunBlocked(l, par, block)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := sparse.VecMaxDiff(seq, par); d != 0 {
+				t.Fatalf("trial %d block %d: mismatch %v", trial, block, d)
+			}
+			if rep.Order != "blocked" {
+				t.Errorf("report order = %q", rep.Order)
+			}
+			if !rt.ScratchClean() {
+				t.Errorf("block %d: scratch not clean after blocked run", block)
+			}
+		}
+	}
+}
+
+func TestBlockedRejectsBadArguments(t *testing.T) {
+	l := &Loop{N: 4, Data: 4, Writes: func(i int) []int { return []int{i} }, Body: func(i int, v *Values) {}}
+	rt := NewRuntime(4, Options{Workers: 2})
+	if _, err := rt.RunBlocked(l, make([]float64, 4), 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+	rtOrdered := NewRuntime(4, Options{Workers: 2, Order: []int{0, 1, 2, 3}})
+	if _, err := rtOrdered.RunBlocked(l, make([]float64, 4), 2); err == nil {
+		t.Error("blocked run with reordering accepted")
+	}
+}
+
+func TestLinearSubscriptWriter(t *testing.T) {
+	s := LinearSubscript{C: 2, D: 0} // a(i) = 2i, the paper's Section 3.1 choice
+	if s.Writer(4, 10) != 2 {
+		t.Errorf("Writer(4) = %d, want 2", s.Writer(4, 10))
+	}
+	if s.Writer(5, 10) != -1 {
+		t.Error("odd element should have no writer")
+	}
+	if s.Writer(40, 10) != -1 {
+		t.Error("element beyond the iteration range should have no writer")
+	}
+	if s.Writer(-2, 10) != -1 {
+		t.Error("negative writer index should be rejected")
+	}
+	if (LinearSubscript{C: 0}).Writer(3, 5) != -1 {
+		t.Error("degenerate subscript should report no writer")
+	}
+	w := s.WritesFunc()
+	if got := w(3); len(got) != 1 || got[0] != 6 {
+		t.Errorf("WritesFunc(3) = %v, want [6]", got)
+	}
+}
+
+func TestLinearVariantMatchesSequential(t *testing.T) {
+	// y[2i] = y[2i - 2k] + i with a(i) = 2i: the linear-subscript variant
+	// must agree with both the sequential loop and the inspector-based
+	// doacross.
+	n := 300
+	dataLen := 2*n + 8
+	sub := LinearSubscript{C: 2, D: 0}
+	b := make([]int, n)
+	rng := rand.New(rand.NewSource(5))
+	for i := range b {
+		b[i] = rng.Intn(dataLen)
+	}
+	l := &Loop{
+		N: n, Data: dataLen,
+		Writes: sub.WritesFunc(),
+		Reads:  func(i int) []int { return b[i : i+1] },
+		Body: func(i int, v *Values) {
+			v.Store(2*i, v.Load(b[i])+float64(i))
+		},
+	}
+	y := make([]float64, dataLen)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	seq := append([]float64(nil), y...)
+	RunSequential(l, seq)
+
+	parInspector := append([]float64(nil), y...)
+	rt1 := NewRuntime(dataLen, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
+	if _, err := rt1.Run(l, parInspector); err != nil {
+		t.Fatal(err)
+	}
+	parLinear := append([]float64(nil), y...)
+	rt2 := NewRuntime(dataLen, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
+	rep, err := rt2.RunLinear(l, parLinear, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.VecMaxDiff(seq, parInspector); d != 0 {
+		t.Fatalf("inspector variant mismatch %v", d)
+	}
+	if d := sparse.VecMaxDiff(seq, parLinear); d != 0 {
+		t.Fatalf("linear variant mismatch %v", d)
+	}
+	if rep.PreTime != 0 {
+		t.Error("linear variant should not spend time in an inspector phase")
+	}
+	if rep.Order != "linear-subscript" {
+		t.Errorf("report order = %q", rep.Order)
+	}
+}
+
+func TestLinearVariantErrors(t *testing.T) {
+	l := &Loop{N: 2, Data: 4, Writes: func(i int) []int { return []int{2 * i} }, Body: func(i int, v *Values) {}}
+	rt := NewRuntime(4, Options{Workers: 1})
+	if _, err := rt.RunLinear(l, make([]float64, 4), LinearSubscript{C: 0}); err == nil {
+		t.Error("C=0 accepted")
+	}
+	small := NewRuntime(2, Options{Workers: 1})
+	if _, err := small.RunLinear(l, make([]float64, 4), LinearSubscript{C: 2}); err == nil {
+		t.Error("oversized loop accepted")
+	}
+}
+
+func TestLinearVariantEpochTables(t *testing.T) {
+	n := 100
+	sub := LinearSubscript{C: 1, D: 0}
+	l := &Loop{
+		N: n, Data: n,
+		Writes: sub.WritesFunc(),
+		Body: func(i int, v *Values) {
+			if i == 0 {
+				v.Store(0, 1)
+				return
+			}
+			v.Store(i, v.Load(i-1)*1.01)
+		},
+	}
+	y := make([]float64, n)
+	seq := append([]float64(nil), y...)
+	RunSequential(l, seq)
+	par := append([]float64(nil), y...)
+	rt := NewRuntime(n, Options{Workers: 3, UseEpochTables: true, WaitStrategy: flags.WaitSpinYield})
+	if _, err := rt.RunLinear(l, par, sub); err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.VecMaxDiff(seq, par); d != 0 {
+		t.Fatalf("linear+epoch mismatch %v", d)
+	}
+}
+
+func TestDoallOnIndependentLoop(t *testing.T) {
+	n := 500
+	l := &Loop{
+		N: n, Data: n,
+		Writes: func(i int) []int { return []int{i} },
+		Body: func(i int, v *Values) {
+			v.Store(i, float64(i)*2)
+		},
+	}
+	y := make([]float64, n)
+	rt := NewRuntime(n, Options{Workers: 4})
+	rep := rt.RunDoall(l, y)
+	for i := range y {
+		if y[i] != float64(i)*2 {
+			t.Fatalf("y[%d] = %v", i, y[i])
+		}
+	}
+	if rep.Order != "doall" || rep.Iterations != n {
+		t.Errorf("doall report: %+v", rep)
+	}
+}
+
+func TestOracleMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5; trial++ {
+		l, y := randomFigure1(rng, 150)
+		g := depgraph.Build(depgraph.Access{N: l.N, Writes: l.Writes, Reads: l.Reads})
+		seq := append([]float64(nil), y...)
+		RunSequential(l, seq)
+		par := append([]float64(nil), y...)
+		rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
+		rep, err := rt.RunOracle(l, par, g.Preds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.VecMaxDiff(seq, par); d != 0 {
+			t.Fatalf("trial %d: oracle mismatch %v", trial, d)
+		}
+		if rep.Order != "oracle" {
+			t.Errorf("report order = %q", rep.Order)
+		}
+	}
+}
+
+func TestOracleErrors(t *testing.T) {
+	l := &Loop{N: 3, Data: 3, Writes: func(i int) []int { return []int{i} }, Body: func(i int, v *Values) {}}
+	rt := NewRuntime(3, Options{Workers: 1})
+	if _, err := rt.RunOracle(l, make([]float64, 3), make([][]int32, 2)); err == nil {
+		t.Error("wrong-length predecessor list accepted")
+	}
+	small := NewRuntime(1, Options{Workers: 1})
+	if _, err := small.RunOracle(l, make([]float64, 3), make([][]int32, 3)); err == nil {
+		t.Error("oversized loop accepted")
+	}
+}
+
+func TestOptionsAccessors(t *testing.T) {
+	rt := NewRuntime(8, Options{Workers: 3})
+	if rt.Workers() != 3 {
+		t.Errorf("Workers() = %d", rt.Workers())
+	}
+	if rt.Options().Workers != 3 {
+		t.Error("Options() lost configuration")
+	}
+	zero := NewRuntime(8, Options{})
+	if zero.Workers() != 1 {
+		t.Error("zero workers should clamp to 1")
+	}
+}

@@ -1,0 +1,286 @@
+// Package depgraph builds and analyses the inter-iteration dependency graph
+// of a loop whose subscripts are only known at run time. It is the analysis
+// substrate shared by the doconsider reordering, the machine simulator and
+// the experiment harness.
+//
+// A loop iteration i writes a set of data elements and reads a set of data
+// elements. Because the preprocessed doacross renames all writes into a
+// separate array (ynew), only flow (true) dependencies constrain execution:
+// iteration i depends on iteration j when j < i and j writes an element that
+// i reads. Anti- and output dependencies are removed by the renaming, exactly
+// as in Section 2.1 of the paper.
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Access describes the data elements touched by each iteration of a loop.
+type Access struct {
+	// N is the number of iterations.
+	N int
+	// Writes returns the data elements written by iteration i. The
+	// preprocessed doacross assumes no output dependencies, i.e. no element
+	// is written by two different iterations.
+	Writes func(i int) []int
+	// Reads returns the data elements read by iteration i.
+	Reads func(i int) []int
+}
+
+// Graph is the true-dependency DAG of a loop: Preds[i] lists the iterations
+// that iteration i must wait for (each writes an element i reads and precedes
+// i in the original order), and Succs is the reverse adjacency.
+type Graph struct {
+	N     int
+	Preds [][]int32
+	Succs [][]int32
+	// Edges is the total number of dependency edges.
+	Edges int
+}
+
+// Build constructs the true-dependency graph of the access pattern. Duplicate
+// edges (an iteration reading several elements produced by the same earlier
+// iteration) are collapsed.
+func Build(a Access) *Graph {
+	writer := make(map[int]int32)
+	maxElem := -1
+	for i := 0; i < a.N; i++ {
+		for _, e := range a.Writes(i) {
+			if e > maxElem {
+				maxElem = e
+			}
+			writer[e] = int32(i)
+		}
+	}
+	g := &Graph{
+		N:     a.N,
+		Preds: make([][]int32, a.N),
+		Succs: make([][]int32, a.N),
+	}
+	for i := 0; i < a.N; i++ {
+		var preds []int32
+		for _, e := range a.Reads(i) {
+			j, ok := writer[e]
+			if !ok || int(j) >= i {
+				// Not written, self dependence, or anti-dependence
+				// (removed by renaming).
+				continue
+			}
+			preds = append(preds, j)
+		}
+		preds = dedupSorted(preds)
+		g.Preds[i] = preds
+		g.Edges += len(preds)
+		for _, j := range preds {
+			g.Succs[j] = append(g.Succs[j], int32(i))
+		}
+	}
+	return g
+}
+
+// BuildFromWriterIndex constructs the graph for the common single-write case
+// where iteration i writes exactly element write[i] and reads the elements
+// reads(i). It avoids the closure allocation of Build for large loops.
+func BuildFromWriterIndex(n int, write []int, reads func(i int) []int) *Graph {
+	return Build(Access{
+		N:      n,
+		Writes: func(i int) []int { return write[i : i+1] },
+		Reads:  reads,
+	})
+}
+
+func dedupSorted(xs []int32) []int32 {
+	if len(xs) < 2 {
+		return xs
+	}
+	sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Levels computes the wavefront (level-set) decomposition of the graph:
+// level[i] = 0 when iteration i has no predecessors, otherwise
+// 1 + max(level of predecessors). Iterations within the same level can run
+// concurrently. The second result groups iterations by level, each group in
+// ascending iteration order.
+//
+// Because every edge points from a lower iteration index to a higher one, a
+// single forward sweep suffices; no explicit topological sort is needed.
+func (g *Graph) Levels() (level []int, byLevel [][]int) {
+	level = make([]int, g.N)
+	maxLevel := 0
+	for i := 0; i < g.N; i++ {
+		l := 0
+		for _, p := range g.Preds[i] {
+			if lp := level[p] + 1; lp > l {
+				l = lp
+			}
+		}
+		level[i] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	if g.N == 0 {
+		return level, nil
+	}
+	byLevel = make([][]int, maxLevel+1)
+	for i, l := range level {
+		byLevel[l] = append(byLevel[l], i)
+	}
+	return level, byLevel
+}
+
+// CriticalPath returns the length of the longest weighted chain through the
+// graph, where cost(i) is the execution cost of iteration i. With a nil cost
+// function every iteration costs 1, so the result is the number of iterations
+// on the longest dependency chain. The path itself (iteration indices, in
+// execution order) is returned as well.
+func (g *Graph) CriticalPath(cost func(i int) float64) (length float64, path []int) {
+	if g.N == 0 {
+		return 0, nil
+	}
+	unit := func(int) float64 { return 1 }
+	if cost == nil {
+		cost = unit
+	}
+	dist := make([]float64, g.N)
+	from := make([]int, g.N)
+	best := 0
+	for i := 0; i < g.N; i++ {
+		d := 0.0
+		from[i] = -1
+		for _, p := range g.Preds[i] {
+			if dist[p] > d {
+				d = dist[p]
+				from[i] = int(p)
+			}
+		}
+		dist[i] = d + cost(i)
+		if dist[i] > dist[best] {
+			best = i
+		}
+	}
+	for i := best; i != -1; i = from[i] {
+		path = append(path, i)
+	}
+	// Reverse into execution order.
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return dist[best], path
+}
+
+// Stats summarizes the parallel structure of a dependency graph.
+type Stats struct {
+	Iterations     int
+	Edges          int
+	Levels         int
+	MaxLevelWidth  int
+	MeanLevelWidth float64
+	// CriticalPathLen is the unweighted critical path (iterations on the
+	// longest chain).
+	CriticalPathLen int
+	// MaxSpeedup is Iterations / CriticalPathLen: the speedup an unbounded
+	// number of processors could achieve with unit iteration costs and zero
+	// overhead.
+	MaxSpeedup float64
+	// Independent reports whether the loop has no cross-iteration true
+	// dependencies at all (a doall loop).
+	Independent bool
+}
+
+// Analyze computes summary statistics for the graph.
+func (g *Graph) Analyze() Stats {
+	_, byLevel := g.Levels()
+	st := Stats{Iterations: g.N, Edges: g.Edges, Levels: len(byLevel)}
+	for _, lvl := range byLevel {
+		if len(lvl) > st.MaxLevelWidth {
+			st.MaxLevelWidth = len(lvl)
+		}
+	}
+	if len(byLevel) > 0 {
+		st.MeanLevelWidth = float64(g.N) / float64(len(byLevel))
+	}
+	cp, _ := g.CriticalPath(nil)
+	st.CriticalPathLen = int(cp)
+	if cp > 0 {
+		st.MaxSpeedup = float64(g.N) / cp
+	}
+	st.Independent = g.Edges == 0
+	return st
+}
+
+// String renders the statistics in a compact single-line form.
+func (s Stats) String() string {
+	return fmt.Sprintf("iters=%d edges=%d levels=%d maxWidth=%d critPath=%d maxSpeedup=%.2f",
+		s.Iterations, s.Edges, s.Levels, s.MaxLevelWidth, s.CriticalPathLen, s.MaxSpeedup)
+}
+
+// IsTopologicalOrder reports whether the permutation order (order[k] = the
+// iteration executed at position k) respects every dependency edge, i.e.
+// every iteration appears after all of its predecessors.
+func (g *Graph) IsTopologicalOrder(order []int) bool {
+	if len(order) != g.N {
+		return false
+	}
+	pos := make([]int, g.N)
+	seen := make([]bool, g.N)
+	for k, it := range order {
+		if it < 0 || it >= g.N || seen[it] {
+			return false
+		}
+		seen[it] = true
+		pos[it] = k
+	}
+	for i := 0; i < g.N; i++ {
+		for _, p := range g.Preds[i] {
+			if pos[p] >= pos[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DOT renders the dependency graph in Graphviz DOT format, with iterations
+// grouped by level. Intended for small graphs (debugging and documentation).
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=circle];\n", name)
+	level, byLevel := g.Levels()
+	for l, members := range byLevel {
+		fmt.Fprintf(&b, "  { rank=same;")
+		for _, m := range members {
+			fmt.Fprintf(&b, " i%d;", m)
+		}
+		fmt.Fprintf(&b, " } // level %d\n", l)
+	}
+	_ = level
+	for i := 0; i < g.N; i++ {
+		for _, p := range g.Preds[i] {
+			fmt.Fprintf(&b, "  i%d -> i%d;\n", p, i)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ParallelismProfile returns, for each level, the number of iterations in
+// that level — the "width" of each wavefront. It is the profile a level
+// scheduled (doall-per-wavefront) execution would exploit.
+func (g *Graph) ParallelismProfile() []int {
+	_, byLevel := g.Levels()
+	widths := make([]int, len(byLevel))
+	for l, members := range byLevel {
+		widths[l] = len(members)
+	}
+	return widths
+}

@@ -1,0 +1,295 @@
+package depgraph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// chainAccess builds a loop where iteration i writes element i and reads
+// element i-1: a pure sequential chain.
+func chainAccess(n int) Access {
+	return Access{
+		N:      n,
+		Writes: func(i int) []int { return []int{i} },
+		Reads: func(i int) []int {
+			if i == 0 {
+				return nil
+			}
+			return []int{i - 1}
+		},
+	}
+}
+
+// independentAccess builds a loop with no cross-iteration dependencies.
+func independentAccess(n int) Access {
+	return Access{
+		N:      n,
+		Writes: func(i int) []int { return []int{i} },
+		Reads:  func(i int) []int { return []int{i + n} },
+	}
+}
+
+func TestBuildChain(t *testing.T) {
+	g := Build(chainAccess(5))
+	if g.N != 5 || g.Edges != 4 {
+		t.Fatalf("chain graph: N=%d edges=%d, want 5,4", g.N, g.Edges)
+	}
+	for i := 1; i < 5; i++ {
+		if len(g.Preds[i]) != 1 || g.Preds[i][0] != int32(i-1) {
+			t.Fatalf("iteration %d preds = %v, want [%d]", i, g.Preds[i], i-1)
+		}
+	}
+	if len(g.Preds[0]) != 0 {
+		t.Fatal("iteration 0 should have no predecessors")
+	}
+	if len(g.Succs[0]) != 1 || g.Succs[0][0] != 1 {
+		t.Fatalf("iteration 0 succs = %v, want [1]", g.Succs[0])
+	}
+}
+
+func TestBuildIndependent(t *testing.T) {
+	g := Build(independentAccess(10))
+	if g.Edges != 0 {
+		t.Fatalf("independent loop produced %d edges", g.Edges)
+	}
+	st := g.Analyze()
+	if !st.Independent {
+		t.Error("Analyze should report independent")
+	}
+	if st.Levels != 1 || st.MaxLevelWidth != 10 {
+		t.Errorf("independent loop: levels=%d width=%d, want 1,10", st.Levels, st.MaxLevelWidth)
+	}
+}
+
+func TestBuildIgnoresAntiAndSelfDependencies(t *testing.T) {
+	// Iteration i writes element i and reads element i+1 (anti-dependence)
+	// and element i (self). Renaming removes both.
+	a := Access{
+		N:      6,
+		Writes: func(i int) []int { return []int{i} },
+		Reads:  func(i int) []int { return []int{i + 1, i} },
+	}
+	g := Build(a)
+	if g.Edges != 0 {
+		t.Fatalf("anti/self dependencies produced %d true edges", g.Edges)
+	}
+}
+
+func TestBuildDeduplicatesEdges(t *testing.T) {
+	// Iteration 2 reads two different elements both written by iteration 0.
+	a := Access{
+		N: 3,
+		Writes: func(i int) []int {
+			if i == 0 {
+				return []int{10, 11}
+			}
+			return []int{i}
+		},
+		Reads: func(i int) []int {
+			if i == 2 {
+				return []int{10, 11}
+			}
+			return nil
+		},
+	}
+	g := Build(a)
+	if len(g.Preds[2]) != 1 || g.Preds[2][0] != 0 {
+		t.Fatalf("preds[2] = %v, want single edge to 0", g.Preds[2])
+	}
+}
+
+func TestBuildFromWriterIndex(t *testing.T) {
+	write := []int{0, 1, 2, 3}
+	g := BuildFromWriterIndex(4, write, func(i int) []int {
+		if i == 3 {
+			return []int{0, 2}
+		}
+		return nil
+	})
+	if len(g.Preds[3]) != 2 {
+		t.Fatalf("preds[3] = %v, want two predecessors", g.Preds[3])
+	}
+}
+
+func TestLevelsChain(t *testing.T) {
+	g := Build(chainAccess(6))
+	level, byLevel := g.Levels()
+	for i := 0; i < 6; i++ {
+		if level[i] != i {
+			t.Fatalf("level[%d] = %d, want %d", i, level[i], i)
+		}
+	}
+	if len(byLevel) != 6 {
+		t.Fatalf("byLevel has %d levels, want 6", len(byLevel))
+	}
+}
+
+func TestLevelsEmptyGraph(t *testing.T) {
+	g := Build(Access{N: 0, Writes: func(int) []int { return nil }, Reads: func(int) []int { return nil }})
+	level, byLevel := g.Levels()
+	if len(level) != 0 || byLevel != nil {
+		t.Error("empty graph should have empty levels")
+	}
+	if l, p := g.CriticalPath(nil); l != 0 || p != nil {
+		t.Error("empty graph critical path should be 0")
+	}
+}
+
+func TestCriticalPathChainAndWeights(t *testing.T) {
+	g := Build(chainAccess(5))
+	l, path := g.CriticalPath(nil)
+	if l != 5 {
+		t.Fatalf("unweighted critical path = %v, want 5", l)
+	}
+	if len(path) != 5 || path[0] != 0 || path[4] != 4 {
+		t.Fatalf("critical path = %v, want 0..4", path)
+	}
+	// Weighted: iteration 2 is very expensive; path unchanged but length is.
+	l, _ = g.CriticalPath(func(i int) float64 {
+		if i == 2 {
+			return 10
+		}
+		return 1
+	})
+	if l != 14 {
+		t.Fatalf("weighted critical path = %v, want 14", l)
+	}
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	// 0 -> {1,2} -> 3 (1 and 2 independent of each other).
+	a := Access{
+		N:      4,
+		Writes: func(i int) []int { return []int{i} },
+		Reads: func(i int) []int {
+			switch i {
+			case 1, 2:
+				return []int{0}
+			case 3:
+				return []int{1, 2}
+			}
+			return nil
+		},
+	}
+	g := Build(a)
+	l, path := g.CriticalPath(nil)
+	if l != 3 {
+		t.Fatalf("diamond critical path = %v, want 3", l)
+	}
+	if len(path) != 3 || path[0] != 0 || path[2] != 3 {
+		t.Fatalf("diamond path = %v", path)
+	}
+	st := g.Analyze()
+	if st.Levels != 3 || st.MaxLevelWidth != 2 {
+		t.Errorf("diamond stats: %+v", st)
+	}
+	if st.MaxSpeedup < 1.3 || st.MaxSpeedup > 1.34 {
+		t.Errorf("diamond max speedup = %v, want 4/3", st.MaxSpeedup)
+	}
+}
+
+func TestIsTopologicalOrder(t *testing.T) {
+	g := Build(chainAccess(4))
+	if !g.IsTopologicalOrder([]int{0, 1, 2, 3}) {
+		t.Error("natural order of a chain should be topological")
+	}
+	if g.IsTopologicalOrder([]int{1, 0, 2, 3}) {
+		t.Error("swapped chain order should not be topological")
+	}
+	if g.IsTopologicalOrder([]int{0, 1, 2}) {
+		t.Error("short order should be rejected")
+	}
+	if g.IsTopologicalOrder([]int{0, 1, 2, 2}) {
+		t.Error("duplicate order should be rejected")
+	}
+	if g.IsTopologicalOrder([]int{0, 1, 2, 7}) {
+		t.Error("out-of-range order should be rejected")
+	}
+}
+
+func TestLevelOrderIsAlwaysTopological(t *testing.T) {
+	// Property: for random single-writer loops, concatenating the level
+	// groups gives a valid topological order.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(40)
+		reads := make([][]int, n)
+		for i := 1; i < n; i++ {
+			for k := 0; k < rng.Intn(3); k++ {
+				reads[i] = append(reads[i], rng.Intn(n))
+			}
+		}
+		write := make([]int, n)
+		for i := range write {
+			write[i] = i
+		}
+		g := BuildFromWriterIndex(n, write, func(i int) []int { return reads[i] })
+		_, byLevel := g.Levels()
+		var order []int
+		for _, lvl := range byLevel {
+			order = append(order, lvl...)
+		}
+		return g.IsTopologicalOrder(order)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriticalPathAtMostLevels(t *testing.T) {
+	// Property: the unweighted critical path equals the number of levels.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(30)
+		reads := make([][]int, n)
+		for i := 1; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				reads[i] = append(reads[i], rng.Intn(i))
+			}
+		}
+		write := make([]int, n)
+		for i := range write {
+			write[i] = i
+		}
+		g := BuildFromWriterIndex(n, write, func(i int) []int { return reads[i] })
+		cp, _ := g.CriticalPath(nil)
+		_, byLevel := g.Levels()
+		return int(cp) == len(byLevel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelismProfile(t *testing.T) {
+	g := Build(chainAccess(3))
+	prof := g.ParallelismProfile()
+	if len(prof) != 3 || prof[0] != 1 || prof[1] != 1 || prof[2] != 1 {
+		t.Errorf("chain profile = %v", prof)
+	}
+	g = Build(independentAccess(7))
+	prof = g.ParallelismProfile()
+	if len(prof) != 1 || prof[0] != 7 {
+		t.Errorf("independent profile = %v", prof)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := Build(chainAccess(3))
+	dot := g.DOT("chain")
+	for _, want := range []string{"digraph \"chain\"", "i0 -> i1", "i1 -> i2", "rank=same"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	st := Build(chainAccess(4)).Analyze()
+	s := st.String()
+	if !strings.Contains(s, "iters=4") || !strings.Contains(s, "critPath=4") {
+		t.Errorf("Stats.String() = %q", s)
+	}
+}

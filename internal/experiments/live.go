@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"doacross/internal/core"
+	"doacross/internal/doconsider"
+	"doacross/internal/flags"
+	"doacross/internal/sched"
+	"doacross/internal/stencil"
+	"doacross/internal/testloop"
+	"doacross/internal/trace"
+	"doacross/internal/trisolve"
+)
+
+// LiveResult is one live (goroutine) measurement on the host machine: the
+// wall-clock sequential and parallel times of a workload and the resulting
+// speedup and efficiency. Live results validate that the runtime really runs
+// and really scales on the host; the paper-scale (16-processor) numbers come
+// from the machine simulator.
+type LiveResult struct {
+	Name       string
+	Workers    int
+	TSeq       time.Duration
+	TPar       time.Duration
+	Speedup    float64
+	Efficiency float64
+	Checks     string // result-correctness note
+}
+
+// String renders the measurement.
+func (r LiveResult) String() string {
+	return fmt.Sprintf("%-28s P=%-2d Tseq=%-12v Tpar=%-12v speedup=%.2f eff=%.2f %s",
+		r.Name, r.Workers, r.TSeq, r.TPar, r.Speedup, r.Efficiency, r.Checks)
+}
+
+// DefaultLiveWorkers returns a sensible worker count for live measurements on
+// the host (GOMAXPROCS).
+func DefaultLiveWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// RunLiveTestLoop measures the live preprocessed doacross on the Figure 4
+// test loop configuration. repeat > 1 reports the best of several runs.
+func RunLiveTestLoop(tc testloop.Config, workers, repeat int) (LiveResult, error) {
+	if err := tc.Validate(); err != nil {
+		return LiveResult{}, err
+	}
+	l := tc.Loop()
+	base := tc.InitialData()
+
+	seqData := append([]float64(nil), base...)
+	seqSample := trace.Measure(repeat, func() {
+		copy(seqData, base)
+		core.RunSequential(l, seqData)
+	})
+
+	rt := core.NewRuntime(l.Data, core.Options{
+		Workers:      workers,
+		Policy:       sched.Dynamic,
+		Chunk:        64,
+		WaitStrategy: flags.WaitSpinYield,
+	})
+	parData := append([]float64(nil), base...)
+	var runErr error
+	parSample := trace.Measure(repeat, func() {
+		copy(parData, base)
+		if _, err := rt.Run(l, parData); err != nil {
+			runErr = err
+		}
+	})
+	if runErr != nil {
+		return LiveResult{}, runErr
+	}
+
+	name := fmt.Sprintf("figure4 N=%d M=%d L=%d", tc.N, tc.M, tc.L)
+	if tc.WorkPerTerm > 0 {
+		name += fmt.Sprintf(" work=%d", tc.WorkPerTerm)
+	}
+	res := LiveResult{
+		Name:    name,
+		Workers: workers,
+		TSeq:    seqSample.Min(),
+		TPar:    parSample.Min(),
+	}
+	res.Speedup = trace.Speedup(res.TSeq, res.TPar)
+	res.Efficiency = trace.Efficiency(res.TSeq, res.TPar, workers)
+	res.Checks = checkClose(seqData, parData)
+	return res, nil
+}
+
+// RunLiveTrisolve measures the live doacross triangular solve on one of the
+// paper's test problems.
+func RunLiveTrisolve(prob stencil.Problem, workers, repeat int, reordered bool) (LiveResult, error) {
+	l, _, err := stencil.LowerFactor(prob, 1)
+	if err != nil {
+		return LiveResult{}, err
+	}
+	rhs := stencil.RHS(l.N, 7)
+
+	var seqOut []float64
+	seqSample := trace.Measure(repeat, func() {
+		seqOut = trisolve.SolveSequential(l, rhs)
+	})
+
+	opts := core.Options{Workers: workers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitSpinYield}
+	var parOut []float64
+	var runErr error
+	name := fmt.Sprintf("trisolve %v doacross", prob)
+	parSample := trace.Measure(repeat, func() {
+		var e error
+		if reordered {
+			parOut, _, e = trisolve.SolveDoacrossReordered(l, rhs, doconsider.Level, opts)
+		} else {
+			parOut, _, e = trisolve.SolveDoacross(l, rhs, opts)
+		}
+		if e != nil {
+			runErr = e
+		}
+	})
+	if runErr != nil {
+		return LiveResult{}, runErr
+	}
+	if reordered {
+		name = fmt.Sprintf("trisolve %v reordered", prob)
+	}
+
+	res := LiveResult{
+		Name:    name,
+		Workers: workers,
+		TSeq:    seqSample.Min(),
+		TPar:    parSample.Min(),
+	}
+	res.Speedup = trace.Speedup(res.TSeq, res.TPar)
+	res.Efficiency = trace.Efficiency(res.TSeq, res.TPar, workers)
+	res.Checks = checkClose(seqOut, parOut)
+	return res, nil
+}
+
+func checkClose(a, b []float64) string {
+	if len(a) != len(b) {
+		return "LENGTH MISMATCH"
+	}
+	maxd := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 1e-9 {
+		return fmt.Sprintf("RESULT MISMATCH (max diff %.2e)", maxd)
+	}
+	return "results match"
+}
+
+// FormatLive renders a set of live measurements.
+func FormatLive(results []LiveResult) string {
+	var b strings.Builder
+	b.WriteString("Live (goroutine) measurements on this host — validation of the real runtime\n")
+	for _, r := range results {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

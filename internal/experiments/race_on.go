@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active; live wall-clock
+// scaling assertions are skipped under the race detector because its
+// instrumentation multiplies the cost of the runtime's atomic operations.
+const raceEnabled = true

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"doacross/internal/stencil"
+	"doacross/internal/testloop"
+)
+
+func TestFigure6AsTable(t *testing.T) {
+	cfg := smallFigure6Config()
+	cfg.Ls = []int{1, 2, 4}
+	res, err := RunFigure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.AsTable()
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(tab.Rows))
+	}
+	if len(tab.Columns) != 4 { // L, eff(M=1), eff(M=5), dependencies
+		t.Fatalf("got %d columns: %v", len(tab.Columns), tab.Columns)
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, "| L | eff(M=1) | eff(M=5) | dependencies |") {
+		t.Errorf("markdown header wrong:\n%s", md)
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, "L,eff(M=1),eff(M=5),dependencies") {
+		t.Errorf("csv header wrong:\n%s", csv)
+	}
+}
+
+func TestTable1AsTable(t *testing.T) {
+	res, err := RunTable1(Table1Config{Problems: []stencil.Problem{stencil.SPE2}, Processors: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.AsTable()
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "SPE2" {
+		t.Errorf("first cell = %q", tab.Rows[0][0])
+	}
+	if len(tab.Notes) != 1 {
+		t.Error("missing efficiency-band note")
+	}
+	if !strings.Contains(tab.Markdown(), "| SPE2 |") {
+		t.Error("markdown missing SPE2 row")
+	}
+}
+
+func TestSweepAsTable(t *testing.T) {
+	res, err := RunProcessorSweepTestLoop(testloop.Config{N: 500, M: 1, L: 8}, []int{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.AsTable()
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || len(tab.Columns) != 4 {
+		t.Fatalf("unexpected table shape: %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+}

@@ -1,0 +1,121 @@
+package flags
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// EpochFlags is an alternative to ReadyFlags that never needs the
+// postprocessing reset: instead of flipping a DONE bit that must later be
+// cleared, each element stores the epoch (loop invocation number) in which it
+// was last produced. A reader considers the element ready if its stored epoch
+// equals the current epoch. Advancing the epoch between loops invalidates all
+// flags in O(1).
+//
+// This is the design-choice ablation for the paper's postprocessing phase
+// (Section 2.1 / Figure 3): the paper resets ready(a(i)) and iter(a(i)) per
+// written element; EpochFlags removes that cost at the price of one extra
+// comparison per check.
+type EpochFlags struct {
+	epoch atomic.Uint64
+	slots []atomic.Uint64
+}
+
+// NewEpochFlags creates an epoch flag array of length n. The current epoch
+// starts at 1 so that the zero value of a slot ("epoch 0") is never ready.
+func NewEpochFlags(n int) *EpochFlags {
+	e := &EpochFlags{slots: make([]atomic.Uint64, n)}
+	e.epoch.Store(1)
+	return e
+}
+
+// Len reports the number of elements covered.
+func (e *EpochFlags) Len() int { return len(e.slots) }
+
+// Epoch returns the current epoch number.
+func (e *EpochFlags) Epoch() uint64 { return e.epoch.Load() }
+
+// Advance begins a new loop invocation: every element becomes not-ready
+// without touching the slot array.
+func (e *EpochFlags) Advance() { e.epoch.Add(1) }
+
+// Set marks element i as produced in the current epoch.
+func (e *EpochFlags) Set(i int) { e.slots[i].Store(e.epoch.Load()) }
+
+// IsDone reports whether element i has been produced in the current epoch.
+func (e *EpochFlags) IsDone(i int) bool { return e.slots[i].Load() == e.epoch.Load() }
+
+// Wait blocks until element i is produced in the current epoch, yielding to
+// the scheduler between polls. It returns the number of polls performed.
+func (e *EpochFlags) Wait(i int) int {
+	cur := e.epoch.Load()
+	if e.slots[i].Load() == cur {
+		return 0
+	}
+	polls := 0
+	for e.slots[i].Load() != cur {
+		polls++
+		if polls > spinBeforeYield {
+			runtime.Gosched()
+		}
+	}
+	return polls
+}
+
+// EpochIterTable is the epoch-versioned variant of IterTable: each slot packs
+// the epoch in which it was recorded together with the writing iteration, so
+// the postprocessing reset of iter(a(i)) to MAXINT becomes an O(1) epoch
+// bump.
+type EpochIterTable struct {
+	epoch atomic.Uint64
+	// Each slot holds epoch<<32 | iteration+1; 0 means "never recorded".
+	slots []atomic.Uint64
+}
+
+// maxEpochIterN is the largest iteration index representable by the packed
+// slot format.
+const maxEpochIterN = 1<<31 - 2
+
+// NewEpochIterTable creates an epoch-versioned iter table of length n.
+func NewEpochIterTable(n int) *EpochIterTable {
+	t := &EpochIterTable{slots: make([]atomic.Uint64, n)}
+	t.epoch.Store(1)
+	return t
+}
+
+// Len reports the number of elements covered.
+func (t *EpochIterTable) Len() int { return len(t.slots) }
+
+// Advance invalidates every recorded writer in O(1).
+func (t *EpochIterTable) Advance() { t.epoch.Add(1) }
+
+// Record stores that element e is written by iteration i in the current
+// epoch. Iterations larger than maxEpochIterN are not representable; such
+// loops should use the plain IterTable.
+func (t *EpochIterTable) Record(e, i int) {
+	t.slots[e].Store(t.epoch.Load()<<32 | uint64(i+1))
+}
+
+// Writer returns the iteration recorded for element e in the current epoch,
+// or MaxInt if the element was not recorded this epoch.
+func (t *EpochIterTable) Writer(e int) int64 {
+	v := t.slots[e].Load()
+	if v>>32 != t.epoch.Load() {
+		return MaxInt
+	}
+	return int64(v&0xffffffff) - 1
+}
+
+// Classify applies the paper's dependence test using the epoch-versioned
+// table.
+func (t *EpochIterTable) Classify(e, i int) (Dependence, int64) {
+	w := t.Writer(e)
+	switch {
+	case w < int64(i):
+		return TrueDep, w
+	case w == int64(i):
+		return SelfDep, w
+	default:
+		return AntiOrNone, w
+	}
+}

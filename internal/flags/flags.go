@@ -1,0 +1,243 @@
+// Package flags provides the fine-grained synchronization substrate used by
+// the preprocessed doacross runtime: per-element "ready" flags that iterations
+// busy-wait on, and the "iter" table the inspector fills so that executors can
+// distinguish true dependencies from anti-dependencies at run time.
+//
+// The package mirrors the arrays called ready and iter in Saltz &
+// Mirchandaney, "The Preprocessed Doacross Loop" (ICASE Interim Report 11,
+// 1990), and adds an epoch-versioned variant that removes the need for the
+// postprocessing reset entirely (an ablation of the paper's design).
+package flags
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+)
+
+// MaxInt is the sentinel stored in an iter table for elements that are never
+// written inside the loop. It corresponds to MAXINT in the paper.
+const MaxInt int64 = math.MaxInt64
+
+// Flag states for ReadyFlags. They correspond to NOTDONE and DONE in the
+// paper's Figure 2.
+const (
+	NotDone int32 = 0
+	Done    int32 = 1
+)
+
+// WaitStrategy selects how an executor waits for a ready flag that has not
+// been set yet. The paper uses a pure busy wait; the other strategies are
+// provided so the cost of that choice can be measured.
+type WaitStrategy int
+
+const (
+	// WaitSpin busy-waits on the flag, exactly as in the paper.
+	WaitSpin WaitStrategy = iota
+	// WaitSpinYield busy-waits but yields the processor to the Go scheduler
+	// between polls. This is the default: it keeps the point-to-point
+	// semantics of the paper while remaining safe when the number of workers
+	// exceeds the number of hardware threads.
+	WaitSpinYield
+	// WaitNotify parks the waiter on a sharded condition variable and is
+	// woken by the writer. It trades per-write broadcast cost for zero
+	// spinning.
+	WaitNotify
+)
+
+// String returns a short human-readable name for the strategy.
+func (w WaitStrategy) String() string {
+	switch w {
+	case WaitSpin:
+		return "spin"
+	case WaitSpinYield:
+		return "spin+yield"
+	case WaitNotify:
+		return "notify"
+	default:
+		return "unknown"
+	}
+}
+
+// ReadyFlags is the shared array of per-element completion flags. Element e is
+// set to Done once the value of the target array at index e has been produced
+// by its writing iteration.
+//
+// The zero value is not usable; construct with NewReadyFlags.
+type ReadyFlags struct {
+	flags []atomic.Int32
+	// notify support (only used with WaitNotify)
+	notifier *notifier
+}
+
+// NewReadyFlags creates a flag array of the given length with every element in
+// the NotDone state.
+func NewReadyFlags(n int) *ReadyFlags {
+	return &ReadyFlags{flags: make([]atomic.Int32, n)}
+}
+
+// Len reports the number of elements covered by the flag array.
+func (r *ReadyFlags) Len() int { return len(r.flags) }
+
+// EnableNotify attaches the sharded notifier needed by WaitNotify. It is a
+// no-op if notification support is already enabled.
+func (r *ReadyFlags) EnableNotify() {
+	if r.notifier == nil {
+		r.notifier = newNotifier()
+	}
+}
+
+// Set marks element e as produced. The store uses release semantics, so a
+// waiter that observes Done also observes the data written before the Set.
+func (r *ReadyFlags) Set(e int) {
+	r.flags[e].Store(Done)
+	if r.notifier != nil {
+		r.notifier.wake(e)
+	}
+}
+
+// IsDone reports whether element e has been produced.
+func (r *ReadyFlags) IsDone(e int) bool { return r.flags[e].Load() == Done }
+
+// Clear resets element e to NotDone. It is used by the postprocessing phase so
+// the flag array can be reused by the next doacross loop.
+func (r *ReadyFlags) Clear(e int) { r.flags[e].Store(NotDone) }
+
+// ClearAll resets every element to NotDone. Unlike the per-element Clear used
+// by the paper's postprocessing loop, ClearAll touches the whole array and is
+// intended for tests and single-use loops.
+func (r *ReadyFlags) ClearAll() {
+	for i := range r.flags {
+		r.flags[i].Store(NotDone)
+	}
+}
+
+// spinBeforeYield is the number of tight polls performed before the waiter
+// starts yielding to the scheduler under WaitSpinYield.
+const spinBeforeYield = 64
+
+// Wait blocks until element e is Done, using the given strategy. It returns
+// the number of polls that were required (0 if the flag was already set),
+// which the tracing layer uses as a proxy for wait time.
+func (r *ReadyFlags) Wait(e int, strategy WaitStrategy) int {
+	if r.flags[e].Load() == Done {
+		return 0
+	}
+	switch strategy {
+	case WaitSpin:
+		polls := 0
+		for r.flags[e].Load() != Done {
+			polls++
+		}
+		return polls
+	case WaitNotify:
+		if r.notifier == nil {
+			// Fall back to yielding spin rather than panicking: the
+			// semantics are identical, only the cost differs.
+			return r.waitSpinYield(e)
+		}
+		return r.notifier.wait(e, func() bool { return r.flags[e].Load() == Done })
+	default:
+		return r.waitSpinYield(e)
+	}
+}
+
+func (r *ReadyFlags) waitSpinYield(e int) int {
+	polls := 0
+	for r.flags[e].Load() != Done {
+		polls++
+		if polls > spinBeforeYield {
+			runtime.Gosched()
+		}
+	}
+	return polls
+}
+
+// IterTable is the execution-time dependency table filled by the inspector:
+// IterTable[e] holds the (original) index of the loop iteration that writes
+// element e, or MaxInt if no iteration writes it.
+//
+// The zero value is not usable; construct with NewIterTable.
+type IterTable struct {
+	iter []atomic.Int64
+}
+
+// NewIterTable creates a table of the given length with every entry set to
+// MaxInt ("never written").
+func NewIterTable(n int) *IterTable {
+	t := &IterTable{iter: make([]atomic.Int64, n)}
+	for i := range t.iter {
+		t.iter[i].Store(MaxInt)
+	}
+	return t
+}
+
+// Len reports the number of elements covered by the table.
+func (t *IterTable) Len() int { return len(t.iter) }
+
+// Record stores that element e is written by iteration i. The inspector calls
+// Record concurrently from many workers; the paper assumes no output
+// dependencies (each element is written by at most one iteration), so
+// concurrent Records never target the same element.
+func (t *IterTable) Record(e int, i int) { t.iter[e].Store(int64(i)) }
+
+// Writer returns the iteration that writes element e, or MaxInt if none does.
+func (t *IterTable) Writer(e int) int64 { return t.iter[e].Load() }
+
+// Reset restores element e to MaxInt. Postprocessing calls Reset for every
+// element the loop wrote so the table can be reused.
+func (t *IterTable) Reset(e int) { t.iter[e].Store(MaxInt) }
+
+// ResetAll restores every element to MaxInt.
+func (t *IterTable) ResetAll() {
+	for i := range t.iter {
+		t.iter[i].Store(MaxInt)
+	}
+}
+
+// Dependence classifies the relation between a read of element e performed by
+// iteration i and the iteration that writes e, following Section 2.2 of the
+// paper.
+type Dependence int
+
+const (
+	// TrueDep means the element is written by an earlier iteration: the
+	// reader must wait for it and then use the newly computed value.
+	TrueDep Dependence = iota
+	// SelfDep means the element is written by the same iteration: the reader
+	// uses the newly computed value without waiting.
+	SelfDep
+	// AntiOrNone means the element is written by a later iteration (an
+	// anti-dependence, satisfied by renaming) or not written at all: the
+	// reader uses the old value without waiting.
+	AntiOrNone
+)
+
+// String returns a short name for the dependence class.
+func (d Dependence) String() string {
+	switch d {
+	case TrueDep:
+		return "true"
+	case SelfDep:
+		return "self"
+	case AntiOrNone:
+		return "anti/none"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify applies the paper's check = iter(offset) - i test: it returns the
+// dependence class of a read of element e by iteration i, together with the
+// writing iteration (meaningful only for TrueDep and SelfDep).
+func (t *IterTable) Classify(e int, i int) (Dependence, int64) {
+	w := t.iter[e].Load()
+	switch {
+	case w < int64(i):
+		return TrueDep, w
+	case w == int64(i):
+		return SelfDep, w
+	default:
+		return AntiOrNone, w
+	}
+}

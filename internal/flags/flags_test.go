@@ -1,0 +1,320 @@
+package flags
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadyFlagsInitialState(t *testing.T) {
+	r := NewReadyFlags(8)
+	if r.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", r.Len())
+	}
+	for i := 0; i < 8; i++ {
+		if r.IsDone(i) {
+			t.Errorf("element %d unexpectedly done at construction", i)
+		}
+	}
+}
+
+func TestReadyFlagsSetClear(t *testing.T) {
+	r := NewReadyFlags(4)
+	r.Set(2)
+	if !r.IsDone(2) {
+		t.Fatal("Set(2) not observed by IsDone")
+	}
+	if r.IsDone(1) {
+		t.Fatal("Set(2) leaked into element 1")
+	}
+	r.Clear(2)
+	if r.IsDone(2) {
+		t.Fatal("Clear(2) not observed")
+	}
+}
+
+func TestReadyFlagsClearAll(t *testing.T) {
+	r := NewReadyFlags(16)
+	for i := 0; i < 16; i++ {
+		r.Set(i)
+	}
+	r.ClearAll()
+	for i := 0; i < 16; i++ {
+		if r.IsDone(i) {
+			t.Fatalf("element %d still done after ClearAll", i)
+		}
+	}
+}
+
+func TestReadyFlagsWaitAlreadyDone(t *testing.T) {
+	r := NewReadyFlags(4)
+	r.Set(3)
+	for _, s := range []WaitStrategy{WaitSpin, WaitSpinYield, WaitNotify} {
+		if polls := r.Wait(3, s); polls != 0 {
+			t.Errorf("strategy %v: Wait on done flag polled %d times, want 0", s, polls)
+		}
+	}
+}
+
+func TestReadyFlagsWaitBlocksUntilSet(t *testing.T) {
+	for _, s := range []WaitStrategy{WaitSpinYield, WaitNotify} {
+		r := NewReadyFlags(4)
+		if s == WaitNotify {
+			r.EnableNotify()
+		}
+		var wg sync.WaitGroup
+		observed := false
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Wait(1, s)
+			observed = r.IsDone(1)
+		}()
+		r.Set(1)
+		wg.Wait()
+		if !observed {
+			t.Errorf("strategy %v: waiter returned before flag was done", s)
+		}
+	}
+}
+
+func TestReadyFlagsNotifyFallback(t *testing.T) {
+	// WaitNotify without EnableNotify must still terminate (falls back to
+	// yielding spin).
+	r := NewReadyFlags(2)
+	done := make(chan struct{})
+	go func() {
+		r.Wait(0, WaitNotify)
+		close(done)
+	}()
+	r.Set(0)
+	<-done
+}
+
+func TestReadyFlagsManyWaitersOneWriter(t *testing.T) {
+	r := NewReadyFlags(1)
+	r.EnableNotify()
+	const waiters = 32
+	var wg sync.WaitGroup
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		strategy := WaitSpinYield
+		if w%2 == 0 {
+			strategy = WaitNotify
+		}
+		go func(s WaitStrategy) {
+			defer wg.Done()
+			r.Wait(0, s)
+		}(strategy)
+	}
+	r.Set(0)
+	wg.Wait() // must not hang
+}
+
+func TestWaitStrategyString(t *testing.T) {
+	cases := map[WaitStrategy]string{
+		WaitSpin:        "spin",
+		WaitSpinYield:   "spin+yield",
+		WaitNotify:      "notify",
+		WaitStrategy(9): "unknown",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestIterTableInitialMaxInt(t *testing.T) {
+	tab := NewIterTable(5)
+	if tab.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tab.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if w := tab.Writer(i); w != MaxInt {
+			t.Errorf("Writer(%d) = %d, want MaxInt", i, w)
+		}
+	}
+}
+
+func TestIterTableRecordAndReset(t *testing.T) {
+	tab := NewIterTable(10)
+	tab.Record(4, 7)
+	if w := tab.Writer(4); w != 7 {
+		t.Fatalf("Writer(4) = %d, want 7", w)
+	}
+	tab.Reset(4)
+	if w := tab.Writer(4); w != MaxInt {
+		t.Fatalf("after Reset Writer(4) = %d, want MaxInt", w)
+	}
+	tab.Record(1, 3)
+	tab.Record(2, 5)
+	tab.ResetAll()
+	for i := 0; i < 10; i++ {
+		if tab.Writer(i) != MaxInt {
+			t.Fatalf("ResetAll left element %d recorded", i)
+		}
+	}
+}
+
+func TestIterTableClassify(t *testing.T) {
+	tab := NewIterTable(10)
+	tab.Record(0, 3)
+
+	if d, w := tab.Classify(0, 5); d != TrueDep || w != 3 {
+		t.Errorf("Classify(written by 3, read by 5) = %v,%d; want TrueDep,3", d, w)
+	}
+	if d, _ := tab.Classify(0, 3); d != SelfDep {
+		t.Errorf("Classify(written by 3, read by 3) = %v; want SelfDep", d)
+	}
+	if d, _ := tab.Classify(0, 2); d != AntiOrNone {
+		t.Errorf("Classify(written by 3, read by 2) = %v; want AntiOrNone", d)
+	}
+	if d, _ := tab.Classify(7, 2); d != AntiOrNone {
+		t.Errorf("Classify(never written) = %v; want AntiOrNone", d)
+	}
+}
+
+func TestDependenceString(t *testing.T) {
+	if TrueDep.String() != "true" || SelfDep.String() != "self" || AntiOrNone.String() != "anti/none" {
+		t.Error("Dependence.String mismatch")
+	}
+	if Dependence(42).String() != "unknown" {
+		t.Error("unexpected string for invalid Dependence")
+	}
+}
+
+func TestClassifyPropertyMatchesDirectComparison(t *testing.T) {
+	// Property: for any writer w and reader i, Classify agrees with the
+	// paper's check = iter(offset) - i sign test.
+	f := func(writer uint16, reader uint16) bool {
+		tab := NewIterTable(1)
+		tab.Record(0, int(writer))
+		d, _ := tab.Classify(0, int(reader))
+		switch {
+		case int(writer) < int(reader):
+			return d == TrueDep
+		case int(writer) == int(reader):
+			return d == SelfDep
+		default:
+			return d == AntiOrNone
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpochFlagsBasic(t *testing.T) {
+	e := NewEpochFlags(4)
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", e.Len())
+	}
+	if e.IsDone(0) {
+		t.Fatal("element done before Set")
+	}
+	e.Set(0)
+	if !e.IsDone(0) {
+		t.Fatal("element not done after Set")
+	}
+	if e.Wait(0) != 0 {
+		t.Fatal("Wait on done element polled")
+	}
+}
+
+func TestEpochFlagsAdvanceInvalidates(t *testing.T) {
+	e := NewEpochFlags(4)
+	for i := 0; i < 4; i++ {
+		e.Set(i)
+	}
+	old := e.Epoch()
+	e.Advance()
+	if e.Epoch() != old+1 {
+		t.Fatalf("Epoch after Advance = %d, want %d", e.Epoch(), old+1)
+	}
+	for i := 0; i < 4; i++ {
+		if e.IsDone(i) {
+			t.Fatalf("element %d still done after Advance", i)
+		}
+	}
+	e.Set(2)
+	if !e.IsDone(2) {
+		t.Fatal("Set after Advance not observed")
+	}
+}
+
+func TestEpochFlagsWaitBlocks(t *testing.T) {
+	e := NewEpochFlags(2)
+	done := make(chan struct{})
+	go func() {
+		e.Wait(1)
+		close(done)
+	}()
+	e.Set(1)
+	<-done
+}
+
+func TestEpochIterTableBasic(t *testing.T) {
+	tab := NewEpochIterTable(8)
+	if tab.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", tab.Len())
+	}
+	if tab.Writer(3) != MaxInt {
+		t.Fatal("unrecorded element should report MaxInt")
+	}
+	tab.Record(3, 0) // iteration 0 must be representable
+	if w := tab.Writer(3); w != 0 {
+		t.Fatalf("Writer(3) = %d, want 0", w)
+	}
+	tab.Record(5, 41)
+	if d, w := tab.Classify(5, 100); d != TrueDep || w != 41 {
+		t.Fatalf("Classify = %v,%d; want TrueDep,41", d, w)
+	}
+	if d, _ := tab.Classify(5, 41); d != SelfDep {
+		t.Fatal("Classify same iteration should be SelfDep")
+	}
+	if d, _ := tab.Classify(5, 7); d != AntiOrNone {
+		t.Fatal("Classify earlier reader should be AntiOrNone")
+	}
+}
+
+func TestEpochIterTableAdvanceInvalidates(t *testing.T) {
+	tab := NewEpochIterTable(4)
+	tab.Record(1, 10)
+	tab.Advance()
+	if tab.Writer(1) != MaxInt {
+		t.Fatal("Advance did not invalidate recorded writer")
+	}
+	tab.Record(1, 20)
+	if tab.Writer(1) != 20 {
+		t.Fatal("Record after Advance not observed")
+	}
+}
+
+func TestEpochAndPlainIterTablesAgree(t *testing.T) {
+	// Property: on the same sequence of records, both table variants classify
+	// reads identically.
+	f := func(writers []uint8, reader uint8) bool {
+		n := 16
+		plain := NewIterTable(n)
+		epoch := NewEpochIterTable(n)
+		for e, w := range writers {
+			if e >= n {
+				break
+			}
+			plain.Record(e, int(w))
+			epoch.Record(e, int(w))
+		}
+		for e := 0; e < n; e++ {
+			d1, _ := plain.Classify(e, int(reader))
+			d2, _ := epoch.Classify(e, int(reader))
+			if d1 != d2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,52 @@
+package flags
+
+import "sync"
+
+// notifierShards is the number of condition-variable shards used by the
+// WaitNotify strategy. Sharding keeps writer-side wakeups cheap while
+// avoiding one mutex per array element.
+const notifierShards = 64
+
+// notifier implements parked waiting for ready flags. Waiters for element e
+// park on shard e % notifierShards; a writer setting element e broadcasts on
+// that shard only.
+type notifier struct {
+	shards [notifierShards]notifierShard
+}
+
+type notifierShard struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func newNotifier() *notifier {
+	n := &notifier{}
+	for i := range n.shards {
+		n.shards[i].cond = sync.NewCond(&n.shards[i].mu)
+	}
+	return n
+}
+
+// wake signals all waiters parked on element e's shard. Spurious wakeups of
+// waiters for other elements in the same shard are harmless: they re-check
+// their predicate and park again.
+func (n *notifier) wake(e int) {
+	s := &n.shards[e%notifierShards]
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// wait parks until done() reports true and returns the number of wakeups that
+// were needed.
+func (n *notifier) wait(e int, done func() bool) int {
+	s := &n.shards[e%notifierShards]
+	wakeups := 0
+	s.mu.Lock()
+	for !done() {
+		wakeups++
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+	return wakeups
+}

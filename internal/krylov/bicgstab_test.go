@@ -1,0 +1,189 @@
+package krylov
+
+import (
+	"testing"
+
+	"doacross/internal/core"
+	"doacross/internal/flags"
+	"doacross/internal/sparse"
+	"doacross/internal/stencil"
+	"doacross/internal/trisolve"
+)
+
+// nonsymmetricOperator builds a small convection-diffusion-like nonsymmetric
+// operator (5-point Laplacian plus an upwind convection term).
+func nonsymmetricOperator(t testing.TB, nx, ny int) *sparse.CSR {
+	t.Helper()
+	base, err := stencil.FivePointGrid(nx, ny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts []sparse.Triplet
+	for i := 0; i < base.Rows; i++ {
+		for k := base.RowPtr[i]; k < base.RowPtr[i+1]; k++ {
+			v := base.Val[k]
+			j := base.Col[k]
+			if j == i-1 {
+				v -= 0.4 // upwind bias makes the operator nonsymmetric
+			}
+			if j == i+1 {
+				v += 0.2
+			}
+			ts = append(ts, sparse.Triplet{Row: i, Col: j, Val: v})
+		}
+	}
+	a, err := sparse.FromTriplets(base.Rows, base.Cols, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestBiCGSTABSolvesNonsymmetricSystem(t *testing.T) {
+	a := nonsymmetricOperator(t, 14, 14)
+	xTrue := make([]float64, a.Rows)
+	for i := range xTrue {
+		xTrue[i] = float64(i%5) - 2
+	}
+	b := a.MulVec(xTrue, nil)
+	x := make([]float64, a.Rows)
+	res, err := BiCGSTAB(a, b, x, nil, Options{Tolerance: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("BiCGSTAB did not converge: %v", res)
+	}
+	if d := sparse.VecMaxDiff(x, xTrue); d > 1e-6 {
+		t.Fatalf("solution error %v", d)
+	}
+}
+
+func TestBiCGSTABWithILUConvergesFaster(t *testing.T) {
+	a := nonsymmetricOperator(t, 20, 20)
+	b := stencil.RHS(a.Rows, 4)
+
+	xPlain := make([]float64, a.Rows)
+	plain, err := BiCGSTAB(a, b, xPlain, nil, Options{Tolerance: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xILU, ilu, err := SolveNonsymmetricWithILU(a, b, nil, Options{Tolerance: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Converged || !ilu.Converged {
+		t.Fatalf("convergence failure: plain %v ilu %v", plain, ilu)
+	}
+	if ilu.Iterations >= plain.Iterations {
+		t.Fatalf("ILU(0)-BiCGSTAB (%d iters) should beat plain BiCGSTAB (%d iters)", ilu.Iterations, plain.Iterations)
+	}
+	// A relative-residual stop of 1e-8 does not bound the solution error that
+	// tightly; the two runs only need to agree to engineering accuracy.
+	if d := sparse.VecMaxDiff(xPlain, xILU); d > 1e-3 {
+		t.Fatalf("solutions disagree by %v", d)
+	}
+}
+
+func TestBiCGSTABWithParallelTriangularSolves(t *testing.T) {
+	// Both ILU substitutions run as preprocessed doacross loops; the result
+	// must be identical to the sequential preconditioner.
+	a := nonsymmetricOperator(t, 16, 16)
+	b := stencil.RHS(a.Rows, 9)
+	xSeq, seqRes, err := SolveNonsymmetricWithILU(a, b, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Workers: 4, WaitStrategy: flags.WaitSpinYield}
+	xPar, parRes, err := SolveNonsymmetricWithILU(a, b, func(p *sparse.ILUPreconditioner) {
+		p.SolveLower = func(tr *sparse.Triangular, rhs, y []float64) []float64 {
+			sol, _, e := trisolve.SolveDoacross(tr, rhs, opts)
+			if e != nil {
+				t.Fatal(e)
+			}
+			copy(y, sol)
+			return y
+		}
+		p.SolveUpper = func(tr *sparse.Triangular, rhs, y []float64) []float64 {
+			sol, _, e := trisolve.SolveUpperDoacross(tr, rhs, opts)
+			if e != nil {
+				t.Fatal(e)
+			}
+			copy(y, sol)
+			return y
+		}
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqRes.Iterations != parRes.Iterations {
+		t.Fatalf("iteration counts differ: %d vs %d", seqRes.Iterations, parRes.Iterations)
+	}
+	if d := sparse.VecMaxDiff(xSeq, xPar); d > 1e-10 {
+		t.Fatalf("solutions differ by %v", d)
+	}
+}
+
+func TestBiCGSTABOnSyntheticSPEOperator(t *testing.T) {
+	// The block seven point operator standing in for SPE2 is nonsymmetric;
+	// ILU(0)-BiCGSTAB must solve it.
+	a, err := stencil.BlockSevenPoint(4, 4, 3, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTrue := make([]float64, a.Rows)
+	for i := range xTrue {
+		xTrue[i] = 1 + float64(i%3)*0.5
+	}
+	b := a.MulVec(xTrue, nil)
+	x, res, err := SolveNonsymmetricWithILU(a, b, nil, Options{Tolerance: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %v", res)
+	}
+	if d := sparse.VecMaxDiff(x, xTrue); d > 1e-6 {
+		t.Fatalf("solution error %v", d)
+	}
+}
+
+func TestBiCGSTABErrors(t *testing.T) {
+	rect, _ := sparse.FromTriplets(2, 3, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}})
+	if _, err := BiCGSTAB(rect, []float64{1, 2}, []float64{0, 0}, nil, Options{}); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+	a := nonsymmetricOperator(t, 3, 3)
+	if _, err := BiCGSTAB(a, []float64{1}, make([]float64, a.Rows), nil, Options{}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestBiCGSTABZeroRHS(t *testing.T) {
+	a := nonsymmetricOperator(t, 4, 4)
+	b := make([]float64, a.Rows)
+	x := make([]float64, a.Rows)
+	res, err := BiCGSTAB(a, b, x, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Fatalf("zero rhs should converge immediately: %v", res)
+	}
+}
+
+func TestBiCGSTABMaxIterations(t *testing.T) {
+	a := nonsymmetricOperator(t, 12, 12)
+	b := stencil.RHS(a.Rows, 2)
+	x := make([]float64, a.Rows)
+	res, err := BiCGSTAB(a, b, x, nil, Options{MaxIterations: 2, Tolerance: 1e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatalf("should not converge in 2 iterations: %v", res)
+	}
+	if res.Iterations != 2 {
+		t.Fatalf("iterations = %d, want 2", res.Iterations)
+	}
+}

@@ -1,0 +1,41 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"doacross/internal/depgraph"
+	"doacross/internal/machine"
+	"doacross/internal/sched"
+)
+
+// ExampleSimulate runs a 16-processor simulation of a doacross over a pure
+// chain of dependencies (no parallelism available) and over an independent
+// loop (perfect parallelism), showing the efficiency definition the paper
+// uses: T_seq / (p * T_par).
+func ExampleSimulate() {
+	chain := depgraph.Build(depgraph.Access{
+		N:      64,
+		Writes: func(i int) []int { return []int{i} },
+		Reads: func(i int) []int {
+			if i == 0 {
+				return nil
+			}
+			return []int{i - 1}
+		},
+	})
+	independent := depgraph.Build(depgraph.Access{
+		N:      64,
+		Writes: func(i int) []int { return []int{i} },
+		Reads:  func(i int) []int { return nil },
+	})
+	cm := machine.UniformCost(1, 0, 0, 0, 0, 0, 0) // unit work, no overheads
+	cfg := machine.Config{Processors: 16, Policy: sched.Cyclic}
+
+	chainRes, _ := machine.Simulate(chain, cfg, cm)
+	indepRes, _ := machine.Simulate(independent, cfg, cm)
+	fmt.Printf("chain:       efficiency %.3f (speedup %.1f)\n", chainRes.Efficiency, chainRes.Speedup)
+	fmt.Printf("independent: efficiency %.3f (speedup %.1f)\n", indepRes.Efficiency, indepRes.Speedup)
+	// Output:
+	// chain:       efficiency 0.062 (speedup 1.0)
+	// independent: efficiency 1.000 (speedup 16.0)
+}

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{Title: "Demo", Columns: []string{"name", "eff", "count"}}
+	t.AddRow("plain", 0.325, 16)
+	t.AddRow("reordered, fast", 0.75, 16)
+	t.AddRow("exact", 2.0, 3)
+	t.AddNote("note %d", 1)
+	return t
+}
+
+func TestValidate(t *testing.T) {
+	tab := sample()
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tab.Rows = append(tab.Rows, []string{"short"})
+	if err := tab.Validate(); err == nil {
+		t.Error("ragged row not detected")
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	out := sample().Text()
+	for _, want := range []string{"Demo", "name", "plain", "0.325", "reordered, fast", "note 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Text() missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + header + 3 rows + note
+		t.Errorf("Text() has %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	if formatFloat(2.0) != "2" {
+		t.Errorf("integral float rendered as %q", formatFloat(2.0))
+	}
+	if formatFloat(0.12345) != "0.123" {
+		t.Errorf("fractional float rendered as %q", formatFloat(0.12345))
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	out := sample().Markdown()
+	if !strings.Contains(out, "### Demo") {
+		t.Error("missing title heading")
+	}
+	if !strings.Contains(out, "| name | eff | count |") {
+		t.Errorf("missing header row:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Error("missing separator row")
+	}
+	if !strings.Contains(out, "| plain | 0.325 | 16 |") {
+		t.Errorf("missing data row:\n%s", out)
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	out := sample().CSV()
+	if !strings.Contains(out, "# Demo") {
+		t.Error("missing title comment")
+	}
+	if !strings.Contains(out, "name,eff,count") {
+		t.Error("missing header")
+	}
+	// The comma-containing cell must be quoted.
+	if !strings.Contains(out, "\"reordered, fast\"") {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	quoted := &Table{Columns: []string{"c"}}
+	quoted.AddRow(`say "hi"`)
+	if !strings.Contains(quoted.CSV(), `"say ""hi"""`) {
+		t.Errorf("quote escaping wrong:\n%s", quoted.CSV())
+	}
+}
+
+func TestFormatDispatch(t *testing.T) {
+	tab := sample()
+	for _, f := range []string{"", "text", "markdown", "md", "csv"} {
+		if _, err := tab.Format(f); err != nil {
+			t.Errorf("format %q rejected: %v", f, err)
+		}
+	}
+	if _, err := tab.Format("xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

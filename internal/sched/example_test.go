@@ -1,0 +1,30 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"doacross/internal/sched"
+)
+
+// ExampleBuild shows the two static iteration-to-processor assignments the
+// runtime supports: block (contiguous ranges) and cyclic (round robin).
+func ExampleBuild() {
+	block := sched.Build(sched.Block, 8, 3)
+	cyclic := sched.Build(sched.Cyclic, 8, 3)
+	fmt.Println("block: ", block.PerWorker)
+	fmt.Println("cyclic:", cyclic.PerWorker)
+	// Output:
+	// block:  [[0 1 2] [3 4 5] [6 7]]
+	// cyclic: [[0 3 6] [1 4 7] [2 5]]
+}
+
+// ExamplePool_ParallelFor runs the paper's fully parallel preprocessing
+// pattern: a doall over the iteration space, split evenly over the workers.
+func ExamplePool_ParallelFor() {
+	pool := sched.NewPool(4)
+	sum := make([]int, 10)
+	pool.ParallelFor(10, func(i int) { sum[i] = i * i })
+	fmt.Println(sum)
+	// Output:
+	// [0 1 4 9 16 25 36 49 64 81]
+}

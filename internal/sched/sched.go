@@ -1,0 +1,271 @@
+// Package sched is the processor-scheduling substrate for the preprocessed
+// doacross runtime: it decides which loop iterations run on which of the P
+// workers and in what order, and provides the worker pool that executes them.
+//
+// The paper schedules iterations of the parallelized loop among the
+// processors of an Encore Multimax; the exact assignment policy is left to
+// the runtime. This package implements the standard choices (static block,
+// static cyclic, dynamic self-scheduling) plus an explicit assignment used by
+// the doconsider reordering, so the effect of the policy can be measured.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Policy selects how iterations are assigned to workers.
+type Policy int
+
+const (
+	// Block assigns contiguous ranges of (position-order) iterations to each
+	// worker: worker p gets positions [p*N/P, (p+1)*N/P).
+	Block Policy = iota
+	// Cyclic assigns position-order iterations round robin: worker p gets
+	// positions p, p+P, p+2P, ...
+	Cyclic
+	// Dynamic uses self-scheduling: workers repeatedly grab the next chunk of
+	// positions from a shared counter.
+	Dynamic
+)
+
+// String returns a short name for the policy.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Cyclic:
+		return "cyclic"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultChunk is the chunk size used by Dynamic when none is specified.
+const DefaultChunk = 16
+
+// Schedule is a concrete assignment of loop positions to workers. Positions
+// index into an execution order (which may be a permutation of the original
+// iteration space); the runtime maps positions back to original iteration
+// indices separately.
+//
+// Each worker executes its assigned positions strictly in the order listed.
+type Schedule struct {
+	// PerWorker[p] lists the positions executed by worker p, in execution
+	// order.
+	PerWorker [][]int
+	// N is the total number of positions.
+	N int
+	// PolicyUsed records how the schedule was built (for reporting).
+	PolicyUsed Policy
+}
+
+// Workers returns the number of workers in the schedule.
+func (s *Schedule) Workers() int { return len(s.PerWorker) }
+
+// Validate checks that the schedule covers every position in [0, N) exactly
+// once.
+func (s *Schedule) Validate() error {
+	seen := make([]bool, s.N)
+	count := 0
+	for p, list := range s.PerWorker {
+		for _, pos := range list {
+			if pos < 0 || pos >= s.N {
+				return fmt.Errorf("worker %d: position %d out of range [0,%d)", p, pos, s.N)
+			}
+			if seen[pos] {
+				return fmt.Errorf("worker %d: position %d assigned more than once", p, pos)
+			}
+			seen[pos] = true
+			count++
+		}
+	}
+	if count != s.N {
+		return fmt.Errorf("schedule covers %d of %d positions", count, s.N)
+	}
+	return nil
+}
+
+// NewBlock builds a static block schedule of n positions over p workers.
+func NewBlock(n, p int) *Schedule {
+	p = clampWorkers(p, n)
+	s := &Schedule{PerWorker: make([][]int, p), N: n, PolicyUsed: Block}
+	for w := 0; w < p; w++ {
+		lo, hi := BlockRange(n, p, w)
+		list := make([]int, 0, hi-lo)
+		for pos := lo; pos < hi; pos++ {
+			list = append(list, pos)
+		}
+		s.PerWorker[w] = list
+	}
+	return s
+}
+
+// NewCyclic builds a static cyclic schedule of n positions over p workers.
+func NewCyclic(n, p int) *Schedule {
+	p = clampWorkers(p, n)
+	s := &Schedule{PerWorker: make([][]int, p), N: n, PolicyUsed: Cyclic}
+	for w := 0; w < p; w++ {
+		list := make([]int, 0, (n+p-1)/p)
+		for pos := w; pos < n; pos += p {
+			list = append(list, pos)
+		}
+		s.PerWorker[w] = list
+	}
+	return s
+}
+
+// NewExplicit wraps an explicit per-worker assignment. The caller is
+// responsible for ensuring the assignment covers each position exactly once
+// (Validate checks this).
+func NewExplicit(perWorker [][]int, n int) *Schedule {
+	return &Schedule{PerWorker: perWorker, N: n, PolicyUsed: Block}
+}
+
+// BlockRange returns the half-open range of positions assigned to worker w by
+// a block distribution of n positions over p workers. The first n%p workers
+// receive one extra position.
+func BlockRange(n, p, w int) (lo, hi int) {
+	base := n / p
+	rem := n % p
+	if w < rem {
+		lo = w * (base + 1)
+		hi = lo + base + 1
+	} else {
+		lo = rem*(base+1) + (w-rem)*base
+		hi = lo + base
+	}
+	return lo, hi
+}
+
+func clampWorkers(p, n int) int {
+	if p < 1 {
+		p = 1
+	}
+	if n > 0 && p > n {
+		p = n
+	}
+	if n == 0 {
+		p = 1
+	}
+	return p
+}
+
+// Pool executes loop positions on a fixed number of workers.
+type Pool struct {
+	workers int
+}
+
+// NewPool creates a pool of p workers (at least 1).
+func NewPool(p int) *Pool {
+	if p < 1 {
+		p = 1
+	}
+	return &Pool{workers: p}
+}
+
+// Workers reports the pool size.
+func (pl *Pool) Workers() int { return pl.workers }
+
+// RunSchedule executes body(worker, position) for every position of the
+// schedule, with worker w processing its assigned positions in order on its
+// own goroutine. It blocks until all positions are done.
+func (pl *Pool) RunSchedule(s *Schedule, body func(worker, pos int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < len(s.PerWorker); w++ {
+		if len(s.PerWorker[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, pos := range s.PerWorker[w] {
+				body(w, pos)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// RunDynamic executes body(worker, position) for positions 0..n-1 using
+// self-scheduling: workers repeatedly claim the next chunk of positions from
+// a shared counter. Within a chunk, positions run in increasing order.
+func (pl *Pool) RunDynamic(n, chunk int, body func(worker, pos int)) {
+	if chunk < 1 {
+		chunk = DefaultChunk
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := pl.workers
+	if workers > n && n > 0 {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for pos := start; pos < end; pos++ {
+					body(w, pos)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ParallelFor runs body(i) for i in [0, n) across the pool's workers using a
+// block distribution. It is the building block for the paper's fully
+// parallelizable preprocessing and postprocessing phases (doall loops).
+func (pl *Pool) ParallelFor(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := pl.workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := BlockRange(n, workers, w)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Build constructs a schedule of n positions over p workers with the given
+// policy. Dynamic schedules cannot be materialized ahead of time (the
+// assignment depends on timing), so Build falls back to Cyclic for reporting
+// purposes; use Pool.RunDynamic for true self-scheduling.
+func Build(policy Policy, n, p int) *Schedule {
+	switch policy {
+	case Cyclic:
+		return NewCyclic(n, p)
+	case Dynamic:
+		s := NewCyclic(n, p)
+		s.PolicyUsed = Dynamic
+		return s
+	default:
+		return NewBlock(n, p)
+	}
+}

@@ -1,0 +1,258 @@
+package sched
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func collect(s *Schedule) []int {
+	var all []int
+	for _, l := range s.PerWorker {
+		all = append(all, l...)
+	}
+	sort.Ints(all)
+	return all
+}
+
+func TestBlockRangePartition(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 3}, {16, 16}, {7, 2}, {1, 4}, {100, 7}} {
+		covered := make([]bool, tc.n)
+		for w := 0; w < tc.p; w++ {
+			lo, hi := BlockRange(tc.n, tc.p, w)
+			if lo > hi {
+				t.Fatalf("n=%d p=%d w=%d: lo %d > hi %d", tc.n, tc.p, w, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Fatalf("n=%d p=%d: position %d covered twice", tc.n, tc.p, i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("n=%d p=%d: position %d not covered", tc.n, tc.p, i)
+			}
+		}
+	}
+}
+
+func TestBlockRangeBalance(t *testing.T) {
+	// Property: block ranges differ in size by at most one.
+	f := func(n16, p8 uint8) bool {
+		n, p := int(n16), int(p8)%8+1
+		if n == 0 {
+			return true
+		}
+		minSz, maxSz := n, 0
+		for w := 0; w < p; w++ {
+			lo, hi := BlockRange(n, p, w)
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		return maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewBlockCoversAllPositions(t *testing.T) {
+	s := NewBlock(23, 4)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	all := collect(s)
+	if len(all) != 23 {
+		t.Fatalf("covered %d positions, want 23", len(all))
+	}
+	for i, pos := range all {
+		if pos != i {
+			t.Fatalf("missing position %d", i)
+		}
+	}
+	if s.PolicyUsed != Block {
+		t.Error("PolicyUsed should be Block")
+	}
+}
+
+func TestNewCyclicCoversAllPositions(t *testing.T) {
+	s := NewCyclic(23, 4)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(s); len(got) != 23 {
+		t.Fatalf("covered %d positions, want 23", len(got))
+	}
+	// Worker 0 under cyclic gets 0, 4, 8, ...
+	if s.PerWorker[0][1] != 4 {
+		t.Errorf("cyclic worker 0 second position = %d, want 4", s.PerWorker[0][1])
+	}
+}
+
+func TestNewBlockClampsWorkers(t *testing.T) {
+	s := NewBlock(3, 10)
+	if s.Workers() != 3 {
+		t.Fatalf("workers = %d, want clamp to 3", s.Workers())
+	}
+	s = NewBlock(5, 0)
+	if s.Workers() != 1 {
+		t.Fatalf("workers = %d, want clamp to 1", s.Workers())
+	}
+	s = NewBlock(0, 4)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleValidateDetectsErrors(t *testing.T) {
+	bad := NewExplicit([][]int{{0, 1}, {1, 2}}, 4)
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate position not detected")
+	}
+	missing := NewExplicit([][]int{{0, 1}}, 3)
+	if err := missing.Validate(); err == nil {
+		t.Error("missing position not detected")
+	}
+	oob := NewExplicit([][]int{{0, 5}}, 3)
+	if err := oob.Validate(); err == nil {
+		t.Error("out-of-range position not detected")
+	}
+	ok := NewExplicit([][]int{{2, 0}, {1}}, 3)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid explicit schedule rejected: %v", err)
+	}
+}
+
+func TestPoolRunScheduleExecutesEverything(t *testing.T) {
+	s := NewCyclic(100, 5)
+	pool := NewPool(5)
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	pool.RunSchedule(s, func(worker, pos int) {
+		mu.Lock()
+		seen[pos]++
+		mu.Unlock()
+	})
+	if len(seen) != 100 {
+		t.Fatalf("executed %d distinct positions, want 100", len(seen))
+	}
+	for pos, n := range seen {
+		if n != 1 {
+			t.Fatalf("position %d executed %d times", pos, n)
+		}
+	}
+}
+
+func TestPoolRunScheduleOrderWithinWorker(t *testing.T) {
+	s := NewBlock(64, 4)
+	pool := NewPool(4)
+	var mu sync.Mutex
+	order := make(map[int][]int)
+	pool.RunSchedule(s, func(worker, pos int) {
+		mu.Lock()
+		order[worker] = append(order[worker], pos)
+		mu.Unlock()
+	})
+	for w, got := range order {
+		want := s.PerWorker[w]
+		if len(got) != len(want) {
+			t.Fatalf("worker %d executed %d positions, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("worker %d executed out of order: %v vs %v", w, got, want)
+			}
+		}
+	}
+}
+
+func TestPoolRunDynamicCoversAll(t *testing.T) {
+	pool := NewPool(4)
+	var count atomic.Int64
+	seen := make([]atomic.Int32, 1000)
+	pool.RunDynamic(1000, 7, func(worker, pos int) {
+		seen[pos].Add(1)
+		count.Add(1)
+	})
+	if count.Load() != 1000 {
+		t.Fatalf("executed %d positions, want 1000", count.Load())
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("position %d executed %d times", i, seen[i].Load())
+		}
+	}
+}
+
+func TestPoolRunDynamicDefaultChunk(t *testing.T) {
+	pool := NewPool(2)
+	var count atomic.Int64
+	pool.RunDynamic(50, 0, func(worker, pos int) { count.Add(1) })
+	if count.Load() != 50 {
+		t.Fatalf("executed %d, want 50", count.Load())
+	}
+}
+
+func TestPoolParallelFor(t *testing.T) {
+	pool := NewPool(3)
+	out := make([]atomic.Int32, 100)
+	pool.ParallelFor(100, func(i int) { out[i].Add(1) })
+	for i := range out {
+		if out[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, out[i].Load())
+		}
+	}
+	// Empty and negative sizes are no-ops.
+	pool.ParallelFor(0, func(i int) { t.Error("body called for n=0") })
+	pool.ParallelFor(-5, func(i int) { t.Error("body called for n<0") })
+}
+
+func TestPoolParallelForMoreWorkersThanWork(t *testing.T) {
+	pool := NewPool(16)
+	out := make([]atomic.Int32, 3)
+	pool.ParallelFor(3, func(i int) { out[i].Add(1) })
+	for i := range out {
+		if out[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, out[i].Load())
+		}
+	}
+}
+
+func TestBuildPolicies(t *testing.T) {
+	for _, p := range []Policy{Block, Cyclic, Dynamic} {
+		s := Build(p, 37, 5)
+		if err := s.Validate(); err != nil {
+			t.Errorf("policy %v: %v", p, err)
+		}
+		if p == Dynamic && s.PolicyUsed != Dynamic {
+			t.Error("Dynamic build should record Dynamic policy")
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Block.String() != "block" || Cyclic.String() != "cyclic" || Dynamic.String() != "dynamic" {
+		t.Error("Policy.String mismatch")
+	}
+	if Policy(99).String() != "unknown" {
+		t.Error("invalid policy should stringify to unknown")
+	}
+}
+
+func TestNewPoolClamp(t *testing.T) {
+	if NewPool(0).Workers() != 1 || NewPool(-3).Workers() != 1 {
+		t.Error("pool size should clamp to 1")
+	}
+	if NewPool(8).Workers() != 8 {
+		t.Error("pool size 8 not preserved")
+	}
+}

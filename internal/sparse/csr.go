@@ -1,0 +1,288 @@
+// Package sparse is the sparse linear-algebra substrate used by the paper's
+// Section 3.2 experiments: compressed sparse row matrices, sparse
+// matrix-vector products, incomplete LU factorization, and sequential
+// triangular solves that serve as the baseline for the parallel (preprocessed
+// doacross) solves in package trisolve.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed sparse row format: row i's nonzeros
+// occupy positions RowPtr[i] .. RowPtr[i+1)-1 of Col and Val, with column
+// indices in strictly increasing order within each row.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	Col        []int
+	Val        []float64
+}
+
+// Triplet is a single (row, col, value) matrix entry used when assembling a
+// matrix from unordered contributions.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR allocates an empty matrix of the given shape with capacity for nnz
+// nonzeros.
+func NewCSR(rows, cols, nnz int) *CSR {
+	return &CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int, rows+1),
+		Col:    make([]int, 0, nnz),
+		Val:    make([]float64, 0, nnz),
+	}
+}
+
+// FromTriplets assembles a CSR matrix from triplets. Duplicate entries for
+// the same (row, col) position are summed. Entries are sorted by row and then
+// column.
+func FromTriplets(rows, cols int, ts []Triplet) (*CSR, error) {
+	for _, t := range ts {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			return nil, fmt.Errorf("sparse: triplet (%d,%d) outside %dx%d matrix", t.Row, t.Col, rows, cols)
+		}
+	}
+	sorted := make([]Triplet, len(ts))
+	copy(sorted, ts)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Row != sorted[b].Row {
+			return sorted[a].Row < sorted[b].Row
+		}
+		return sorted[a].Col < sorted[b].Col
+	})
+	m := NewCSR(rows, cols, len(sorted))
+	row := 0
+	for k := 0; k < len(sorted); {
+		t := sorted[k]
+		v := t.Val
+		k++
+		for k < len(sorted) && sorted[k].Row == t.Row && sorted[k].Col == t.Col {
+			v += sorted[k].Val
+			k++
+		}
+		for row < t.Row {
+			row++
+			m.RowPtr[row] = len(m.Col)
+		}
+		m.Col = append(m.Col, t.Col)
+		m.Val = append(m.Val, v)
+	}
+	for row < rows {
+		row++
+		m.RowPtr[row] = len(m.Col)
+	}
+	return m, nil
+}
+
+// FromDense converts a dense row-major matrix to CSR, dropping exact zeros.
+func FromDense(d [][]float64) *CSR {
+	rows := len(d)
+	cols := 0
+	if rows > 0 {
+		cols = len(d[0])
+	}
+	m := NewCSR(rows, cols, 0)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if d[i][j] != 0 {
+				m.Col = append(m.Col, j)
+				m.Val = append(m.Val, d[i][j])
+			}
+		}
+		m.RowPtr[i+1] = len(m.Col)
+	}
+	return m
+}
+
+// ToDense converts the matrix to a dense row-major representation (intended
+// for tests and small examples).
+func (m *CSR) ToDense() [][]float64 {
+	d := make([][]float64, m.Rows)
+	for i := range d {
+		d[i] = make([]float64, m.Cols)
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d[i][m.Col[k]] = m.Val[k]
+		}
+	}
+	return d
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Col) }
+
+// RowNNZ returns the number of stored nonzeros in row i.
+func (m *CSR) RowNNZ(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// At returns the value at (i, j), or 0 if the position is not stored.
+func (m *CSR) At(i, j int) float64 {
+	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+		if m.Col[k] == j {
+			return m.Val[k]
+		}
+		if m.Col[k] > j {
+			break
+		}
+	}
+	return 0
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *CSR) Clone() *CSR {
+	c := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		Col:    append([]int(nil), m.Col...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+	return c
+}
+
+// MulVec computes y = A*x. The destination slice is allocated when nil.
+func (m *CSR) MulVec(x []float64, y []float64) []float64 {
+	if y == nil {
+		y = make([]float64, m.Rows)
+	}
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.Col[k]]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Transpose returns the transposed matrix in CSR form.
+func (m *CSR) Transpose() *CSR {
+	t := NewCSR(m.Cols, m.Rows, m.NNZ())
+	counts := make([]int, m.Cols+1)
+	for _, c := range m.Col {
+		counts[c+1]++
+	}
+	for j := 0; j < m.Cols; j++ {
+		counts[j+1] += counts[j]
+	}
+	t.RowPtr = counts
+	t.Col = make([]int, m.NNZ())
+	t.Val = make([]float64, m.NNZ())
+	next := append([]int(nil), t.RowPtr...)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.Col[k]
+			p := next[j]
+			t.Col[p] = i
+			t.Val[p] = m.Val[k]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// Stats summarizes a sparse matrix for reporting.
+type Stats struct {
+	Rows, Cols int
+	NNZ        int
+	MeanRowNNZ float64
+	MaxRowNNZ  int
+	Bandwidth  int // max |i - j| over stored entries
+	Symmetric  bool
+}
+
+// Analyze computes summary statistics.
+func (m *CSR) Analyze() Stats {
+	st := Stats{Rows: m.Rows, Cols: m.Cols, NNZ: m.NNZ()}
+	for i := 0; i < m.Rows; i++ {
+		n := m.RowNNZ(i)
+		if n > st.MaxRowNNZ {
+			st.MaxRowNNZ = n
+		}
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if d := abs(i - m.Col[k]); d > st.Bandwidth {
+				st.Bandwidth = d
+			}
+		}
+	}
+	if m.Rows > 0 {
+		st.MeanRowNNZ = float64(st.NNZ) / float64(m.Rows)
+	}
+	st.Symmetric = m.IsStructurallySymmetric()
+	return st
+}
+
+// IsStructurallySymmetric reports whether the sparsity pattern is symmetric
+// (entry (i,j) stored whenever (j,i) is). Values are not compared.
+func (m *CSR) IsStructurallySymmetric() bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	t := m.Transpose()
+	for i := 0; i <= m.Rows; i++ {
+		if m.RowPtr[i] != t.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range m.Col {
+		if m.Col[k] != t.Col[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the statistics compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("%dx%d nnz=%d meanRow=%.2f maxRow=%d bw=%d sym=%v",
+		s.Rows, s.Cols, s.NNZ, s.MeanRowNNZ, s.MaxRowNNZ, s.Bandwidth, s.Symmetric)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// VecNorm2 returns the Euclidean norm of x.
+func VecNorm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// VecDot returns the dot product of x and y.
+func VecDot(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// VecAXPY computes y += alpha*x in place.
+func VecAXPY(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// VecMaxDiff returns the maximum absolute componentwise difference between x
+// and y.
+func VecMaxDiff(x, y []float64) float64 {
+	d := 0.0
+	for i := range x {
+		if v := math.Abs(x[i] - y[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}

@@ -1,0 +1,329 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromTripletsBasic(t *testing.T) {
+	m, err := FromTriplets(3, 3, []Triplet{
+		{0, 0, 2}, {0, 2, 1}, {1, 1, 3}, {2, 0, -1}, {2, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 5 {
+		t.Fatalf("nnz = %d, want 5", m.NNZ())
+	}
+	if m.At(0, 0) != 2 || m.At(0, 2) != 1 || m.At(1, 1) != 3 || m.At(2, 0) != -1 || m.At(2, 2) != 4 {
+		t.Fatalf("dense = %v", m.ToDense())
+	}
+	if m.At(0, 1) != 0 || m.At(1, 0) != 0 {
+		t.Error("missing entries should read as zero")
+	}
+}
+
+func TestFromTripletsSumsDuplicates(t *testing.T) {
+	m, err := FromTriplets(2, 2, []Triplet{{0, 0, 1}, {0, 0, 2.5}, {1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2 (duplicates summed)", m.NNZ())
+	}
+	if m.At(0, 0) != 3.5 {
+		t.Fatalf("At(0,0) = %v, want 3.5", m.At(0, 0))
+	}
+}
+
+func TestFromTripletsRejectsOutOfRange(t *testing.T) {
+	if _, err := FromTriplets(2, 2, []Triplet{{2, 0, 1}}); err == nil {
+		t.Error("row out of range not rejected")
+	}
+	if _, err := FromTriplets(2, 2, []Triplet{{0, -1, 1}}); err == nil {
+		t.Error("negative column not rejected")
+	}
+}
+
+func TestFromTripletsEmptyRows(t *testing.T) {
+	m, err := FromTriplets(4, 4, []Triplet{{3, 3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if m.RowNNZ(i) != 0 {
+			t.Fatalf("row %d nnz = %d, want 0", i, m.RowNNZ(i))
+		}
+	}
+	if m.RowNNZ(3) != 1 {
+		t.Fatal("row 3 should have one entry")
+	}
+}
+
+func TestFromDenseToDenseRoundTrip(t *testing.T) {
+	d := [][]float64{{1, 0, 2}, {0, 0, 0}, {3, 4, 0}}
+	m := FromDense(d)
+	if m.NNZ() != 4 {
+		t.Fatalf("nnz = %d, want 4", m.NNZ())
+	}
+	back := m.ToDense()
+	for i := range d {
+		for j := range d[i] {
+			if d[i][j] != back[i][j] {
+				t.Fatalf("round trip mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromDense([][]float64{{1, 2}, {3, 4}})
+	y := m.MulVec([]float64{1, 1}, nil)
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = %v, want [3 7]", y)
+	}
+	// Reuse destination.
+	y2 := make([]float64, 2)
+	m.MulVec([]float64{2, 0}, y2)
+	if y2[0] != 2 || y2[1] != 6 {
+		t.Fatalf("MulVec reuse = %v, want [2 6]", y2)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromDense([][]float64{{1, 2, 0}, {0, 3, 4}})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d, want 3x2", tr.Rows, tr.Cols)
+	}
+	want := [][]float64{{1, 0}, {2, 3}, {0, 4}}
+	got := tr.ToDense()
+	for i := range want {
+		for j := range want[i] {
+			if want[i][j] != got[i][j] {
+				t.Fatalf("transpose mismatch at (%d,%d): %v vs %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	// Property: transposing twice returns the original matrix.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 3+rng.Intn(6), 3+rng.Intn(6)
+		var ts []Triplet
+		for k := 0; k < rows*cols/3; k++ {
+			ts = append(ts, Triplet{rng.Intn(rows), rng.Intn(cols), rng.NormFloat64()})
+		}
+		m, err := FromTriplets(rows, cols, ts)
+		if err != nil {
+			return false
+		}
+		tt := m.Transpose().Transpose()
+		if tt.Rows != m.Rows || tt.Cols != m.Cols || tt.NNZ() != m.NNZ() {
+			return false
+		}
+		for i := 0; i < m.Rows; i++ {
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				if math.Abs(tt.At(i, m.Col[k])-m.Val[k]) > 1e-15 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromDense([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Val[0] = 99
+	if m.Val[0] == 99 {
+		t.Error("Clone shares value storage with original")
+	}
+}
+
+func TestAnalyzeStats(t *testing.T) {
+	m := FromDense([][]float64{
+		{2, -1, 0},
+		{-1, 2, -1},
+		{0, -1, 2},
+	})
+	st := m.Analyze()
+	if st.NNZ != 7 || st.MaxRowNNZ != 3 || st.Bandwidth != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !st.Symmetric {
+		t.Error("tridiagonal pattern should be symmetric")
+	}
+	if st.String() == "" {
+		t.Error("empty Stats.String")
+	}
+
+	asym := FromDense([][]float64{{1, 1}, {0, 1}})
+	if asym.Analyze().Symmetric {
+		t.Error("asymmetric pattern reported symmetric")
+	}
+	rect := FromDense([][]float64{{1, 2, 3}})
+	if rect.IsStructurallySymmetric() {
+		t.Error("rectangular matrix cannot be symmetric")
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	x := []float64{3, 4}
+	if VecNorm2(x) != 5 {
+		t.Errorf("VecNorm2 = %v, want 5", VecNorm2(x))
+	}
+	if VecDot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("VecDot wrong")
+	}
+	y := []float64{1, 1}
+	VecAXPY(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Errorf("VecAXPY = %v", y)
+	}
+	if VecMaxDiff([]float64{1, 2}, []float64{1, 4}) != 2 {
+		t.Error("VecMaxDiff wrong")
+	}
+}
+
+func TestLowerUpperTriangleExtraction(t *testing.T) {
+	a := FromDense([][]float64{
+		{4, -1, 0},
+		{-2, 5, -1},
+		{1, -3, 6},
+	})
+	l := LowerTriangle(a)
+	u := UpperTriangle(a)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.NNZ() != 3 {
+		t.Fatalf("lower nnz = %d, want 3", l.NNZ())
+	}
+	if u.NNZ() != 2 {
+		t.Fatalf("upper nnz = %d, want 2", u.NNZ())
+	}
+	if l.Diag[0] != 4 || u.Diag[2] != 6 {
+		t.Error("diagonal extraction wrong")
+	}
+	// ToCSR of lower triangle reproduces lower part including diagonal.
+	lc := l.ToCSR()
+	if lc.At(1, 0) != -2 || lc.At(1, 1) != 5 || lc.At(0, 1) != 0 {
+		t.Errorf("lower ToCSR dense = %v", lc.ToDense())
+	}
+	uc := u.ToCSR()
+	if uc.At(0, 1) != -1 || uc.At(1, 0) != 0 || uc.At(2, 2) != 6 {
+		t.Errorf("upper ToCSR dense = %v", uc.ToDense())
+	}
+}
+
+func TestTriangularValidateErrors(t *testing.T) {
+	bad := &Triangular{N: 2, Lower: true, RowPtr: []int{0, 0, 1}, Col: []int{1}, Val: []float64{1}, Diag: []float64{1, 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("upper entry in lower triangular not detected")
+	}
+	badU := &Triangular{N: 2, Lower: false, RowPtr: []int{0, 1, 1}, Col: []int{0}, Val: []float64{1}, Diag: []float64{1, 1}}
+	if err := badU.Validate(); err == nil {
+		t.Error("lower entry in upper triangular not detected")
+	}
+	zeroDiag := &Triangular{N: 1, Lower: true, RowPtr: []int{0, 0}, Diag: []float64{0}}
+	if err := zeroDiag.Validate(); err == nil {
+		t.Error("zero diagonal not detected")
+	}
+	zeroDiag.UnitDiag = true
+	if err := zeroDiag.Validate(); err != nil {
+		t.Error("unit diagonal should not require stored diagonal")
+	}
+}
+
+func TestTriangularSolveLower(t *testing.T) {
+	a := FromDense([][]float64{
+		{2, 0, 0},
+		{-1, 3, 0},
+		{4, -2, 5},
+	})
+	l := LowerTriangle(a)
+	rhs := []float64{2, 2, 7}
+	y := l.Solve(rhs, nil)
+	// Verify by multiplying back.
+	back := l.MulVec(y, nil)
+	if VecMaxDiff(back, rhs) > 1e-12 {
+		t.Fatalf("forward solve residual too large: y=%v back=%v", y, back)
+	}
+}
+
+func TestTriangularSolveUpper(t *testing.T) {
+	a := FromDense([][]float64{
+		{2, 1, -1},
+		{0, 3, 2},
+		{0, 0, 4},
+	})
+	u := UpperTriangle(a)
+	rhs := []float64{1, 2, 3}
+	y := u.Solve(rhs, nil)
+	back := u.MulVec(y, nil)
+	if VecMaxDiff(back, rhs) > 1e-12 {
+		t.Fatalf("backward solve residual too large: y=%v back=%v", y, back)
+	}
+}
+
+func TestTriangularSolveUnitDiag(t *testing.T) {
+	l := &Triangular{
+		N: 3, Lower: true, UnitDiag: true,
+		RowPtr: []int{0, 0, 1, 3},
+		Col:    []int{0, 0, 1},
+		Val:    []float64{0.5, 0.25, -1},
+		Diag:   []float64{1, 1, 1},
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rhs := []float64{2, 3, 1}
+	y := l.Solve(rhs, nil)
+	want := []float64{2, 3 - 0.5*2, 1 - 0.25*2 + 1*2}
+	if VecMaxDiff(y, want) > 1e-12 {
+		t.Fatalf("unit diag solve = %v, want %v", y, want)
+	}
+}
+
+func TestSolveRandomLowerTriangularProperty(t *testing.T) {
+	// Property: for random well-conditioned lower triangular systems,
+	// Solve(MulVec(x)) recovers x.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		var ts []Triplet
+		for i := 0; i < n; i++ {
+			ts = append(ts, Triplet{i, i, 2 + rng.Float64()})
+			for k := 0; k < rng.Intn(3) && i > 0; k++ {
+				ts = append(ts, Triplet{i, rng.Intn(i), rng.NormFloat64() * 0.3})
+			}
+		}
+		a, err := FromTriplets(n, n, ts)
+		if err != nil {
+			return false
+		}
+		l := LowerTriangle(a)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		rhs := l.MulVec(x, nil)
+		got := l.Solve(rhs, nil)
+		return VecMaxDiff(got, x) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

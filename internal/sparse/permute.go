@@ -1,0 +1,123 @@
+package sparse
+
+import "fmt"
+
+// Permutation represents a renumbering of the unknowns of a linear system:
+// NewIndex[old] is the new index of old unknown `old`, and OldIndex[new] is
+// its inverse. The doconsider transformation can either reorder the execution
+// of the solve loop (core.Options.Order) or, equivalently, renumber the
+// matrix itself with a Permutation and run the loop in natural order; package
+// doconsider produces the orderings, this type applies them to matrices and
+// vectors.
+type Permutation struct {
+	NewIndex []int
+	OldIndex []int
+}
+
+// NewPermutationFromOrder builds a Permutation from an execution order as
+// produced by doconsider.Order: order[k] is the old index executed at
+// position k, so the old unknown order[k] receives new index k.
+func NewPermutationFromOrder(order []int) (*Permutation, error) {
+	n := len(order)
+	p := &Permutation{NewIndex: make([]int, n), OldIndex: make([]int, n)}
+	seen := make([]bool, n)
+	for newIdx, old := range order {
+		if old < 0 || old >= n {
+			return nil, fmt.Errorf("sparse: order entry %d out of range [0,%d)", old, n)
+		}
+		if seen[old] {
+			return nil, fmt.Errorf("sparse: order repeats index %d", old)
+		}
+		seen[old] = true
+		p.OldIndex[newIdx] = old
+		p.NewIndex[old] = newIdx
+	}
+	return p, nil
+}
+
+// Identity returns the identity permutation of size n.
+func Identity(n int) *Permutation {
+	p := &Permutation{NewIndex: make([]int, n), OldIndex: make([]int, n)}
+	for i := 0; i < n; i++ {
+		p.NewIndex[i] = i
+		p.OldIndex[i] = i
+	}
+	return p
+}
+
+// Len returns the number of unknowns covered by the permutation.
+func (p *Permutation) Len() int { return len(p.NewIndex) }
+
+// PermuteVector returns the vector renumbered into the new ordering:
+// out[new] = x[old].
+func (p *Permutation) PermuteVector(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for newIdx, old := range p.OldIndex {
+		out[newIdx] = x[old]
+	}
+	return out
+}
+
+// UnpermuteVector maps a vector in the new ordering back to the original
+// ordering: out[old] = x[new].
+func (p *Permutation) UnpermuteVector(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for newIdx, old := range p.OldIndex {
+		out[old] = x[newIdx]
+	}
+	return out
+}
+
+// PermuteSymmetric returns P*A*P', the matrix with both rows and columns
+// renumbered, so that solving the permuted system with a permuted right-hand
+// side yields the permuted solution.
+func (p *Permutation) PermuteSymmetric(a *CSR) (*CSR, error) {
+	if a.Rows != a.Cols || a.Rows != p.Len() {
+		return nil, fmt.Errorf("sparse: permutation of size %d cannot renumber %dx%d matrix", p.Len(), a.Rows, a.Cols)
+	}
+	ts := make([]Triplet, 0, a.NNZ())
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			ts = append(ts, Triplet{
+				Row: p.NewIndex[i],
+				Col: p.NewIndex[a.Col[k]],
+				Val: a.Val[k],
+			})
+		}
+	}
+	return FromTriplets(a.Rows, a.Cols, ts)
+}
+
+// PermuteTriangular renumbers a triangular matrix with a permutation that is
+// consistent with its dependency order (i.e. a topological order of its
+// solve graph, such as a doconsider ordering): the result is again triangular
+// of the same kind. It fails if the permutation would move an entry to the
+// wrong side of the diagonal.
+func (p *Permutation) PermuteTriangular(t *Triangular) (*Triangular, error) {
+	if t.N != p.Len() {
+		return nil, fmt.Errorf("sparse: permutation of size %d cannot renumber %d-row triangular matrix", p.Len(), t.N)
+	}
+	full := t.ToCSR()
+	permuted, err := p.PermuteSymmetric(full)
+	if err != nil {
+		return nil, err
+	}
+	var out *Triangular
+	if t.Lower {
+		out = LowerTriangle(permuted)
+	} else {
+		out = UpperTriangle(permuted)
+	}
+	out.UnitDiag = t.UnitDiag
+	if t.UnitDiag {
+		for i := range out.Diag {
+			out.Diag[i] = 1
+		}
+	}
+	// Count check: if any entry landed on the wrong side of the diagonal it
+	// was silently dropped by the triangle extraction; reject that.
+	if out.NNZ() != t.NNZ() {
+		return nil, fmt.Errorf("sparse: permutation is not a topological renumbering of the triangular matrix (%d of %d off-diagonal entries preserved)", out.NNZ(), t.NNZ())
+	}
+	return out, nil
+}

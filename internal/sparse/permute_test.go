@@ -1,0 +1,157 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPermutationFromOrder(t *testing.T) {
+	p, err := NewPermutationFromOrder([]int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatal("wrong length")
+	}
+	// Old unknown 2 is executed first, so its new index is 0.
+	if p.NewIndex[2] != 0 || p.OldIndex[0] != 2 {
+		t.Errorf("permutation wrong: %+v", p)
+	}
+	if _, err := NewPermutationFromOrder([]int{0, 0, 1}); err == nil {
+		t.Error("duplicate order accepted")
+	}
+	if _, err := NewPermutationFromOrder([]int{0, 3, 1}); err == nil {
+		t.Error("out-of-range order accepted")
+	}
+}
+
+func TestIdentityPermutation(t *testing.T) {
+	p := Identity(4)
+	x := []float64{1, 2, 3, 4}
+	if VecMaxDiff(p.PermuteVector(x), x) != 0 {
+		t.Error("identity permutation changed the vector")
+	}
+}
+
+func TestPermuteUnpermuteRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		order := rng.Perm(n)
+		p, err := NewPermutationFromOrder(order)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		back := p.UnpermuteVector(p.PermuteVector(x))
+		return VecMaxDiff(back, x) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermuteSymmetricPreservesSolution(t *testing.T) {
+	// If A x = b, then (PAP') (Px) = P b.
+	rng := rand.New(rand.NewSource(11))
+	n := 12
+	var ts []Triplet
+	for i := 0; i < n; i++ {
+		ts = append(ts, Triplet{i, i, 4})
+		if i > 0 {
+			ts = append(ts, Triplet{i, i - 1, -1})
+			ts = append(ts, Triplet{i - 1, i, -1})
+		}
+	}
+	a, _ := FromTriplets(n, n, ts)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b := a.MulVec(x, nil)
+
+	p, err := NewPermutationFromOrder(rng.Perm(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := p.PermuteSymmetric(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := pa.MulVec(p.PermuteVector(x), nil)
+	if VecMaxDiff(pb, p.PermuteVector(b)) > 1e-12 {
+		t.Fatal("permuted system does not preserve the solution relation")
+	}
+
+	rect := FromDense([][]float64{{1, 2, 3}})
+	if _, err := p.PermuteSymmetric(rect); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+}
+
+func TestPermuteTriangularTopological(t *testing.T) {
+	// A lower triangular matrix whose solve DAG is a diamond: 1 and 2 depend
+	// on 0, 3 depends on 1 and 2. The order {0,2,1,3} is topological, so the
+	// renumbered matrix must stay lower triangular and solve to the permuted
+	// solution.
+	a := FromDense([][]float64{
+		{2, 0, 0, 0},
+		{-1, 2, 0, 0},
+		{-1, 0, 2, 0},
+		{0, -1, -1, 2},
+	})
+	l := LowerTriangle(a)
+	rhs := []float64{2, 1, 3, 4}
+	want := l.Solve(rhs, nil)
+
+	p, err := NewPermutationFromOrder([]int{0, 2, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := p.PermuteTriangular(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := pl.Solve(p.PermuteVector(rhs), nil)
+	if VecMaxDiff(got, p.PermuteVector(want)) > 1e-12 {
+		t.Fatal("renumbered triangular solve gives a different solution")
+	}
+
+	// A non-topological order (3 before its dependencies) must be rejected.
+	bad, err := NewPermutationFromOrder([]int{3, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.PermuteTriangular(l); err == nil {
+		t.Error("non-topological renumbering accepted")
+	}
+
+	short := Identity(2)
+	if _, err := short.PermuteTriangular(l); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestPermuteTriangularUnitDiag(t *testing.T) {
+	a := FromDense([][]float64{
+		{1, 0},
+		{-0.5, 1},
+	})
+	l := LowerTriangle(a)
+	l.UnitDiag = true
+	p := Identity(2)
+	pl, err := p.PermuteTriangular(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.UnitDiag || pl.Diag[0] != 1 || pl.Diag[1] != 1 {
+		t.Error("unit diagonal not preserved")
+	}
+}

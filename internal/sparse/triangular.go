@@ -1,0 +1,178 @@
+package sparse
+
+import "fmt"
+
+// Triangular is a sparse triangular matrix in CSR layout, specialized for the
+// forward/backward substitution loops of Section 3.2 (the paper's Figure 7).
+// For a lower triangular matrix, row i stores its strictly-lower entries in
+// Col/Val between RowPtr[i] and RowPtr[i+1]; the diagonal is held separately
+// in Diag. Upper triangular matrices store strictly-upper entries the same
+// way.
+type Triangular struct {
+	N      int
+	Lower  bool // true: lower triangular (forward solve); false: upper
+	RowPtr []int
+	Col    []int
+	Val    []float64
+	// Diag holds the diagonal entries; a unit-diagonal factor stores 1s.
+	Diag []float64
+	// UnitDiag records that the diagonal is implicitly one (no division
+	// needed in the solve), which matches the paper's Figure 7 loop.
+	UnitDiag bool
+}
+
+// LowerTriangle extracts the lower triangle of A (strictly lower + diagonal)
+// as a Triangular matrix. Missing diagonal entries are treated as zero.
+func LowerTriangle(a *CSR) *Triangular {
+	t := &Triangular{N: a.Rows, Lower: true, RowPtr: make([]int, a.Rows+1), Diag: make([]float64, a.Rows)}
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.Col[k]
+			switch {
+			case j < i:
+				t.Col = append(t.Col, j)
+				t.Val = append(t.Val, a.Val[k])
+			case j == i:
+				t.Diag[i] = a.Val[k]
+			}
+		}
+		t.RowPtr[i+1] = len(t.Col)
+	}
+	return t
+}
+
+// UpperTriangle extracts the upper triangle of A (diagonal + strictly upper)
+// as a Triangular matrix.
+func UpperTriangle(a *CSR) *Triangular {
+	t := &Triangular{N: a.Rows, Lower: false, RowPtr: make([]int, a.Rows+1), Diag: make([]float64, a.Rows)}
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.Col[k]
+			switch {
+			case j > i:
+				t.Col = append(t.Col, j)
+				t.Val = append(t.Val, a.Val[k])
+			case j == i:
+				t.Diag[i] = a.Val[k]
+			}
+		}
+		t.RowPtr[i+1] = len(t.Col)
+	}
+	return t
+}
+
+// NNZ returns the number of stored off-diagonal nonzeros.
+func (t *Triangular) NNZ() int { return len(t.Col) }
+
+// RowNNZ returns the number of off-diagonal nonzeros in row i.
+func (t *Triangular) RowNNZ(i int) int { return t.RowPtr[i+1] - t.RowPtr[i] }
+
+// Validate checks structural invariants: off-diagonal entries on the correct
+// side of the diagonal and non-zero diagonal unless unit.
+func (t *Triangular) Validate() error {
+	for i := 0; i < t.N; i++ {
+		for k := t.RowPtr[i]; k < t.RowPtr[i+1]; k++ {
+			j := t.Col[k]
+			if t.Lower && j >= i {
+				return fmt.Errorf("sparse: lower triangular row %d has entry in column %d", i, j)
+			}
+			if !t.Lower && j <= i {
+				return fmt.Errorf("sparse: upper triangular row %d has entry in column %d", i, j)
+			}
+			if j < 0 || j >= t.N {
+				return fmt.Errorf("sparse: row %d column %d out of range", i, j)
+			}
+		}
+		if !t.UnitDiag && t.Diag[i] == 0 {
+			return fmt.Errorf("sparse: zero diagonal at row %d of non-unit triangular matrix", i)
+		}
+	}
+	return nil
+}
+
+// Solve performs the sequential substitution (forward for lower, backward for
+// upper): it solves T*y = rhs and returns y. This is the paper's sequential
+// baseline (Figure 7) against which the parallel doacross solves are
+// compared.
+func (t *Triangular) Solve(rhs []float64, y []float64) []float64 {
+	if y == nil {
+		y = make([]float64, t.N)
+	}
+	if t.Lower {
+		for i := 0; i < t.N; i++ {
+			s := rhs[i]
+			for k := t.RowPtr[i]; k < t.RowPtr[i+1]; k++ {
+				s -= t.Val[k] * y[t.Col[k]]
+			}
+			if !t.UnitDiag {
+				s /= t.Diag[i]
+			}
+			y[i] = s
+		}
+	} else {
+		for i := t.N - 1; i >= 0; i-- {
+			s := rhs[i]
+			for k := t.RowPtr[i]; k < t.RowPtr[i+1]; k++ {
+				s -= t.Val[k] * y[t.Col[k]]
+			}
+			if !t.UnitDiag {
+				s /= t.Diag[i]
+			}
+			y[i] = s
+		}
+	}
+	return y
+}
+
+// MulVec computes y = T*x including the diagonal, used by tests to verify
+// solves by residual.
+func (t *Triangular) MulVec(x []float64, y []float64) []float64 {
+	if y == nil {
+		y = make([]float64, t.N)
+	}
+	for i := 0; i < t.N; i++ {
+		d := t.Diag[i]
+		if t.UnitDiag {
+			d = 1
+		}
+		s := d * x[i]
+		for k := t.RowPtr[i]; k < t.RowPtr[i+1]; k++ {
+			s += t.Val[k] * x[t.Col[k]]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// ToCSR converts the triangular matrix (including its diagonal) back to
+// general CSR form.
+func (t *Triangular) ToCSR() *CSR {
+	m := NewCSR(t.N, t.N, t.NNZ()+t.N)
+	for i := 0; i < t.N; i++ {
+		if t.Lower {
+			for k := t.RowPtr[i]; k < t.RowPtr[i+1]; k++ {
+				m.Col = append(m.Col, t.Col[k])
+				m.Val = append(m.Val, t.Val[k])
+			}
+			d := t.Diag[i]
+			if t.UnitDiag {
+				d = 1
+			}
+			m.Col = append(m.Col, i)
+			m.Val = append(m.Val, d)
+		} else {
+			d := t.Diag[i]
+			if t.UnitDiag {
+				d = 1
+			}
+			m.Col = append(m.Col, i)
+			m.Val = append(m.Val, d)
+			for k := t.RowPtr[i]; k < t.RowPtr[i+1]; k++ {
+				m.Col = append(m.Col, t.Col[k])
+				m.Val = append(m.Val, t.Val[k])
+			}
+		}
+		m.RowPtr[i+1] = len(m.Col)
+	}
+	return m
+}

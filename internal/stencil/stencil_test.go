@@ -1,0 +1,193 @@
+package stencil
+
+import (
+	"testing"
+
+	"doacross/internal/sparse"
+)
+
+func TestProblemNamesAndSizes(t *testing.T) {
+	want := map[Problem]struct {
+		name string
+		eq   int
+	}{
+		SPE2:       {"SPE2", 1080},
+		SPE5:       {"SPE5", 3312},
+		FivePoint:  {"5-PT", 3969},
+		SevenPoint: {"7-PT", 8000},
+		NinePoint:  {"9-PT", 3969},
+	}
+	for p, w := range want {
+		if p.String() != w.name {
+			t.Errorf("%v name = %q, want %q", p, p.String(), w.name)
+		}
+		if p.Equations() != w.eq {
+			t.Errorf("%v equations = %d, want %d", p, p.Equations(), w.eq)
+		}
+	}
+	if Problem(99).String() != "unknown" || Problem(99).Equations() != 0 {
+		t.Error("invalid problem should report unknown/0")
+	}
+	if len(Problems) != 5 {
+		t.Errorf("Problems has %d entries, want 5", len(Problems))
+	}
+}
+
+func TestBuildMatchesPaperEquationCounts(t *testing.T) {
+	for _, p := range Problems {
+		a, err := Build(p, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if a.Rows != p.Equations() || a.Cols != p.Equations() {
+			t.Errorf("%v: built %dx%d, want %d equations", p, a.Rows, a.Cols, p.Equations())
+		}
+	}
+	if _, err := Build(Problem(99), 1); err == nil {
+		t.Error("unknown problem accepted")
+	}
+}
+
+func TestFivePointStructure(t *testing.T) {
+	a, err := FivePointGrid(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 20 {
+		t.Fatalf("rows = %d, want 20", a.Rows)
+	}
+	st := a.Analyze()
+	if st.MaxRowNNZ != 5 {
+		t.Errorf("max row nnz = %d, want 5", st.MaxRowNNZ)
+	}
+	if !st.Symmetric {
+		t.Error("5-point operator should have symmetric pattern")
+	}
+	// Interior point (1,1) = row 1*5+1 = 6 has exactly 5 entries.
+	if a.RowNNZ(6) != 5 {
+		t.Errorf("interior row nnz = %d, want 5", a.RowNNZ(6))
+	}
+	// Corner (0,0) has 3 entries.
+	if a.RowNNZ(0) != 3 {
+		t.Errorf("corner row nnz = %d, want 3", a.RowNNZ(0))
+	}
+	if _, err := FivePointGrid(0, 3); err == nil {
+		t.Error("invalid grid accepted")
+	}
+}
+
+func TestSevenPointStructure(t *testing.T) {
+	a, err := SevenPointGrid(3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 27 {
+		t.Fatalf("rows = %d, want 27", a.Rows)
+	}
+	st := a.Analyze()
+	if st.MaxRowNNZ != 7 {
+		t.Errorf("max row nnz = %d, want 7", st.MaxRowNNZ)
+	}
+	if !st.Symmetric {
+		t.Error("7-point operator should have symmetric pattern")
+	}
+	// Center cell (1,1,1) = row (1*3+1)*3+1 = 13 touches all 7.
+	if a.RowNNZ(13) != 7 {
+		t.Errorf("center row nnz = %d, want 7", a.RowNNZ(13))
+	}
+	if _, err := SevenPointGrid(2, 0, 2); err == nil {
+		t.Error("invalid grid accepted")
+	}
+}
+
+func TestNinePointStructure(t *testing.T) {
+	a, err := NinePointGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 16 {
+		t.Fatalf("rows = %d, want 16", a.Rows)
+	}
+	st := a.Analyze()
+	if st.MaxRowNNZ != 9 {
+		t.Errorf("max row nnz = %d, want 9", st.MaxRowNNZ)
+	}
+	if !st.Symmetric {
+		t.Error("9-point operator should have symmetric pattern")
+	}
+	if _, err := NinePointGrid(-1, 4); err == nil {
+		t.Error("invalid grid accepted")
+	}
+}
+
+func TestBlockSevenPointStructure(t *testing.T) {
+	a, err := BlockSevenPoint(3, 2, 2, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 3*2*2*3 {
+		t.Fatalf("rows = %d, want 36", a.Rows)
+	}
+	// Every row of a diagonal block has at least b entries (the dense
+	// diagonal block) and rows belonging to a fully interior cell have 7*b.
+	st := a.Analyze()
+	if st.MaxRowNNZ > 7*3 {
+		t.Errorf("max row nnz = %d, exceeds 7*b", st.MaxRowNNZ)
+	}
+	if st.MaxRowNNZ < 3 {
+		t.Errorf("max row nnz = %d, smaller than block size", st.MaxRowNNZ)
+	}
+	if _, err := BlockSevenPoint(1, 1, 1, 0, 0); err == nil {
+		t.Error("invalid block size accepted")
+	}
+}
+
+func TestBlockSevenPointDeterministicInSeed(t *testing.T) {
+	a1, _ := BlockSevenPoint(3, 3, 2, 2, 42)
+	a2, _ := BlockSevenPoint(3, 3, 2, 2, 42)
+	a3, _ := BlockSevenPoint(3, 3, 2, 2, 43)
+	if sparse.VecMaxDiff(a1.Val, a2.Val) != 0 {
+		t.Error("same seed should give identical matrices")
+	}
+	if sparse.VecMaxDiff(a1.Val, a3.Val) == 0 {
+		t.Error("different seeds should perturb values")
+	}
+}
+
+func TestAllProblemsFactorizable(t *testing.T) {
+	// Every one of the paper's test problems must admit ILU(0) (needed for
+	// Table 1), and the resulting lower factor must be valid and solvable.
+	for _, p := range []Problem{SPE2, FivePoint, NinePoint} { // larger ones covered in integration tests
+		l, u, err := LowerFactor(p, 1)
+		if err != nil {
+			t.Fatalf("%v: ILU0 failed: %v", p, err)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("%v: invalid L: %v", p, err)
+		}
+		if err := u.Validate(); err != nil {
+			t.Fatalf("%v: invalid U: %v", p, err)
+		}
+		rhs := RHS(l.N, 3)
+		y := l.Solve(rhs, nil)
+		back := l.MulVec(y, nil)
+		if sparse.VecMaxDiff(back, rhs) > 1e-8 {
+			t.Fatalf("%v: forward solve residual too large", p)
+		}
+	}
+}
+
+func TestRHSDeterministic(t *testing.T) {
+	a := RHS(10, 5)
+	b := RHS(10, 5)
+	c := RHS(10, 6)
+	if sparse.VecMaxDiff(a, b) != 0 {
+		t.Error("RHS not deterministic in seed")
+	}
+	if sparse.VecMaxDiff(a, c) == 0 {
+		t.Error("RHS should differ across seeds")
+	}
+	if len(a) != 10 {
+		t.Error("wrong length")
+	}
+}

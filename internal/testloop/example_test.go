@@ -1,0 +1,25 @@
+package testloop_test
+
+import (
+	"fmt"
+
+	"doacross/internal/testloop"
+)
+
+// ExampleConfig shows how the paper's L parameter controls the dependency
+// structure of the Figure 4 test loop: odd L produces no cross-iteration
+// dependencies, even L produces true dependencies whose distance grows with
+// L.
+func ExampleConfig() {
+	for _, l := range []int{1, 4, 8, 14} {
+		c := testloop.Config{N: 1000, M: 1, L: l}
+		g := c.Graph()
+		fmt.Printf("L=%-2d edges=%-4d crossDeps=%-5v minDistance=%d\n",
+			l, g.Edges, c.HasCrossIterationDeps(), c.MinDepDistance())
+	}
+	// Output:
+	// L=1  edges=0    crossDeps=false minDistance=0
+	// L=4  edges=999  crossDeps=true  minDistance=1
+	// L=8  edges=997  crossDeps=true  minDistance=3
+	// L=14 edges=994  crossDeps=true  minDistance=6
+}

@@ -1,0 +1,177 @@
+// Package testloop implements the paper's Figure 4 test loop, the workload of
+// the Section 3.1 experiment (Figure 6):
+//
+//	do i = 1, N
+//	  do j = 1, M
+//	    y(a(i)) = y(a(i)) + val(j) * y(b(i) + nbrs(j))
+//	  end do
+//	end do
+//
+// with the Section 3.1 initialization a(i) = 2i, b(i) = 2i and
+// nbrs(j) = 2j − L. For odd L every read lands on an odd element while every
+// write lands on an even element, so there are no dependencies between outer
+// iterations; for even L, iteration i reads the element written by iteration
+// i + j − L/2, so true dependencies of distance L/2 − j appear and the
+// distance grows with L — which is why the paper's efficiencies for even L
+// rise monotonically with L.
+//
+// All subscripts are shifted by a constant so they remain non-negative for
+// every L in the experiment's 1..14 range; the shift does not change the
+// dependency structure.
+package testloop
+
+import (
+	"fmt"
+
+	"doacross/internal/core"
+	"doacross/internal/depgraph"
+)
+
+// shift keeps b(i) + nbrs(j) non-negative for every L ≤ maxL.
+const (
+	maxL  = 16
+	shift = maxL
+)
+
+// Config describes one instance of the Figure 4 test loop.
+type Config struct {
+	// N is the number of outer iterations (the paper uses 10000).
+	N int
+	// M is the number of inner iterations, i.e. the number of right-hand-side
+	// reads per outer iteration (the paper uses 1 and 5).
+	M int
+	// L is the loop parameter that controls the dependency structure
+	// (the paper sweeps 1..14).
+	L int
+	// WorkPerTerm adds synthetic floating-point work to every inner term.
+	// A 1990 Multimax iteration cost microseconds, so runtime overheads were
+	// small relative to the body; on a modern CPU the raw Figure 4 body is a
+	// few nanoseconds and overheads dominate. Setting WorkPerTerm to a few
+	// hundred restores the paper's work-to-overhead regime for live
+	// measurements. Zero means the plain body. Results remain deterministic
+	// and identical between the sequential and parallel executions.
+	WorkPerTerm int
+}
+
+// Validate checks the configuration is within the supported range.
+func (c Config) Validate() error {
+	if c.N < 1 || c.M < 1 {
+		return fmt.Errorf("testloop: N and M must be positive (N=%d, M=%d)", c.N, c.M)
+	}
+	if c.L < 1 || c.L > maxL {
+		return fmt.Errorf("testloop: L must be in [1, %d], got %d", maxL, c.L)
+	}
+	return nil
+}
+
+// DataLen returns the length of the shared array y the loop needs.
+func (c Config) DataLen() int {
+	// Largest subscript is max(a(N), b(N)+nbrs(M)) = max(2N, 2N+2M-L) + shift.
+	maxSub := 2*c.N + shift
+	if s := 2*c.N + 2*c.M - c.L + shift; s > maxSub {
+		maxSub = s
+	}
+	return maxSub + 1
+}
+
+// WriteIndex returns a(i) for the 1-based loop index i = it+1.
+func (c Config) WriteIndex(it int) int { return 2*(it+1) + shift }
+
+// ReadIndex returns b(i) + nbrs(j) for the 1-based indices i = it+1,
+// j = jt+1.
+func (c Config) ReadIndex(it, jt int) int {
+	return 2*(it+1) + 2*(jt+1) - c.L + shift
+}
+
+// Val returns val(j) for jt = j-1; the values are fixed small coefficients so
+// results stay bounded and runs are reproducible.
+func (c Config) Val(jt int) float64 {
+	return 0.01 * float64(jt+1)
+}
+
+// HasCrossIterationDeps reports whether any true dependency between distinct
+// outer iterations exists: only for even L with L/2 > 1 does some inner index
+// j satisfy j < L/2.
+func (c Config) HasCrossIterationDeps() bool {
+	return c.L%2 == 0 && c.L/2 > 1
+}
+
+// MinDepDistance returns the smallest distance (in outer iterations) of any
+// true dependency, or 0 if there are none. Distances are L/2 − j for
+// j = 1..min(M, L/2−1), so the smallest is L/2 − min(M, L/2−1).
+func (c Config) MinDepDistance() int {
+	if !c.HasCrossIterationDeps() {
+		return 0
+	}
+	maxJ := c.L/2 - 1
+	if c.M < maxJ {
+		maxJ = c.M
+	}
+	return c.L/2 - maxJ
+}
+
+// Loop builds the core.Loop for the configuration. The index arrays are
+// materialized once so the executor's hot path performs no per-iteration
+// allocation.
+func (c Config) Loop() *core.Loop {
+	writes := make([]int, c.N)
+	reads := make([]int, c.N*c.M)
+	for it := 0; it < c.N; it++ {
+		writes[it] = c.WriteIndex(it)
+		for jt := 0; jt < c.M; jt++ {
+			reads[it*c.M+jt] = c.ReadIndex(it, jt)
+		}
+	}
+	vals := make([]float64, c.M)
+	for jt := range vals {
+		vals[jt] = c.Val(jt)
+	}
+	work := c.WorkPerTerm
+	return &core.Loop{
+		N:      c.N,
+		Data:   c.DataLen(),
+		Writes: func(it int) []int { return writes[it : it+1] },
+		Reads:  func(it int) []int { return reads[it*c.M : (it+1)*c.M] },
+		Body: func(it int, v *core.Values) {
+			a := writes[it]
+			acc := v.LoadNew(a) // seeded with y(a(i)) — Figure 5 statement S2
+			row := reads[it*c.M : (it+1)*c.M]
+			for jt, off := range row {
+				term := vals[jt] * v.Load(off)
+				for w := 0; w < work; w++ {
+					term *= 1.0000000001
+				}
+				acc += term
+			}
+			v.Store(a, acc)
+		},
+	}
+}
+
+// InitialData returns a deterministic initial y array for the configuration.
+func (c Config) InitialData() []float64 {
+	y := make([]float64, c.DataLen())
+	for i := range y {
+		y[i] = 1.0 + 0.001*float64(i%97)
+	}
+	return y
+}
+
+// Access returns the access pattern for dependency-graph construction and
+// machine simulation.
+func (c Config) Access() depgraph.Access {
+	l := c.Loop()
+	return depgraph.Access{N: c.N, Writes: l.Writes, Reads: l.Reads}
+}
+
+// Graph builds the true-dependency graph of the configuration.
+func (c Config) Graph() *depgraph.Graph {
+	return depgraph.Build(c.Access())
+}
+
+// Subscript returns the linear left-hand-side subscript a(i) = 2*(i+1)+shift
+// in the form used by the linear-subscript doacross variant (Section 2.3).
+// In 0-based iteration indices it is a(it) = 2*it + (2 + shift).
+func (c Config) Subscript() core.LinearSubscript {
+	return core.LinearSubscript{C: 2, D: 2 + shift}
+}

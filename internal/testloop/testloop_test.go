@@ -1,0 +1,176 @@
+package testloop
+
+import (
+	"testing"
+
+	"doacross/internal/core"
+	"doacross/internal/flags"
+	"doacross/internal/sparse"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{N: 100, M: 1, L: 1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	for _, bad := range []Config{
+		{N: 0, M: 1, L: 1}, {N: 10, M: 0, L: 1}, {N: 10, M: 1, L: 0}, {N: 10, M: 1, L: 17},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid config %+v accepted", bad)
+		}
+	}
+}
+
+func TestSubscriptsNonNegativeAndInRange(t *testing.T) {
+	for L := 1; L <= 14; L++ {
+		c := Config{N: 50, M: 5, L: L}
+		dataLen := c.DataLen()
+		for it := 0; it < c.N; it++ {
+			if w := c.WriteIndex(it); w < 0 || w >= dataLen {
+				t.Fatalf("L=%d: write index %d out of range [0,%d)", L, w, dataLen)
+			}
+			for jt := 0; jt < c.M; jt++ {
+				if r := c.ReadIndex(it, jt); r < 0 || r >= dataLen {
+					t.Fatalf("L=%d: read index %d out of range [0,%d)", L, r, dataLen)
+				}
+			}
+		}
+	}
+}
+
+func TestLoopValidates(t *testing.T) {
+	for _, c := range []Config{{N: 100, M: 1, L: 3}, {N: 100, M: 5, L: 8}} {
+		if err := c.Loop().Validate(); err != nil {
+			t.Errorf("config %+v: loop invalid: %v", c, err)
+		}
+	}
+}
+
+func TestOddLHasNoDependencies(t *testing.T) {
+	for _, L := range []int{1, 3, 5, 7, 9, 11, 13} {
+		c := Config{N: 200, M: 5, L: L}
+		g := c.Graph()
+		if g.Edges != 0 {
+			t.Errorf("L=%d: expected no dependencies, found %d edges", L, g.Edges)
+		}
+		if c.HasCrossIterationDeps() {
+			t.Errorf("L=%d: HasCrossIterationDeps should be false", L)
+		}
+	}
+}
+
+func TestEvenLDependencyStructure(t *testing.T) {
+	// For even L >= 4, iteration i depends on iterations i+j-L/2 for
+	// j < L/2 (and j <= M); the minimum distance is L/2 - min(M, L/2-1).
+	for _, tc := range []struct {
+		L, M        int
+		wantDeps    bool
+		minDistance int
+	}{
+		{2, 5, false, 0},
+		{4, 5, true, 1},
+		{6, 5, true, 1},
+		{8, 1, true, 3},
+		{12, 5, true, 1},
+		{14, 1, true, 6},
+		{14, 5, true, 2},
+	} {
+		c := Config{N: 300, M: tc.M, L: tc.L}
+		g := c.Graph()
+		if (g.Edges > 0) != tc.wantDeps {
+			t.Errorf("L=%d M=%d: edges=%d, wantDeps=%v", tc.L, tc.M, g.Edges, tc.wantDeps)
+		}
+		if c.HasCrossIterationDeps() != tc.wantDeps {
+			t.Errorf("L=%d M=%d: HasCrossIterationDeps mismatch", tc.L, tc.M)
+		}
+		if got := c.MinDepDistance(); got != tc.minDistance {
+			t.Errorf("L=%d M=%d: MinDepDistance = %d, want %d", tc.L, tc.M, got, tc.minDistance)
+		}
+		if tc.wantDeps {
+			// Check one concrete edge: iteration i=200 (1-based 201) reading
+			// j=1 depends on 201+1-L/2 (1-based), i.e. 0-based 200-L/2+1.
+			it := 200
+			want := it + 1 - tc.L/2
+			found := false
+			for _, p := range g.Preds[it] {
+				if int(p) == want {
+					found = true
+				}
+			}
+			if !found && want >= 0 && want < it {
+				t.Errorf("L=%d M=%d: iteration %d missing predecessor %d (preds %v)", tc.L, tc.M, it, want, g.Preds[it])
+			}
+		}
+	}
+}
+
+func TestLargerLMeansLargerMinDistance(t *testing.T) {
+	prev := -1
+	for _, L := range []int{4, 6, 8, 10, 12, 14} {
+		c := Config{N: 100, M: 1, L: L}
+		d := c.MinDepDistance()
+		if d <= prev {
+			t.Fatalf("L=%d: min distance %d not larger than previous %d", L, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestDoacrossMatchesSequentialAllL(t *testing.T) {
+	for L := 1; L <= 14; L++ {
+		for _, M := range []int{1, 5} {
+			c := Config{N: 400, M: M, L: L}
+			l := c.Loop()
+			seq := c.InitialData()
+			core.RunSequential(l, seq)
+			par := c.InitialData()
+			rt := core.NewRuntime(l.Data, core.Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
+			if _, err := rt.Run(l, par); err != nil {
+				t.Fatalf("L=%d M=%d: %v", L, M, err)
+			}
+			if d := sparse.VecMaxDiff(seq, par); d > 1e-12 {
+				t.Fatalf("L=%d M=%d: doacross differs from sequential by %v", L, M, d)
+			}
+		}
+	}
+}
+
+func TestLinearSubscriptVariantMatches(t *testing.T) {
+	c := Config{N: 500, M: 3, L: 6}
+	l := c.Loop()
+	sub := c.Subscript()
+	// The subscript must agree with WriteIndex.
+	for it := 0; it < c.N; it++ {
+		if got := sub.C*it + sub.D; got != c.WriteIndex(it) {
+			t.Fatalf("subscript mismatch at %d: %d vs %d", it, got, c.WriteIndex(it))
+		}
+	}
+	seq := c.InitialData()
+	core.RunSequential(l, seq)
+	par := c.InitialData()
+	rt := core.NewRuntime(l.Data, core.Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
+	if _, err := rt.RunLinear(l, par, sub); err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.VecMaxDiff(seq, par); d > 1e-12 {
+		t.Fatalf("linear variant differs by %v", d)
+	}
+}
+
+func TestInitialDataDeterministic(t *testing.T) {
+	c := Config{N: 50, M: 2, L: 5}
+	a, b := c.InitialData(), c.InitialData()
+	if len(a) != c.DataLen() {
+		t.Fatal("wrong data length")
+	}
+	if sparse.VecMaxDiff(a, b) != 0 {
+		t.Fatal("InitialData not deterministic")
+	}
+}
+
+func TestValCoefficients(t *testing.T) {
+	c := Config{N: 10, M: 3, L: 1}
+	if c.Val(0) <= 0 || c.Val(2) <= c.Val(0) {
+		t.Error("val coefficients should be positive and increasing")
+	}
+}

@@ -1,0 +1,133 @@
+// Package trace provides the measurement utilities shared by the experiment
+// harness and the benchmarks: repeated timing of a function with best-of and
+// mean statistics, and the parallel-efficiency arithmetic the paper uses
+// (efficiency = T_seq / (p * T_par)).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample holds repeated duration measurements of one activity.
+type Sample struct {
+	Durations []time.Duration
+}
+
+// Measure runs f repeat times (at least once) and records each duration.
+func Measure(repeat int, f func()) Sample {
+	if repeat < 1 {
+		repeat = 1
+	}
+	s := Sample{Durations: make([]time.Duration, 0, repeat)}
+	for i := 0; i < repeat; i++ {
+		start := time.Now()
+		f()
+		s.Durations = append(s.Durations, time.Since(start))
+	}
+	return s
+}
+
+// Min returns the smallest recorded duration (the conventional choice for
+// timing parallel kernels, since interference only ever adds time).
+func (s Sample) Min() time.Duration {
+	if len(s.Durations) == 0 {
+		return 0
+	}
+	m := s.Durations[0]
+	for _, d := range s.Durations[1:] {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Max returns the largest recorded duration.
+func (s Sample) Max() time.Duration {
+	if len(s.Durations) == 0 {
+		return 0
+	}
+	m := s.Durations[0]
+	for _, d := range s.Durations[1:] {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Mean returns the average duration.
+func (s Sample) Mean() time.Duration {
+	if len(s.Durations) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range s.Durations {
+		total += d
+	}
+	return total / time.Duration(len(s.Durations))
+}
+
+// Median returns the median duration.
+func (s Sample) Median() time.Duration {
+	if len(s.Durations) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.Durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// StdDev returns the standard deviation of the durations in seconds.
+func (s Sample) StdDev() float64 {
+	n := len(s.Durations)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean().Seconds()
+	sum := 0.0
+	for _, d := range s.Durations {
+		diff := d.Seconds() - mean
+		sum += diff * diff
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// String summarizes the sample.
+func (s Sample) String() string {
+	return fmt.Sprintf("n=%d min=%v median=%v mean=%v max=%v", len(s.Durations), s.Min(), s.Median(), s.Mean(), s.Max())
+}
+
+// Efficiency computes the paper's parallel efficiency T_seq / (p * T_par).
+// It returns 0 when either time is non-positive.
+func Efficiency(tseq, tpar time.Duration, p int) float64 {
+	if tseq <= 0 || tpar <= 0 || p < 1 {
+		return 0
+	}
+	return tseq.Seconds() / (float64(p) * tpar.Seconds())
+}
+
+// Speedup computes T_seq / T_par, returning 0 when either time is
+// non-positive.
+func Speedup(tseq, tpar time.Duration) float64 {
+	if tseq <= 0 || tpar <= 0 {
+		return 0
+	}
+	return tseq.Seconds() / tpar.Seconds()
+}
+
+// EfficiencyFromFloats computes T_seq / (p * T_par) for times already
+// expressed as float64 (e.g. simulated time units).
+func EfficiencyFromFloats(tseq, tpar float64, p int) float64 {
+	if tseq <= 0 || tpar <= 0 || p < 1 {
+		return 0
+	}
+	return tseq / (float64(p) * tpar)
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func sampleOf(ds ...time.Duration) Sample { return Sample{Durations: ds} }
+
+func TestMeasureRunsFunction(t *testing.T) {
+	count := 0
+	s := Measure(5, func() { count++ })
+	if count != 5 || len(s.Durations) != 5 {
+		t.Fatalf("count=%d len=%d", count, len(s.Durations))
+	}
+	s = Measure(0, func() { count++ })
+	if count != 6 || len(s.Durations) != 1 {
+		t.Fatal("repeat<1 should clamp to one run")
+	}
+}
+
+func TestSampleStatistics(t *testing.T) {
+	s := sampleOf(4*time.Millisecond, 2*time.Millisecond, 6*time.Millisecond, 8*time.Millisecond)
+	if s.Min() != 2*time.Millisecond {
+		t.Errorf("Min = %v", s.Min())
+	}
+	if s.Max() != 8*time.Millisecond {
+		t.Errorf("Max = %v", s.Max())
+	}
+	if s.Mean() != 5*time.Millisecond {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Median() != 5*time.Millisecond {
+		t.Errorf("Median = %v", s.Median())
+	}
+	odd := sampleOf(time.Millisecond, 3*time.Millisecond, 2*time.Millisecond)
+	if odd.Median() != 2*time.Millisecond {
+		t.Errorf("odd Median = %v", odd.Median())
+	}
+	if s.StdDev() <= 0 {
+		t.Error("StdDev should be positive for spread samples")
+	}
+	if s.String() == "" {
+		t.Error("empty sample string")
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.Median() != 0 || s.StdDev() != 0 {
+		t.Error("empty sample statistics should be zero")
+	}
+	single := sampleOf(time.Second)
+	if single.StdDev() != 0 {
+		t.Error("single-sample stddev should be zero")
+	}
+}
+
+func TestEfficiencyAndSpeedup(t *testing.T) {
+	tseq := 160 * time.Millisecond
+	tpar := 20 * time.Millisecond
+	if got := Speedup(tseq, tpar); got != 8 {
+		t.Errorf("Speedup = %v, want 8", got)
+	}
+	if got := Efficiency(tseq, tpar, 16); got != 0.5 {
+		t.Errorf("Efficiency = %v, want 0.5", got)
+	}
+	if Efficiency(0, tpar, 4) != 0 || Efficiency(tseq, 0, 4) != 0 || Efficiency(tseq, tpar, 0) != 0 {
+		t.Error("degenerate efficiency should be 0")
+	}
+	if Speedup(0, tpar) != 0 || Speedup(tseq, 0) != 0 {
+		t.Error("degenerate speedup should be 0")
+	}
+}
+
+func TestEfficiencyFromFloats(t *testing.T) {
+	if got := EfficiencyFromFloats(100, 25, 4); got != 1 {
+		t.Errorf("EfficiencyFromFloats = %v, want 1", got)
+	}
+	if EfficiencyFromFloats(-1, 5, 2) != 0 || EfficiencyFromFloats(1, 0, 2) != 0 || EfficiencyFromFloats(1, 1, 0) != 0 {
+		t.Error("degenerate cases should be 0")
+	}
+}

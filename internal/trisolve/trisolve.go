@@ -1,0 +1,342 @@
+// Package trisolve expresses the sparse triangular solve of the paper's
+// Figure 7,
+//
+//	do i = 1, n
+//	  y(i) = rhs(i)
+//	  do j = low(i), high(i)
+//	    y(i) = y(i) - a(j) * y(column(j))
+//	  end do
+//	end do
+//
+// as a preprocessed doacross loop and provides the executors compared in the
+// paper's Table 1: the sequential solve, the plain preprocessed doacross, the
+// doconsider-reordered preprocessed doacross, and (as an additional baseline)
+// a level-scheduled wavefront solve.
+//
+// The dependencies between elements of y are determined by the column index
+// array, which is only known at run time — exactly the situation the
+// preprocessed doacross targets. Because the left-hand-side subscript is the
+// loop index itself (a(i) = i), the loop also exercises the linear-subscript
+// variant of Section 2.3.
+package trisolve
+
+import (
+	"fmt"
+
+	"doacross/internal/core"
+	"doacross/internal/depgraph"
+	"doacross/internal/doconsider"
+	"doacross/internal/sched"
+	"doacross/internal/sparse"
+)
+
+// Loop builds the core.Loop implementing the forward substitution for the
+// lower triangular matrix t with right-hand side rhs. The loop writes y[i] at
+// iteration i and reads the columns of row i, all of which are earlier
+// iterations (true dependencies).
+func Loop(t *sparse.Triangular, rhs []float64) (*core.Loop, error) {
+	if !t.Lower {
+		return nil, fmt.Errorf("trisolve: forward substitution requires a lower triangular matrix")
+	}
+	if len(rhs) < t.N {
+		return nil, fmt.Errorf("trisolve: rhs has %d entries for %d unknowns", len(rhs), t.N)
+	}
+	writes := identity(t.N)
+	return &core.Loop{
+		N:      t.N,
+		Data:   t.N,
+		Writes: func(i int) []int { return writes[i : i+1] },
+		Reads:  func(i int) []int { return t.Col[t.RowPtr[i]:t.RowPtr[i+1]] },
+		Body: func(i int, v *core.Values) {
+			s := rhs[i]
+			for k := t.RowPtr[i]; k < t.RowPtr[i+1]; k++ {
+				s -= t.Val[k] * v.Load(t.Col[k])
+			}
+			if !t.UnitDiag {
+				s /= t.Diag[i]
+			}
+			v.Store(i, s)
+		},
+	}, nil
+}
+
+// UpperLoop builds the core.Loop implementing the backward substitution for
+// the upper triangular matrix t with right-hand side rhs. The original loop
+// runs i = n-1 down to 0; the doacross iteration index is k = n-1-i so that
+// dependencies still point from lower to higher iteration indices, which is
+// what the preprocessed doacross requires.
+func UpperLoop(t *sparse.Triangular, rhs []float64) (*core.Loop, error) {
+	if t.Lower {
+		return nil, fmt.Errorf("trisolve: backward substitution requires an upper triangular matrix")
+	}
+	if len(rhs) < t.N {
+		return nil, fmt.Errorf("trisolve: rhs has %d entries for %d unknowns", len(rhs), t.N)
+	}
+	n := t.N
+	writes := make([]int, n)
+	for k := range writes {
+		writes[k] = n - 1 - k
+	}
+	return &core.Loop{
+		N:      n,
+		Data:   n,
+		Writes: func(k int) []int { return writes[k : k+1] },
+		Reads:  func(k int) []int { i := n - 1 - k; return t.Col[t.RowPtr[i]:t.RowPtr[i+1]] },
+		Body: func(k int, v *core.Values) {
+			i := n - 1 - k
+			s := rhs[i]
+			for kk := t.RowPtr[i]; kk < t.RowPtr[i+1]; kk++ {
+				s -= t.Val[kk] * v.Load(t.Col[kk])
+			}
+			if !t.UnitDiag {
+				s /= t.Diag[i]
+			}
+			v.Store(i, s)
+		},
+	}, nil
+}
+
+// identity returns the slice [0, 1, ..., n-1], shared by the forward solve's
+// write index.
+func identity(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// Graph builds the true-dependency graph of the forward solve: iteration i
+// depends on every column index appearing in row i.
+func Graph(t *sparse.Triangular) *depgraph.Graph {
+	return depgraph.BuildFromWriterIndex(t.N, identity(t.N), func(i int) []int {
+		return t.Col[t.RowPtr[i]:t.RowPtr[i+1]]
+	})
+}
+
+// UpperGraph builds the true-dependency graph of the backward solve in the
+// doacross iteration numbering (iteration k solves row n-1-k).
+func UpperGraph(t *sparse.Triangular) *depgraph.Graph {
+	n := t.N
+	write := make([]int, n)
+	for k := range write {
+		write[k] = n - 1 - k
+	}
+	return depgraph.BuildFromWriterIndex(n, write, func(k int) []int {
+		i := n - 1 - k
+		return t.Col[t.RowPtr[i]:t.RowPtr[i+1]]
+	})
+}
+
+// Subscript returns the (trivial) linear left-hand-side subscript of the
+// solve loop, a(i) = i, for use with the linear-subscript doacross variant.
+func Subscript() core.LinearSubscript { return core.LinearSubscript{C: 1, D: 0} }
+
+// SolveSequential solves T*y = rhs with the ordinary sequential substitution
+// (the paper's Table 1 "Sequential Time" column).
+func SolveSequential(t *sparse.Triangular, rhs []float64) []float64 {
+	return t.Solve(rhs, nil)
+}
+
+// SolveDoacross solves T*y = rhs with the plain preprocessed doacross (the
+// Table 1 "Preprocessed Doacross" column) using the supplied runtime options.
+// It returns the solution and the execution report.
+func SolveDoacross(t *sparse.Triangular, rhs []float64, opts core.Options) ([]float64, core.Report, error) {
+	l, err := Loop(t, rhs)
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	y := make([]float64, t.N)
+	rt := core.NewRuntime(t.N, opts)
+	rep, err := rt.Run(l, y)
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	return y, rep, nil
+}
+
+// SolveDoacrossReordered solves T*y = rhs with the preprocessed doacross
+// after reordering the iterations with the given doconsider strategy (the
+// Table 1 "Preprocessed Doacross Iterations Rearranged" column).
+func SolveDoacrossReordered(t *sparse.Triangular, rhs []float64, strategy doconsider.Strategy, opts core.Options) ([]float64, core.Report, error) {
+	l, err := Loop(t, rhs)
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	g := Graph(t)
+	plan := doconsider.NewPlan(g, strategy)
+	if err := doconsider.Validate(g, plan.Order); err != nil {
+		return nil, core.Report{}, err
+	}
+	opts.Order = plan.Order
+	y := make([]float64, t.N)
+	rt := core.NewRuntime(t.N, opts)
+	rep, err := rt.Run(l, y)
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	return y, rep, nil
+}
+
+// SolveUpperDoacross solves the upper triangular system T*y = rhs (backward
+// substitution) with the preprocessed doacross. Together with SolveDoacross
+// it lets both substitutions of an ILU preconditioner run in parallel.
+func SolveUpperDoacross(t *sparse.Triangular, rhs []float64, opts core.Options) ([]float64, core.Report, error) {
+	l, err := UpperLoop(t, rhs)
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	y := make([]float64, t.N)
+	rt := core.NewRuntime(t.N, opts)
+	rep, err := rt.Run(l, y)
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	return y, rep, nil
+}
+
+// SolveUpperDoacrossReordered solves the upper triangular system with the
+// preprocessed doacross after a doconsider reordering of the (reversed)
+// iteration space.
+func SolveUpperDoacrossReordered(t *sparse.Triangular, rhs []float64, strategy doconsider.Strategy, opts core.Options) ([]float64, core.Report, error) {
+	l, err := UpperLoop(t, rhs)
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	g := UpperGraph(t)
+	plan := doconsider.NewPlan(g, strategy)
+	if err := doconsider.Validate(g, plan.Order); err != nil {
+		return nil, core.Report{}, err
+	}
+	opts.Order = plan.Order
+	y := make([]float64, t.N)
+	rt := core.NewRuntime(t.N, opts)
+	rep, err := rt.Run(l, y)
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	return y, rep, nil
+}
+
+// SolveRenumbered solves T*y = rhs by renumbering the unknowns with the
+// doconsider ordering (a symmetric permutation of the matrix and right-hand
+// side) and running the preprocessed doacross in natural order on the
+// renumbered system. It is the "transform the data" alternative to
+// SolveDoacrossReordered's "transform the schedule": both produce identical
+// results, and comparing them isolates whether the benefit of the doconsider
+// comes from the iteration order alone.
+func SolveRenumbered(t *sparse.Triangular, rhs []float64, strategy doconsider.Strategy, opts core.Options) ([]float64, core.Report, error) {
+	g := Graph(t)
+	plan := doconsider.NewPlan(g, strategy)
+	if err := doconsider.Validate(g, plan.Order); err != nil {
+		return nil, core.Report{}, err
+	}
+	perm, err := sparse.NewPermutationFromOrder(plan.Order)
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	pt, err := perm.PermuteTriangular(t)
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	prhs := perm.PermuteVector(rhs)
+	py, rep, err := SolveDoacross(pt, prhs, opts)
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	rep.Order = "renumbered"
+	return perm.UnpermuteVector(py), rep, nil
+}
+
+// SolveLinear solves T*y = rhs with the linear-subscript doacross variant
+// (no inspector), exploiting a(i) = i.
+func SolveLinear(t *sparse.Triangular, rhs []float64, opts core.Options) ([]float64, core.Report, error) {
+	l, err := Loop(t, rhs)
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	y := make([]float64, t.N)
+	rt := core.NewRuntime(t.N, opts)
+	rep, err := rt.RunLinear(l, y, Subscript())
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	return y, rep, nil
+}
+
+// SolveLevelScheduled solves T*y = rhs by level scheduling: the dependency
+// graph is decomposed into wavefronts and each wavefront is executed as a
+// doall over the given number of workers, with a barrier between wavefronts.
+// It is the standard alternative to the doacross for sparse triangular solves
+// and serves as an additional baseline in the experiments.
+func SolveLevelScheduled(t *sparse.Triangular, rhs []float64, workers int) ([]float64, int) {
+	g := Graph(t)
+	_, byLevel := g.Levels()
+	y := make([]float64, t.N)
+	pool := sched.NewPool(workers)
+	for _, lvl := range byLevel {
+		lvl := lvl
+		pool.ParallelFor(len(lvl), func(k int) {
+			i := lvl[k]
+			s := rhs[i]
+			for kk := t.RowPtr[i]; kk < t.RowPtr[i+1]; kk++ {
+				s -= t.Val[kk] * y[t.Col[kk]]
+			}
+			if !t.UnitDiag {
+				s /= t.Diag[i]
+			}
+			y[i] = s
+		})
+	}
+	return y, len(byLevel)
+}
+
+// SolverKind identifies one of the triangular-solve executors, used by the
+// experiment harness and the CLI.
+type SolverKind int
+
+const (
+	Sequential SolverKind = iota
+	Doacross
+	DoacrossReordered
+	LinearSubscript
+	LevelScheduled
+)
+
+// String returns the executor's name as used in reports.
+func (k SolverKind) String() string {
+	switch k {
+	case Sequential:
+		return "sequential"
+	case Doacross:
+		return "doacross"
+	case DoacrossReordered:
+		return "doacross-reordered"
+	case LinearSubscript:
+		return "doacross-linear"
+	case LevelScheduled:
+		return "level-scheduled"
+	default:
+		return "unknown"
+	}
+}
+
+// Solve dispatches to the executor identified by kind with the given options
+// (ignored by Sequential and LevelScheduled, which only use opts.Workers).
+func Solve(kind SolverKind, t *sparse.Triangular, rhs []float64, opts core.Options) ([]float64, core.Report, error) {
+	switch kind {
+	case Sequential:
+		return SolveSequential(t, rhs), core.Report{Workers: 1, Iterations: t.N, Order: "sequential"}, nil
+	case Doacross:
+		return SolveDoacross(t, rhs, opts)
+	case DoacrossReordered:
+		return SolveDoacrossReordered(t, rhs, doconsider.Level, opts)
+	case LinearSubscript:
+		return SolveLinear(t, rhs, opts)
+	case LevelScheduled:
+		y, levels := SolveLevelScheduled(t, rhs, opts.Workers)
+		return y, core.Report{Workers: opts.Workers, Iterations: t.N, Order: fmt.Sprintf("level-scheduled(%d levels)", levels)}, nil
+	default:
+		return nil, core.Report{}, fmt.Errorf("trisolve: unknown solver kind %d", int(kind))
+	}
+}
