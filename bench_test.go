@@ -386,6 +386,45 @@ func BenchmarkProcessorSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkRunReuse measures the per-Run overhead the persistent worker pool
+// eliminates for iterative drivers: repeated runs of a small loop on one
+// reused runtime, pooled (workers started once, one fused phase submission
+// per Run) vs. spawn-per-call (the pre-pool behaviour of spawning fresh
+// goroutines for every inspector, executor and postprocessor phase of every
+// Run). BiCGSTAB in internal/krylov calls Run twice per solver iteration, so
+// this difference is paid thousands of times per solve.
+func BenchmarkRunReuse(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		tc := testloop.Config{N: n, M: 1, L: 2}
+		loop := tc.Loop()
+		base := tc.InitialData()
+		for _, p := range []int{2, 4, 8} {
+			for _, mode := range []struct {
+				name  string
+				spawn bool
+			}{{"pooled", false}, {"spawn", true}} {
+				b.Run(fmt.Sprintf("N=%d/P=%d/%s", n, p, mode.name), func(b *testing.B) {
+					rt := core.NewRuntime(loop.Data, core.Options{
+						Workers:      p,
+						Policy:       sched.Block,
+						WaitStrategy: flags.WaitSpinYield,
+						SpawnPerCall: mode.spawn,
+					})
+					defer rt.Close()
+					y := append([]float64(nil), base...)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						copy(y, base)
+						if _, err := rt.Run(loop, y); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkSubstrates measures the supporting subsystems on their own:
 // dependency-graph construction, the inspector, ILU(0) factorization and the
 // discrete-event simulator. These are not paper results but bound the

@@ -190,6 +190,13 @@ func main() {
 				results = append(results, r)
 			}
 		}
+		// The motivating application: preconditioned CG with reusable
+		// doacross triangular solvers (persistent pool reuse end to end).
+		r, err := experiments.RunLiveKrylovReuse(workers, *liveReps)
+		if err != nil {
+			return "", nil, err
+		}
+		results = append(results, r)
 		return experiments.FormatLive(results), nil, nil
 	})
 

@@ -1,0 +1,3 @@
+module doacross
+
+go 1.24

@@ -146,22 +146,13 @@ func TestIntegrationKrylovEndToEnd(t *testing.T) {
 	b := a.MulVec(xTrue, nil)
 	opts := solverOptions(4)
 	x, res, err := krylov.SolveNonsymmetricWithILU(a, b, func(p *sparse.ILUPreconditioner) {
-		p.SolveLower = func(tr *sparse.Triangular, rhs, y []float64) []float64 {
-			sol, _, e := trisolve.SolveDoacross(tr, rhs, opts)
-			if e != nil {
-				t.Fatal(e)
-			}
-			copy(y, sol)
-			return y
+		// Both substitutions run on two persistent doacross runtimes reused
+		// across every BiCGSTAB iteration (two Applies per iteration).
+		release, e := trisolve.UseDoacrossILU(p, opts)
+		if e != nil {
+			t.Fatal(e)
 		}
-		p.SolveUpper = func(tr *sparse.Triangular, rhs, y []float64) []float64 {
-			sol, _, e := trisolve.SolveUpperDoacross(tr, rhs, opts)
-			if e != nil {
-				t.Fatal(e)
-			}
-			copy(y, sol)
-			return y
-		}
+		t.Cleanup(release)
 	}, krylov.Options{Tolerance: 1e-10})
 	if err != nil {
 		t.Fatal(err)

@@ -199,6 +199,111 @@ func TestRuntimeScratchReuseAcrossLoops(t *testing.T) {
 	}
 }
 
+func TestRuntimeReuseAcrossDifferentSizes(t *testing.T) {
+	// The memoized static schedule must be rebuilt when the loop size
+	// changes between runs of one runtime.
+	rng := rand.New(rand.NewSource(23))
+	rt := NewRuntime(400, Options{Workers: 4, Policy: sched.Block, WaitStrategy: flags.WaitSpinYield})
+	defer rt.Close()
+	for _, n := range []int{150, 60, 150, 199, 1} {
+		l, y := randomFigure1(rng, n)
+		seq := append([]float64(nil), y...)
+		RunSequential(l, seq)
+		par := append([]float64(nil), y...)
+		if _, err := rt.Run(l, par); err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.VecMaxDiff(seq, par); d != 0 {
+			t.Fatalf("n=%d: mismatch %v", n, d)
+		}
+		if !rt.ScratchClean() {
+			t.Fatalf("n=%d: scratch arrays not reset", n)
+		}
+	}
+}
+
+func TestSpawnPerCallMatchesPooled(t *testing.T) {
+	// The spawn-per-call baseline must produce identical results to the
+	// persistent pool (it exists so BenchmarkRunReuse can compare the two).
+	rng := rand.New(rand.NewSource(29))
+	l, y := randomFigure1(rng, 120)
+	seq := append([]float64(nil), y...)
+	RunSequential(l, seq)
+	for _, spawn := range []bool{false, true} {
+		par := append([]float64(nil), y...)
+		rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield, SpawnPerCall: spawn})
+		if _, err := rt.Run(l, par); err != nil {
+			t.Fatal(err)
+		}
+		rt.Close()
+		if d := sparse.VecMaxDiff(seq, par); d != 0 {
+			t.Fatalf("spawn=%v: mismatch %v", spawn, d)
+		}
+	}
+}
+
+func TestEpochTablesAllWaitStrategies(t *testing.T) {
+	// Every wait strategy must work with the epoch-table ablation; before
+	// EpochFlags.Wait took a strategy, the configured strategy was silently
+	// dropped and the wait always busy-spun.
+	rng := rand.New(rand.NewSource(31))
+	l, y := randomFigure1(rng, 120)
+	seq := append([]float64(nil), y...)
+	RunSequential(l, seq)
+	for _, strategy := range []flags.WaitStrategy{flags.WaitSpin, flags.WaitSpinYield, flags.WaitNotify} {
+		par := append([]float64(nil), y...)
+		rt := NewRuntime(l.Data, Options{Workers: 4, UseEpochTables: true, WaitStrategy: strategy})
+		if _, err := rt.Run(l, par); err != nil {
+			t.Fatal(err)
+		}
+		rt.Close()
+		if d := sparse.VecMaxDiff(seq, par); d != 0 {
+			t.Fatalf("strategy %v: mismatch %v", strategy, d)
+		}
+	}
+}
+
+func TestRuntimeRunAfterClose(t *testing.T) {
+	// Close is idempotent and a closed runtime still runs correctly (the
+	// pool falls back to spawn-per-call).
+	rng := rand.New(rand.NewSource(37))
+	l, y := randomFigure1(rng, 80)
+	seq := append([]float64(nil), y...)
+	RunSequential(l, seq)
+	rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
+	rt.Close()
+	rt.Close()
+	par := append([]float64(nil), y...)
+	if _, err := rt.Run(l, par); err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.VecMaxDiff(seq, par); d != 0 {
+		t.Fatalf("run after Close: mismatch %v", d)
+	}
+}
+
+func TestReportPhaseTimes(t *testing.T) {
+	// The fused run stamps phase boundaries at the internal barriers; the
+	// three phase times must be non-negative and sum to the total.
+	rng := rand.New(rand.NewSource(41))
+	l, y := randomFigure1(rng, 300)
+	rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
+	defer rt.Close()
+	rep, err := rt.Run(l, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PreTime < 0 || rep.ExecTime < 0 || rep.PostTime < 0 {
+		t.Fatalf("negative phase time: pre=%v exec=%v post=%v", rep.PreTime, rep.ExecTime, rep.PostTime)
+	}
+	if sum := rep.PreTime + rep.ExecTime + rep.PostTime; sum > rep.TotalTime {
+		t.Fatalf("phase times %v exceed total %v", sum, rep.TotalTime)
+	}
+	if rep.TotalTime <= 0 {
+		t.Fatal("total time not recorded")
+	}
+}
+
 func TestReportCounters(t *testing.T) {
 	// Chain loop: every iteration except the first has exactly one true dep.
 	n := 50

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"doacross/internal/flags"
@@ -35,6 +37,11 @@ type Options struct {
 	// adds two clock readings per iteration, so leave it off for
 	// performance-sensitive runs.
 	CollectTrace bool
+	// SpawnPerCall replaces the persistent worker pool with the pre-pool
+	// behaviour of spawning fresh goroutines for every phase of every Run.
+	// It exists as the measurement baseline for the pooled path (see
+	// BenchmarkRunReuse); leave it off in real use.
+	SpawnPerCall bool
 }
 
 // Report describes one doacross execution: the time spent in each of the
@@ -77,6 +84,16 @@ type Runtime struct {
 	eReady  *flags.EpochFlags
 	ynew    []float64
 
+	// Per-worker scratch reused across runs so the hot path of an iterative
+	// driver (a Krylov solve calling Run thousands of times) allocates
+	// nothing per Run beyond the schedule memoized below.
+	counters []execCounters
+	vals     []Values
+	// memoized static schedule: rebuilding the position lists is O(N) per
+	// Run, which dominates repeated small-N runs.
+	memoSched *sched.Schedule
+	memoN     int
+
 	// lastTrace holds the per-iteration trace of the most recent Run when
 	// Options.CollectTrace is set.
 	lastTrace *Trace
@@ -88,15 +105,30 @@ func NewRuntime(dataLen int, opts Options) *Runtime {
 	if opts.Workers < 1 {
 		opts.Workers = 1
 	}
+	if opts.Workers > sched.MaxWorkers {
+		// Keep the runtime's worker count equal to the pool's: a fused run
+		// sizes its phase barrier to opts.Workers, and a barrier wider than
+		// the pool would never fill.
+		opts.Workers = sched.MaxWorkers
+	}
+	pool := sched.NewPool(opts.Workers)
+	if opts.SpawnPerCall {
+		pool = sched.NewSpawnPool(opts.Workers)
+	}
 	rt := &Runtime{
-		opts:    opts,
-		pool:    sched.NewPool(opts.Workers),
-		dataLen: dataLen,
-		ynew:    make([]float64, dataLen),
+		opts:     opts,
+		pool:     pool,
+		dataLen:  dataLen,
+		ynew:     make([]float64, dataLen),
+		counters: make([]execCounters, opts.Workers),
+		vals:     make([]Values, opts.Workers),
 	}
 	if opts.UseEpochTables {
 		rt.eIter = flags.NewEpochIterTable(dataLen)
 		rt.eReady = flags.NewEpochFlags(dataLen)
+		if opts.WaitStrategy == flags.WaitNotify {
+			rt.eReady.EnableNotify()
+		}
 	} else {
 		rt.iter = flags.NewIterTable(dataLen)
 		rt.ready = flags.NewReadyFlags(dataLen)
@@ -112,6 +144,21 @@ func (rt *Runtime) Workers() int { return rt.opts.Workers }
 
 // Options returns a copy of the runtime's configuration.
 func (rt *Runtime) Options() Options { return rt.opts }
+
+// Close retires the runtime's worker pool. It is idempotent; a runtime that
+// is garbage collected without Close releases its workers through the pool's
+// finalizer, so forgetting Close never leaks goroutines.
+func (rt *Runtime) Close() { rt.pool.Close() }
+
+// schedule returns the static schedule for n positions, rebuilding it only
+// when n changes between runs.
+func (rt *Runtime) schedule(n int) *sched.Schedule {
+	if rt.memoSched == nil || rt.memoN != n {
+		rt.memoSched = sched.Build(rt.opts.Policy, n, rt.opts.Workers)
+		rt.memoN = n
+	}
+	return rt.memoSched
+}
 
 // table and waiter return the active scratch structures behind small adapter
 // types so the executor code is independent of the reset protocol.
@@ -141,15 +188,44 @@ type epochWaiter struct{ f *flags.EpochFlags }
 
 func (w epochWaiter) Set(e int)                               { w.f.Set(e) }
 func (w epochWaiter) IsDone(e int) bool                       { return w.f.IsDone(e) }
-func (w epochWaiter) WaitFor(e int, s flags.WaitStrategy) int { return w.f.Wait(e) }
+func (w epochWaiter) WaitFor(e int, s flags.WaitStrategy) int { return w.f.Wait(e, s) }
+
+// phaseBarrier separates the phases of a fused run: all participants of the
+// submitted job rendezvous between the inspector, executor and postprocessor
+// shards without releasing the workers back to the pool. The last arriver
+// runs onLast (used to timestamp the phase boundary) before opening the
+// barrier. The barrier is reusable across successive phases of one job.
+type phaseBarrier struct {
+	n     int32
+	count atomic.Int32
+	gen   atomic.Uint32
+}
+
+func (b *phaseBarrier) wait(onLast func()) {
+	g := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		if onLast != nil {
+			onLast()
+		}
+		b.count.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for b.gen.Load() == g {
+		runtime.Gosched()
+	}
+}
 
 // Run executes the full preprocessed doacross — inspector, executor,
 // postprocessor — on the loop, updating y in place exactly as the sequential
 // loop would have. It returns a report of the execution.
 //
-// The loop's data length must not exceed the runtime's. Run may be called
-// repeatedly (with the same or different loops); the scratch arrays are
-// reused across calls as in the paper.
+// The three phases are fused into a single pool submission: the workers are
+// woken once per Run and rendezvous at internal barriers between the phases,
+// instead of being dispatched (or, before the persistent pool, spawned)
+// three times. The loop's data length must not exceed the runtime's. Run may
+// be called repeatedly (with the same or different loops); the scratch
+// arrays, worker pool and schedule are reused across calls as in the paper.
 func (rt *Runtime) Run(l *Loop, y []float64) (Report, error) {
 	if l.Data > rt.dataLen {
 		return Report{}, fmt.Errorf("core: loop data length %d exceeds runtime capacity %d", l.Data, rt.dataLen)
@@ -173,23 +249,116 @@ func (rt *Runtime) Run(l *Loop, y []float64) (Report, error) {
 		rep.Order = "natural"
 	}
 
+	if rt.opts.SpawnPerCall {
+		// The measurement baseline reproduces the pre-pool behaviour
+		// faithfully: three separate phase dispatches, each spawning its own
+		// goroutines.
+		return rt.runPhased(l, y, rep)
+	}
+
+	tab := rt.table()
+	ready := rt.waiter()
+	// Wake no more workers than there are iterations: with fewer positions
+	// than workers, the surplus would only rendezvous at the phase barriers
+	// for zero work (the pre-pool phases applied the same clamp).
+	k := rt.opts.Workers
+	if k > l.N {
+		k = l.N
+	}
+	if k < 1 {
+		k = 1
+	}
+	for i := range rt.counters {
+		rt.counters[i] = execCounters{}
+	}
+
+	var traceBase time.Time
+	if rt.opts.CollectTrace {
+		rt.lastTrace = &Trace{Workers: rt.opts.Workers, Iterations: make([]IterTrace, l.N)}
+		traceBase = time.Now()
+	} else {
+		rt.lastTrace = nil
+	}
+	body := rt.execBody(l, y, tab, ready, traceBase)
+
+	dynamic := rt.opts.Policy == sched.Dynamic
+	chunk := rt.opts.Chunk
+	if chunk < 1 {
+		chunk = sched.DefaultChunk
+	}
+	var next atomic.Int64
+	var s *sched.Schedule
+	if !dynamic {
+		s = rt.schedule(l.N)
+	}
+
+	useEpoch := rt.opts.UseEpochTables
+	bar := phaseBarrier{n: int32(k)}
+	var preEnd, execEnd time.Duration
 	start := time.Now()
-	rt.Inspect(l)
-	rep.PreTime = time.Since(start)
+	rt.pool.Submit(k, func(w int) {
+		// Inspector shard (Figure 3, left): fully parallel, block-distributed.
+		lo, hi := sched.BlockRange(l.N, k, w)
+		for i := lo; i < hi; i++ {
+			for _, e := range l.Writes(i) {
+				tab.Record(e, i)
+			}
+		}
+		bar.wait(func() { preEnd = time.Since(start) })
 
-	execStart := time.Now()
-	counters := rt.Execute(l, y)
-	rep.ExecTime = time.Since(execStart)
-	rep.TrueDeps = counters.trueDeps
-	rep.SelfDeps = counters.selfDeps
-	rep.AntiOrNone = counters.antiOrNone
-	rep.WaitPolls = counters.waitPolls
+		// Executor shard: the transformed loop of Figure 5.
+		if dynamic {
+			sched.DynamicLoop(&next, l.N, chunk, w, body)
+		} else if w < len(s.PerWorker) {
+			for _, pos := range s.PerWorker[w] {
+				body(w, pos)
+			}
+		}
+		bar.wait(func() { execEnd = time.Since(start) })
 
-	postStart := time.Now()
-	rt.Postprocess(l, y)
-	rep.PostTime = time.Since(postStart)
-	rep.TotalTime = time.Since(start)
+		// Postprocessor shard (Figure 3, right): copy back and reset.
+		for i := lo; i < hi; i++ {
+			for _, e := range l.Writes(i) {
+				y[e] = rt.ynew[e]
+				if !useEpoch {
+					rt.iter.Reset(e)
+					rt.ready.Clear(e)
+				}
+			}
+		}
+	})
+	if useEpoch {
+		rt.eIter.Advance()
+		rt.eReady.Advance()
+	}
+	total := time.Since(start)
+
+	rep.PreTime = preEnd
+	rep.ExecTime = execEnd - preEnd
+	rep.PostTime = total - execEnd
+	rep.TotalTime = total
+	rep.setCounters(sumCounters(rt.counters))
 	return rep, nil
+}
+
+// sumCounters totals the per-worker dependency counters of one execution.
+func sumCounters(per []execCounters) execCounters {
+	var sum execCounters
+	for _, c := range per {
+		sum.trueDeps += c.trueDeps
+		sum.selfDeps += c.selfDeps
+		sum.antiOrNone += c.antiOrNone
+		sum.waitPolls += c.waitPolls
+	}
+	return sum
+}
+
+// setCounters copies the aggregated dependency counters into the report.
+func (r *Report) setCounters(c execCounters) {
+	r.TrueDeps = c.trueDeps
+	r.SelfDeps = c.selfDeps
+	r.AntiOrNone = c.antiOrNone
+	r.WaitPolls = c.waitPolls
 }
 
 // Inspect is the execution-time preprocessing phase (the inspector): it runs
@@ -212,28 +381,37 @@ type execCounters struct {
 	waitPolls  int64
 }
 
-// Execute is the executor phase: it runs the transformed loop in parallel.
-// Reads go through Values.Load (which performs the iter check and the busy
-// wait), writes go to the ynew buffer, and each iteration's written elements
-// are marked ready when its body returns. y is only read during this phase.
-func (rt *Runtime) Execute(l *Loop, y []float64) execCounters {
-	tab := rt.table()
-	ready := rt.waiter()
+// runPhased executes the three phases as separate pool dispatches, the shape
+// Run had before the fused submission. It is kept as the SpawnPerCall
+// baseline so BenchmarkRunReuse can measure what the persistent pool and the
+// fusion save together.
+func (rt *Runtime) runPhased(l *Loop, y []float64, rep Report) (Report, error) {
+	start := time.Now()
+	rt.Inspect(l)
+	rep.PreTime = time.Since(start)
+
+	execStart := time.Now()
+	counters := rt.Execute(l, y)
+	rep.ExecTime = time.Since(execStart)
+	rep.setCounters(counters)
+
+	postStart := time.Now()
+	rt.Postprocess(l, y)
+	rep.PostTime = time.Since(postStart)
+	rep.TotalTime = time.Since(start)
+	return rep, nil
+}
+
+// execBody builds the per-position executor body shared by the fused Run
+// path and the standalone Execute phase. The returned closure runs one
+// position of the transformed loop: it maps the position through the
+// execution order, seeds ynew, runs the user body through the worker's
+// reusable Values, marks the written elements ready and accumulates the
+// worker's dependency counters — all through worker-indexed slots, so the
+// hot path stays allocation-free.
+func (rt *Runtime) execBody(l *Loop, y []float64, tab writerTable, ready readyWaiter, traceBase time.Time) func(worker, pos int) {
 	order := rt.opts.Order
-
-	var traceBase time.Time
-	if rt.opts.CollectTrace {
-		rt.lastTrace = &Trace{Workers: rt.opts.Workers, Iterations: make([]IterTrace, l.N)}
-		traceBase = time.Now()
-	} else {
-		rt.lastTrace = nil
-	}
-
-	perWorker := make([]execCounters, rt.opts.Workers)
-	// One Values per worker, reused across that worker's iterations, keeps
-	// the executor allocation-free per iteration.
-	vals := make([]Values, rt.opts.Workers)
-	body := func(worker, pos int) {
+	return func(worker, pos int) {
 		i := pos
 		if order != nil {
 			i = order[pos]
@@ -249,13 +427,13 @@ func (rt *Runtime) Execute(l *Loop, y []float64) execCounters {
 		for _, e := range writes {
 			rt.ynew[e] = y[e]
 		}
-		v := &vals[worker]
+		v := &rt.vals[worker]
 		v.reset(tab, ready, y, rt.ynew, i, rt.opts.WaitStrategy)
 		l.Body(i, v)
 		for _, e := range writes {
 			ready.Set(e)
 		}
-		c := &perWorker[worker]
+		c := &rt.counters[worker]
 		c.trueDeps += int64(v.truedeps)
 		c.selfDeps += int64(v.selfdeps)
 		c.antiOrNone += int64(v.antiOrNone)
@@ -272,22 +450,40 @@ func (rt *Runtime) Execute(l *Loop, y []float64) execCounters {
 			}
 		}
 	}
+}
+
+// Execute is the executor phase: it runs the transformed loop in parallel.
+// Reads go through Values.Load (which performs the iter check and the busy
+// wait), writes go to the ynew buffer, and each iteration's written elements
+// are marked ready when its body returns. y is only read during this phase.
+//
+// Run fuses this phase with Inspect and Postprocess into one pool
+// submission; Execute remains for callers that drive the phases separately
+// (the overhead ablations).
+func (rt *Runtime) Execute(l *Loop, y []float64) execCounters {
+	tab := rt.table()
+	ready := rt.waiter()
+
+	var traceBase time.Time
+	if rt.opts.CollectTrace {
+		rt.lastTrace = &Trace{Workers: rt.opts.Workers, Iterations: make([]IterTrace, l.N)}
+		traceBase = time.Now()
+	} else {
+		rt.lastTrace = nil
+	}
+
+	for i := range rt.counters {
+		rt.counters[i] = execCounters{}
+	}
+	body := rt.execBody(l, y, tab, ready, traceBase)
 
 	if rt.opts.Policy == sched.Dynamic {
 		rt.pool.RunDynamic(l.N, rt.opts.Chunk, body)
 	} else {
-		s := sched.Build(rt.opts.Policy, l.N, rt.opts.Workers)
-		rt.pool.RunSchedule(s, body)
+		rt.pool.RunSchedule(rt.schedule(l.N), body)
 	}
 
-	var total execCounters
-	for _, c := range perWorker {
-		total.trueDeps += c.trueDeps
-		total.selfDeps += c.selfDeps
-		total.antiOrNone += c.antiOrNone
-		total.waitPolls += c.waitPolls
-	}
-	return total
+	return sumCounters(rt.counters)
 }
 
 // Postprocess is the parallel postprocessing phase (Figure 3, right, in the

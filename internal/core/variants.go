@@ -170,8 +170,7 @@ func (rt *Runtime) RunLinear(l *Loop, y []float64, sub LinearSubscript) (Report,
 	if rt.opts.Policy == sched.Dynamic {
 		rt.pool.RunDynamic(l.N, rt.opts.Chunk, body)
 	} else {
-		s := sched.Build(rt.opts.Policy, l.N, rt.opts.Workers)
-		rt.pool.RunSchedule(s, body)
+		rt.pool.RunSchedule(rt.schedule(l.N), body)
 	}
 	rep.ExecTime = time.Since(execStart)
 	for _, c := range perWorker {
@@ -224,8 +223,7 @@ func (rt *Runtime) RunDoall(l *Loop, y []float64) Report {
 	if rt.opts.Policy == sched.Dynamic {
 		rt.pool.RunDynamic(l.N, rt.opts.Chunk, body)
 	} else {
-		s := sched.Build(rt.opts.Policy, l.N, rt.opts.Workers)
-		rt.pool.RunSchedule(s, body)
+		rt.pool.RunSchedule(rt.schedule(l.N), body)
 	}
 	rep.ExecTime = time.Since(start)
 	rep.TotalTime = rep.ExecTime
@@ -300,8 +298,7 @@ func (rt *Runtime) RunOracle(l *Loop, y []float64, preds [][]int32) (Report, err
 	if rt.opts.Policy == sched.Dynamic {
 		rt.pool.RunDynamic(l.N, rt.opts.Chunk, body)
 	} else {
-		s := sched.Build(rt.opts.Policy, l.N, rt.opts.Workers)
-		rt.pool.RunSchedule(s, body)
+		rt.pool.RunSchedule(rt.schedule(l.N), body)
 	}
 	for _, c := range perWorker {
 		rep.TrueDeps += c.trueDeps

@@ -9,7 +9,9 @@ import (
 	"doacross/internal/core"
 	"doacross/internal/doconsider"
 	"doacross/internal/flags"
+	"doacross/internal/krylov"
 	"doacross/internal/sched"
+	"doacross/internal/sparse"
 	"doacross/internal/stencil"
 	"doacross/internal/testloop"
 	"doacross/internal/trace"
@@ -62,6 +64,7 @@ func RunLiveTestLoop(tc testloop.Config, workers, repeat int) (LiveResult, error
 		Chunk:        64,
 		WaitStrategy: flags.WaitSpinYield,
 	})
+	defer rt.Close()
 	parData := append([]float64(nil), base...)
 	var runErr error
 	parSample := trace.Measure(repeat, func() {
@@ -104,26 +107,32 @@ func RunLiveTrisolve(prob stencil.Problem, workers, repeat int, reordered bool) 
 		seqOut = trisolve.SolveSequential(l, rhs)
 	})
 
+	// One reusable solver serves every repetition: the worker pool, scratch
+	// arrays and (when reordered) the doconsider plan are built once, which
+	// is how an iterative driver would use the doacross.
 	opts := core.Options{Workers: workers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitSpinYield}
-	var parOut []float64
-	var runErr error
+	var solver *trisolve.Solver
+	var err2 error
 	name := fmt.Sprintf("trisolve %v doacross", prob)
+	if reordered {
+		solver, err2 = trisolve.NewReorderedSolver(l, doconsider.Level, opts)
+		name = fmt.Sprintf("trisolve %v reordered", prob)
+	} else {
+		solver, err2 = trisolve.NewSolver(l, opts)
+	}
+	if err2 != nil {
+		return LiveResult{}, err2
+	}
+	defer solver.Close()
+	parOut := make([]float64, l.N)
+	var runErr error
 	parSample := trace.Measure(repeat, func() {
-		var e error
-		if reordered {
-			parOut, _, e = trisolve.SolveDoacrossReordered(l, rhs, doconsider.Level, opts)
-		} else {
-			parOut, _, e = trisolve.SolveDoacross(l, rhs, opts)
-		}
-		if e != nil {
+		if _, _, e := solver.Solve(rhs, parOut); e != nil {
 			runErr = e
 		}
 	})
 	if runErr != nil {
 		return LiveResult{}, runErr
-	}
-	if reordered {
-		name = fmt.Sprintf("trisolve %v reordered", prob)
 	}
 
 	res := LiveResult{
@@ -135,6 +144,72 @@ func RunLiveTrisolve(prob stencil.Problem, workers, repeat int, reordered bool) 
 	res.Speedup = trace.Speedup(res.TSeq, res.TPar)
 	res.Efficiency = trace.Efficiency(res.TSeq, res.TPar, workers)
 	res.Checks = checkClose(seqOut, parOut)
+	return res, nil
+}
+
+// RunLiveKrylovReuse measures the motivating application end to end: an
+// ILU(0)-preconditioned CG solve of a Poisson problem whose two triangular
+// substitutions run either sequentially or as preprocessed doacross loops
+// through reusable solvers — one persistent worker pool per factor, reused
+// across every preconditioner application of every CG iteration. This is the
+// workload the persistent pool exists for: with ~64 CG iterations and two
+// substitutions per Apply, a spawn-per-call runtime would start goroutines
+// hundreds of times per solve.
+func RunLiveKrylovReuse(workers, repeat int) (LiveResult, error) {
+	a, err := stencil.FivePointGrid(63, 63)
+	if err != nil {
+		return LiveResult{}, err
+	}
+	b := stencil.RHS(a.Rows, 3)
+	kopts := krylov.Options{Tolerance: 1e-8}
+
+	seqPre, err := sparse.NewILUPreconditioner(a)
+	if err != nil {
+		return LiveResult{}, err
+	}
+	xSeq := make([]float64, a.Rows)
+	var seqErr error
+	seqSample := trace.Measure(repeat, func() {
+		clear(xSeq)
+		if _, e := krylov.CG(a, b, xSeq, seqPre, kopts); e != nil {
+			seqErr = e
+		}
+	})
+	if seqErr != nil {
+		return LiveResult{}, seqErr
+	}
+
+	parPre, err := sparse.NewILUPreconditioner(a)
+	if err != nil {
+		return LiveResult{}, err
+	}
+	opts := core.Options{Workers: workers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitSpinYield}
+	release, err := trisolve.UseDoacrossILU(parPre, opts)
+	if err != nil {
+		return LiveResult{}, err
+	}
+	defer release()
+	xPar := make([]float64, a.Rows)
+	var parErr error
+	parSample := trace.Measure(repeat, func() {
+		clear(xPar)
+		if _, e := krylov.CG(a, b, xPar, parPre, kopts); e != nil {
+			parErr = e
+		}
+	})
+	if parErr != nil {
+		return LiveResult{}, parErr
+	}
+
+	res := LiveResult{
+		Name:    "ILU(0)-PCG 63x63 doacross pre",
+		Workers: workers,
+		TSeq:    seqSample.Min(),
+		TPar:    parSample.Min(),
+	}
+	res.Speedup = trace.Speedup(res.TSeq, res.TPar)
+	res.Efficiency = trace.Efficiency(res.TSeq, res.TPar, workers)
+	res.Checks = checkClose(xSeq, xPar)
 	return res, nil
 }
 

@@ -19,6 +19,8 @@ import (
 type EpochFlags struct {
 	epoch atomic.Uint64
 	slots []atomic.Uint64
+	// notify support (only used with WaitNotify)
+	notifier *notifier
 }
 
 // NewEpochFlags creates an epoch flag array of length n. The current epoch
@@ -39,19 +41,57 @@ func (e *EpochFlags) Epoch() uint64 { return e.epoch.Load() }
 // without touching the slot array.
 func (e *EpochFlags) Advance() { e.epoch.Add(1) }
 
+// EnableNotify attaches the sharded notifier needed by WaitNotify. It is a
+// no-op if notification support is already enabled.
+func (e *EpochFlags) EnableNotify() {
+	if e.notifier == nil {
+		e.notifier = newNotifier()
+	}
+}
+
 // Set marks element i as produced in the current epoch.
-func (e *EpochFlags) Set(i int) { e.slots[i].Store(e.epoch.Load()) }
+func (e *EpochFlags) Set(i int) {
+	e.slots[i].Store(e.epoch.Load())
+	if e.notifier != nil {
+		e.notifier.wake(i)
+	}
+}
 
 // IsDone reports whether element i has been produced in the current epoch.
 func (e *EpochFlags) IsDone(i int) bool { return e.slots[i].Load() == e.epoch.Load() }
 
-// Wait blocks until element i is produced in the current epoch, yielding to
-// the scheduler between polls. It returns the number of polls performed.
-func (e *EpochFlags) Wait(i int) int {
+// Wait blocks until element i is produced in the current epoch, using the
+// given strategy, and returns the number of polls performed (0 if the
+// element was already produced). It mirrors ReadyFlags.Wait so every
+// WaitStrategy works with the epoch-table ablation: before this, the
+// configured strategy was silently dropped and the wait always busy-spun,
+// which can livelock under WaitSpin semantics when workers exceed
+// GOMAXPROCS.
+func (e *EpochFlags) Wait(i int, strategy WaitStrategy) int {
 	cur := e.epoch.Load()
 	if e.slots[i].Load() == cur {
 		return 0
 	}
+	switch strategy {
+	case WaitSpin:
+		polls := 0
+		for e.slots[i].Load() != cur {
+			polls++
+		}
+		return polls
+	case WaitNotify:
+		if e.notifier == nil {
+			// Fall back to yielding spin rather than panicking: the
+			// semantics are identical, only the cost differs.
+			return e.waitSpinYield(i, cur)
+		}
+		return e.notifier.wait(i, func() bool { return e.slots[i].Load() == cur })
+	default:
+		return e.waitSpinYield(i, cur)
+	}
+}
+
+func (e *EpochFlags) waitSpinYield(i int, cur uint64) int {
 	polls := 0
 	for e.slots[i].Load() != cur {
 		polls++

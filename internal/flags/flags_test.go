@@ -217,8 +217,10 @@ func TestEpochFlagsBasic(t *testing.T) {
 	if !e.IsDone(0) {
 		t.Fatal("element not done after Set")
 	}
-	if e.Wait(0) != 0 {
-		t.Fatal("Wait on done element polled")
+	for _, s := range []WaitStrategy{WaitSpin, WaitSpinYield, WaitNotify} {
+		if e.Wait(0, s) != 0 {
+			t.Fatalf("Wait(%v) on done element polled", s)
+		}
 	}
 }
 
@@ -244,13 +246,31 @@ func TestEpochFlagsAdvanceInvalidates(t *testing.T) {
 }
 
 func TestEpochFlagsWaitBlocks(t *testing.T) {
-	e := NewEpochFlags(2)
+	for _, s := range []WaitStrategy{WaitSpin, WaitSpinYield, WaitNotify} {
+		e := NewEpochFlags(2)
+		if s == WaitNotify {
+			e.EnableNotify()
+		}
+		done := make(chan struct{})
+		go func() {
+			e.Wait(1, s)
+			close(done)
+		}()
+		e.Set(1)
+		<-done
+	}
+}
+
+func TestEpochFlagsWaitNotifyWithoutEnable(t *testing.T) {
+	// WaitNotify without EnableNotify must still terminate (falls back to a
+	// yielding spin).
+	e := NewEpochFlags(1)
 	done := make(chan struct{})
 	go func() {
-		e.Wait(1)
+		e.Wait(0, WaitNotify)
 		close(done)
 	}()
-	e.Set(1)
+	e.Set(0)
 	<-done
 }
 

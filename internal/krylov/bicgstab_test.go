@@ -96,22 +96,13 @@ func TestBiCGSTABWithParallelTriangularSolves(t *testing.T) {
 	}
 	opts := core.Options{Workers: 4, WaitStrategy: flags.WaitSpinYield}
 	xPar, parRes, err := SolveNonsymmetricWithILU(a, b, func(p *sparse.ILUPreconditioner) {
-		p.SolveLower = func(tr *sparse.Triangular, rhs, y []float64) []float64 {
-			sol, _, e := trisolve.SolveDoacross(tr, rhs, opts)
-			if e != nil {
-				t.Fatal(e)
-			}
-			copy(y, sol)
-			return y
+		// Both substitutions share two persistent doacross runtimes for the
+		// whole solve (the reuse the paper's preprocessing is designed for).
+		release, e := trisolve.UseDoacrossILU(p, opts)
+		if e != nil {
+			t.Fatal(e)
 		}
-		p.SolveUpper = func(tr *sparse.Triangular, rhs, y []float64) []float64 {
-			sol, _, e := trisolve.SolveUpperDoacross(tr, rhs, opts)
-			if e != nil {
-				t.Fatal(e)
-			}
-			copy(y, sol)
-			return y
-		}
+		t.Cleanup(release)
 	}, Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -11,6 +11,7 @@ package sched
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -155,74 +156,319 @@ func clampWorkers(p, n int) int {
 }
 
 // Pool executes loop positions on a fixed number of workers.
+//
+// A Pool created by NewPool is persistent: the worker goroutines are started
+// once and reused by every RunSchedule, RunDynamic, ParallelFor or Submit
+// call, which becomes a job submission with a completion barrier rather than
+// a goroutine-spawn loop. This mirrors the paper's setting, where one set of
+// processors is reused across successive executions of the same preprocessed
+// loop — an iterative driver (a Krylov solve calling the doacross triangular
+// solve thousands of times) pays the worker start-up cost once instead of
+// per phase per run.
+//
+// Jobs are published through a single atomic epoch word; a worker that just
+// finished a job spin-yields on the epoch for a short budget before parking
+// on its wake channel, so back-to-back submissions (the reuse pattern the
+// pool exists for) are picked up with one atomic load and no scheduler
+// round-trip, while an idle pool costs nothing. The submitting goroutine
+// executes the last shard itself, so a pool of P workers keeps only P-1
+// resident goroutines.
+//
+// A Pool executes one parallel region at a time: submissions from different
+// goroutines are serialized, so bodies of the same job may synchronize with
+// each other (as doacross executors do) but bodies of different jobs must
+// not. Close retires the workers; a Pool that is garbage collected without
+// Close releases its workers through a finalizer, so dropping a Pool never
+// leaks goroutines.
 type Pool struct {
 	workers int
+	// spawn selects the pre-pool behaviour (one goroutine spawned per worker
+	// per call). It exists as the measurement baseline for the persistent
+	// pool and as the fallback after Close.
+	spawn bool
+
+	mu     sync.Mutex // serializes submissions; held for the whole job
+	seq    uint64     // job sequence number, guarded by mu
+	sh     *poolShared
+	closed bool
 }
 
-// NewPool creates a pool of p workers (at least 1).
+// poolShared is the state shared between the Pool handle and its resident
+// workers. It is a separate allocation so the workers never reference the
+// Pool itself: when the handle becomes unreachable its finalizer can run and
+// release the workers.
+type poolShared struct {
+	// epoch packs the job sequence number and the job's worker count k as
+	// seq<<epochKBits | k. Publishing a job is one atomic store; workers
+	// that observe a new epoch and have index < k-1 run the job's fn.
+	// Packing k into the epoch lets non-participating workers skip a job
+	// without reading any other (unsynchronized) field.
+	epoch atomic.Uint64
+	// fn is the current job's body. It is written before the epoch store and
+	// read only by participating workers, whose completion the submitter
+	// awaits before the next write — so the plain field is race-free.
+	fn     func(worker int)
+	done   sync.WaitGroup
+	parked []atomic.Bool
+	wake   []chan struct{}
+	quit   chan struct{}
+}
+
+const (
+	// epochKBits is the number of low epoch bits holding the job's k; the
+	// remaining 48 bits hold the job sequence number, which therefore wraps
+	// only after 2^48 submissions — decades of back-to-back jobs, so a
+	// worker can never be parked across a full wrap and mistake a new epoch
+	// for its last one. Pool sizes are clamped to MaxWorkers to fit.
+	epochKBits = 16
+	epochKMask = 1<<epochKBits - 1
+	// MaxWorkers is the largest supported pool size (the job's worker count
+	// must fit in the low epoch bits).
+	MaxWorkers = epochKMask
+	// spinRounds bounds how many scheduler yields an idle worker spends
+	// watching the epoch before parking on its wake channel.
+	spinRounds = 64
+)
+
+// NewPool creates a persistent pool of p workers (at least 1). The p-1
+// resident worker goroutines are started immediately and live until Close
+// (or until the pool is garbage collected); the submitting goroutine serves
+// as the p-th worker of every job.
 func NewPool(p int) *Pool {
 	if p < 1 {
 		p = 1
 	}
-	return &Pool{workers: p}
+	if p > MaxWorkers {
+		p = MaxWorkers
+	}
+	pl := &Pool{workers: p}
+	if p == 1 {
+		// Every job runs inline on the submitter; no resident workers.
+		return pl
+	}
+	sh := &poolShared{
+		parked: make([]atomic.Bool, p-1),
+		wake:   make([]chan struct{}, p-1),
+		quit:   make(chan struct{}),
+	}
+	for w := range sh.wake {
+		sh.wake[w] = make(chan struct{}, 1)
+		go sh.worker(w)
+	}
+	pl.sh = sh
+	runtime.SetFinalizer(pl, (*Pool).Close)
+	return pl
+}
+
+// NewSpawnPool creates a pool that spawns one goroutine per worker per call,
+// the behaviour the persistent pool replaced. It exists so the cost of
+// per-call spawning can be measured against the pooled path (see
+// BenchmarkRunReuse); new code should use NewPool.
+func NewSpawnPool(p int) *Pool {
+	if p < 1 {
+		p = 1
+	}
+	return &Pool{workers: p, spawn: true}
+}
+
+// worker is the resident loop of pool worker w: watch the epoch, run the
+// shard when a new job includes this worker, park after the spin budget.
+func (s *poolShared) worker(w int) {
+	var last uint64
+	idle := 0
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		if e := s.epoch.Load(); e != last {
+			last = e
+			if w < int(e&epochKMask)-1 {
+				s.fn(w)
+				s.done.Done()
+			}
+			idle = 0
+			continue
+		}
+		idle++
+		if idle <= spinRounds {
+			runtime.Gosched()
+			continue
+		}
+		// Park. The flag-then-recheck order pairs with the submitter's
+		// epoch-store-then-swap order, so either this worker sees the new
+		// epoch here or the submitter sees the parked flag and sends a wake
+		// token — a wakeup can never be missed. A stale token (from a park
+		// aborted by the recheck) is absorbed by the next park attempt.
+		s.parked[w].Store(true)
+		if s.epoch.Load() != last {
+			s.parked[w].Store(false)
+			idle = 0
+			continue
+		}
+		select {
+		case <-s.wake[w]:
+		case <-s.quit:
+			return
+		}
+		idle = 0
+	}
 }
 
 // Workers reports the pool size.
 func (pl *Pool) Workers() int { return pl.workers }
 
-// RunSchedule executes body(worker, position) for every position of the
-// schedule, with worker w processing its assigned positions in order on its
-// own goroutine. It blocks until all positions are done.
-func (pl *Pool) RunSchedule(s *Schedule, body func(worker, pos int)) {
-	var wg sync.WaitGroup
-	for w := 0; w < len(s.PerWorker); w++ {
-		if len(s.PerWorker[w]) == 0 {
-			continue
+// Close retires the pool's workers. It is idempotent and safe to call
+// concurrently with (but not during) submissions; calls made after Close
+// still execute correctly by falling back to spawn-per-call.
+func (pl *Pool) Close() {
+	if pl.spawn {
+		return
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.closed {
+		return
+	}
+	pl.closed = true
+	if pl.sh != nil {
+		close(pl.sh.quit)
+	}
+	runtime.SetFinalizer(pl, nil)
+}
+
+// Submit runs fn(w) for every worker index w in [0, k) concurrently and
+// returns when all calls have finished. k is clamped to the pool size. The
+// k invocations are guaranteed to run concurrently with each other, so they
+// may synchronize among themselves (the doacross executor relies on this);
+// Submit is the primitive underneath RunSchedule, RunDynamic and ParallelFor
+// and is exported for callers that fuse several phases into one submission.
+func (pl *Pool) Submit(k int, fn func(worker int)) {
+	if k <= 0 {
+		return
+	}
+	if k > pl.workers {
+		k = pl.workers
+	}
+	if k == 1 {
+		// A one-worker region needs no concurrency; run it on the caller
+		// without waking anything.
+		fn(0)
+		return
+	}
+	if pl.spawn {
+		spawnRun(k, fn)
+		return
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.closed {
+		spawnRun(k, fn)
+		return
+	}
+	s := pl.sh
+	s.fn = fn
+	s.done.Add(k - 1)
+	pl.seq++
+	s.epoch.Store(pl.seq<<epochKBits | uint64(k))
+	// Wake only the parked participants; spinning ones have already seen
+	// the epoch or will within their spin budget. The send must not block:
+	// a stale token can sit in the channel when a worker's park attempt
+	// raced an earlier submission and the worker self-unparked through the
+	// epoch recheck without draining it. A full channel already guarantees
+	// the worker's next park attempt returns immediately, so dropping the
+	// token is exactly right — blocking here would deadlock against a
+	// worker that is already past the recheck and inside the job, waiting
+	// for the submitter's own shard.
+	for w := 0; w < k-1; w++ {
+		if s.parked[w].Swap(false) {
+			select {
+			case s.wake[w] <- struct{}{}:
+			default:
+			}
 		}
-		wg.Add(1)
+	}
+	// The submitter is the job's last worker: one less goroutine to wake,
+	// and it does useful work instead of parking for the whole region.
+	fn(k - 1)
+	s.done.Wait()
+	s.fn = nil
+}
+
+// spawnRun is the pre-pool execution path: one goroutine per worker per call.
+func spawnRun(k int, fn func(worker int)) {
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for w := 0; w < k; w++ {
 		go func(w int) {
 			defer wg.Done()
-			for _, pos := range s.PerWorker[w] {
-				body(w, pos)
-			}
+			fn(w)
 		}(w)
 	}
 	wg.Wait()
+}
+
+// RunSchedule executes body(worker, position) for every position of the
+// schedule, with worker w processing its assigned positions in order. It
+// blocks until all positions are done.
+func (pl *Pool) RunSchedule(s *Schedule, body func(worker, pos int)) {
+	k := len(s.PerWorker)
+	if k > pl.workers {
+		// A schedule wider than the pool cannot be placed on the resident
+		// workers one-to-one; run it on spawned goroutines as before.
+		spawnRun(k, func(w int) {
+			for _, pos := range s.PerWorker[w] {
+				body(w, pos)
+			}
+		})
+		return
+	}
+	pl.Submit(k, func(w int) {
+		for _, pos := range s.PerWorker[w] {
+			body(w, pos)
+		}
+	})
 }
 
 // RunDynamic executes body(worker, position) for positions 0..n-1 using
 // self-scheduling: workers repeatedly claim the next chunk of positions from
 // a shared counter. Within a chunk, positions run in increasing order.
 func (pl *Pool) RunDynamic(n, chunk int, body func(worker, pos int)) {
+	if n <= 0 {
+		return
+	}
 	if chunk < 1 {
 		chunk = DefaultChunk
 	}
+	k := pl.workers
+	if k > n {
+		k = n
+	}
 	var next atomic.Int64
-	var wg sync.WaitGroup
-	workers := pl.workers
-	if workers > n && n > 0 {
-		workers = n
+	pl.Submit(k, func(w int) {
+		DynamicLoop(&next, n, chunk, w, body)
+	})
+}
+
+// DynamicLoop is the self-scheduling claim loop shared by RunDynamic and
+// callers that fuse the executor into a larger Submit (core.Runtime.Run): it
+// repeatedly claims chunks from next until the position space [0, n) is
+// exhausted. chunk must be positive.
+func DynamicLoop(next *atomic.Int64, n, chunk, w int, body func(worker, pos int)) {
+	for {
+		start := int(next.Add(int64(chunk))) - chunk
+		if start >= n {
+			return
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		for pos := start; pos < end; pos++ {
+			body(w, pos)
+		}
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				start := int(next.Add(int64(chunk))) - chunk
-				if start >= n {
-					return
-				}
-				end := start + chunk
-				if end > n {
-					end = n
-				}
-				for pos := start; pos < end; pos++ {
-					body(w, pos)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
 }
 
 // ParallelFor runs body(i) for i in [0, n) across the pool's workers using a
@@ -232,25 +478,16 @@ func (pl *Pool) ParallelFor(n int, body func(i int)) {
 	if n <= 0 {
 		return
 	}
-	workers := pl.workers
-	if workers > n {
-		workers = n
+	k := pl.workers
+	if k > n {
+		k = n
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := BlockRange(n, workers, w)
-		if lo >= hi {
-			continue
+	pl.Submit(k, func(w int) {
+		lo, hi := BlockRange(n, k, w)
+		for i := lo; i < hi; i++ {
+			body(i)
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 }
 
 // Build constructs a schedule of n positions over p workers with the given

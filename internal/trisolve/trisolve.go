@@ -138,6 +138,137 @@ func SolveSequential(t *sparse.Triangular, rhs []float64) []float64 {
 	return t.Solve(rhs, nil)
 }
 
+// Solver binds a reusable doacross runtime to one triangular matrix. The
+// whole premise of the preprocessed doacross is that one set of scratch
+// state and processors is reused across successive executions of the same
+// loop; an iterative driver (a Krylov method applies its ILU preconditioner
+// — two triangular solves — once or twice per iteration) should therefore
+// build the runtime, the worker pool and any reordering plan once and reuse
+// them for every solve, which is what Solver provides. The one-shot
+// SolveDoacross functions remain for single solves and experiments.
+//
+// A Solver is not safe for concurrent use. Close releases the worker pool.
+type Solver struct {
+	t    *sparse.Triangular
+	rt   *core.Runtime
+	loop *core.Loop
+	rhs  []float64 // owned buffer the loop reads; refilled per Solve
+}
+
+// NewSolver builds a reusable doacross solver for the triangular matrix t,
+// choosing forward or backward substitution from t.Lower.
+func NewSolver(t *sparse.Triangular, opts core.Options) (*Solver, error) {
+	return newSolver(t, opts)
+}
+
+// NewReorderedSolver builds a reusable doacross solver whose iterations are
+// rearranged once with the given doconsider strategy; every subsequent Solve
+// reuses the plan.
+func NewReorderedSolver(t *sparse.Triangular, strategy doconsider.Strategy, opts core.Options) (*Solver, error) {
+	var g *depgraph.Graph
+	if t.Lower {
+		g = Graph(t)
+	} else {
+		g = UpperGraph(t)
+	}
+	plan := doconsider.NewPlan(g, strategy)
+	if err := doconsider.Validate(g, plan.Order); err != nil {
+		return nil, err
+	}
+	opts.Order = plan.Order
+	return newSolver(t, opts)
+}
+
+func newSolver(t *sparse.Triangular, opts core.Options) (*Solver, error) {
+	s := &Solver{t: t, rhs: make([]float64, t.N)}
+	var err error
+	if t.Lower {
+		s.loop, err = Loop(t, s.rhs)
+	} else {
+		s.loop, err = UpperLoop(t, s.rhs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.rt = core.NewRuntime(t.N, opts)
+	return s, nil
+}
+
+// Solve solves T*y = rhs with the preprocessed doacross, writing the
+// solution into y (allocated when nil) and returning it with the execution
+// report. rhs is copied into the solver's owned buffer, so the caller's
+// slice is never retained.
+func (s *Solver) Solve(rhs, y []float64) ([]float64, core.Report, error) {
+	if len(rhs) < s.t.N {
+		return nil, core.Report{}, fmt.Errorf("trisolve: rhs has %d entries for %d unknowns", len(rhs), s.t.N)
+	}
+	if y == nil {
+		y = make([]float64, s.t.N)
+	}
+	copy(s.rhs, rhs[:s.t.N])
+	rep, err := s.rt.Run(s.loop, y)
+	if err != nil {
+		return nil, core.Report{}, err
+	}
+	return y, rep, nil
+}
+
+// Close releases the solver's worker pool. It is idempotent.
+func (s *Solver) Close() { s.rt.Close() }
+
+// UseDoacrossILU replaces both triangular substitutions of the ILU
+// preconditioner with reusable preprocessed-doacross solvers (forward for L,
+// backward for U), so an iterative Krylov solve reuses two persistent worker
+// pools across every preconditioner application instead of building a
+// runtime per substitution. It returns a release function that retires both
+// pools; call it when the preconditioner is no longer needed.
+func UseDoacrossILU(p *sparse.ILUPreconditioner, opts core.Options) (release func(), err error) {
+	return wireILU(p, func(t *sparse.Triangular) (*Solver, error) {
+		return NewSolver(t, opts)
+	})
+}
+
+// UseDoacrossILUReordered is UseDoacrossILU with each factor's iterations
+// rearranged once by the given doconsider strategy.
+func UseDoacrossILUReordered(p *sparse.ILUPreconditioner, strategy doconsider.Strategy, opts core.Options) (release func(), err error) {
+	return wireILU(p, func(t *sparse.Triangular) (*Solver, error) {
+		return NewReorderedSolver(t, strategy, opts)
+	})
+}
+
+func wireILU(p *sparse.ILUPreconditioner, mk func(*sparse.Triangular) (*Solver, error)) (func(), error) {
+	lower, err := mk(p.L)
+	if err != nil {
+		return nil, err
+	}
+	upper, err := mk(p.U)
+	if err != nil {
+		lower.Close()
+		return nil, err
+	}
+	// The substitution hooks cannot return an error; a Solve failure here
+	// means the preconditioner's factors changed shape under the solver,
+	// which is a programming error, so it panics.
+	p.SolveLower = func(_ *sparse.Triangular, rhs, y []float64) []float64 {
+		sol, _, e := lower.Solve(rhs, y)
+		if e != nil {
+			panic(fmt.Sprintf("trisolve: lower ILU substitution failed: %v", e))
+		}
+		return sol
+	}
+	p.SolveUpper = func(_ *sparse.Triangular, rhs, y []float64) []float64 {
+		sol, _, e := upper.Solve(rhs, y)
+		if e != nil {
+			panic(fmt.Sprintf("trisolve: upper ILU substitution failed: %v", e))
+		}
+		return sol
+	}
+	return func() {
+		lower.Close()
+		upper.Close()
+	}, nil
+}
+
 // SolveDoacross solves T*y = rhs with the plain preprocessed doacross (the
 // Table 1 "Preprocessed Doacross" column) using the supplied runtime options.
 // It returns the solution and the execution report.
@@ -148,6 +279,7 @@ func SolveDoacross(t *sparse.Triangular, rhs []float64, opts core.Options) ([]fl
 	}
 	y := make([]float64, t.N)
 	rt := core.NewRuntime(t.N, opts)
+	defer rt.Close()
 	rep, err := rt.Run(l, y)
 	if err != nil {
 		return nil, core.Report{}, err
@@ -171,6 +303,7 @@ func SolveDoacrossReordered(t *sparse.Triangular, rhs []float64, strategy docons
 	opts.Order = plan.Order
 	y := make([]float64, t.N)
 	rt := core.NewRuntime(t.N, opts)
+	defer rt.Close()
 	rep, err := rt.Run(l, y)
 	if err != nil {
 		return nil, core.Report{}, err
@@ -188,6 +321,7 @@ func SolveUpperDoacross(t *sparse.Triangular, rhs []float64, opts core.Options) 
 	}
 	y := make([]float64, t.N)
 	rt := core.NewRuntime(t.N, opts)
+	defer rt.Close()
 	rep, err := rt.Run(l, y)
 	if err != nil {
 		return nil, core.Report{}, err
@@ -211,6 +345,7 @@ func SolveUpperDoacrossReordered(t *sparse.Triangular, rhs []float64, strategy d
 	opts.Order = plan.Order
 	y := make([]float64, t.N)
 	rt := core.NewRuntime(t.N, opts)
+	defer rt.Close()
 	rep, err := rt.Run(l, y)
 	if err != nil {
 		return nil, core.Report{}, err
@@ -257,6 +392,7 @@ func SolveLinear(t *sparse.Triangular, rhs []float64, opts core.Options) ([]floa
 	}
 	y := make([]float64, t.N)
 	rt := core.NewRuntime(t.N, opts)
+	defer rt.Close()
 	rep, err := rt.RunLinear(l, y, Subscript())
 	if err != nil {
 		return nil, core.Report{}, err
@@ -274,6 +410,7 @@ func SolveLevelScheduled(t *sparse.Triangular, rhs []float64, workers int) ([]fl
 	_, byLevel := g.Levels()
 	y := make([]float64, t.N)
 	pool := sched.NewPool(workers)
+	defer pool.Close()
 	for _, lvl := range byLevel {
 		lvl := lvl
 		pool.ParallelFor(len(lvl), func(k int) {

@@ -312,3 +312,92 @@ func TestILUFactorSolveOnPaperProblem(t *testing.T) {
 		t.Fatalf("doacross solve on 5-PT factor differs by %v", d)
 	}
 }
+
+func TestSolverReuseAcrossRightHandSides(t *testing.T) {
+	// One reusable Solver must reproduce the sequential substitution for a
+	// stream of right-hand sides — the access pattern of a Krylov
+	// preconditioner, and the reuse the persistent worker pool targets.
+	rng := rand.New(rand.NewSource(61))
+	l := randomLower(rng, 300, 3, false)
+	s, err := NewSolver(l, opts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	y := make([]float64, l.N)
+	for round := 0; round < 10; round++ {
+		rhs := stencil.RHS(l.N, int64(round+1))
+		want := SolveSequential(l, rhs)
+		got, _, err := s.Solve(rhs, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.VecMaxDiff(got, want); d > 1e-12 {
+			t.Fatalf("round %d: solver differs from sequential by %v", round, d)
+		}
+	}
+}
+
+func TestReorderedSolverMatchesSequential(t *testing.T) {
+	l, u, err := stencil.LowerFactor(stencil.FivePoint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := stencil.RHS(l.N, 5)
+	for _, tri := range []*sparse.Triangular{l, u} {
+		s, err := NewReorderedSolver(tri, doconsider.Level, opts(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tri.Solve(rhs, nil)
+		got, _, err := s.Solve(rhs, nil)
+		s.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.VecMaxDiff(got, want); d > 1e-12 {
+			t.Fatalf("lower=%v: reordered solver differs from sequential by %v", tri.Lower, d)
+		}
+	}
+}
+
+func TestSolverRejectsShortRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	l := randomLower(rng, 20, 2, false)
+	s, err := NewSolver(l, opts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, err := s.Solve(make([]float64, 5), nil); err == nil {
+		t.Error("short rhs accepted")
+	}
+}
+
+func TestUseDoacrossILUMatchesSequentialApply(t *testing.T) {
+	a, err := stencil.FivePointGrid(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqPre, err := sparse.NewILUPreconditioner(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPre, err := sparse.NewILUPreconditioner(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, err := UseDoacrossILU(parPre, opts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	for round := 0; round < 5; round++ {
+		r := stencil.RHS(a.Rows, int64(100+round))
+		want := seqPre.Apply(r, nil)
+		got := parPre.Apply(r, nil)
+		if d := sparse.VecMaxDiff(got, want); d > 1e-12 {
+			t.Fatalf("round %d: doacross preconditioner differs by %v", round, d)
+		}
+	}
+}
