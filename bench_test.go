@@ -1,5 +1,6 @@
 // Benchmarks regenerating the paper's evaluation, one benchmark per table or
-// figure plus the DESIGN.md ablations.
+// figure plus the DESIGN.md ablations, all driven through the public doacross
+// facade.
 //
 //	go test -bench=. -benchmem
 //
@@ -10,34 +11,43 @@
 // report the achieved parallel efficiency via custom benchmark metrics
 // (eff/op), so the paper's headline numbers appear directly in the benchmark
 // output.
-package doacross
+package doacross_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
-	"doacross/internal/core"
+	"doacross"
 	"doacross/internal/depgraph"
 	"doacross/internal/doconsider"
 	"doacross/internal/experiments"
-	"doacross/internal/flags"
 	"doacross/internal/machine"
 	"doacross/internal/sched"
 	"doacross/internal/stencil"
 	"doacross/internal/testloop"
-	"doacross/internal/trisolve"
 )
 
 // liveWorkers is the worker count used by the live benchmarks.
 var liveWorkers = experiments.DefaultLiveWorkers()
 
-func liveOptions() core.Options {
-	return core.Options{
-		Workers:      liveWorkers,
-		Policy:       sched.Dynamic,
-		Chunk:        128,
-		WaitStrategy: flags.WaitSpinYield,
+func liveOptions() []doacross.Option {
+	return []doacross.Option{
+		doacross.WithWorkers(liveWorkers),
+		doacross.WithPolicy(doacross.Dynamic),
+		doacross.WithChunk(128),
+		doacross.WithWaitStrategy(doacross.WaitSpinYield),
 	}
+}
+
+// newRuntime builds a facade runtime or fails the benchmark.
+func newRuntime(b *testing.B, dataLen int, opts ...doacross.Option) *doacross.Runtime {
+	b.Helper()
+	rt, err := doacross.New(dataLen, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt
 }
 
 // BenchmarkFigure6TestLoop regenerates Figure 6 (Section 3.1): the efficiency
@@ -84,6 +94,7 @@ func BenchmarkFigure6TestLoop(b *testing.B) {
 	}
 
 	// Live: the real runtime on this host, sequential vs. doacross.
+	ctx := context.Background()
 	for _, l := range []int{1, 14} {
 		tc := testloop.Config{N: 20000, M: 5, L: l}
 		loop := tc.Loop()
@@ -93,16 +104,19 @@ func BenchmarkFigure6TestLoop(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				copy(y, base)
-				core.RunSequential(loop, y)
+				if err := doacross.RunSequential(loop, y); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 		b.Run(fmt.Sprintf("live/doacross/L=%d", l), func(b *testing.B) {
-			rt := core.NewRuntime(loop.Data, liveOptions())
+			rt := newRuntime(b, loop.Data, liveOptions()...)
+			defer rt.Close()
 			y := append([]float64(nil), base...)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				copy(y, base)
-				if _, err := rt.Run(loop, y); err != nil {
+				if _, err := rt.Run(ctx, loop, y); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -148,6 +162,12 @@ func BenchmarkTable1TriangularSolve(b *testing.B) {
 	})
 
 	// Live solves per problem (the two smaller systems keep bench time sane).
+	solveOpts := []doacross.Option{
+		doacross.WithWorkers(liveWorkers),
+		doacross.WithPolicy(doacross.Dynamic),
+		doacross.WithChunk(32),
+		doacross.WithWaitStrategy(doacross.WaitSpinYield),
+	}
 	for _, prob := range []stencil.Problem{stencil.SPE2, stencil.FivePoint} {
 		l, _, err := stencil.LowerFactor(prob, 1)
 		if err != nil {
@@ -156,23 +176,19 @@ func BenchmarkTable1TriangularSolve(b *testing.B) {
 		rhs := stencil.RHS(l.N, 7)
 		b.Run(fmt.Sprintf("live/sequential/%v", prob), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				trisolve.SolveSequential(l, rhs)
+				doacross.SolveSequential(l, rhs)
 			}
 		})
 		b.Run(fmt.Sprintf("live/doacross/%v", prob), func(b *testing.B) {
-			opts := liveOptions()
-			opts.Chunk = 32
 			for i := 0; i < b.N; i++ {
-				if _, _, err := trisolve.SolveDoacross(l, rhs, opts); err != nil {
+				if _, _, err := doacross.SolveTriangular(doacross.SolverDoacross, l, rhs, solveOpts...); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("live/doacross-reordered/%v", prob), func(b *testing.B) {
-			opts := liveOptions()
-			opts.Chunk = 32
 			for i := 0; i < b.N; i++ {
-				if _, _, err := trisolve.SolveDoacrossReordered(l, rhs, doconsider.Level, opts); err != nil {
+				if _, _, err := doacross.SolveTriangular(doacross.SolverReordered, l, rhs, solveOpts...); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -199,28 +215,34 @@ func BenchmarkAblationOverhead(b *testing.B) {
 		}
 	})
 	// Live: isolate the inspector and postprocessor phases of the runtime.
+	ctx := context.Background()
 	tc := testloop.Config{N: 50000, M: 1, L: 1}
 	loop := tc.Loop()
 	b.Run("live/inspector", func(b *testing.B) {
-		rt := core.NewRuntime(loop.Data, liveOptions())
+		rt := newRuntime(b, loop.Data, liveOptions()...)
+		defer rt.Close()
 		for i := 0; i < b.N; i++ {
 			rt.Inspect(loop)
 		}
 	})
 	b.Run("live/full-doacross", func(b *testing.B) {
-		rt := core.NewRuntime(loop.Data, liveOptions())
+		rt := newRuntime(b, loop.Data, liveOptions()...)
+		defer rt.Close()
 		y := tc.InitialData()
 		for i := 0; i < b.N; i++ {
-			if _, err := rt.Run(loop, y); err != nil {
+			if _, err := rt.Run(ctx, loop, y); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("live/doall-baseline", func(b *testing.B) {
-		rt := core.NewRuntime(loop.Data, liveOptions())
+		rt := newRuntime(b, loop.Data, liveOptions()...)
+		defer rt.Close()
 		y := tc.InitialData()
 		for i := 0; i < b.N; i++ {
-			rt.RunDoall(loop, y)
+			if _, err := rt.RunDoall(loop, y); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }
@@ -243,16 +265,18 @@ func BenchmarkAblationBlocked(b *testing.B) {
 			b.ReportMetric(rows[len(rows)-1].Efficiency, "effFullBlock")
 		}
 	})
+	ctx := context.Background()
 	loop := tc.Loop()
 	base := tc.InitialData()
 	for _, block := range []int{1000, 20000} {
 		b.Run(fmt.Sprintf("live/block=%d", block), func(b *testing.B) {
-			rt := core.NewRuntime(loop.Data, liveOptions())
+			rt := newRuntime(b, loop.Data, liveOptions()...)
+			defer rt.Close()
 			y := append([]float64(nil), base...)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				copy(y, base)
-				if _, err := rt.RunBlocked(loop, y, block); err != nil {
+				if _, err := rt.RunBlocked(ctx, loop, y, block); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -264,22 +288,25 @@ func BenchmarkAblationBlocked(b *testing.B) {
 // doacross against the linear-subscript variant that eliminates the
 // preprocessing phase (Section 2.3).
 func BenchmarkAblationLinearSubscript(b *testing.B) {
+	ctx := context.Background()
 	tc := testloop.Config{N: 20000, M: 1, L: 12}
 	loop := tc.Loop()
 	base := tc.InitialData()
 	b.Run("live/inspector", func(b *testing.B) {
-		rt := core.NewRuntime(loop.Data, liveOptions())
+		rt := newRuntime(b, loop.Data, liveOptions()...)
+		defer rt.Close()
 		y := append([]float64(nil), base...)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			copy(y, base)
-			if _, err := rt.Run(loop, y); err != nil {
+			if _, err := rt.Run(ctx, loop, y); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("live/linear-subscript", func(b *testing.B) {
-		rt := core.NewRuntime(loop.Data, liveOptions())
+		rt := newRuntime(b, loop.Data, liveOptions()...)
+		defer rt.Close()
 		y := append([]float64(nil), base...)
 		sub := tc.Subscript()
 		b.ResetTimer()
@@ -315,18 +342,23 @@ func BenchmarkAblationSyncStrategy(b *testing.B) {
 		b.Fatal(err)
 	}
 	rhs := stencil.RHS(l.N, 7)
+	common := []doacross.Option{
+		doacross.WithWorkers(liveWorkers),
+		doacross.WithPolicy(doacross.Dynamic),
+		doacross.WithChunk(32),
+	}
 	cases := []struct {
 		name string
-		opts core.Options
+		opts []doacross.Option
 	}{
-		{"spin-yield", core.Options{Workers: liveWorkers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitSpinYield}},
-		{"notify", core.Options{Workers: liveWorkers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitNotify}},
-		{"spin-yield-epoch", core.Options{Workers: liveWorkers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitSpinYield, UseEpochTables: true}},
+		{"spin-yield", append(common[:len(common):len(common)], doacross.WithWaitStrategy(doacross.WaitSpinYield))},
+		{"notify", append(common[:len(common):len(common)], doacross.WithWaitStrategy(doacross.WaitNotify))},
+		{"spin-yield-epoch", append(common[:len(common):len(common)], doacross.WithWaitStrategy(doacross.WaitSpinYield), doacross.WithEpochTables())},
 	}
 	for _, tc := range cases {
 		b.Run("live/"+tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := trisolve.SolveDoacross(l, rhs, tc.opts); err != nil {
+				if _, _, err := doacross.SolveTriangular(doacross.SolverDoacross, l, rhs, tc.opts...); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -356,7 +388,7 @@ func BenchmarkAblationOrdering(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	g := trisolve.Graph(l)
+	g := doacross.TrisolveGraph(l)
 	for _, s := range doconsider.Strategies {
 		b.Run("live/plan/"+s.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -394,6 +426,7 @@ func BenchmarkProcessorSweep(b *testing.B) {
 // Run). BiCGSTAB in internal/krylov calls Run twice per solver iteration, so
 // this difference is paid thousands of times per solve.
 func BenchmarkRunReuse(b *testing.B) {
+	ctx := context.Background()
 	for _, n := range []int{1000, 10000} {
 		tc := testloop.Config{N: n, M: 1, L: 2}
 		loop := tc.Loop()
@@ -404,18 +437,21 @@ func BenchmarkRunReuse(b *testing.B) {
 				spawn bool
 			}{{"pooled", false}, {"spawn", true}} {
 				b.Run(fmt.Sprintf("N=%d/P=%d/%s", n, p, mode.name), func(b *testing.B) {
-					rt := core.NewRuntime(loop.Data, core.Options{
-						Workers:      p,
-						Policy:       sched.Block,
-						WaitStrategy: flags.WaitSpinYield,
-						SpawnPerCall: mode.spawn,
-					})
+					opts := []doacross.Option{
+						doacross.WithWorkers(p),
+						doacross.WithPolicy(doacross.Block),
+						doacross.WithWaitStrategy(doacross.WaitSpinYield),
+					}
+					if mode.spawn {
+						opts = append(opts, doacross.WithSpawnPerCall())
+					}
+					rt := newRuntime(b, loop.Data, opts...)
 					defer rt.Close()
 					y := append([]float64(nil), base...)
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
 						copy(y, base)
-						if _, err := rt.Run(loop, y); err != nil {
+						if _, err := rt.Run(ctx, loop, y); err != nil {
 							b.Fatal(err)
 						}
 					}
@@ -454,7 +490,7 @@ func BenchmarkSubstrates(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		g := trisolve.Graph(l)
+		g := doacross.TrisolveGraph(l)
 		cm := experiments.TrisolveCostModel(l)
 		for i := 0; i < b.N; i++ {
 			if _, err := machine.Simulate(g, machine.Config{Processors: 16, Policy: sched.Cyclic}, cm); err != nil {

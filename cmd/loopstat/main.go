@@ -18,11 +18,10 @@ import (
 	"os"
 	"strings"
 
-	"doacross/internal/depgraph"
+	"doacross"
 	"doacross/internal/doconsider"
 	"doacross/internal/stencil"
 	"doacross/internal/testloop"
-	"doacross/internal/trisolve"
 )
 
 func main() {
@@ -37,7 +36,7 @@ func main() {
 	)
 	flag.Parse()
 
-	var g *depgraph.Graph
+	var g *doacross.DepGraph
 	var title string
 	switch *kind {
 	case "testloop":
@@ -65,7 +64,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		g = trisolve.Graph(lower)
+		g = doacross.TrisolveGraph(lower)
 		title = fmt.Sprintf("forward substitution for the ILU(0) factor of %v (%d equations)", prob, lower.N)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)

@@ -1,7 +1,7 @@
 // Command trisolve generates one of the paper's five test triangular systems
 // and solves it with the executors compared in Table 1, reporting wall-clock
 // times on the host and verifying all solutions against the sequential
-// substitution.
+// substitution. All solves go through the public doacross facade.
 //
 // Usage:
 //
@@ -16,13 +16,10 @@ import (
 	"strings"
 	"time"
 
-	"doacross/internal/core"
-	"doacross/internal/flags"
-	"doacross/internal/sched"
+	"doacross"
 	"doacross/internal/sparse"
 	"doacross/internal/stencil"
 	"doacross/internal/trace"
-	"doacross/internal/trisolve"
 )
 
 func problemByName(name string) (stencil.Problem, error) {
@@ -34,12 +31,12 @@ func problemByName(name string) (stencil.Problem, error) {
 	return 0, fmt.Errorf("unknown problem %q (choose from SPE2, SPE5, 5-PT, 7-PT, 9-PT)", name)
 }
 
-var solverKinds = map[string]trisolve.SolverKind{
-	"sequential":         trisolve.Sequential,
-	"doacross":           trisolve.Doacross,
-	"doacross-reordered": trisolve.DoacrossReordered,
-	"doacross-linear":    trisolve.LinearSubscript,
-	"level-scheduled":    trisolve.LevelScheduled,
+var solverKinds = map[string]doacross.SolverKind{
+	"sequential":         doacross.SolverSequential,
+	"doacross":           doacross.SolverDoacross,
+	"doacross-reordered": doacross.SolverReordered,
+	"doacross-linear":    doacross.SolverLinear,
+	"level-scheduled":    doacross.SolverLevelScheduled,
 }
 
 func main() {
@@ -66,12 +63,17 @@ func main() {
 		os.Exit(1)
 	}
 	rhs := stencil.RHS(l.N, 7)
-	g := trisolve.Graph(l)
+	g := doacross.TrisolveGraph(l)
 	st := g.Analyze()
 	fmt.Printf("Dependency structure: %s\n\n", st)
 
-	reference := trisolve.SolveSequential(l, rhs)
-	opts := core.Options{Workers: *workers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitSpinYield}
+	reference := doacross.SolveSequential(l, rhs)
+	opts := []doacross.Option{
+		doacross.WithWorkers(*workers),
+		doacross.WithPolicy(doacross.Dynamic),
+		doacross.WithChunk(32),
+		doacross.WithWaitStrategy(doacross.WaitSpinYield),
+	}
 
 	names := []string{"sequential", "doacross", "doacross-reordered", "doacross-linear", "level-scheduled"}
 	fmt.Printf("%-20s %12s %10s %10s  %s\n", "solver", "time", "speedup", "eff", "check")
@@ -84,7 +86,7 @@ func main() {
 		var out []float64
 		sample := trace.Measure(*repeat, func() {
 			var solveErr error
-			out, _, solveErr = trisolve.Solve(kind, l, rhs, opts)
+			out, _, solveErr = doacross.SolveTriangular(kind, l, rhs, opts...)
 			if solveErr != nil {
 				fmt.Fprintln(os.Stderr, solveErr)
 				os.Exit(1)
@@ -107,20 +109,19 @@ func main() {
 	}
 
 	if *showTrace {
-		loop, err := trisolve.Loop(l, rhs)
+		// A traced solver: one extra solve with per-iteration tracing on.
+		tracedOpts := append(opts[:len(opts):len(opts)], doacross.WithTrace())
+		s, err := doacross.NewSolver(l, tracedOpts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		tracedOpts := opts
-		tracedOpts.CollectTrace = true
-		rt := core.NewRuntime(l.N, tracedOpts)
-		y := make([]float64, l.N)
-		if _, err := rt.Run(loop, y); err != nil {
+		defer s.Close()
+		if _, _, err := s.Solve(rhs, nil); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Println()
-		fmt.Print(rt.Trace().Summarize())
+		fmt.Print(s.Trace().Summarize())
 	}
 }

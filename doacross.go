@@ -1,0 +1,327 @@
+package doacross
+
+import (
+	"context"
+	"fmt"
+
+	"doacross/internal/core"
+	"doacross/internal/flags"
+	"doacross/internal/sched"
+)
+
+// Loop describes a runtime-dependent loop over a shared data array. It is
+// the same type the internal runtime executes, re-exported so loops built by
+// in-module helpers (the test-loop generator, the triangular-solve layer)
+// flow through the facade unchanged. Prefer NewLoop, which validates the
+// description; a Loop literal works too and can be checked with Validate.
+type Loop = core.Loop
+
+// Values gives a loop body access to the shared array with the paper's
+// execution-time dependency checks: Load performs the dependency check (and
+// wait), Store writes through the renaming buffer, Fail aborts the run.
+type Values = core.Values
+
+// Report describes one doacross execution: per-phase times and aggregate
+// synchronization counters.
+type Report = core.Report
+
+// Trace is the per-iteration execution record collected under WithTrace.
+type Trace = core.Trace
+
+// IterTrace is one iteration's entry in a Trace.
+type IterTrace = core.IterTrace
+
+// LinearSubscript describes a left-hand-side subscript a(i) = C*i + D, the
+// Section 2.3 special case that needs no inspector (see Runtime.RunLinear).
+type LinearSubscript = core.LinearSubscript
+
+// Policy selects how loop positions are assigned to workers.
+type Policy = sched.Policy
+
+// Scheduling policies.
+const (
+	// Block assigns contiguous position ranges to each worker.
+	Block Policy = sched.Block
+	// Cyclic assigns positions round robin.
+	Cyclic Policy = sched.Cyclic
+	// Dynamic self-schedules: workers repeatedly claim the next chunk.
+	Dynamic Policy = sched.Dynamic
+)
+
+// WaitStrategy selects how executors wait on unsatisfied true dependencies.
+type WaitStrategy = flags.WaitStrategy
+
+// Wait strategies.
+const (
+	// WaitSpin busy-waits, exactly as in the paper.
+	WaitSpin WaitStrategy = flags.WaitSpin
+	// WaitSpinYield busy-waits but yields to the Go scheduler between
+	// polls; safe when workers exceed GOMAXPROCS.
+	WaitSpinYield WaitStrategy = flags.WaitSpinYield
+	// WaitNotify parks waiters and wakes them from the writer.
+	WaitNotify WaitStrategy = flags.WaitNotify
+)
+
+// config accumulates the functional options behind New.
+type config struct {
+	opts core.Options
+	err  error
+}
+
+func (c *config) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// Option configures a Runtime built by New.
+type Option func(*config)
+
+// WithWorkers sets the number of concurrent workers (default 1).
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			c.fail(fmt.Errorf("doacross: WithWorkers requires at least 1 worker, got %d", n))
+			return
+		}
+		c.opts.Workers = n
+	}
+}
+
+// WithPolicy selects the iteration-scheduling policy (default Block).
+func WithPolicy(p Policy) Option {
+	return func(c *config) {
+		switch p {
+		case Block, Cyclic, Dynamic:
+			c.opts.Policy = p
+		default:
+			c.fail(fmt.Errorf("doacross: unknown scheduling policy %d", int(p)))
+		}
+	}
+}
+
+// WithChunk sets the chunk size used by the Dynamic policy.
+func WithChunk(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			c.fail(fmt.Errorf("doacross: WithChunk requires a positive chunk size, got %d", n))
+			return
+		}
+		c.opts.Chunk = n
+	}
+}
+
+// WithWaitStrategy selects how true-dependency waits are performed (default
+// the paper's busy wait; WaitSpinYield is recommended when workers exceed
+// GOMAXPROCS).
+func WithWaitStrategy(s WaitStrategy) Option {
+	return func(c *config) {
+		switch s {
+		case WaitSpin, WaitSpinYield, WaitNotify:
+			c.opts.WaitStrategy = s
+		default:
+			c.fail(fmt.Errorf("doacross: unknown wait strategy %d", int(s)))
+		}
+	}
+}
+
+// WithOrder sets the execution order produced by a reordering transform:
+// position k of the parallel loop executes original iteration order[k]. The
+// order must be a permutation of 0..N-1 of the loop the runtime will run,
+// and must respect all true dependencies.
+func WithOrder(order []int) Option {
+	return func(c *config) {
+		if order != nil && !isPermutation(order) {
+			c.fail(fmt.Errorf("doacross: WithOrder requires a permutation of 0..%d", len(order)-1))
+			return
+		}
+		c.opts.Order = order
+	}
+}
+
+// isPermutation reports whether order contains every value 0..len-1 once.
+func isPermutation(order []int) bool {
+	seen := make([]bool, len(order))
+	for _, v := range order {
+		if v < 0 || v >= len(order) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// WithTrace records a per-iteration execution trace, retrievable through
+// Runtime.Trace after a run. It adds two clock readings per iteration, so
+// leave it off for performance-sensitive runs.
+func WithTrace() Option {
+	return func(c *config) { c.opts.CollectTrace = true }
+}
+
+// WithEpochTables replaces the paper's postprocessing reset protocol with
+// epoch-versioned tables that reset in O(1). Results are identical; this is
+// a design-choice ablation.
+func WithEpochTables() Option {
+	return func(c *config) { c.opts.UseEpochTables = true }
+}
+
+// WithSpawnPerCall replaces the persistent worker pool with the pre-pool
+// behaviour of spawning fresh goroutines for every phase of every run. It
+// exists as the measurement baseline for the pooled path (see
+// BenchmarkRunReuse); leave it off in real use.
+func WithSpawnPerCall() Option {
+	return func(c *config) { c.opts.SpawnPerCall = true }
+}
+
+// buildOptions folds a list of options into the internal runtime options,
+// reporting the first invalid option.
+func buildOptions(opts []Option) (core.Options, error) {
+	c := config{opts: core.Options{Workers: 1}}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c.opts, c.err
+}
+
+// Runtime holds the reusable state of a preprocessed doacross: the
+// inspector's scratch tables, the renaming buffer and a persistent worker
+// pool. Build one Runtime per data-array length and reuse it across runs (an
+// iterative driver calls Run thousands of times on one Runtime); it is not
+// safe for concurrent use. Close releases the worker pool.
+type Runtime struct {
+	rt *core.Runtime
+}
+
+// New creates a runtime whose scratch arrays cover data arrays of length
+// dataLen, configured by the given options.
+func New(dataLen int, opts ...Option) (*Runtime, error) {
+	if dataLen < 0 {
+		return nil, fmt.Errorf("doacross: negative data length %d", dataLen)
+	}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{rt: core.NewRuntime(dataLen, o)}, nil
+}
+
+// Run executes the full preprocessed doacross — inspector, executor,
+// postprocessor — on the loop, updating y in place exactly as the sequential
+// loop would have, and returns a report of the execution.
+//
+// Run honors ctx between wavefront chunks: cancellation or an expired
+// deadline aborts the run and returns ctx's error (context.Canceled or
+// context.DeadlineExceeded). A loop body that returns an error (BodyErr),
+// reports one through Values.Fail, or panics likewise aborts the run; the
+// panic is recovered into the returned error. On any abort the remaining
+// iterations are skipped, waiting iterations are released, the workers drain
+// cleanly, and the runtime (including its pool) remains reusable. The
+// contents of y are unspecified after a failed run.
+func (r *Runtime) Run(ctx context.Context, l *Loop, y []float64) (Report, error) {
+	return r.rt.RunContext(ctx, l, y)
+}
+
+// RunBlocked executes the loop with the strip-mined (blocked) doacross of
+// the paper's Section 2.3: an outer sequential loop over blocks of blockSize
+// iterations, each block a full preprocessed doacross. Cancellation and
+// failure behave as in Run.
+func (r *Runtime) RunBlocked(ctx context.Context, l *Loop, y []float64, blockSize int) (Report, error) {
+	return r.rt.RunBlockedContext(ctx, l, y, blockSize)
+}
+
+// RunLinear executes the loop with the linear-subscript variant of Section
+// 2.3: when the left-hand-side subscript is a(i) = C*i + D, the inspector
+// phase is eliminated entirely and the dependency check uses the closed
+// form.
+func (r *Runtime) RunLinear(l *Loop, y []float64, sub LinearSubscript) (Report, error) {
+	return r.rt.RunLinear(l, y, sub)
+}
+
+// RunDoall executes the loop as a doall — no dependency checks, no
+// synchronization, writes applied directly to y. It is only correct for
+// loops with no cross-iteration dependencies and exists as the
+// zero-overhead baseline of the paper's experiments.
+func (r *Runtime) RunDoall(l *Loop, y []float64) (Report, error) {
+	return r.rt.RunDoall(l, y)
+}
+
+// Inspect runs only the inspector phase (the execution-time preprocessing).
+// It exists for overhead measurements; Run performs it automatically.
+func (r *Runtime) Inspect(l *Loop) { r.rt.Inspect(l) }
+
+// Trace returns the per-iteration trace of the most recent run when the
+// runtime was built with WithTrace, or nil otherwise. The trace is owned by
+// the runtime and overwritten by the next traced run.
+func (r *Runtime) Trace() *Trace { return r.rt.Trace() }
+
+// Workers reports the number of workers the runtime uses.
+func (r *Runtime) Workers() int { return r.rt.Workers() }
+
+// ScratchClean reports whether the scratch arrays are back in their pristine
+// state, the paper's reuse invariant. It exists for tests and diagnostics.
+func (r *Runtime) ScratchClean() bool { return r.rt.ScratchClean() }
+
+// Close retires the runtime's worker pool. It is idempotent, and a runtime
+// that is garbage collected without Close releases its workers through a
+// finalizer, so forgetting Close never leaks goroutines.
+func (r *Runtime) Close() { r.rt.Close() }
+
+// RunSequential executes the loop exactly as the original sequential loop
+// would, applying all writes in iteration order directly to y. It is the
+// reference the doacross results are compared against. A BodyErr failure (or
+// Values.Fail) stops the loop and is returned.
+func RunSequential(l *Loop, y []float64) error {
+	return core.RunSequential(l, y)
+}
+
+// LoopBuilder assembles a Loop description; see NewLoop.
+type LoopBuilder struct {
+	l Loop
+}
+
+// NewLoop starts a loop description for n iterations over a shared array of
+// length dataLen. Chain Writes, Reads and Body/BodyErr, then call Build to
+// validate and obtain the Loop.
+func NewLoop(n, dataLen int) *LoopBuilder {
+	return &LoopBuilder{l: Loop{N: n, Data: dataLen}}
+}
+
+// Writes sets the function returning the data elements written by iteration
+// i (the paper's a(i); usually a single element). No element may be written
+// by two different iterations.
+func (b *LoopBuilder) Writes(f func(i int) []int) *LoopBuilder {
+	b.l.Writes = f
+	return b
+}
+
+// Reads sets the function returning the data elements iteration i may read.
+// It is consulted only by analysis layers; the executor discovers reads
+// dynamically through Values.Load. Optional.
+func (b *LoopBuilder) Reads(f func(i int) []int) *LoopBuilder {
+	b.l.Reads = f
+	return b
+}
+
+// Body sets the iteration body. All accesses to the shared array must go
+// through v. Mutually exclusive with BodyErr.
+func (b *LoopBuilder) Body(f func(i int, v *Values)) *LoopBuilder {
+	b.l.Body = f
+	return b
+}
+
+// BodyErr sets the error-returning iteration body: a non-nil return aborts
+// the run and is returned from Runtime.Run. Mutually exclusive with Body.
+func (b *LoopBuilder) BodyErr(f func(i int, v *Values) error) *LoopBuilder {
+	b.l.BodyErr = f
+	return b
+}
+
+// Build validates the loop description (sizes, exactly one body variant, no
+// output dependencies) and returns it.
+func (b *LoopBuilder) Build() (*Loop, error) {
+	l := b.l
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}

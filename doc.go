@@ -1,0 +1,51 @@
+// Package doacross is the public entry point to the preprocessed doacross
+// runtime, a reproduction and extension of Saltz & Mirchandaney, "The
+// Preprocessed Doacross Loop" (ICPP 1991 / ICASE Interim Report 11).
+//
+// A doacross loop is a loop whose cross-iteration dependencies are only
+// known at run time: iterations read and write elements of a shared
+// []float64 through subscripts computed from data. The runtime executes such
+// a loop in three phases, exactly as in the paper: an inspector records
+// which iteration writes each element, the executor runs iterations
+// concurrently with per-element waits on true dependencies
+// (anti-dependencies are satisfied by renaming into a fresh buffer), and a
+// postprocessor restores the scratch state so the same runtime can
+// immediately serve the next loop — the reuse the whole design pays for.
+//
+// # Usage
+//
+// Describe the loop with NewLoop, build a reusable Runtime with New and the
+// functional options, and execute with Run:
+//
+//	loop, err := doacross.NewLoop(n, dataLen).
+//		Writes(func(i int) []int { return a[i : i+1] }).
+//		Body(func(i int, v *doacross.Values) {
+//			v.Store(a[i], 2*v.Load(b[i])+float64(i))
+//		}).
+//		Build()
+//	if err != nil { ... }
+//
+//	rt, err := doacross.New(dataLen,
+//		doacross.WithWorkers(8),
+//		doacross.WithPolicy(doacross.Dynamic),
+//		doacross.WithChunk(128),
+//	)
+//	if err != nil { ... }
+//	defer rt.Close()
+//
+//	report, err := rt.Run(ctx, loop, y)
+//
+// Run honors ctx: cancelling it (or passing a deadline) aborts the run
+// between wavefront chunks and returns ctx's error without leaking workers
+// or scratch state. Bodies can fail fast by returning an error (BodyErr) or
+// calling Values.Fail; a panicking body is recovered into a returned error.
+// After any failed run the Runtime remains fully reusable.
+//
+// The runtime is the paper's Section 2.1 design: one Runtime (scratch arrays
+// plus a persistent worker pool) is meant to be built once and reused across
+// many runs, the access pattern of iterative solvers. For the paper's
+// Section 3.2 application — sparse triangular solves inside ILU(0)
+// preconditioned Krylov methods — the package also exposes a reusable Solver
+// and UseDoacrossILU, which wire both preconditioner substitutions to
+// persistent doacross runtimes.
+package doacross

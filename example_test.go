@@ -1,0 +1,47 @@
+package doacross_test
+
+import (
+	"context"
+	"fmt"
+
+	"doacross"
+)
+
+// Example parallelizes a chain of true dependencies — y[i] = y[i-1] + 1 —
+// whose structure the runtime discovers at execution time. The doacross
+// produces exactly the sequential result.
+func Example() {
+	const n = 8
+
+	loop, err := doacross.NewLoop(n, n).
+		Writes(func(i int) []int { return []int{i} }).
+		Body(func(i int, v *doacross.Values) {
+			if i == 0 {
+				v.Store(0, 1)
+				return
+			}
+			// Load performs the execution-time dependency check: it waits
+			// for iteration i-1's value, because i-1 writes element i-1.
+			v.Store(i, v.Load(i-1)+1)
+		}).
+		Build()
+	if err != nil {
+		panic(err)
+	}
+
+	rt, err := doacross.New(n,
+		doacross.WithWorkers(4),
+		doacross.WithWaitStrategy(doacross.WaitSpinYield),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	y := make([]float64, n)
+	if _, err := rt.Run(context.Background(), loop, y); err != nil {
+		panic(err)
+	}
+	fmt.Println(y)
+	// Output: [1 2 3 4 5 6 7 8]
+}

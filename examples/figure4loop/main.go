@@ -18,11 +18,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"doacross/internal/core"
+	"doacross"
 	"doacross/internal/experiments"
-	"doacross/internal/flags"
 	"doacross/internal/machine"
 	"doacross/internal/sched"
 	"doacross/internal/sparse"
@@ -46,25 +46,35 @@ func main() {
 		// Sequential reference and timing.
 		base := tc.InitialData()
 		seq := append([]float64(nil), base...)
+		var seqErr error
 		seqSample := trace.Measure(3, func() {
 			copy(seq, base)
-			core.RunSequential(loop, seq)
+			if err := doacross.RunSequential(loop, seq); err != nil {
+				seqErr = err
+			}
 		})
+		if seqErr != nil {
+			panic(seqErr)
+		}
 
-		// Live preprocessed doacross.
-		rt := core.NewRuntime(loop.Data, core.Options{
-			Workers:      workers,
-			Policy:       sched.Dynamic,
-			Chunk:        128,
-			WaitStrategy: flags.WaitSpinYield,
-		})
+		// Live preprocessed doacross through the public facade.
+		rt, err := doacross.New(loop.Data,
+			doacross.WithWorkers(workers),
+			doacross.WithPolicy(doacross.Dynamic),
+			doacross.WithChunk(128),
+			doacross.WithWaitStrategy(doacross.WaitSpinYield),
+		)
+		if err != nil {
+			panic(err)
+		}
 		par := append([]float64(nil), base...)
 		parSample := trace.Measure(3, func() {
 			copy(par, base)
-			if _, err := rt.Run(loop, par); err != nil {
+			if _, err := rt.Run(context.Background(), loop, par); err != nil {
 				panic(err)
 			}
 		})
+		rt.Close()
 		if d := sparse.VecMaxDiff(seq, par); d > 1e-9 {
 			panic(fmt.Sprintf("L=%d: doacross result differs from sequential by %v", l, d))
 		}

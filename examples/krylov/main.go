@@ -18,15 +18,11 @@ package main
 import (
 	"fmt"
 
-	"doacross/internal/core"
-	"doacross/internal/doconsider"
+	"doacross"
 	"doacross/internal/experiments"
-	"doacross/internal/flags"
 	"doacross/internal/krylov"
-	"doacross/internal/sched"
 	"doacross/internal/sparse"
 	"doacross/internal/stencil"
-	"doacross/internal/trisolve"
 )
 
 func main() {
@@ -58,11 +54,16 @@ func main() {
 	// the doconsider transform. The reusable solvers are built once: every CG
 	// iteration reuses the same two persistent worker pools, scratch arrays
 	// and reordering plans — the reuse the paper's preprocessing pays for.
-	opts := core.Options{Workers: workers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitSpinYield}
+	opts := []doacross.Option{
+		doacross.WithWorkers(workers),
+		doacross.WithPolicy(doacross.Dynamic),
+		doacross.WithChunk(32),
+		doacross.WithWaitStrategy(doacross.WaitSpinYield),
+	}
 	var release func()
 	xPar, parRes, err := krylov.SolveWithILU(a, b, func(p *sparse.ILUPreconditioner) {
 		var wireErr error
-		release, wireErr = trisolve.UseDoacrossILUReordered(p, doconsider.Level, opts)
+		release, wireErr = doacross.UseDoacrossILUReordered(p, doacross.ReorderLevel, opts...)
 		if wireErr != nil {
 			panic(wireErr)
 		}

@@ -1,5 +1,6 @@
 // Quickstart: parallelize the paper's Figure 1 loop with the preprocessed
-// doacross.
+// doacross, through the public doacross package only — this is what an
+// external program importing the module looks like.
 //
 // The loop is
 //
@@ -19,13 +20,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 
-	"doacross/internal/core"
-	"doacross/internal/flags"
-	"doacross/internal/sched"
-	"doacross/internal/sparse"
+	"doacross"
 )
 
 func main() {
@@ -43,20 +43,18 @@ func main() {
 		b[i] = rng.Intn(dataLen)
 	}
 
-	loop := &core.Loop{
-		N:      n,
-		Data:   dataLen,
-		Writes: func(i int) []int { return a[i : i+1] },
-		Reads:  func(i int) []int { return b[i : i+1] },
-		Body: func(i int, v *core.Values) {
+	loop, err := doacross.NewLoop(n, dataLen).
+		Writes(func(i int) []int { return a[i : i+1] }).
+		Reads(func(i int) []int { return b[i : i+1] }).
+		Body(func(i int, v *doacross.Values) {
 			// v.Load performs the execution-time dependency check of the
 			// paper's Figure 5: it waits when (and only when) y(b(i)) is
 			// produced by an earlier iteration, and otherwise returns the old
 			// value.
 			v.Store(a[i], 2*v.Load(b[i])+float64(i))
-		},
-	}
-	if err := loop.Validate(); err != nil {
+		}).
+		Build()
+	if err != nil {
 		panic(err)
 	}
 
@@ -67,17 +65,23 @@ func main() {
 
 	// Reference: the original sequential loop.
 	seq := append([]float64(nil), y0...)
-	core.RunSequential(loop, seq)
+	if err := doacross.RunSequential(loop, seq); err != nil {
+		panic(err)
+	}
 
 	// Parallel: inspector + executor + postprocessor.
+	rt, err := doacross.New(dataLen,
+		doacross.WithWorkers(4),
+		doacross.WithPolicy(doacross.Dynamic),
+		doacross.WithChunk(256),
+		doacross.WithWaitStrategy(doacross.WaitSpinYield),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
 	par := append([]float64(nil), y0...)
-	rt := core.NewRuntime(dataLen, core.Options{
-		Workers:      4,
-		Policy:       sched.Dynamic,
-		Chunk:        256,
-		WaitStrategy: flags.WaitSpinYield,
-	})
-	report, err := rt.Run(loop, par)
+	report, err := rt.Run(context.Background(), loop, par)
 	if err != nil {
 		panic(err)
 	}
@@ -90,6 +94,15 @@ func main() {
 	fmt.Printf("  postprocess time   %v\n", report.PostTime)
 	fmt.Printf("  true dependencies  %d\n", report.TrueDeps)
 	fmt.Printf("  anti/none reads    %d\n", report.AntiOrNone)
-	fmt.Printf("  max |par - seq|    %.3g\n", sparse.VecMaxDiff(par, seq))
+	fmt.Printf("  max |par - seq|    %.3g\n", maxDiff(par, seq))
 	fmt.Printf("  scratch reusable   %v\n", rt.ScratchClean())
+}
+
+// maxDiff returns the largest absolute element-wise difference.
+func maxDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		d = math.Max(d, math.Abs(a[i]-b[i]))
+	}
+	return d
 }

@@ -17,15 +17,11 @@ package main
 import (
 	"fmt"
 
-	"doacross/internal/core"
-	"doacross/internal/doconsider"
+	"doacross"
 	"doacross/internal/experiments"
-	"doacross/internal/flags"
-	"doacross/internal/sched"
 	"doacross/internal/sparse"
 	"doacross/internal/stencil"
 	"doacross/internal/trace"
-	"doacross/internal/trisolve"
 )
 
 func main() {
@@ -38,22 +34,27 @@ func main() {
 		panic(err)
 	}
 	rhs := stencil.RHS(l.N, 7)
-	g := trisolve.Graph(l)
+	g := doacross.TrisolveGraph(l)
 	fmt.Printf("Lower factor: %d rows, %d off-diagonal nonzeros\n", l.N, l.NNZ())
 	fmt.Printf("Dependency DAG: %s\n\n", g.Analyze())
 
-	reference := trisolve.SolveSequential(l, rhs)
-	opts := core.Options{Workers: workers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitSpinYield}
+	reference := doacross.SolveSequential(l, rhs)
+	opts := []doacross.Option{
+		doacross.WithWorkers(workers),
+		doacross.WithPolicy(doacross.Dynamic),
+		doacross.WithChunk(32),
+		doacross.WithWaitStrategy(doacross.WaitSpinYield),
+	}
 
-	seqSample := trace.Measure(5, func() { trisolve.SolveSequential(l, rhs) })
+	seqSample := trace.Measure(5, func() { doacross.SolveSequential(l, rhs) })
 	fmt.Printf("%-22s %12v\n", "sequential", seqSample.Min())
 
-	kinds := []trisolve.SolverKind{trisolve.Doacross, trisolve.DoacrossReordered, trisolve.LevelScheduled}
+	kinds := []doacross.SolverKind{doacross.SolverDoacross, doacross.SolverReordered, doacross.SolverLevelScheduled}
 	for _, kind := range kinds {
 		var out []float64
 		sample := trace.Measure(5, func() {
 			var solveErr error
-			out, _, solveErr = trisolve.Solve(kind, l, rhs, opts)
+			out, _, solveErr = doacross.SolveTriangular(kind, l, rhs, opts...)
 			if solveErr != nil {
 				panic(solveErr)
 			}
@@ -72,7 +73,7 @@ func main() {
 		Problems:   []stencil.Problem{prob},
 		Processors: experiments.PaperProcessors,
 		Seed:       1,
-		Reordering: doconsider.Level,
+		Reordering: doacross.ReorderLevel,
 	})
 	if err != nil {
 		panic(err)

@@ -1,28 +1,31 @@
 // Integration tests that exercise the full stack — problem generators,
 // ILU(0), dependency analysis, doconsider reordering, the doacross runtime,
-// the machine simulator and the experiment harness — together, the way the
-// example applications and the benchmark harness use them.
-package doacross
+// the machine simulator and the experiment harness — together, through the
+// public doacross facade, the way external programs use it.
+package doacross_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
-	"doacross/internal/core"
-	"doacross/internal/doconsider"
+	"doacross"
 	"doacross/internal/experiments"
-	"doacross/internal/flags"
 	"doacross/internal/krylov"
 	"doacross/internal/machine"
 	"doacross/internal/sched"
 	"doacross/internal/sparse"
 	"doacross/internal/stencil"
 	"doacross/internal/testloop"
-	"doacross/internal/trisolve"
 )
 
-func solverOptions(workers int) core.Options {
-	return core.Options{Workers: workers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitSpinYield}
+func solverOptions(workers int) []doacross.Option {
+	return []doacross.Option{
+		doacross.WithWorkers(workers),
+		doacross.WithPolicy(doacross.Dynamic),
+		doacross.WithChunk(32),
+		doacross.WithWaitStrategy(doacross.WaitSpinYield),
+	}
 }
 
 // TestIntegrationAllProblemsAllSolvers builds every Table 1 problem, factors
@@ -43,11 +46,11 @@ func TestIntegrationAllProblemsAllSolvers(t *testing.T) {
 				t.Fatal(err)
 			}
 			rhs := stencil.RHS(l.N, 99)
-			want := trisolve.SolveSequential(l, rhs)
-			for _, kind := range []trisolve.SolverKind{
-				trisolve.Doacross, trisolve.DoacrossReordered, trisolve.LinearSubscript, trisolve.LevelScheduled,
+			want := doacross.SolveSequential(l, rhs)
+			for _, kind := range []doacross.SolverKind{
+				doacross.SolverDoacross, doacross.SolverReordered, doacross.SolverLinear, doacross.SolverLevelScheduled,
 			} {
-				got, _, err := trisolve.Solve(kind, l, rhs, solverOptions(4))
+				got, _, err := doacross.SolveTriangular(kind, l, rhs, solverOptions(4)...)
 				if err != nil {
 					t.Fatalf("%v: %v", kind, err)
 				}
@@ -57,7 +60,7 @@ func TestIntegrationAllProblemsAllSolvers(t *testing.T) {
 			}
 			// Backward substitution on the upper factor.
 			wantU := u.Solve(rhs, nil)
-			gotU, _, err := trisolve.SolveUpperDoacross(u, rhs, solverOptions(4))
+			gotU, _, err := doacross.SolveTriangular(doacross.SolverDoacross, u, rhs, solverOptions(4)...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -79,9 +82,14 @@ func TestIntegrationDependencyAnalysisConsistency(t *testing.T) {
 	// The executor must observe exactly as many true dependencies as the
 	// dependency graph contains edges (the Figure 4 loop reads each
 	// dependent element once per edge).
-	rt := core.NewRuntime(loop.Data, core.Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
+	rt, err := doacross.New(loop.Data,
+		doacross.WithWorkers(4), doacross.WithWaitStrategy(doacross.WaitSpinYield))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
 	y := tc.InitialData()
-	rep, err := rt.Run(loop, y)
+	rep, err := rt.Run(context.Background(), loop, y)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,12 +119,12 @@ func TestIntegrationReorderingConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	rhs := stencil.RHS(l.N, 17)
-	want := trisolve.SolveSequential(l, rhs)
-	scheduled, _, err := trisolve.SolveDoacrossReordered(l, rhs, doconsider.Level, solverOptions(4))
+	want := doacross.SolveSequential(l, rhs)
+	scheduled, _, err := doacross.SolveTriangular(doacross.SolverReordered, l, rhs, solverOptions(4)...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	renumbered, _, err := trisolve.SolveRenumbered(l, rhs, doconsider.Level, solverOptions(4))
+	renumbered, _, err := doacross.SolveRenumbered(l, rhs, doacross.ReorderLevel, solverOptions(4)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,11 +152,10 @@ func TestIntegrationKrylovEndToEnd(t *testing.T) {
 		xTrue[i] = 1 + 0.25*float64(i%7)
 	}
 	b := a.MulVec(xTrue, nil)
-	opts := solverOptions(4)
 	x, res, err := krylov.SolveNonsymmetricWithILU(a, b, func(p *sparse.ILUPreconditioner) {
 		// Both substitutions run on two persistent doacross runtimes reused
 		// across every BiCGSTAB iteration (two Applies per iteration).
-		release, e := trisolve.UseDoacrossILU(p, opts)
+		release, e := doacross.UseDoacrossILU(p, solverOptions(4)...)
 		if e != nil {
 			t.Fatal(e)
 		}

@@ -1,0 +1,65 @@
+// BenchmarkFacadeOverhead proves the public doacross facade adds no
+// measurable per-run cost over calling the internal runtime directly: both
+// sides execute the identical loop on identically-configured runtimes, the
+// facade through Runtime.Run(ctx, ...) (with its background-context fast
+// path) and the baseline through core.Runtime.Run. The file lives in an
+// external test package so it can import the root facade without a cycle.
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"doacross"
+	"doacross/internal/core"
+	"doacross/internal/flags"
+	"doacross/internal/sched"
+	"doacross/internal/testloop"
+)
+
+func BenchmarkFacadeOverhead(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		tc := testloop.Config{N: n, M: 1, L: 2}
+		loop := tc.Loop()
+		base := tc.InitialData()
+
+		b.Run(fmt.Sprintf("N=%d/internal-core", n), func(b *testing.B) {
+			rt := core.NewRuntime(loop.Data, core.Options{
+				Workers:      4,
+				Policy:       sched.Block,
+				WaitStrategy: flags.WaitSpinYield,
+			})
+			defer rt.Close()
+			y := append([]float64(nil), base...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(y, base)
+				if _, err := rt.Run(loop, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("N=%d/facade", n), func(b *testing.B) {
+			rt, err := doacross.New(loop.Data,
+				doacross.WithWorkers(4),
+				doacross.WithPolicy(doacross.Block),
+				doacross.WithWaitStrategy(doacross.WaitSpinYield),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			ctx := context.Background()
+			y := append([]float64(nil), base...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(y, base)
+				if _, err := rt.Run(ctx, loop, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

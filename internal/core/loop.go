@@ -26,6 +26,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"doacross/internal/flags"
 )
@@ -58,7 +60,31 @@ type Loop struct {
 	// value. The runtime marks the elements in Writes(i) as ready after Body
 	// returns.
 	Body func(i int, v *Values)
+	// BodyErr is the error-returning variant of Body. A non-nil return aborts
+	// the run: no further iterations start, waiting iterations are released,
+	// and Runtime.Run returns the error (the first one reported). Exactly one
+	// of Body and BodyErr must be set. A body that cannot change its
+	// signature may call v.Fail(err) instead, which has the same effect.
+	BodyErr func(i int, v *Values) error
 }
+
+// run dispatches to whichever body variant the loop defines and returns the
+// iteration's failure (BodyErr result or Values.Fail record), nil on success.
+func (l *Loop) run(i int, v *Values) error {
+	if l.BodyErr != nil {
+		if err := l.BodyErr(i, v); err != nil {
+			return err
+		}
+		return v.failErr
+	}
+	l.Body(i, v)
+	return v.failErr
+}
+
+// validateScratch pools the writer-index scratch slices used by Validate, so
+// repeated loop construction (an iterative driver building a solver per
+// matrix) does not allocate a fresh O(Data) table every time.
+var validateScratch sync.Pool
 
 // Validate checks the structural requirements of the preprocessed doacross:
 // sane sizes and no output dependencies between iterations.
@@ -69,22 +95,80 @@ func (l *Loop) Validate() error {
 	if l.Data < 0 {
 		return fmt.Errorf("core: negative data length %d", l.Data)
 	}
-	if l.Writes == nil || l.Body == nil {
-		return fmt.Errorf("core: Loop requires Writes and Body")
+	if l.Writes == nil {
+		return fmt.Errorf("core: Loop requires Writes")
 	}
-	writer := make(map[int]int)
+	if (l.Body == nil) == (l.BodyErr == nil) {
+		return fmt.Errorf("core: Loop requires exactly one of Body and BodyErr")
+	}
+	// The duplicate-writer check uses a scratch slice indexed by element
+	// (value = writing iteration + 1, zero = unwritten) instead of a
+	// map[int]int: one pooled allocation and O(1) probes instead of N map
+	// insertions. The slice is materialized lazily — as long as every
+	// iteration writes exactly its own index (the identity subscript of the
+	// triangular solves, by far the most common loop), identity writes cannot
+	// collide with each other and only the bounds check is needed, so
+	// repeated solver construction does no table work at all.
+	var scratch *[]int
+	var writer []int
+	var verr error
+scan:
 	for i := 0; i < l.N; i++ {
-		for _, e := range l.Writes(i) {
+		ws := l.Writes(i)
+		if writer == nil {
+			if len(ws) == 1 && ws[0] == i {
+				// Identity fast path: each prefix iteration writes exactly
+				// its own index, so prefix writes cannot collide with each
+				// other and only the bounds check is needed.
+				if i >= l.Data {
+					verr = fmt.Errorf("core: iteration %d writes element %d outside data length %d", i, i, l.Data)
+					break scan
+				}
+				continue
+			}
+			scratch, writer = l.writerScratch(i)
+		}
+		for _, e := range ws {
 			if e < 0 || e >= l.Data {
-				return fmt.Errorf("core: iteration %d writes element %d outside data length %d", i, e, l.Data)
+				verr = fmt.Errorf("core: iteration %d writes element %d outside data length %d", i, e, l.Data)
+				break scan
 			}
-			if prev, ok := writer[e]; ok && prev != i {
-				return fmt.Errorf("core: output dependency: element %d written by iterations %d and %d", e, prev, i)
+			if prev := writer[e]; prev != 0 && prev != i+1 {
+				verr = fmt.Errorf("core: output dependency: element %d written by iterations %d and %d", e, prev-1, i)
+				break scan
 			}
-			writer[e] = i
+			writer[e] = i + 1
 		}
 	}
-	return nil
+	if scratch != nil {
+		*scratch = writer[:cap(writer)]
+		validateScratch.Put(scratch)
+	}
+	return verr
+}
+
+// writerScratch returns a zeroed writer-index slice of length l.Data from the
+// pool, pre-seeded with the identity writes of iterations 0..upto-1 (the
+// prefix the fast path already accepted, each of which wrote exactly element
+// j at iteration j, before a non-identity iteration forced the table to
+// materialize). The returned pointer is the pool box to Put the slice back
+// through.
+func (l *Loop) writerScratch(upto int) (*[]int, []int) {
+	p, _ := validateScratch.Get().(*[]int)
+	var writer []int
+	if p != nil && cap(*p) >= l.Data {
+		writer = (*p)[:l.Data]
+		clear(writer)
+	} else {
+		if p == nil {
+			p = new([]int)
+		}
+		writer = make([]int, l.Data)
+	}
+	for j := 0; j < upto; j++ {
+		writer[j] = j + 1
+	}
+	return p, writer
 }
 
 // Values gives a loop body access to the shared array with the paper's
@@ -97,6 +181,13 @@ type Values struct {
 	new      []float64
 	i        int
 	strategy flags.WaitStrategy
+	// cancel, when non-nil, is the run's abort flag: waits on unsatisfied
+	// true dependencies give up once it is set, so an aborted run can never
+	// deadlock on an iteration that will not execute.
+	cancel *atomic.Bool
+	// failErr records a failure reported through Fail (or a cancelled wait);
+	// the runtime aborts the run when the body returns with it set.
+	failErr error
 	// counters for tracing
 	waits      int
 	truedeps   int
@@ -111,11 +202,16 @@ type writerTable interface {
 	Len() int
 }
 
-// readyWaiter abstracts ReadyFlags and EpochFlags.
+// readyWaiter abstracts ReadyFlags and EpochFlags. WaitFor blocks until
+// element e is produced or cancelled (which may be nil) becomes true; it
+// returns the number of polls performed and whether the element was actually
+// produced. WakeAll releases waiters parked by the notify strategy so they
+// can observe a cancellation.
 type readyWaiter interface {
 	Set(e int)
 	IsDone(e int) bool
-	WaitFor(e int, strategy flags.WaitStrategy) int
+	WaitFor(e int, strategy flags.WaitStrategy, cancelled *atomic.Bool) (int, bool)
+	WakeAll()
 }
 
 // Iteration returns the original index of the iteration the body is
@@ -130,12 +226,22 @@ func (v *Values) Iteration() int { return v.i }
 // value without waiting; otherwise it returns the old value.
 //
 // Load implements statements S3–S8 of the paper's Figure 5.
+//
+// When the run has been aborted (context cancelled, another iteration failed
+// or panicked), a Load that would have to wait returns the old value
+// immediately instead of waiting for an iteration that will never execute;
+// the run's result is discarded in that case, so the stale value is never
+// observed by the caller.
 func (v *Values) Load(e int) float64 {
 	dep, _ := v.iter.Classify(e, v.i)
 	switch dep {
 	case flags.TrueDep:
 		v.truedeps++
-		v.waits += v.ready.WaitFor(e, v.strategy)
+		polls, ok := v.ready.WaitFor(e, v.strategy, v.cancel)
+		v.waits += polls
+		if !ok {
+			return v.old[e]
+		}
 		return v.new[e]
 	case flags.SelfDep:
 		v.selfdeps++
@@ -165,16 +271,37 @@ func (v *Values) Store(e int, x float64) { v.new[e] = x }
 // unsatisfied true dependencies.
 func (v *Values) Waits() int { return v.waits }
 
+// Fail marks this iteration — and therefore the whole run — as failed. The
+// runtime stops starting new iterations, releases waiting ones, restores the
+// scratch state and returns err (the first failure reported wins). It is the
+// escape hatch for bodies whose signature cannot change; new code should use
+// Loop.BodyErr. A nil err is ignored.
+func (v *Values) Fail(err error) {
+	if err != nil && v.failErr == nil {
+		v.failErr = err
+	}
+}
+
 // RunSequential executes the loop exactly as the original (untransformed)
 // sequential loop would, applying all writes in iteration order directly to
 // y. It is the reference the doacross results are compared against and the
-// T_seq used in parallel-efficiency calculations.
-func RunSequential(l *Loop, y []float64) {
+// T_seq used in parallel-efficiency calculations. A BodyErr failure (or
+// Values.Fail) stops the loop at the failing iteration and is returned.
+func RunSequential(l *Loop, y []float64) error {
+	if len(y) < l.Data {
+		return fmt.Errorf("core: data slice length %d shorter than loop data length %d", len(y), l.Data)
+	}
+	if l.Body == nil && l.BodyErr == nil {
+		return fmt.Errorf("core: loop has neither Body nor BodyErr")
+	}
 	v := &Values{}
 	for i := 0; i < l.N; i++ {
 		v.reset(seqTable{}, seqReady{}, y, y, i, flags.WaitSpin)
-		l.Body(i, v)
+		if err := l.run(i, v); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // seqTable classifies every read as a self dependence so Load returns the
@@ -188,9 +315,12 @@ func (seqTable) Len() int                                    { return 0 }
 
 type seqReady struct{}
 
-func (seqReady) Set(e int)                               {}
-func (seqReady) IsDone(e int) bool                       { return true }
-func (seqReady) WaitFor(e int, s flags.WaitStrategy) int { return 0 }
+func (seqReady) Set(e int)         {}
+func (seqReady) IsDone(e int) bool { return true }
+func (seqReady) WaitFor(e int, s flags.WaitStrategy, cancelled *atomic.Bool) (int, bool) {
+	return 0, true
+}
+func (seqReady) WakeAll() {}
 
 func (v *Values) reset(t writerTable, r readyWaiter, old, new []float64, i int, s flags.WaitStrategy) {
 	v.iter = t
@@ -199,6 +329,8 @@ func (v *Values) reset(t writerTable, r readyWaiter, old, new []float64, i int, 
 	v.new = new
 	v.i = i
 	v.strategy = s
+	v.cancel = nil
+	v.failErr = nil
 	v.waits = 0
 	v.truedeps = 0
 	v.selfdeps = 0

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -97,6 +99,54 @@ type Runtime struct {
 	// lastTrace holds the per-iteration trace of the most recent Run when
 	// Options.CollectTrace is set.
 	lastTrace *Trace
+
+	// ab is the per-run abort state, reused across runs so the hot path
+	// allocates nothing for it. It is armed at the start of every run and
+	// consulted by the executor before each position and inside cancellable
+	// waits.
+	ab runAbort
+}
+
+// runAbort coordinates early termination of a run: the first failure
+// (context cancellation, body error, body panic) is recorded and the
+// triggered flag released, after which workers stop starting iterations and
+// cancellable waits return. Workers still rendezvous at the phase barriers
+// and run the postprocessing resets, so the completion barrier never leaks
+// and the runtime stays reusable.
+type runAbort struct {
+	triggered atomic.Bool
+	mu        sync.Mutex
+	err       error
+	// wake releases waiters parked by the WaitNotify strategy; nil when no
+	// waiter can be parked.
+	wake func()
+}
+
+// arm prepares the abort state for a new run.
+func (a *runAbort) arm(wake func()) {
+	a.triggered.Store(false)
+	a.err = nil
+	a.wake = wake
+}
+
+// abort records err (first failure wins) and releases the run.
+func (a *runAbort) abort(err error) {
+	a.mu.Lock()
+	if a.err == nil {
+		a.err = err
+	}
+	a.mu.Unlock()
+	a.triggered.Store(true)
+	if a.wake != nil {
+		a.wake()
+	}
+}
+
+// firstErr returns the recorded failure, nil if the run completed.
+func (a *runAbort) firstErr() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
 }
 
 // NewRuntime creates a runtime whose scratch arrays cover data arrays of
@@ -179,16 +229,22 @@ func (rt *Runtime) waiter() readyWaiter {
 // flagWaiter adapts flags.ReadyFlags to the readyWaiter interface.
 type flagWaiter struct{ f *flags.ReadyFlags }
 
-func (w flagWaiter) Set(e int)                               { w.f.Set(e) }
-func (w flagWaiter) IsDone(e int) bool                       { return w.f.IsDone(e) }
-func (w flagWaiter) WaitFor(e int, s flags.WaitStrategy) int { return w.f.Wait(e, s) }
+func (w flagWaiter) Set(e int)         { w.f.Set(e) }
+func (w flagWaiter) IsDone(e int) bool { return w.f.IsDone(e) }
+func (w flagWaiter) WaitFor(e int, s flags.WaitStrategy, cancelled *atomic.Bool) (int, bool) {
+	return w.f.WaitCancel(e, s, cancelled)
+}
+func (w flagWaiter) WakeAll() { w.f.WakeAll() }
 
 // epochWaiter adapts flags.EpochFlags to the readyWaiter interface.
 type epochWaiter struct{ f *flags.EpochFlags }
 
-func (w epochWaiter) Set(e int)                               { w.f.Set(e) }
-func (w epochWaiter) IsDone(e int) bool                       { return w.f.IsDone(e) }
-func (w epochWaiter) WaitFor(e int, s flags.WaitStrategy) int { return w.f.Wait(e, s) }
+func (w epochWaiter) Set(e int)         { w.f.Set(e) }
+func (w epochWaiter) IsDone(e int) bool { return w.f.IsDone(e) }
+func (w epochWaiter) WaitFor(e int, s flags.WaitStrategy, cancelled *atomic.Bool) (int, bool) {
+	return w.f.WaitCancel(e, s, cancelled)
+}
+func (w epochWaiter) WakeAll() { w.f.WakeAll() }
 
 // phaseBarrier separates the phases of a fused run: all participants of the
 // submitted job rendezvous between the inspector, executor and postprocessor
@@ -216,9 +272,79 @@ func (b *phaseBarrier) wait(onLast func()) {
 	}
 }
 
+// checkRunArgs performs the up-front structural validation shared by every
+// Run variant, so a short data slice (or a loop wider than the runtime)
+// yields a descriptive error instead of an index panic inside a worker
+// goroutine mid-phase.
+func (rt *Runtime) checkRunArgs(l *Loop, y []float64) error {
+	if l.Data > rt.dataLen {
+		return fmt.Errorf("core: loop data length %d exceeds runtime capacity %d", l.Data, rt.dataLen)
+	}
+	if len(y) < l.Data {
+		return fmt.Errorf("core: data slice length %d shorter than loop data length %d", len(y), l.Data)
+	}
+	if l.Body == nil && l.BodyErr == nil {
+		return fmt.Errorf("core: loop has neither Body nor BodyErr")
+	}
+	return nil
+}
+
+// wakeWaiters releases waiters parked by the WaitNotify strategy so a
+// freshly-triggered abort is observed. With any other strategy it is nil
+// (nothing parks), so the abort path costs nothing extra.
+func (rt *Runtime) wakeWaiters() func() {
+	if rt.opts.WaitStrategy != flags.WaitNotify {
+		return nil
+	}
+	if rt.opts.UseEpochTables {
+		return rt.eReady.WakeAll
+	}
+	return rt.ready.WakeAll
+}
+
+// watchContext arms the run's abort state and, when ctx is cancellable,
+// starts a watcher goroutine that aborts the run the moment ctx is done. The
+// returned stop function must be called (exactly once) after the run's
+// workers have drained; it joins the watcher so the abort state can be
+// safely reused by the next run.
+func (rt *Runtime) watchContext(ctx context.Context) (stop func()) {
+	rt.ab.arm(rt.wakeWaiters())
+	done := ctx.Done()
+	if done == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		select {
+		case <-done:
+			rt.ab.abort(ctx.Err())
+		case <-quit:
+		}
+	}()
+	return func() {
+		close(quit)
+		<-exited
+	}
+}
+
 // Run executes the full preprocessed doacross — inspector, executor,
 // postprocessor — on the loop, updating y in place exactly as the sequential
-// loop would have. It returns a report of the execution.
+// loop would have. It returns a report of the execution. Run is
+// RunContext with a background context.
+func (rt *Runtime) Run(l *Loop, y []float64) (Report, error) {
+	return rt.RunContext(context.Background(), l, y)
+}
+
+// RunContext is Run with cancellation and failure propagation: the run is
+// aborted as soon as ctx is cancelled (or its deadline passes), a loop body
+// returns an error (BodyErr) or reports one (Values.Fail), or a loop body
+// panics (the panic is recovered into an error). On abort no further
+// iterations start, iterations waiting on unsatisfied dependencies are
+// released, the workers drain through the phase barriers as usual, and the
+// scratch state is restored — the runtime and its pool remain fully
+// reusable. The contents of y are unspecified after a failed run.
 //
 // The three phases are fused into a single pool submission: the workers are
 // woken once per Run and rendezvous at internal barriers between the phases,
@@ -226,15 +352,15 @@ func (b *phaseBarrier) wait(onLast func()) {
 // three times. The loop's data length must not exceed the runtime's. Run may
 // be called repeatedly (with the same or different loops); the scratch
 // arrays, worker pool and schedule are reused across calls as in the paper.
-func (rt *Runtime) Run(l *Loop, y []float64) (Report, error) {
-	if l.Data > rt.dataLen {
-		return Report{}, fmt.Errorf("core: loop data length %d exceeds runtime capacity %d", l.Data, rt.dataLen)
-	}
-	if len(y) < l.Data {
-		return Report{}, fmt.Errorf("core: data slice length %d shorter than loop data %d", len(y), l.Data)
+func (rt *Runtime) RunContext(ctx context.Context, l *Loop, y []float64) (Report, error) {
+	if err := rt.checkRunArgs(l, y); err != nil {
+		return Report{}, err
 	}
 	if rt.opts.Order != nil && len(rt.opts.Order) != l.N {
 		return Report{}, fmt.Errorf("core: execution order has %d entries for %d iterations", len(rt.opts.Order), l.N)
+	}
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
 	}
 
 	rep := Report{
@@ -252,10 +378,12 @@ func (rt *Runtime) Run(l *Loop, y []float64) (Report, error) {
 	if rt.opts.SpawnPerCall {
 		// The measurement baseline reproduces the pre-pool behaviour
 		// faithfully: three separate phase dispatches, each spawning its own
-		// goroutines.
-		return rt.runPhased(l, y, rep)
+		// goroutines. It honors body failures but checks ctx only between
+		// phases, not mid-phase; the fused path is the supported one.
+		return rt.runPhased(ctx, l, y, rep)
 	}
 
+	stopWatch := rt.watchContext(ctx)
 	tab := rt.table()
 	ready := rt.waiter()
 	// Wake no more workers than there are iterations: with fewer positions
@@ -293,43 +421,75 @@ func (rt *Runtime) Run(l *Loop, y []float64) (Report, error) {
 	}
 
 	useEpoch := rt.opts.UseEpochTables
+	ab := &rt.ab
+	stop := func() bool { return ab.triggered.Load() }
+	// guard runs one phase shard with panic recovery: a panicking user
+	// function (the body, or a broken Writes closure in the fully-parallel
+	// phases) aborts the run instead of crashing the process, and the worker
+	// proceeds to the next phase barrier as usual, so an abort never leaks
+	// the barrier. Recovery is per phase, not per shard, because a shard
+	// that skipped a barrier wait would deadlock the other workers.
+	guard := func(phase string, f func()) {
+		defer func() {
+			if r := recover(); r != nil {
+				ab.abort(fmt.Errorf("core: %s panicked: %v", phase, r))
+			}
+		}()
+		f()
+	}
 	bar := phaseBarrier{n: int32(k)}
 	var preEnd, execEnd time.Duration
 	start := time.Now()
 	rt.pool.Submit(k, func(w int) {
 		// Inspector shard (Figure 3, left): fully parallel, block-distributed.
 		lo, hi := sched.BlockRange(l.N, k, w)
-		for i := lo; i < hi; i++ {
-			for _, e := range l.Writes(i) {
-				tab.Record(e, i)
+		guard("loop Writes (inspector)", func() {
+			for i := lo; i < hi; i++ {
+				for _, e := range l.Writes(i) {
+					tab.Record(e, i)
+				}
 			}
-		}
+		})
 		bar.wait(func() { preEnd = time.Since(start) })
 
 		// Executor shard: the transformed loop of Figure 5.
-		if dynamic {
-			sched.DynamicLoop(&next, l.N, chunk, w, body)
-		} else if w < len(s.PerWorker) {
-			for _, pos := range s.PerWorker[w] {
-				body(w, pos)
-			}
-		}
-		bar.wait(func() { execEnd = time.Since(start) })
-
-		// Postprocessor shard (Figure 3, right): copy back and reset.
-		for i := lo; i < hi; i++ {
-			for _, e := range l.Writes(i) {
-				y[e] = rt.ynew[e]
-				if !useEpoch {
-					rt.iter.Reset(e)
-					rt.ready.Clear(e)
+		guard("loop body", func() {
+			if dynamic {
+				sched.DynamicLoop(&next, l.N, chunk, w, body, stop)
+			} else if w < len(s.PerWorker) {
+				for _, pos := range s.PerWorker[w] {
+					body(w, pos)
 				}
 			}
-		}
+		})
+		bar.wait(func() { execEnd = time.Since(start) })
+
+		// Postprocessor shard (Figure 3, right): copy back and reset. An
+		// aborted run resets the scratch state (so the runtime stays
+		// reusable) but skips the copy-back: skipped iterations never
+		// seeded ynew, so copying would publish stale values into y.
+		aborted := ab.triggered.Load()
+		guard("loop Writes (postprocessor)", func() {
+			for i := lo; i < hi; i++ {
+				for _, e := range l.Writes(i) {
+					if !aborted {
+						y[e] = rt.ynew[e]
+					}
+					if !useEpoch {
+						rt.iter.Reset(e)
+						rt.ready.Clear(e)
+					}
+				}
+			}
+		})
 	})
 	if useEpoch {
 		rt.eIter.Advance()
 		rt.eReady.Advance()
+	}
+	stopWatch()
+	if err := ab.firstErr(); err != nil {
+		return Report{}, err
 	}
 	total := time.Since(start)
 
@@ -384,21 +544,29 @@ type execCounters struct {
 // runPhased executes the three phases as separate pool dispatches, the shape
 // Run had before the fused submission. It is kept as the SpawnPerCall
 // baseline so BenchmarkRunReuse can measure what the persistent pool and the
-// fusion save together.
-func (rt *Runtime) runPhased(l *Loop, y []float64, rep Report) (Report, error) {
+// fusion save together. Cancellation is checked between phases only;
+// Postprocess always runs so the scratch state is restored even after a
+// failed executor phase.
+func (rt *Runtime) runPhased(ctx context.Context, l *Loop, y []float64, rep Report) (Report, error) {
 	start := time.Now()
 	rt.Inspect(l)
 	rep.PreTime = time.Since(start)
 
 	execStart := time.Now()
-	counters := rt.Execute(l, y)
+	counters, runErr := rt.Execute(l, y)
 	rep.ExecTime = time.Since(execStart)
 	rep.setCounters(counters)
+	if runErr == nil {
+		runErr = ctx.Err()
+	}
 
 	postStart := time.Now()
 	rt.Postprocess(l, y)
 	rep.PostTime = time.Since(postStart)
 	rep.TotalTime = time.Since(start)
+	if runErr != nil {
+		return Report{}, runErr
+	}
 	return rep, nil
 }
 
@@ -408,10 +576,17 @@ func (rt *Runtime) runPhased(l *Loop, y []float64, rep Report) (Report, error) {
 // execution order, seeds ynew, runs the user body through the worker's
 // reusable Values, marks the written elements ready and accumulates the
 // worker's dependency counters — all through worker-indexed slots, so the
-// hot path stays allocation-free.
+// hot path stays allocation-free. Once the run is aborted, remaining
+// positions drain without executing their bodies; a failing body aborts the
+// run and leaves its elements unpublished (waiters are released through the
+// cancellable wait instead).
 func (rt *Runtime) execBody(l *Loop, y []float64, tab writerTable, ready readyWaiter, traceBase time.Time) func(worker, pos int) {
 	order := rt.opts.Order
+	ab := &rt.ab
 	return func(worker, pos int) {
+		if ab.triggered.Load() {
+			return
+		}
 		i := pos
 		if order != nil {
 			i = order[pos]
@@ -429,7 +604,11 @@ func (rt *Runtime) execBody(l *Loop, y []float64, tab writerTable, ready readyWa
 		}
 		v := &rt.vals[worker]
 		v.reset(tab, ready, y, rt.ynew, i, rt.opts.WaitStrategy)
-		l.Body(i, v)
+		v.cancel = &ab.triggered
+		if err := l.run(i, v); err != nil {
+			ab.abort(err)
+			return
+		}
 		for _, e := range writes {
 			ready.Set(e)
 		}
@@ -456,13 +635,17 @@ func (rt *Runtime) execBody(l *Loop, y []float64, tab writerTable, ready readyWa
 // Reads go through Values.Load (which performs the iter check and the busy
 // wait), writes go to the ynew buffer, and each iteration's written elements
 // are marked ready when its body returns. y is only read during this phase.
+// A body failure (BodyErr or Values.Fail) aborts the remaining iterations
+// and is returned; run Postprocess afterwards regardless, so the scratch
+// state is restored.
 //
 // Run fuses this phase with Inspect and Postprocess into one pool
 // submission; Execute remains for callers that drive the phases separately
 // (the overhead ablations).
-func (rt *Runtime) Execute(l *Loop, y []float64) execCounters {
+func (rt *Runtime) Execute(l *Loop, y []float64) (execCounters, error) {
 	tab := rt.table()
 	ready := rt.waiter()
+	rt.ab.arm(rt.wakeWaiters())
 
 	var traceBase time.Time
 	if rt.opts.CollectTrace {
@@ -483,7 +666,7 @@ func (rt *Runtime) Execute(l *Loop, y []float64) execCounters {
 		rt.pool.RunSchedule(rt.schedule(l.N), body)
 	}
 
-	return sumCounters(rt.counters)
+	return sumCounters(rt.counters), rt.ab.firstErr()
 }
 
 // Postprocess is the parallel postprocessing phase (Figure 3, right, in the

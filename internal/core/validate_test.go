@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateIdentityFastPath checks the lazy writer-table path: a pure
+// identity-subscript loop (the triangular-solve shape) validates without
+// materializing the table, and must still catch out-of-range writes.
+func TestValidateIdentityFastPath(t *testing.T) {
+	ids := make([]int, 1000)
+	for i := range ids {
+		ids[i] = i
+	}
+	l := &Loop{
+		N:      1000,
+		Data:   1000,
+		Writes: func(i int) []int { return ids[i : i+1] },
+		Body:   func(i int, v *Values) {},
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("identity loop rejected: %v", err)
+	}
+	short := &Loop{
+		N:      10,
+		Data:   5,
+		Writes: func(i int) []int { return []int{i} },
+		Body:   func(i int, v *Values) {},
+	}
+	if err := short.Validate(); err == nil || !strings.Contains(err.Error(), "outside data length") {
+		t.Fatalf("identity loop writing past Data accepted: %v", err)
+	}
+	// Repeated validation of an identity loop must not allocate (the fast
+	// path never touches the writer table, pooled or otherwise).
+	if allocs := testing.AllocsPerRun(20, func() {
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("identity validation allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// TestValidateMixedWritesCollisions checks collisions across the
+// identity-prefix boundary in both directions, which the lazy
+// materialization must backfill correctly.
+func TestValidateMixedWritesCollisions(t *testing.T) {
+	// Iterations 0..4 write their own index; iteration 5 rewrites element 2.
+	late := &Loop{
+		N:    6,
+		Data: 6,
+		Writes: func(i int) []int {
+			if i == 5 {
+				return []int{2}
+			}
+			return []int{i}
+		},
+		Body: func(i int, v *Values) {},
+	}
+	if err := late.Validate(); err == nil || !strings.Contains(err.Error(), "output dependency") {
+		t.Fatalf("collision with identity prefix not detected: %v", err)
+	}
+
+	// An empty-writes iteration must not be treated as having written its
+	// own index: iteration 0 writes nothing, iteration 1 writes element 0 —
+	// no output dependency exists.
+	gap := &Loop{
+		N:    2,
+		Data: 2,
+		Writes: func(i int) []int {
+			if i == 0 {
+				return nil
+			}
+			return []int{0}
+		},
+		Body: func(i int, v *Values) {},
+	}
+	if err := gap.Validate(); err != nil {
+		t.Fatalf("empty-writes iteration falsely flagged: %v", err)
+	}
+
+	// A multi-element iteration may repeat its own element but not a
+	// previous iteration's.
+	multi := &Loop{
+		N:    3,
+		Data: 6,
+		Writes: func(i int) []int {
+			return []int{2 * i, 2*i + 1, 2 * i} // repeats its own first element
+		},
+		Body: func(i int, v *Values) {},
+	}
+	if err := multi.Validate(); err != nil {
+		t.Fatalf("intra-iteration repeat falsely flagged: %v", err)
+	}
+}
+
+// TestValidateBodyVariants checks the exactly-one-body rule.
+func TestValidateBodyVariants(t *testing.T) {
+	writes := func(i int) []int { return []int{i} }
+	both := &Loop{N: 1, Data: 1, Writes: writes,
+		Body:    func(i int, v *Values) {},
+		BodyErr: func(i int, v *Values) error { return nil },
+	}
+	if err := both.Validate(); err == nil {
+		t.Error("loop with both Body and BodyErr accepted")
+	}
+	neither := &Loop{N: 1, Data: 1, Writes: writes}
+	if err := neither.Validate(); err == nil {
+		t.Error("loop with no body accepted")
+	}
+	errOnly := &Loop{N: 1, Data: 1, Writes: writes,
+		BodyErr: func(i int, v *Values) error { return nil },
+	}
+	if err := errOnly.Validate(); err != nil {
+		t.Errorf("BodyErr-only loop rejected: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,11 +20,21 @@ import (
 //
 // The report aggregates the per-block phase times.
 func (rt *Runtime) RunBlocked(l *Loop, y []float64, blockSize int) (Report, error) {
+	return rt.RunBlockedContext(context.Background(), l, y, blockSize)
+}
+
+// RunBlockedContext is RunBlocked with cancellation and failure propagation:
+// each block runs through RunContext, so the run is abortable between (and
+// inside) the per-block wavefronts exactly like a plain RunContext.
+func (rt *Runtime) RunBlockedContext(ctx context.Context, l *Loop, y []float64, blockSize int) (Report, error) {
 	if blockSize <= 0 {
 		return Report{}, fmt.Errorf("core: block size must be positive, got %d", blockSize)
 	}
 	if rt.opts.Order != nil {
 		return Report{}, fmt.Errorf("core: RunBlocked does not support a reordered execution order")
+	}
+	if err := rt.checkRunArgs(l, y); err != nil {
+		return Report{}, err
 	}
 	rep := Report{
 		Workers:     rt.opts.Workers,
@@ -42,7 +53,11 @@ func (rt *Runtime) RunBlocked(l *Loop, y []float64, blockSize int) (Report, erro
 			N:      hi - lo,
 			Data:   l.Data,
 			Writes: func(i int) []int { return l.Writes(lo + i) },
-			Body:   func(i int, v *Values) { l.Body(lo+i, v) },
+		}
+		if l.BodyErr != nil {
+			sub.BodyErr = func(i int, v *Values) error { return l.BodyErr(lo+i, v) }
+		} else {
+			sub.Body = func(i int, v *Values) { l.Body(lo+i, v) }
 		}
 		if l.Reads != nil {
 			sub.Reads = func(i int) []int { return l.Reads(lo + i) }
@@ -51,7 +66,7 @@ func (rt *Runtime) RunBlocked(l *Loop, y []float64, blockSize int) (Report, erro
 		// because the block runs after all earlier blocks have fully
 		// completed (and postprocessed), the relative order inside the block
 		// is all that matters for the dependency checks.
-		blockRep, err := rt.Run(sub, y)
+		blockRep, err := rt.RunContext(ctx, sub, y)
 		if err != nil {
 			return Report{}, err
 		}
@@ -130,8 +145,8 @@ func (rt *Runtime) RunLinear(l *Loop, y []float64, sub LinearSubscript) (Report,
 	if sub.C == 0 {
 		return Report{}, fmt.Errorf("core: linear subscript requires C != 0")
 	}
-	if l.Data > rt.dataLen {
-		return Report{}, fmt.Errorf("core: loop data length %d exceeds runtime capacity %d", l.Data, rt.dataLen)
+	if err := rt.checkRunArgs(l, y); err != nil {
+		return Report{}, err
 	}
 	rep := Report{
 		Workers:     rt.opts.Workers,
@@ -144,11 +159,16 @@ func (rt *Runtime) RunLinear(l *Loop, y []float64, sub LinearSubscript) (Report,
 	// No inspector phase at all — that is the point of the variant.
 	tab := linearTable{sub: sub, n: l.N}
 	ready := rt.waiter()
+	ab := &rt.ab
+	ab.arm(rt.wakeWaiters())
 
 	execStart := time.Now()
 	perWorker := make([]execCounters, rt.opts.Workers)
 	vals := make([]Values, rt.opts.Workers)
 	body := func(worker, pos int) {
+		if ab.triggered.Load() {
+			return
+		}
 		i := pos
 		writes := l.Writes(i)
 		// Seed ynew with the old values (Figure 5, statement S2).
@@ -157,7 +177,11 @@ func (rt *Runtime) RunLinear(l *Loop, y []float64, sub LinearSubscript) (Report,
 		}
 		v := &vals[worker]
 		v.reset(tab, ready, y, rt.ynew, i, rt.opts.WaitStrategy)
-		l.Body(i, v)
+		v.cancel = &ab.triggered
+		if err := l.run(i, v); err != nil {
+			ab.abort(err)
+			return
+		}
 		for _, e := range writes {
 			ready.Set(e)
 		}
@@ -181,23 +205,31 @@ func (rt *Runtime) RunLinear(l *Loop, y []float64, sub LinearSubscript) (Report,
 	}
 
 	postStart := time.Now()
+	aborted := ab.triggered.Load()
 	if rt.opts.UseEpochTables {
 		rt.pool.ParallelFor(l.N, func(i int) {
 			for _, e := range l.Writes(i) {
-				y[e] = rt.ynew[e]
+				if !aborted {
+					y[e] = rt.ynew[e]
+				}
 			}
 		})
 		rt.eReady.Advance()
 	} else {
 		rt.pool.ParallelFor(l.N, func(i int) {
 			for _, e := range l.Writes(i) {
-				y[e] = rt.ynew[e]
+				if !aborted {
+					y[e] = rt.ynew[e]
+				}
 				rt.ready.Clear(e)
 			}
 		})
 	}
 	rep.PostTime = time.Since(postStart)
 	rep.TotalTime = time.Since(start)
+	if err := ab.firstErr(); err != nil {
+		return Report{}, err
+	}
 	return rep, nil
 }
 
@@ -205,20 +237,31 @@ func (rt *Runtime) RunLinear(l *Loop, y []float64, sub LinearSubscript) (Report,
 // no dependency checks and no synchronization, writing directly into y. It is
 // only correct for loops with no cross-iteration dependencies and exists as
 // the zero-overhead baseline the paper's odd-L efficiencies are measured
-// against.
-func (rt *Runtime) RunDoall(l *Loop, y []float64) Report {
+// against. A body failure (BodyErr or Values.Fail) stops the remaining
+// iterations and is returned.
+func (rt *Runtime) RunDoall(l *Loop, y []float64) (Report, error) {
+	if err := rt.checkRunArgs(l, y); err != nil {
+		return Report{}, err
+	}
 	rep := Report{
 		Workers:     rt.opts.Workers,
 		Iterations:  l.N,
 		Order:       "doall",
 		SchedPolicy: rt.opts.Policy.String(),
 	}
+	ab := &rt.ab
+	ab.arm(nil)
 	start := time.Now()
 	v := make([]Values, rt.opts.Workers)
 	body := func(worker, pos int) {
+		if ab.triggered.Load() {
+			return
+		}
 		vv := &v[worker]
 		vv.reset(seqTable{}, seqReady{}, y, y, pos, rt.opts.WaitStrategy)
-		l.Body(pos, vv)
+		if err := l.run(pos, vv); err != nil {
+			ab.abort(err)
+		}
 	}
 	if rt.opts.Policy == sched.Dynamic {
 		rt.pool.RunDynamic(l.N, rt.opts.Chunk, body)
@@ -227,7 +270,10 @@ func (rt *Runtime) RunDoall(l *Loop, y []float64) Report {
 	}
 	rep.ExecTime = time.Since(start)
 	rep.TotalTime = rep.ExecTime
-	return rep
+	if err := ab.firstErr(); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
 }
 
 // RunOracle executes the loop as a classical doacross with a-priori dependency
@@ -241,8 +287,8 @@ func (rt *Runtime) RunOracle(l *Loop, y []float64, preds [][]int32) (Report, err
 	if len(preds) != l.N {
 		return Report{}, fmt.Errorf("core: oracle dependency list has %d entries for %d iterations", len(preds), l.N)
 	}
-	if l.Data > rt.dataLen {
-		return Report{}, fmt.Errorf("core: loop data length %d exceeds runtime capacity %d", l.Data, rt.dataLen)
+	if err := rt.checkRunArgs(l, y); err != nil {
+		return Report{}, err
 	}
 	rep := Report{
 		Workers:     rt.opts.Workers,
@@ -271,13 +317,26 @@ func (rt *Runtime) RunOracle(l *Loop, y []float64, preds [][]int32) (Report, err
 	}
 	tab := oracleTable{writer: writerOf}
 	ready := rt.waiter()
+	ab := &rt.ab
+	wake := rt.wakeWaiters()
+	ab.arm(func() {
+		if wake != nil {
+			wake()
+		}
+		done.WakeAll()
+	})
 
 	perWorker := make([]execCounters, rt.opts.Workers)
 	vals := make([]Values, rt.opts.Workers)
 	body := func(worker, pos int) {
+		if ab.triggered.Load() {
+			return
+		}
 		i := pos
 		for _, p := range preds[i] {
-			done.Wait(int(p), rt.opts.WaitStrategy)
+			if _, ok := done.WaitCancel(int(p), rt.opts.WaitStrategy, &ab.triggered); !ok {
+				return
+			}
 		}
 		writes := l.Writes(i)
 		// Seed ynew with the old values (Figure 5, statement S2).
@@ -286,7 +345,11 @@ func (rt *Runtime) RunOracle(l *Loop, y []float64, preds [][]int32) (Report, err
 		}
 		v := &vals[worker]
 		v.reset(tab, ready, y, rt.ynew, i, rt.opts.WaitStrategy)
-		l.Body(i, v)
+		v.cancel = &ab.triggered
+		if err := l.run(i, v); err != nil {
+			ab.abort(err)
+			return
+		}
 		for _, e := range writes {
 			ready.Set(e)
 		}
@@ -307,9 +370,12 @@ func (rt *Runtime) RunOracle(l *Loop, y []float64, preds [][]int32) (Report, err
 	rep.ExecTime = time.Since(start)
 
 	postStart := time.Now()
+	aborted := ab.triggered.Load()
 	rt.pool.ParallelFor(l.N, func(i int) {
 		for _, e := range l.Writes(i) {
-			y[e] = rt.ynew[e]
+			if !aborted {
+				y[e] = rt.ynew[e]
+			}
 			if !rt.opts.UseEpochTables {
 				rt.ready.Clear(e)
 			}
@@ -320,6 +386,9 @@ func (rt *Runtime) RunOracle(l *Loop, y []float64, preds [][]int32) (Report, err
 	}
 	rep.PostTime = time.Since(postStart)
 	rep.TotalTime = time.Since(start)
+	if err := ab.firstErr(); err != nil {
+		return Report{}, err
+	}
 	return rep, nil
 }
 

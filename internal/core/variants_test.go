@@ -172,7 +172,10 @@ func TestDoallOnIndependentLoop(t *testing.T) {
 	}
 	y := make([]float64, n)
 	rt := NewRuntime(n, Options{Workers: 4})
-	rep := rt.RunDoall(l, y)
+	rep, err := rt.RunDoall(l, y)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range y {
 		if y[i] != float64(i)*2 {
 			t.Fatalf("y[%d] = %v", i, y[i])

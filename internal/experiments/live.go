@@ -1,21 +1,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
 	"time"
 
-	"doacross/internal/core"
-	"doacross/internal/doconsider"
-	"doacross/internal/flags"
+	"doacross"
 	"doacross/internal/krylov"
-	"doacross/internal/sched"
 	"doacross/internal/sparse"
 	"doacross/internal/stencil"
 	"doacross/internal/testloop"
 	"doacross/internal/trace"
-	"doacross/internal/trisolve"
 )
 
 // LiveResult is one live (goroutine) measurement on the host machine: the
@@ -43,6 +40,17 @@ func (r LiveResult) String() string {
 // the host (GOMAXPROCS).
 func DefaultLiveWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// liveSolverOptions is the facade option set shared by the live doacross
+// measurements: dynamic self-scheduling with a yielding spin wait.
+func liveSolverOptions(workers, chunk int) []doacross.Option {
+	return []doacross.Option{
+		doacross.WithWorkers(workers),
+		doacross.WithPolicy(doacross.Dynamic),
+		doacross.WithChunk(chunk),
+		doacross.WithWaitStrategy(doacross.WaitSpinYield),
+	}
+}
+
 // RunLiveTestLoop measures the live preprocessed doacross on the Figure 4
 // test loop configuration. repeat > 1 reports the best of several runs.
 func RunLiveTestLoop(tc testloop.Config, workers, repeat int) (LiveResult, error) {
@@ -53,23 +61,28 @@ func RunLiveTestLoop(tc testloop.Config, workers, repeat int) (LiveResult, error
 	base := tc.InitialData()
 
 	seqData := append([]float64(nil), base...)
+	var seqErr error
 	seqSample := trace.Measure(repeat, func() {
 		copy(seqData, base)
-		core.RunSequential(l, seqData)
+		if err := doacross.RunSequential(l, seqData); err != nil {
+			seqErr = err
+		}
 	})
+	if seqErr != nil {
+		return LiveResult{}, seqErr
+	}
 
-	rt := core.NewRuntime(l.Data, core.Options{
-		Workers:      workers,
-		Policy:       sched.Dynamic,
-		Chunk:        64,
-		WaitStrategy: flags.WaitSpinYield,
-	})
+	rt, err := doacross.New(l.Data, liveSolverOptions(workers, 64)...)
+	if err != nil {
+		return LiveResult{}, err
+	}
 	defer rt.Close()
+	ctx := context.Background()
 	parData := append([]float64(nil), base...)
 	var runErr error
 	parSample := trace.Measure(repeat, func() {
 		copy(parData, base)
-		if _, err := rt.Run(l, parData); err != nil {
+		if _, err := rt.Run(ctx, l, parData); err != nil {
 			runErr = err
 		}
 	})
@@ -104,21 +117,21 @@ func RunLiveTrisolve(prob stencil.Problem, workers, repeat int, reordered bool) 
 
 	var seqOut []float64
 	seqSample := trace.Measure(repeat, func() {
-		seqOut = trisolve.SolveSequential(l, rhs)
+		seqOut = doacross.SolveSequential(l, rhs)
 	})
 
 	// One reusable solver serves every repetition: the worker pool, scratch
 	// arrays and (when reordered) the doconsider plan are built once, which
 	// is how an iterative driver would use the doacross.
-	opts := core.Options{Workers: workers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitSpinYield}
-	var solver *trisolve.Solver
+	opts := liveSolverOptions(workers, 32)
+	var solver *doacross.Solver
 	var err2 error
 	name := fmt.Sprintf("trisolve %v doacross", prob)
 	if reordered {
-		solver, err2 = trisolve.NewReorderedSolver(l, doconsider.Level, opts)
+		solver, err2 = doacross.NewReorderedSolver(l, doacross.ReorderLevel, opts...)
 		name = fmt.Sprintf("trisolve %v reordered", prob)
 	} else {
-		solver, err2 = trisolve.NewSolver(l, opts)
+		solver, err2 = doacross.NewSolver(l, opts...)
 	}
 	if err2 != nil {
 		return LiveResult{}, err2
@@ -183,8 +196,7 @@ func RunLiveKrylovReuse(workers, repeat int) (LiveResult, error) {
 	if err != nil {
 		return LiveResult{}, err
 	}
-	opts := core.Options{Workers: workers, Policy: sched.Dynamic, Chunk: 32, WaitStrategy: flags.WaitSpinYield}
-	release, err := trisolve.UseDoacrossILU(parPre, opts)
+	release, err := doacross.UseDoacrossILU(parPre, liveSolverOptions(workers, 32)...)
 	if err != nil {
 		return LiveResult{}, err
 	}

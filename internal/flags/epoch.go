@@ -68,38 +68,61 @@ func (e *EpochFlags) IsDone(i int) bool { return e.slots[i].Load() == e.epoch.Lo
 // which can livelock under WaitSpin semantics when workers exceed
 // GOMAXPROCS.
 func (e *EpochFlags) Wait(i int, strategy WaitStrategy) int {
+	polls, _ := e.WaitCancel(i, strategy, nil)
+	return polls
+}
+
+// WaitCancel is Wait with a cancellation flag; see ReadyFlags.WaitCancel. A
+// nil cancelled never cancels.
+func (e *EpochFlags) WaitCancel(i int, strategy WaitStrategy, cancelled *atomic.Bool) (polls int, ok bool) {
 	cur := e.epoch.Load()
 	if e.slots[i].Load() == cur {
-		return 0
+		return 0, true
 	}
 	switch strategy {
 	case WaitSpin:
-		polls := 0
 		for e.slots[i].Load() != cur {
+			if cancelled != nil && cancelled.Load() {
+				return polls, false
+			}
 			polls++
 		}
-		return polls
+		return polls, true
 	case WaitNotify:
 		if e.notifier == nil {
 			// Fall back to yielding spin rather than panicking: the
 			// semantics are identical, only the cost differs.
-			return e.waitSpinYield(i, cur)
+			return e.waitSpinYield(i, cur, cancelled)
 		}
-		return e.notifier.wait(i, func() bool { return e.slots[i].Load() == cur })
+		polls = e.notifier.wait(i, func() bool {
+			return e.slots[i].Load() == cur || (cancelled != nil && cancelled.Load())
+		})
+		return polls, e.slots[i].Load() == cur
 	default:
-		return e.waitSpinYield(i, cur)
+		return e.waitSpinYield(i, cur, cancelled)
 	}
 }
 
-func (e *EpochFlags) waitSpinYield(i int, cur uint64) int {
-	polls := 0
+func (e *EpochFlags) waitSpinYield(i int, cur uint64, cancelled *atomic.Bool) (polls int, ok bool) {
 	for e.slots[i].Load() != cur {
+		if cancelled != nil && cancelled.Load() {
+			return polls, false
+		}
 		polls++
 		if polls > spinBeforeYield {
 			runtime.Gosched()
 		}
 	}
-	return polls
+	return polls, true
+}
+
+// WakeAll releases every waiter parked by the WaitNotify strategy so it can
+// re-check its predicate (and observe a cancellation). It is a no-op when
+// notification support is not enabled.
+func (e *EpochFlags) WakeAll() {
+	if e.notifier != nil {
+		e.notifier.wakeAll()
+	}
 }
 
 // EpochIterTable is the epoch-versioned variant of IterTable: each slot packs

@@ -120,37 +120,64 @@ const spinBeforeYield = 64
 // the number of polls that were required (0 if the flag was already set),
 // which the tracing layer uses as a proxy for wait time.
 func (r *ReadyFlags) Wait(e int, strategy WaitStrategy) int {
+	polls, _ := r.WaitCancel(e, strategy, nil)
+	return polls
+}
+
+// WaitCancel is Wait with a cancellation flag: it returns ok=false as soon as
+// cancelled becomes true while the element is still unproduced, so an
+// executor waiting on an iteration that will never run (because the run was
+// aborted) does not wait forever. A nil cancelled never cancels. Callers
+// that park waiters with WaitNotify must call WakeAll after setting
+// cancelled, or parked waiters will not observe it.
+func (r *ReadyFlags) WaitCancel(e int, strategy WaitStrategy, cancelled *atomic.Bool) (polls int, ok bool) {
 	if r.flags[e].Load() == Done {
-		return 0
+		return 0, true
 	}
 	switch strategy {
 	case WaitSpin:
-		polls := 0
 		for r.flags[e].Load() != Done {
+			if cancelled != nil && cancelled.Load() {
+				return polls, false
+			}
 			polls++
 		}
-		return polls
+		return polls, true
 	case WaitNotify:
 		if r.notifier == nil {
 			// Fall back to yielding spin rather than panicking: the
 			// semantics are identical, only the cost differs.
-			return r.waitSpinYield(e)
+			return r.waitSpinYield(e, cancelled)
 		}
-		return r.notifier.wait(e, func() bool { return r.flags[e].Load() == Done })
+		polls = r.notifier.wait(e, func() bool {
+			return r.flags[e].Load() == Done || (cancelled != nil && cancelled.Load())
+		})
+		return polls, r.flags[e].Load() == Done
 	default:
-		return r.waitSpinYield(e)
+		return r.waitSpinYield(e, cancelled)
 	}
 }
 
-func (r *ReadyFlags) waitSpinYield(e int) int {
-	polls := 0
+func (r *ReadyFlags) waitSpinYield(e int, cancelled *atomic.Bool) (polls int, ok bool) {
 	for r.flags[e].Load() != Done {
+		if cancelled != nil && cancelled.Load() {
+			return polls, false
+		}
 		polls++
 		if polls > spinBeforeYield {
 			runtime.Gosched()
 		}
 	}
-	return polls
+	return polls, true
+}
+
+// WakeAll releases every waiter parked by the WaitNotify strategy so it can
+// re-check its predicate (and observe a cancellation). It is a no-op when
+// notification support is not enabled.
+func (r *ReadyFlags) WakeAll() {
+	if r.notifier != nil {
+		r.notifier.wakeAll()
+	}
 }
 
 // IterTable is the execution-time dependency table filled by the inspector:

@@ -37,6 +37,20 @@ func (n *notifier) wake(e int) {
 	s.mu.Unlock()
 }
 
+// wakeAll broadcasts on every shard. It is used by run abortion: a waiter
+// parked for an element whose writing iteration will never execute must be
+// released, and the aborting goroutine does not know which shard it sleeps
+// on. Holding each shard mutex across the broadcast pairs with the waiter's
+// predicate re-check under the same mutex, so a wakeup cannot be missed.
+func (n *notifier) wakeAll() {
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
 // wait parks until done() reports true and returns the number of wakeups that
 // were needed.
 func (n *notifier) wait(e int, done func() bool) int {

@@ -447,16 +447,22 @@ func (pl *Pool) RunDynamic(n, chunk int, body func(worker, pos int)) {
 	}
 	var next atomic.Int64
 	pl.Submit(k, func(w int) {
-		DynamicLoop(&next, n, chunk, w, body)
+		DynamicLoop(&next, n, chunk, w, body, nil)
 	})
 }
 
 // DynamicLoop is the self-scheduling claim loop shared by RunDynamic and
 // callers that fuse the executor into a larger Submit (core.Runtime.Run): it
 // repeatedly claims chunks from next until the position space [0, n) is
-// exhausted. chunk must be positive.
-func DynamicLoop(next *atomic.Int64, n, chunk, w int, body func(worker, pos int)) {
+// exhausted. chunk must be positive. A non-nil stop is consulted before each
+// chunk claim; once it reports true the worker stops claiming and returns,
+// which is how an aborted (cancelled or failed) run drains the remaining
+// iteration space without executing it.
+func DynamicLoop(next *atomic.Int64, n, chunk, w int, body func(worker, pos int), stop func() bool) {
 	for {
+		if stop != nil && stop() {
+			return
+		}
 		start := int(next.Add(int64(chunk))) - chunk
 		if start >= n {
 			return

@@ -21,6 +21,7 @@
 package trisolve
 
 import (
+	"context"
 	"fmt"
 
 	"doacross/internal/core"
@@ -190,6 +191,12 @@ func newSolver(t *sparse.Triangular, opts core.Options) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Validation is cheap here: the forward solve hits Loop.Validate's
+	// identity fast path, and the backward solve reuses the pooled writer
+	// scratch, so building solvers in a loop stays allocation-light.
+	if err := s.loop.Validate(); err != nil {
+		return nil, err
+	}
 	s.rt = core.NewRuntime(t.N, opts)
 	return s, nil
 }
@@ -199,6 +206,12 @@ func newSolver(t *sparse.Triangular, opts core.Options) (*Solver, error) {
 // report. rhs is copied into the solver's owned buffer, so the caller's
 // slice is never retained.
 func (s *Solver) Solve(rhs, y []float64) ([]float64, core.Report, error) {
+	return s.SolveContext(context.Background(), rhs, y)
+}
+
+// SolveContext is Solve with cancellation: the underlying doacross run is
+// aborted (and the solver left reusable) as soon as ctx is cancelled.
+func (s *Solver) SolveContext(ctx context.Context, rhs, y []float64) ([]float64, core.Report, error) {
 	if len(rhs) < s.t.N {
 		return nil, core.Report{}, fmt.Errorf("trisolve: rhs has %d entries for %d unknowns", len(rhs), s.t.N)
 	}
@@ -206,12 +219,16 @@ func (s *Solver) Solve(rhs, y []float64) ([]float64, core.Report, error) {
 		y = make([]float64, s.t.N)
 	}
 	copy(s.rhs, rhs[:s.t.N])
-	rep, err := s.rt.Run(s.loop, y)
+	rep, err := s.rt.RunContext(ctx, s.loop, y)
 	if err != nil {
 		return nil, core.Report{}, err
 	}
 	return y, rep, nil
 }
+
+// Trace returns the per-iteration trace of the most recent Solve when the
+// solver was built with Options.CollectTrace, or nil otherwise.
+func (s *Solver) Trace() *core.Trace { return s.rt.Trace() }
 
 // Close releases the solver's worker pool. It is idempotent.
 func (s *Solver) Close() { s.rt.Close() }

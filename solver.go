@@ -1,0 +1,164 @@
+package doacross
+
+import (
+	"fmt"
+
+	"doacross/internal/depgraph"
+	"doacross/internal/doconsider"
+	"doacross/internal/sparse"
+	"doacross/internal/trisolve"
+)
+
+// Triangular is a sparse triangular matrix in the compressed row form the
+// solvers consume (lower or upper, selected by its Lower field).
+type Triangular = sparse.Triangular
+
+// ILUPreconditioner is an incomplete-LU preconditioner whose two triangular
+// substitutions can be rewired onto doacross solvers with UseDoacrossILU.
+type ILUPreconditioner = sparse.ILUPreconditioner
+
+// Solver binds a reusable doacross runtime to one triangular matrix: the
+// scratch state, worker pool and (for reordered solvers) the reordering plan
+// are built once and reused by every Solve, the access pattern of iterative
+// Krylov drivers. A Solver is not safe for concurrent use; Close releases
+// its worker pool.
+type Solver = trisolve.Solver
+
+// SolverKind identifies one of the triangular-solve executors compared in
+// the paper's Table 1.
+type SolverKind = trisolve.SolverKind
+
+// Triangular-solve executors.
+const (
+	// SolverSequential is the ordinary sequential substitution.
+	SolverSequential SolverKind = trisolve.Sequential
+	// SolverDoacross is the plain preprocessed doacross.
+	SolverDoacross SolverKind = trisolve.Doacross
+	// SolverReordered is the doacross with doconsider-reordered iterations.
+	SolverReordered SolverKind = trisolve.DoacrossReordered
+	// SolverLinear is the linear-subscript doacross (no inspector).
+	SolverLinear SolverKind = trisolve.LinearSubscript
+	// SolverLevelScheduled is the wavefront (level-scheduled) baseline.
+	SolverLevelScheduled SolverKind = trisolve.LevelScheduled
+)
+
+// ReorderStrategy selects how the doconsider transformation derives a new
+// iteration order from the dependency graph.
+type ReorderStrategy = doconsider.Strategy
+
+// Reordering strategies.
+const (
+	// ReorderNatural keeps the original iteration order.
+	ReorderNatural ReorderStrategy = doconsider.Natural
+	// ReorderLevel orders iterations by wavefront level.
+	ReorderLevel ReorderStrategy = doconsider.Level
+	// ReorderLevelInterleaved orders by wavefront, round-robining levels.
+	ReorderLevelInterleaved ReorderStrategy = doconsider.LevelInterleaved
+	// ReorderCriticalPath schedules critical-path iterations first.
+	ReorderCriticalPath ReorderStrategy = doconsider.CriticalPath
+)
+
+// DepGraph is the true-dependency graph of a loop, the input to the
+// reordering strategies and the dependency-structure analyses.
+type DepGraph = depgraph.Graph
+
+// TrisolveGraph builds the true-dependency graph of the triangular solve on
+// t (forward substitution for a lower factor, backward for an upper one).
+func TrisolveGraph(t *Triangular) *DepGraph {
+	if t.Lower {
+		return trisolve.Graph(t)
+	}
+	return trisolve.UpperGraph(t)
+}
+
+// NewSolver builds a reusable doacross solver for the triangular matrix t,
+// choosing forward or backward substitution from t.Lower. The loop is
+// validated once at construction.
+func NewSolver(t *Triangular, opts ...Option) (*Solver, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return trisolve.NewSolver(t, o)
+}
+
+// NewReorderedSolver builds a reusable doacross solver whose iterations are
+// rearranged once with the given doconsider strategy; every subsequent Solve
+// reuses the plan.
+func NewReorderedSolver(t *Triangular, strategy ReorderStrategy, opts ...Option) (*Solver, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return trisolve.NewReorderedSolver(t, strategy, o)
+}
+
+// SolveTriangular solves T*y = rhs once with the executor identified by
+// kind. For repeated solves on the same matrix build a Solver instead, which
+// reuses the runtime across calls.
+func SolveTriangular(kind SolverKind, t *Triangular, rhs []float64, opts ...Option) ([]float64, Report, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	if t.Lower {
+		return trisolve.Solve(kind, t, rhs, o)
+	}
+	// Backward substitution supports a subset of the executors; asking for
+	// one of the others must fail loudly rather than silently running a
+	// different algorithm under the requested name.
+	switch kind {
+	case SolverSequential:
+		return trisolve.SolveSequential(t, rhs), Report{Workers: 1, Iterations: t.N, Order: "sequential"}, nil
+	case SolverDoacross:
+		return trisolve.SolveUpperDoacross(t, rhs, o)
+	case SolverReordered:
+		return trisolve.SolveUpperDoacrossReordered(t, rhs, doconsider.Level, o)
+	default:
+		return nil, Report{}, fmt.Errorf("doacross: executor %v is not supported for upper (backward-substitution) factors", kind)
+	}
+}
+
+// SolveSequential solves T*y = rhs with the ordinary sequential
+// substitution, the reference all parallel executors are verified against.
+func SolveSequential(t *Triangular, rhs []float64) []float64 {
+	return trisolve.SolveSequential(t, rhs)
+}
+
+// SolveRenumbered solves T*y = rhs by renumbering the unknowns with the
+// doconsider ordering (a symmetric permutation of the matrix and right-hand
+// side) and running the doacross in natural order on the renumbered system —
+// the "transform the data" alternative to SolverReordered's "transform the
+// schedule". Both produce identical results; comparing them isolates whether
+// the reordering benefit comes from the iteration order alone.
+func SolveRenumbered(t *Triangular, rhs []float64, strategy ReorderStrategy, opts ...Option) ([]float64, Report, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return trisolve.SolveRenumbered(t, rhs, strategy, o)
+}
+
+// UseDoacrossILU replaces both triangular substitutions of the ILU
+// preconditioner with reusable preprocessed-doacross solvers (forward for L,
+// backward for U), so an iterative Krylov solve reuses two persistent worker
+// pools across every preconditioner application. It returns a release
+// function that retires both pools; call it when the preconditioner is no
+// longer needed.
+func UseDoacrossILU(p *ILUPreconditioner, opts ...Option) (release func(), err error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return trisolve.UseDoacrossILU(p, o)
+}
+
+// UseDoacrossILUReordered is UseDoacrossILU with each factor's iterations
+// rearranged once by the given doconsider strategy.
+func UseDoacrossILUReordered(p *ILUPreconditioner, strategy ReorderStrategy, opts ...Option) (release func(), err error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return trisolve.UseDoacrossILUReordered(p, strategy, o)
+}
