@@ -418,6 +418,143 @@ func BenchmarkProcessorSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkExecutorComparison measures the pluggable execution strategies
+// against each other on the paper's loop shapes: the Figure 4 test loop (even
+// L, so real cross-iteration dependencies) and the Table 1 triangular solves.
+// Doacross pays per-read flag checks and busy waits; wavefront pays one
+// barrier per level off a cached pre-built schedule; auto inspects and picks.
+func BenchmarkExecutorComparison(b *testing.B) {
+	ctx := context.Background()
+	executors := []struct {
+		name string
+		kind doacross.ExecutorKind
+	}{
+		{"doacross", doacross.Doacross},
+		{"wavefront", doacross.Wavefront},
+		{"auto", doacross.Auto},
+	}
+
+	for _, l := range []int{2, 14} {
+		tc := testloop.Config{N: 20000, M: 5, L: l}
+		loop := tc.Loop()
+		base := tc.InitialData()
+		for _, ex := range executors {
+			b.Run(fmt.Sprintf("live/figure4/L=%d/%s", l, ex.name), func(b *testing.B) {
+				rt := newRuntime(b, loop.Data,
+					doacross.WithWorkers(liveWorkers),
+					doacross.WithWaitStrategy(doacross.WaitSpinYield),
+					doacross.WithExecutor(ex.kind),
+				)
+				defer rt.Close()
+				y := append([]float64(nil), base...)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					copy(y, base)
+					if _, err := rt.Run(ctx, loop, y); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+
+	for _, prob := range []stencil.Problem{stencil.SPE2, stencil.FivePoint} {
+		l, _, err := stencil.LowerFactor(prob, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rhs := stencil.RHS(l.N, 7)
+		for _, ex := range executors {
+			b.Run(fmt.Sprintf("live/trisolve/%v/%s", prob, ex.name), func(b *testing.B) {
+				solver, err := doacross.NewSolver(l,
+					doacross.WithWorkers(liveWorkers),
+					doacross.WithPolicy(doacross.Dynamic),
+					doacross.WithChunk(32),
+					doacross.WithWaitStrategy(doacross.WaitSpinYield),
+					doacross.WithExecutor(ex.kind),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer solver.Close()
+				y := make([]float64, l.N)
+				var waits int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, rep, err := solver.Solve(rhs, y)
+					if err != nil {
+						b.Fatal(err)
+					}
+					waits = rep.WaitPolls
+				}
+				b.ReportMetric(float64(waits), "waits/op")
+			})
+		}
+	}
+}
+
+// BenchmarkScheduleCache measures what the wavefront schedule cache
+// amortizes: "cold" builds a fresh solver per solve (every run pays the full
+// inspection: graph build, level decomposition, schedule materialization),
+// "warm" reuses one solver so every run after the first is a cache hit. The
+// preNs/op metric isolates the inspection component — on warm runs it is the
+// cost of the pointer-identity memo lookup, i.e. effectively zero.
+func BenchmarkScheduleCache(b *testing.B) {
+	l, _, err := stencil.LowerFactor(stencil.FivePoint, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := stencil.RHS(l.N, 7)
+	opts := []doacross.Option{
+		doacross.WithWorkers(liveWorkers),
+		doacross.WithWaitStrategy(doacross.WaitSpinYield),
+		doacross.WithExecutor(doacross.Wavefront),
+	}
+	b.Run("cold", func(b *testing.B) {
+		var pre int64
+		for i := 0; i < b.N; i++ {
+			solver, err := doacross.NewSolver(l, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, rep, err := solver.Solve(rhs, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.InspectCached {
+				b.Fatal("fresh solver hit a cache")
+			}
+			pre += rep.PreTime.Nanoseconds()
+			solver.Close()
+		}
+		b.ReportMetric(float64(pre)/float64(b.N), "preNs/op")
+	})
+	b.Run("warm", func(b *testing.B) {
+		solver, err := doacross.NewSolver(l, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer solver.Close()
+		y := make([]float64, l.N)
+		if _, _, err := solver.Solve(rhs, y); err != nil { // pay the cold inspect outside the timer
+			b.Fatal(err)
+		}
+		var pre int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, rep, err := solver.Solve(rhs, y)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.InspectCached {
+				b.Fatal("warm solve missed the cache")
+			}
+			pre += rep.PreTime.Nanoseconds()
+		}
+		b.ReportMetric(float64(pre)/float64(b.N), "preNs/op")
+	})
+}
+
 // BenchmarkRunReuse measures the per-Run overhead the persistent worker pool
 // eliminates for iterative drivers: repeated runs of a small loop on one
 // reused runtime, pooled (workers started once, one fused phase submission

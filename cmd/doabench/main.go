@@ -34,17 +34,19 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig6 | table1 | overhead | blocked | linear | ordering | sweep | live | all")
+		experiment = flag.String("experiment", "all", "fig6 | table1 | overhead | blocked | linear | ordering | sweep | executors | live | all")
 		procs      = flag.Int("procs", experiments.PaperProcessors, "simulated processor count")
 		n          = flag.Int("n", 10000, "Figure 6 outer iteration count")
 		seed       = flag.Int64("seed", 1, "seed for the synthetic SPE operators")
 		check      = flag.Bool("check", false, "verify the paper's qualitative claims and fail if violated")
 		liveReps   = flag.Int("live-reps", 3, "repetitions for live measurements")
 		format     = flag.String("format", "text", "output format for fig6/table1/sweep: text | markdown | csv")
+		jsonPath   = flag.String("json", "BENCH_results.json", "write machine-readable results of the live/executors experiments here (empty disables)")
 	)
 	flag.Parse()
 
 	failures := 0
+	var benchRecords []experiments.BenchRecord
 	run := func(name string, f func() (string, []string, error)) {
 		if *experiment != "all" && *experiment != name {
 			return
@@ -163,6 +165,21 @@ func main() {
 		return out.String(), problems, nil
 	})
 
+	run("executors", func() (string, []string, error) {
+		workers := experiments.DefaultLiveWorkers()
+		sweep := []int{workers}
+		if workers > 2 {
+			sweep = []int{2, workers}
+		}
+		rows, err := experiments.RunExecutorSweep(
+			[]stencil.Problem{stencil.SPE2, stencil.FivePoint, stencil.SevenPoint}, sweep, *liveReps)
+		if err != nil {
+			return "", nil, err
+		}
+		benchRecords = append(benchRecords, experiments.ExecutorBenchRecords(rows)...)
+		return experiments.FormatExecutorSweep(rows), experiments.CheckExecutorSweep(rows), nil
+	})
+
 	run("live", func() (string, []string, error) {
 		workers := experiments.DefaultLiveWorkers()
 		var results []experiments.LiveResult
@@ -182,8 +199,8 @@ func main() {
 			results = append(results, r)
 		}
 		for _, prob := range []stencil.Problem{stencil.FivePoint, stencil.SevenPoint} {
-			for _, reordered := range []bool{false, true} {
-				r, err := experiments.RunLiveTrisolve(prob, workers, *liveReps, reordered)
+			for _, variant := range experiments.TrisolveVariants {
+				r, err := experiments.RunLiveTrisolve(prob, workers, *liveReps, variant)
 				if err != nil {
 					return "", nil, err
 				}
@@ -197,8 +214,17 @@ func main() {
 			return "", nil, err
 		}
 		results = append(results, r)
+		benchRecords = append(benchRecords, experiments.LiveBenchRecords(results)...)
 		return experiments.FormatLive(results), nil, nil
 	})
+
+	if *jsonPath != "" && len(benchRecords) > 0 {
+		if err := experiments.WriteBenchJSON(*jsonPath, benchRecords); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d machine-readable records to %s\n", len(benchRecords), *jsonPath)
+	}
 
 	if *check && failures > 0 {
 		fmt.Fprintf(os.Stderr, "%d qualitative claims violated\n", failures)

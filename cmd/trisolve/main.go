@@ -37,13 +37,14 @@ var solverKinds = map[string]doacross.SolverKind{
 	"doacross-reordered": doacross.SolverReordered,
 	"doacross-linear":    doacross.SolverLinear,
 	"level-scheduled":    doacross.SolverLevelScheduled,
+	"doacross-wavefront": doacross.SolverWavefront,
 }
 
 func main() {
 	var (
 		problem   = flag.String("problem", "5-PT", "test system: SPE2, SPE5, 5-PT, 7-PT or 9-PT")
 		workers   = flag.Int("workers", 4, "number of workers for the parallel solvers")
-		solver    = flag.String("solver", "all", "sequential | doacross | doacross-reordered | doacross-linear | level-scheduled | all")
+		solver    = flag.String("solver", "all", "sequential | doacross | doacross-reordered | doacross-linear | level-scheduled | doacross-wavefront | all")
 		repeat    = flag.Int("repeat", 3, "timing repetitions (best is reported)")
 		seed      = flag.Int64("seed", 1, "seed for the synthetic SPE operators")
 		showTrace = flag.Bool("trace", false, "print a per-worker execution trace summary of the doacross solve")
@@ -75,7 +76,7 @@ func main() {
 		doacross.WithWaitStrategy(doacross.WaitSpinYield),
 	}
 
-	names := []string{"sequential", "doacross", "doacross-reordered", "doacross-linear", "level-scheduled"}
+	names := []string{"sequential", "doacross", "doacross-reordered", "doacross-linear", "level-scheduled", "doacross-wavefront"}
 	fmt.Printf("%-20s %12s %10s %10s  %s\n", "solver", "time", "speedup", "eff", "check")
 	var seqTime time.Duration
 	for _, name := range names {

@@ -48,6 +48,35 @@ const (
 	Dynamic Policy = sched.Dynamic
 )
 
+// ExecutorKind selects the execution strategy: how run-time dependencies are
+// enforced during the executor phase.
+type ExecutorKind = core.ExecutorKind
+
+// Execution strategies.
+const (
+	// Doacross is the paper's flag-based busy-wait doacross (the default):
+	// iterations start in schedule order and reads of not-yet-produced
+	// elements wait on per-element ready flags. It pipelines across
+	// wavefronts at the cost of per-read flag checks.
+	Doacross ExecutorKind = core.ExecDoacross
+	// Wavefront pre-schedules execution: the inspector builds the true
+	// dependency graph, decomposes it into wavefront levels, and each level
+	// runs as a barrier-separated doall — no flags, no busy waits. The
+	// decomposition and its static schedule are cached across runs on the
+	// same runtime (keyed by the loop's access pattern), so repeated solves
+	// inspect once. Requires Loop.Reads and natural order (no WithOrder).
+	Wavefront ExecutorKind = core.ExecWavefront
+	// Auto inspects the loop once through the same cache and picks the
+	// strategy from the dependency graph's shape: wide shallow graphs run as
+	// wavefronts, narrow deep graphs keep the doacross pipelining.
+	Auto ExecutorKind = core.ExecAuto
+)
+
+// InspectStats describes what the inspector learned about a loop's
+// dependency structure: level count, widths, critical path, and whether the
+// decomposition came from the runtime's schedule cache.
+type InspectStats = core.InspectStats
+
 // WaitStrategy selects how executors wait on unsatisfied true dependencies.
 type WaitStrategy = flags.WaitStrategy
 
@@ -125,6 +154,28 @@ func WithWaitStrategy(s WaitStrategy) Option {
 	}
 }
 
+// WithExecutor selects the execution strategy (default Doacross, the paper's
+// busy-wait construct). Wavefront switches to pre-scheduled level-set
+// execution — the inspector's dependency graph decomposed into
+// barrier-separated doall levels, with the decomposition and its static
+// schedule cached across runs — and Auto picks per loop from the inspected
+// graph shape. Wavefront requires the loop to declare Reads covering every
+// element the body may Load (see LoopBuilder.Reads) and is incompatible
+// with WithOrder (it derives its own level order); Auto falls back to
+// Doacross in both cases. Both tiers of the schedule cache assume a Loop
+// value's access pattern never changes; build a fresh Loop when the pattern
+// does.
+func WithExecutor(k ExecutorKind) Option {
+	return func(c *config) {
+		switch k {
+		case Doacross, Wavefront, Auto:
+			c.opts.Executor = k
+		default:
+			c.fail(fmt.Errorf("doacross: unknown executor kind %d", int(k)))
+		}
+	}
+}
+
 // WithOrder sets the execution order produced by a reordering transform:
 // position k of the parallel loop executes original iteration order[k]. The
 // order must be a permutation of 0..N-1 of the loop the runtime will run,
@@ -174,11 +225,15 @@ func WithSpawnPerCall() Option {
 }
 
 // buildOptions folds a list of options into the internal runtime options,
-// reporting the first invalid option.
+// reporting the first invalid option. Cross-option conflicts are checked
+// after folding, so they are caught whatever order the options appear in.
 func buildOptions(opts []Option) (core.Options, error) {
 	c := config{opts: core.Options{Workers: 1}}
 	for _, o := range opts {
 		o(&c)
+	}
+	if c.err == nil && c.opts.Order != nil && c.opts.Executor == Wavefront {
+		c.fail(fmt.Errorf("doacross: WithExecutor(Wavefront) is incompatible with WithOrder (the wavefront executor derives its own level order)"))
 	}
 	return c.opts, c.err
 }
@@ -245,9 +300,15 @@ func (r *Runtime) RunDoall(l *Loop, y []float64) (Report, error) {
 	return r.rt.RunDoall(l, y)
 }
 
-// Inspect runs only the inspector phase (the execution-time preprocessing).
-// It exists for overhead measurements; Run performs it automatically.
-func (r *Runtime) Inspect(l *Loop) { r.rt.Inspect(l) }
+// Inspect runs only the inspector phase (the execution-time preprocessing)
+// and returns the inspection statistics: the wavefront decomposition's level
+// count, widths and critical path when the loop declares Reads (computed
+// through — and cached in — the same schedule cache the Wavefront executor
+// uses), or just the iteration count when it does not. The error is non-nil
+// when a Writes/Reads closure panicked during the decomposition. It exists
+// for overhead measurements and executor-selection diagnostics; Run inspects
+// automatically.
+func (r *Runtime) Inspect(l *Loop) (InspectStats, error) { return r.rt.Inspect(l) }
 
 // Trace returns the per-iteration trace of the most recent run when the
 // runtime was built with WithTrace, or nil otherwise. The trace is owned by
@@ -295,8 +356,12 @@ func (b *LoopBuilder) Writes(f func(i int) []int) *LoopBuilder {
 }
 
 // Reads sets the function returning the data elements iteration i may read.
-// It is consulted only by analysis layers; the executor discovers reads
-// dynamically through Values.Load. Optional.
+// The default Doacross executor discovers reads dynamically through
+// Values.Load and never consults it; analysis layers and the
+// Wavefront/Auto executors do, and for them Reads must cover every element
+// the body may Load (over-declaring is safe; under-declaring makes the
+// pre-scheduled execution silently incorrect). Optional when only the
+// Doacross executor will run the loop.
 func (b *LoopBuilder) Reads(f func(i int) []int) *LoopBuilder {
 	b.l.Reads = f
 	return b

@@ -41,6 +41,13 @@
 // calling Values.Fail; a panicking body is recovered into a returned error.
 // After any failed run the Runtime remains fully reusable.
 //
+// The execution strategy is pluggable (WithExecutor): the default Doacross
+// is the paper's flag-based busy-wait construct; Wavefront pre-schedules the
+// inspected dependency graph into barrier-separated level sets whose
+// decomposition and static schedule are cached across runs; Auto inspects
+// once and picks from the graph's shape. See the README's "Choosing an
+// executor".
+//
 // The runtime is the paper's Section 2.1 design: one Runtime (scratch arrays
 // plus a persistent worker pool) is meant to be built once and reused across
 // many runs, the access pattern of iterative solvers. For the paper's

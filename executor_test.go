@@ -1,0 +1,219 @@
+// Integration tests of the pluggable executor layer through the public
+// facade: pre-scheduled wavefront execution on the paper's triangular
+// systems, the schedule cache across repeated solves, and automatic
+// executor selection.
+package doacross_test
+
+import (
+	"context"
+	"testing"
+
+	"doacross"
+	"doacross/internal/stencil"
+)
+
+// TestWavefrontSolvesPaperSystems is the acceptance property: the wavefront
+// executor solves every Table 1 triangular system (forward and backward
+// substitution) with results bitwise identical to the sequential solve.
+func TestWavefrontSolvesPaperSystems(t *testing.T) {
+	for _, prob := range stencil.Problems {
+		l, u, err := stencil.LowerFactor(prob, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs := stencil.RHS(l.N, 7)
+		opts := []doacross.Option{
+			doacross.WithWorkers(4),
+			doacross.WithExecutor(doacross.Wavefront),
+		}
+		for _, tri := range []*doacross.Triangular{l, u} {
+			want := doacross.SolveSequential(tri, rhs)
+			got, rep, err := doacross.SolveTriangular(doacross.SolverDoacross, tri, rhs, opts...)
+			if err != nil {
+				t.Fatalf("%v lower=%v: %v", prob, tri.Lower, err)
+			}
+			if rep.Executor != "wavefront" {
+				t.Fatalf("%v: report executor %q, want wavefront", prob, rep.Executor)
+			}
+			if rep.Levels == 0 {
+				t.Fatalf("%v: wavefront run reports zero levels", prob)
+			}
+			if rep.WaitPolls != 0 {
+				t.Fatalf("%v: wavefront run busy-waited (%d polls)", prob, rep.WaitPolls)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%v lower=%v: element %d differs: %v vs %v", prob, tri.Lower, i, want[i], got[i])
+				}
+			}
+			// The SolverWavefront kind is the same executor by name.
+			got2, _, err := doacross.SolveTriangular(doacross.SolverWavefront, tri, rhs, doacross.WithWorkers(4))
+			if err != nil {
+				t.Fatalf("%v SolverWavefront: %v", prob, err)
+			}
+			for i := range want {
+				if want[i] != got2[i] {
+					t.Fatalf("%v SolverWavefront: element %d differs", prob, i)
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleCacheAcrossSolves checks the repeated-solve premise: on one
+// reusable Solver the first wavefront solve inspects cold, every later solve
+// hits the schedule cache, and the cached solves still produce bitwise
+// sequential results.
+func TestScheduleCacheAcrossSolves(t *testing.T) {
+	l, _, err := stencil.LowerFactor(stencil.FivePoint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := doacross.NewSolver(l,
+		doacross.WithWorkers(4),
+		doacross.WithExecutor(doacross.Wavefront),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solver.Close()
+
+	for rep := 0; rep < 5; rep++ {
+		rhs := stencil.RHS(l.N, int64(rep))
+		want := doacross.SolveSequential(l, rhs)
+		got, r, err := solver.Solve(rhs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantCached := rep > 0; r.InspectCached != wantCached {
+			t.Fatalf("solve %d: InspectCached=%v, want %v", rep, r.InspectCached, wantCached)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("solve %d: element %d differs", rep, i)
+			}
+		}
+	}
+}
+
+// TestAutoExecutorThroughFacade checks WithExecutor(Auto) end to end: the
+// five-point factor is wide enough that Auto pre-schedules it, and the
+// report names the picked strategy.
+func TestAutoExecutorThroughFacade(t *testing.T) {
+	l, _, err := stencil.LowerFactor(stencil.FivePoint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := stencil.RHS(l.N, 7)
+	want := doacross.SolveSequential(l, rhs)
+	got, rep, err := doacross.SolveTriangular(doacross.SolverDoacross, l, rhs,
+		doacross.WithWorkers(4),
+		doacross.WithExecutor(doacross.Auto),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executor != "wavefront" {
+		t.Fatalf("auto picked %q for the five-point factor, want wavefront", rep.Executor)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("element %d differs", i)
+		}
+	}
+}
+
+// TestWithExecutorValidation pins the option's error paths.
+func TestWithExecutorValidation(t *testing.T) {
+	if _, err := doacross.New(8, doacross.WithExecutor(doacross.ExecutorKind(42))); err == nil {
+		t.Fatal("invalid executor kind accepted")
+	}
+
+	// Wavefront × WithOrder is a construction-time error, in either option
+	// order, and a reordered solver rejects the wavefront executor up front.
+	order := []int{1, 0, 2, 3, 4, 5, 6, 7}
+	if _, err := doacross.New(8, doacross.WithOrder(order), doacross.WithExecutor(doacross.Wavefront)); err == nil {
+		t.Fatal("WithOrder + Wavefront accepted")
+	}
+	if _, err := doacross.New(8, doacross.WithExecutor(doacross.Wavefront), doacross.WithOrder(order)); err == nil {
+		t.Fatal("Wavefront + WithOrder accepted")
+	}
+	lf, _, err := stencil.LowerFactor(stencil.SPE2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doacross.NewReorderedSolver(lf, doacross.ReorderLevel, doacross.WithExecutor(doacross.Wavefront)); err == nil {
+		t.Fatal("reordered solver accepted the wavefront executor")
+	}
+
+	// Wavefront without Reads fails at run time with a descriptive error.
+	rt, err := doacross.New(8, doacross.WithExecutor(doacross.Wavefront))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	loop, err := doacross.NewLoop(8, 8).
+		Writes(func(i int) []int { return []int{i} }).
+		Body(func(i int, v *doacross.Values) { v.Store(i, 1) }).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, 8)
+	if _, err := rt.Run(context.Background(), loop, y); err == nil {
+		t.Fatal("wavefront run without Reads accepted")
+	}
+}
+
+// TestInspectReturnsStats checks the facade's Inspect surface: level count,
+// width and critical path of a known decomposition, plus the cache-hit flag
+// on re-inspection.
+func TestInspectReturnsStats(t *testing.T) {
+	l, _, err := stencil.LowerFactor(stencil.FivePoint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := stencil.RHS(l.N, 7)
+	g := doacross.TrisolveGraph(l)
+	wantLevels := len(g.ParallelismProfile())
+
+	rt, err := doacross.New(l.N, doacross.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	solverLoop, err := doacross.NewLoop(l.N, l.N).
+		Writes(func(i int) []int { return []int{i} }).
+		Reads(func(i int) []int { return l.Col[l.RowPtr[i]:l.RowPtr[i+1]] }).
+		Body(func(i int, v *doacross.Values) {
+			s := rhs[i]
+			for k := l.RowPtr[i]; k < l.RowPtr[i+1]; k++ {
+				s -= l.Val[k] * v.Load(l.Col[k])
+			}
+			v.Store(i, s/l.Diag[i])
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := rt.Inspect(solverLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Levels != wantLevels {
+		t.Fatalf("Inspect levels = %d, want %d", st.Levels, wantLevels)
+	}
+	if st.CriticalPathLen != wantLevels {
+		t.Fatalf("Inspect critical path = %d, want %d", st.CriticalPathLen, wantLevels)
+	}
+	if st.Iterations != l.N || st.MaxLevelWidth < 1 || st.MeanLevelWidth <= 0 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+	if st.CacheHit {
+		t.Fatal("first inspection reported a cache hit")
+	}
+	if st2, err := rt.Inspect(solverLoop); err != nil || !st2.CacheHit {
+		t.Fatalf("second inspection missed the cache (err=%v)", err)
+	}
+}

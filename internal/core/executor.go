@@ -1,0 +1,582 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doacross/internal/depgraph"
+	"doacross/internal/flags"
+	"doacross/internal/sched"
+)
+
+// ExecutorKind selects the execution strategy of a Runtime: how the loop's
+// run-time dependencies are enforced during the executor phase. It is the
+// paper's central comparison made pluggable — the busy-wait doacross of
+// Section 2 against the pre-scheduled wavefront (level-set) execution its
+// inspector enables.
+type ExecutorKind int
+
+const (
+	// ExecDoacross is the paper's preprocessed doacross: iterations start in
+	// schedule order and every read of an element produced by an earlier
+	// iteration waits on that element's ready flag. It pipelines across
+	// wavefronts (an iteration may start as soon as its own inputs are ready)
+	// at the cost of per-read flag checks and busy waits.
+	ExecDoacross ExecutorKind = iota
+	// ExecWavefront pre-schedules execution: the inspector builds the true
+	// dependency graph, decomposes it into wavefront levels, and each level
+	// runs as a barrier-separated doall over a level-sorted static schedule.
+	// There are no per-element flags and no busy waits; reads classified as
+	// true dependencies are guaranteed satisfied by the preceding level
+	// barrier. The decomposition and schedule are cached across runs, keyed
+	// by the loop's access pattern, so repeated solves pay the inspection
+	// once. Requires natural order (no Options.Order) and a Loop.Reads that
+	// covers every element the body may Load — the level placement is
+	// derived from it, so an under-declared read silently breaks the
+	// pre-scheduled execution (see the Loop.Reads contract).
+	ExecWavefront
+	// ExecAuto inspects the loop once (through the same cache ExecWavefront
+	// uses) and picks the strategy from the graph's shape: wide shallow
+	// graphs run as wavefronts, narrow deep graphs keep the doacross
+	// pipelining. Loops without Reads, or with an explicit Options.Order,
+	// fall back to the doacross.
+	ExecAuto
+)
+
+// String returns the executor's name as used in reports.
+func (k ExecutorKind) String() string {
+	switch k {
+	case ExecDoacross:
+		return "doacross"
+	case ExecWavefront:
+		return "wavefront"
+	case ExecAuto:
+		return "auto"
+	default:
+		return "unknown"
+	}
+}
+
+// executor is the pluggable execution-strategy layer of the runtime. An
+// executor owns the fused inspect → execute → postprocess pipeline of one
+// run: it consumes a validated loop, updates y exactly as the sequential
+// loop would, fills the report's phase times, and routes all failures
+// through the runtime's armed abort state (never a returned error — the
+// runtime reads ab.firstErr after execute returns). Executors may assume
+// checkRunArgs passed, the abort state is armed, and rt.counters is theirs
+// to reset and fill.
+type executor interface {
+	name() string
+	execute(l *Loop, y []float64, rep *Report)
+}
+
+// executorFor resolves the configured executor kind against the loop: it is
+// where ExecAuto inspects and decides, and where a strategy's structural
+// requirements (Reads for the wavefront, natural order) are enforced.
+func (rt *Runtime) executorFor(l *Loop) (executor, error) {
+	switch rt.opts.Executor {
+	case ExecDoacross:
+		return doacrossExecutor{rt}, nil
+	case ExecWavefront:
+		if l.Reads == nil {
+			return nil, fmt.Errorf("core: the wavefront executor requires Loop.Reads to build the dependency graph")
+		}
+		if rt.opts.Order != nil {
+			return nil, fmt.Errorf("core: the wavefront executor derives its own level order and cannot honor Options.Order")
+		}
+		plan, cached, err := rt.wavefrontPlan(l)
+		if err != nil {
+			return nil, err
+		}
+		return wavefrontExecutor{rt: rt, plan: plan, cached: cached}, nil
+	case ExecAuto:
+		if l.Reads == nil || rt.opts.Order != nil {
+			return doacrossExecutor{rt}, nil
+		}
+		plan, cached, err := rt.wavefrontPlan(l)
+		if err != nil {
+			return nil, err
+		}
+		if wavefrontProfitable(plan.stats, rt.opts.Workers) {
+			return wavefrontExecutor{rt: rt, plan: plan, cached: cached}, nil
+		}
+		return doacrossExecutor{rt}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown executor kind %d", int(rt.opts.Executor))
+	}
+}
+
+// wavefrontProfitable is the Auto selection heuristic: pre-scheduled
+// wavefronts win when the levels are wide enough to keep every worker busy
+// between barriers (the barrier cost is paid once per level, the flag checks
+// once per read); narrow deep graphs keep the doacross, whose pipelining can
+// overlap iterations of different levels. The 2× margin accounts for the
+// within-level imbalance a static schedule cannot smooth.
+func wavefrontProfitable(st InspectStats, workers int) bool {
+	if st.Levels <= 1 {
+		// A doall (or empty) loop: one barrier-free level.
+		return true
+	}
+	return st.MeanLevelWidth >= float64(2*workers)
+}
+
+// InspectStats describes what the inspector learned about a loop's
+// dependency structure: the wavefront decomposition the pre-scheduled
+// executor would run, and the summary numbers the Auto selection consults.
+type InspectStats struct {
+	// Iterations is the loop's iteration count.
+	Iterations int
+	// Edges is the number of (deduplicated) true-dependency edges.
+	Edges int
+	// Levels is the number of wavefront levels.
+	Levels int
+	// MaxLevelWidth is the size of the widest level.
+	MaxLevelWidth int
+	// MeanLevelWidth is Iterations / Levels, the average parallelism a
+	// level-scheduled execution exposes.
+	MeanLevelWidth float64
+	// CriticalPathLen is the number of iterations on the longest dependency
+	// chain (equal to Levels: the level of an iteration is the length of the
+	// longest chain ending at it).
+	CriticalPathLen int
+	// CacheHit reports whether the decomposition came from the runtime's
+	// schedule cache rather than a fresh inspection.
+	CacheHit bool
+}
+
+// String renders the statistics in a compact single-line form.
+func (s InspectStats) String() string {
+	return fmt.Sprintf("iters=%d edges=%d levels=%d maxWidth=%d meanWidth=%.1f cached=%v",
+		s.Iterations, s.Edges, s.Levels, s.MaxLevelWidth, s.MeanLevelWidth, s.CacheHit)
+}
+
+// wavefrontPlan is everything the wavefront executor needs to run one loop
+// shape: the dense writer index (the execution-time dependency classifier),
+// the level-sorted static schedule, and the inspection statistics. Plans are
+// immutable once built and cached on the runtime.
+type wavefrontPlan struct {
+	n, data int
+	writer  []int32 // writer[e] = iteration writing element e, -1 if none
+	sched   *sched.LevelSchedule
+	stats   InspectStats
+}
+
+// table returns the plan's writer index as the executor's dependency
+// classifier.
+func (p *wavefrontPlan) table() writerTable { return planTable{p.writer} }
+
+// planTable classifies reads against the plan's dense writer index; it is
+// the wavefront analogue of the doacross iter table, filled once at plan
+// time instead of once per run.
+type planTable struct{ writer []int32 }
+
+func (t planTable) Classify(e, i int) (flags.Dependence, int64) {
+	w := t.writer[e]
+	switch {
+	case w < 0:
+		return flags.AntiOrNone, flags.MaxInt
+	case int(w) < i:
+		return flags.TrueDep, int64(w)
+	case int(w) == i:
+		return flags.SelfDep, int64(w)
+	default:
+		return flags.AntiOrNone, int64(w)
+	}
+}
+func (planTable) Record(e, i int) {}
+func (t planTable) Len() int      { return len(t.writer) }
+
+// levelReady implements readyWaiter for pre-scheduled execution: the level
+// barrier guarantees every true dependency was produced in an earlier,
+// completed level, so waits return satisfied immediately and no flags exist
+// to set, clear or wake.
+type levelReady struct{}
+
+func (levelReady) Set(e int)         {}
+func (levelReady) IsDone(e int) bool { return true }
+func (levelReady) WaitFor(e int, s flags.WaitStrategy, cancelled *atomic.Bool) (int, bool) {
+	return 0, true
+}
+func (levelReady) WakeAll() {}
+
+// maxCachedPlans bounds the runtime's schedule cache. A runtime is typically
+// bound to one loop shape (a Solver) or a handful (an ILU pair, a sweep);
+// when the cap is hit the cache is dropped wholesale rather than tracking
+// recency — rebuilding a plan is exactly one cold inspection.
+const maxCachedPlans = 16
+
+// wavefrontPlan returns the cached plan for the loop's access pattern,
+// building (and caching) it on a miss. The second result reports a cache
+// hit.
+//
+// Lookup is two-tier. Runs that reuse the same *Loop value (the Solver /
+// Krylov hot path) hit a pointer-identity memo and skip even the hash.
+// Otherwise the loop's access pattern is hashed structurally, so a
+// reconstructed Loop with the same pattern (a fresh solver on the same
+// matrix) still reuses the decomposition. Both tiers assume a Loop's access
+// pattern is stable for the lifetime of the Loop value — the premise of the
+// paper's reusable preprocessing; a loop whose Writes/Reads change must be a
+// fresh *Loop.
+func (rt *Runtime) wavefrontPlan(l *Loop) (p *wavefrontPlan, cached bool, err error) {
+	// The caller's Writes/Reads closures run both here (accessHash, on this
+	// goroutine) and in buildPlan (on pool workers, which recover per
+	// shard); recovering here turns a broken closure into the same
+	// descriptive error the doacross inspector shard reports, instead of a
+	// process crash.
+	defer func() {
+		if r := recover(); r != nil {
+			p, cached, err = nil, false, fmt.Errorf("core: wavefront inspector panicked: %v", r)
+		}
+	}()
+	if rt.planMemoLoop == l && rt.planMemo != nil {
+		return rt.planMemo, true, nil
+	}
+	h := accessHash(l)
+	if p, ok := rt.planCache[h]; ok && p.n == l.N && p.data == l.Data {
+		rt.planMemoLoop, rt.planMemo = l, p
+		return p, true, nil
+	}
+	p, err = rt.buildPlan(l)
+	if err != nil {
+		return nil, false, err
+	}
+	if rt.planCache == nil {
+		rt.planCache = make(map[uint64]*wavefrontPlan)
+	} else if len(rt.planCache) >= maxCachedPlans {
+		clear(rt.planCache)
+	}
+	rt.planCache[h] = p
+	rt.planMemoLoop, rt.planMemo = l, p
+	return p, false, nil
+}
+
+// buildPlan is the cold wavefront inspection: fill the writer index, build
+// the dependency graph, decompose it into levels and materialize the
+// level-sorted static schedule. The index fill and the graph's predecessor
+// scans run over the worker pool, so the inspector cost shrinks with
+// workers; the level sweep itself is the O(N + edges) forward pass of
+// depgraph.LevelsInto into a reused scratch buffer.
+//
+// All shards that call the user's Writes/Reads closures run through a
+// per-iteration recover, so a panicking closure (or an out-of-range write
+// index) surfaces as an error from the run, matching the doacross
+// inspector's guard, rather than killing a pool worker.
+func (rt *Runtime) buildPlan(l *Loop) (*wavefrontPlan, error) {
+	var failMu sync.Mutex
+	var failErr error
+	fail := func(r any) {
+		failMu.Lock()
+		if failErr == nil {
+			failErr = fmt.Errorf("core: wavefront inspector panicked: %v", r)
+		}
+		failMu.Unlock()
+	}
+	guardedFor := func(n int, body func(i int)) {
+		rt.pool.ParallelFor(n, func(i int) {
+			defer func() {
+				if r := recover(); r != nil {
+					fail(r)
+				}
+			}()
+			body(i)
+		})
+	}
+	writer := make([]int32, l.Data)
+	rt.pool.ParallelFor(l.Data, func(e int) { writer[e] = -1 })
+	guardedFor(l.N, func(i int) {
+		for _, e := range l.Writes(i) {
+			writer[e] = int32(i)
+		}
+	})
+	if failErr != nil {
+		return nil, failErr
+	}
+	g := depgraph.BuildParallelFromWriterIndex(l.N, writer, l.Reads, guardedFor)
+	if failErr != nil {
+		return nil, failErr
+	}
+	ls := g.LevelsInto(&rt.levelScratch)
+
+	levels := ls.Count()
+	maxWidth := ls.MaxWidth()
+	p := rt.opts.Workers
+	if p > maxWidth {
+		// Workers beyond the widest level would only spin at the barriers.
+		p = maxWidth
+	}
+	if p < 1 {
+		p = 1
+	}
+	stats := InspectStats{
+		Iterations:      l.N,
+		Edges:           g.Edges,
+		Levels:          levels,
+		MaxLevelWidth:   maxWidth,
+		CriticalPathLen: levels,
+	}
+	if levels > 0 {
+		stats.MeanLevelWidth = float64(l.N) / float64(levels)
+	}
+	return &wavefrontPlan{
+		n:      l.N,
+		data:   l.Data,
+		writer: writer,
+		sched:  sched.NewLevelSchedule(ls.Members, ls.Off, rt.opts.Policy, p),
+		stats:  stats,
+	}, nil
+}
+
+// accessHash computes a structural 64-bit FNV-1a-style hash of the loop's
+// access pattern (sizes, writes and reads of every iteration, with length
+// separators). Loops with equal hashes and equal (N, Data) are assumed to
+// have identical access patterns; with a 64-bit digest over the handful of
+// shapes one runtime sees, an accidental collision is vanishingly unlikely.
+func accessHash(l *Loop) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime64
+	}
+	mix(uint64(l.N))
+	mix(uint64(l.Data))
+	for i := 0; i < l.N; i++ {
+		ws := l.Writes(i)
+		mix(^uint64(len(ws)))
+		for _, e := range ws {
+			mix(uint64(e))
+		}
+		rs := l.Reads(i)
+		mix(^uint64(len(rs)))
+		for _, e := range rs {
+			mix(uint64(e))
+		}
+	}
+	return h
+}
+
+// doacrossExecutor is the paper's flag-based busy-wait doacross behind the
+// executor interface: a fused pool submission running the inspector shard,
+// the transformed loop and the postprocessing resets with phase barriers in
+// between (Figures 3 and 5 of the paper).
+type doacrossExecutor struct{ rt *Runtime }
+
+func (doacrossExecutor) name() string { return "doacross" }
+
+func (e doacrossExecutor) execute(l *Loop, y []float64, rep *Report) {
+	rt := e.rt
+	tab := rt.table()
+	ready := rt.waiter()
+	// Wake no more workers than there are iterations: with fewer positions
+	// than workers, the surplus would only rendezvous at the phase barriers
+	// for zero work (the pre-pool phases applied the same clamp).
+	k := rt.opts.Workers
+	if k > l.N {
+		k = l.N
+	}
+	if k < 1 {
+		k = 1
+	}
+	for i := range rt.counters {
+		rt.counters[i] = execCounters{}
+	}
+
+	traceBase := rt.armTrace(l)
+	body := rt.execBody(l, y, tab, ready, traceBase)
+
+	dynamic := rt.opts.Policy == sched.Dynamic
+	chunk := rt.opts.Chunk
+	if chunk < 1 {
+		chunk = sched.DefaultChunk
+	}
+	var next atomic.Int64
+	var s *sched.Schedule
+	if !dynamic {
+		s = rt.schedule(l.N)
+	}
+
+	useEpoch := rt.opts.UseEpochTables
+	ab := &rt.ab
+	stop := func() bool { return ab.triggered.Load() }
+	bar := phaseBarrier{n: int32(k)}
+	var preEnd, execEnd time.Duration
+	start := time.Now()
+	rt.pool.Submit(k, func(w int) {
+		// Inspector shard (Figure 3, left): fully parallel, block-distributed.
+		lo, hi := sched.BlockRange(l.N, k, w)
+		rt.guard("loop Writes (inspector)", func() {
+			for i := lo; i < hi; i++ {
+				for _, e := range l.Writes(i) {
+					tab.Record(e, i)
+				}
+			}
+		})
+		bar.wait(func() { preEnd = time.Since(start) })
+
+		// Executor shard: the transformed loop of Figure 5.
+		rt.guard("loop body", func() {
+			if dynamic {
+				sched.DynamicLoop(&next, l.N, chunk, w, body, stop)
+			} else if w < len(s.PerWorker) {
+				for _, pos := range s.PerWorker[w] {
+					body(w, pos)
+				}
+			}
+		})
+		bar.wait(func() { execEnd = time.Since(start) })
+
+		// Postprocessor shard (Figure 3, right): copy back and reset. An
+		// aborted run resets the scratch state (so the runtime stays
+		// reusable) but skips the copy-back: skipped iterations never
+		// seeded ynew, so copying would publish stale values into y.
+		aborted := ab.triggered.Load()
+		rt.guard("loop Writes (postprocessor)", func() {
+			for i := lo; i < hi; i++ {
+				for _, e := range l.Writes(i) {
+					if !aborted {
+						y[e] = rt.ynew[e]
+					}
+					if !useEpoch {
+						rt.iter.Reset(e)
+						rt.ready.Clear(e)
+					}
+				}
+			}
+		})
+	})
+	if useEpoch {
+		rt.eIter.Advance()
+		rt.eReady.Advance()
+	}
+	rt.inspectDirty = false
+	total := time.Since(start)
+
+	rep.PreTime = preEnd
+	rep.ExecTime = execEnd - preEnd
+	rep.PostTime = total - execEnd
+	rep.TotalTime = total
+}
+
+// wavefrontExecutor is the pre-scheduled level-set execution the paper
+// compares the doacross against: the (cached) inspection decomposes the loop
+// into wavefronts, and one fused pool submission runs each level as a doall
+// over its static schedule with a barrier between levels, then the
+// postprocessing copy-back. No per-element flags exist and no read ever
+// waits; the renaming through ynew still satisfies anti-dependencies, and
+// because the plan's writer index doubles as the dependency classifier, a
+// warm run touches no scratch tables at all (nothing to reset).
+//
+// The plan is resolved by executorFor (so its cost — cold build or cache
+// lookup — is the run's reported preprocessing time, and the cached flag
+// reflects that resolution, not a second lookup).
+type wavefrontExecutor struct {
+	rt     *Runtime
+	plan   *wavefrontPlan
+	cached bool
+}
+
+func (wavefrontExecutor) name() string { return "wavefront" }
+
+func (e wavefrontExecutor) execute(l *Loop, y []float64, rep *Report) {
+	rt := e.rt
+	plan := e.plan
+	start := time.Now()
+	rep.InspectCached = e.cached
+	rep.Levels = plan.sched.Levels()
+	preEnd := time.Duration(0)
+
+	for i := range rt.counters {
+		rt.counters[i] = execCounters{}
+	}
+	traceBase := rt.armTrace(l)
+	body := rt.execBody(l, y, plan.table(), levelReady{}, traceBase)
+
+	k := plan.sched.Workers()
+	levels := plan.sched.Levels()
+	ab := &rt.ab
+	bar := phaseBarrier{n: int32(k)}
+	execEnd := preEnd
+	stampExec := func() { execEnd = time.Since(start) }
+	rt.pool.Submit(k, func(w int) {
+		for lvl := 0; lvl < levels; lvl++ {
+			// The abort check is per level here and per iteration inside
+			// body; either way every worker still reaches every barrier, so
+			// an aborted run drains without deadlock.
+			if !ab.triggered.Load() {
+				rt.guard("loop body", func() {
+					for _, it := range plan.sched.Items(lvl, w) {
+						body(w, int(it))
+					}
+				})
+			}
+			if lvl == levels-1 {
+				bar.wait(stampExec)
+			} else {
+				bar.wait(nil)
+			}
+		}
+		// Postprocessor shard: only the copy-back — the plan's writer index
+		// is immutable and there are no ready flags, so nothing is reset.
+		if ab.triggered.Load() {
+			return
+		}
+		lo, hi := sched.BlockRange(l.N, k, w)
+		rt.guard("loop Writes (postprocessor)", func() {
+			for i := lo; i < hi; i++ {
+				for _, e := range l.Writes(i) {
+					y[e] = rt.ynew[e]
+				}
+			}
+		})
+	})
+	if rt.inspectDirty {
+		// A standalone Inspect filled the doacross writer table and no
+		// doacross postprocess has reset it; clean up the entries this
+		// loop recorded so a later doacross run on the same runtime does
+		// not classify against stale writers (the ScratchClean invariant).
+		if rt.opts.UseEpochTables {
+			rt.eIter.Advance()
+		} else {
+			rt.pool.ParallelFor(l.N, func(i int) {
+				for _, e := range l.Writes(i) {
+					rt.iter.Reset(e)
+				}
+			})
+		}
+		rt.inspectDirty = false
+	}
+	total := time.Since(start)
+
+	rep.PreTime = preEnd
+	rep.ExecTime = execEnd - preEnd
+	rep.PostTime = total - execEnd
+	rep.TotalTime = total
+}
+
+// guard runs one phase shard with panic recovery: a panicking user function
+// (the body, or a broken Writes closure in the fully-parallel phases) aborts
+// the run instead of crashing the process, and the worker proceeds to the
+// next phase barrier as usual, so an abort never leaks a barrier. Recovery
+// is per phase, not per shard, because a shard that skipped a barrier wait
+// would deadlock the other workers.
+func (rt *Runtime) guard(phase string, f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			rt.ab.abort(fmt.Errorf("core: %s panicked: %v", phase, r))
+		}
+	}()
+	f()
+}
+
+// armTrace prepares (or clears) the per-iteration trace for a run and
+// returns the trace clock base.
+func (rt *Runtime) armTrace(l *Loop) time.Time {
+	if rt.opts.CollectTrace {
+		rt.lastTrace = &Trace{Workers: rt.opts.Workers, Iterations: make([]IterTrace, l.N)}
+		return time.Now()
+	}
+	rt.lastTrace = nil
+	return time.Time{}
+}

@@ -48,11 +48,18 @@ type Loop struct {
 	// output dependencies: no element may be written by two different
 	// iterations.
 	Writes func(i int) []int
-	// Reads returns the data elements iteration i may read. It is consulted
-	// only by analysis layers (dependency graph construction, the machine
-	// simulator, the doconsider reordering) — the executor itself discovers
-	// reads dynamically through Values.Load, exactly as the paper's
-	// transformed loop does. Reads may be nil when no analysis is needed.
+	// Reads returns the data elements iteration i may read. The default
+	// (doacross) executor discovers reads dynamically through Values.Load,
+	// exactly as the paper's transformed loop does, and never consults
+	// Reads; analysis layers (dependency graph construction, the machine
+	// simulator, the doconsider reordering) and the wavefront/auto executors
+	// do. For those consumers Reads is a correctness contract, not a hint:
+	// it must cover every element the body may Load (over-declaring is safe,
+	// it only adds conservative edges). An under-declared read makes a
+	// doconsider order or a wavefront level placement unsound — the
+	// pre-scheduled executor would then run a reader concurrently with (or
+	// before) its writer and silently produce wrong values. Reads may be nil
+	// when no analysis and no pre-scheduled execution is needed.
 	Reads func(i int) []int
 	// Body executes iteration i. All accesses to the shared array must go
 	// through v: v.Load(e) performs the execution-time dependency check and

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"runtime"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -236,5 +240,440 @@ func TestMultipleWritesPerIteration(t *testing.T) {
 	}
 	if !rt.ScratchClean() {
 		t.Error("scratch not clean after multi-write loop")
+	}
+}
+
+// randomDAGLoop builds a loop with a genuinely random dependency DAG:
+// iteration i writes element perm[i] and reads several random elements, so
+// the graph mixes multi-predecessor true dependencies, anti-dependencies
+// (reads of elements written by later iterations, which must observe the old
+// value) and reads of untouched elements. The body arithmetic is
+// non-commutative in its operands, so any mis-ordered or mis-classified read
+// changes the bits of the result.
+func randomDAGLoop(rng *rand.Rand, n int) (*Loop, []float64) {
+	dataLen := 2 * n
+	perm := rng.Perm(dataLen)[:n]
+	reads := make([][]int, n)
+	for i := range reads {
+		k := rng.Intn(4)
+		for j := 0; j < k; j++ {
+			reads[i] = append(reads[i], rng.Intn(dataLen))
+		}
+	}
+	l := &Loop{
+		N:      n,
+		Data:   dataLen,
+		Writes: func(i int) []int { return perm[i : i+1] },
+		Reads:  func(i int) []int { return reads[i] },
+		Body: func(i int, v *Values) {
+			s := float64(i) + 1
+			for k, e := range reads[i] {
+				s = 0.75*s + float64(k+1)*v.Load(e)
+			}
+			v.Store(perm[i], s)
+		},
+	}
+	y := make([]float64, dataLen)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	return l, y
+}
+
+// TestPropertyExecutorsEquivalentToSequential runs random-DAG loops through
+// every executor kind (doacross, wavefront, auto) and asserts bitwise
+// equality with the sequential loop across worker counts, policies and table
+// implementations — the acceptance property of the pluggable executor layer.
+func TestPropertyExecutorsEquivalentToSequential(t *testing.T) {
+	f := func(seed int64, workerBits, policyBits, execBits, epochBit uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(120)
+		l, y := randomDAGLoop(rng, n)
+		if err := l.Validate(); err != nil {
+			t.Logf("invalid loop: %v", err)
+			return false
+		}
+		seq := append([]float64(nil), y...)
+		RunSequential(l, seq)
+
+		exec := ExecutorKind(int(execBits) % 3)
+		opts := Options{
+			Workers:        int(workerBits)%7 + 1,
+			Policy:         sched.Policy(int(policyBits) % 3),
+			Chunk:          1 + rng.Intn(16),
+			WaitStrategy:   flags.WaitSpinYield,
+			UseEpochTables: epochBit%2 == 0,
+			Executor:       exec,
+		}
+		rt := NewRuntime(l.Data, opts)
+		defer rt.Close()
+		// Two runs back to back: the second exercises the schedule cache
+		// (and, for the doacross, the scratch reuse) on the same runtime.
+		for run := 0; run < 2; run++ {
+			par := append([]float64(nil), y...)
+			rep, err := rt.Run(l, par)
+			if err != nil {
+				t.Logf("executor %v run %d: %v", exec, run, err)
+				return false
+			}
+			if exec == ExecWavefront {
+				if rep.Executor != "wavefront" {
+					t.Logf("report says %q, want wavefront", rep.Executor)
+					return false
+				}
+				if (run == 1) != rep.InspectCached {
+					t.Logf("run %d: InspectCached=%v", run, rep.InspectCached)
+					return false
+				}
+			}
+			if sparse.VecMaxDiff(seq, par) != 0 {
+				t.Logf("executor %v run %d: result differs from sequential", exec, run)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWavefrontMatchesDoacrossOnFigure1 cross-checks the two executors on the
+// paper's Figure 1 loop shape (single read per iteration), including the
+// scratch-clean reuse invariant of the runtime they share.
+func TestWavefrontMatchesDoacrossOnFigure1(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		l, y := randomFigure1(rng, 80+rng.Intn(80))
+		seq := append([]float64(nil), y...)
+		RunSequential(l, seq)
+		for _, exec := range []ExecutorKind{ExecDoacross, ExecWavefront, ExecAuto} {
+			par := append([]float64(nil), y...)
+			rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield, Executor: exec})
+			if _, err := rt.Run(l, par); err != nil {
+				t.Fatal(err)
+			}
+			if d := sparse.VecMaxDiff(seq, par); d != 0 {
+				t.Fatalf("trial %d executor %v: mismatch %v", trial, exec, d)
+			}
+			if !rt.ScratchClean() {
+				t.Fatalf("trial %d executor %v: scratch not clean", trial, exec)
+			}
+			rt.Close()
+		}
+	}
+}
+
+// TestWavefrontRequiresReadsAndNaturalOrder pins the wavefront executor's
+// structural requirements: no Reads or an explicit Order must fail loudly,
+// and Auto must silently fall back to the doacross in both cases.
+func TestWavefrontRequiresReadsAndNaturalOrder(t *testing.T) {
+	n := 20
+	noReads := &Loop{
+		N: n, Data: n,
+		Writes: func(i int) []int { return []int{i} },
+		Body:   func(i int, v *Values) { v.Store(i, float64(i)) },
+	}
+	y := make([]float64, n)
+	rt := NewRuntime(n, Options{Workers: 2, Executor: ExecWavefront})
+	defer rt.Close()
+	if _, err := rt.Run(noReads, y); err == nil {
+		t.Fatal("wavefront executor accepted a loop without Reads")
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = n - 1 - i
+	}
+	withReads := &Loop{
+		N: n, Data: n,
+		Writes: func(i int) []int { return []int{i} },
+		Reads:  func(i int) []int { return nil },
+		Body:   func(i int, v *Values) { v.Store(i, float64(i)) },
+	}
+	rtOrd := NewRuntime(n, Options{Workers: 2, Executor: ExecWavefront, Order: order})
+	defer rtOrd.Close()
+	if _, err := rtOrd.Run(withReads, y); err == nil {
+		t.Fatal("wavefront executor accepted an explicit Order")
+	}
+
+	for _, l := range []*Loop{noReads, withReads} {
+		rtAuto := NewRuntime(n, Options{Workers: 2, Executor: ExecAuto, Order: order})
+		rep, err := rtAuto.Run(l, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Executor != "doacross" {
+			t.Fatalf("auto picked %q for a constrained loop, want doacross", rep.Executor)
+		}
+		rtAuto.Close()
+	}
+
+	rtBad := NewRuntime(n, Options{Workers: 2, Executor: ExecutorKind(99)})
+	defer rtBad.Close()
+	if _, err := rtBad.Run(withReads, y); err == nil {
+		t.Fatal("unknown executor kind accepted")
+	}
+}
+
+// TestAutoSelectsByGraphShape checks the Auto heuristic on the two extremes:
+// a pure chain (width 1) must keep the doacross, a doall (a single level)
+// must pre-schedule.
+func TestAutoSelectsByGraphShape(t *testing.T) {
+	n := 400
+	chain := &Loop{
+		N: n, Data: n,
+		Writes: func(i int) []int { return []int{i} },
+		Reads: func(i int) []int {
+			if i == 0 {
+				return nil
+			}
+			return []int{i - 1}
+		},
+		Body: func(i int, v *Values) {
+			if i == 0 {
+				v.Store(0, 1)
+				return
+			}
+			v.Store(i, v.Load(i-1)+1)
+		},
+	}
+	doall := &Loop{
+		N: n, Data: 2 * n,
+		Writes: func(i int) []int { return []int{i} },
+		Reads:  func(i int) []int { return []int{i + n} },
+		Body:   func(i int, v *Values) { v.Store(i, 2*v.Load(i+n)) },
+	}
+	for _, tc := range []struct {
+		name string
+		l    *Loop
+		want string
+	}{
+		{"chain", chain, "doacross"},
+		{"doall", doall, "wavefront"},
+	} {
+		y := make([]float64, tc.l.Data)
+		rt := NewRuntime(tc.l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield, Executor: ExecAuto})
+		rep, err := rt.Run(tc.l, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Executor != tc.want {
+			t.Errorf("%s: auto picked %q, want %q", tc.name, rep.Executor, tc.want)
+		}
+		rt.Close()
+	}
+}
+
+// TestWavefrontCancellationMidLevel aborts wavefront runs from inside a loop
+// body — context cancellation, body error and body panic, triggered at a
+// random iteration so the abort lands mid-level — and checks that the run
+// fails with the right error, that the remaining levels drain without
+// deadlock, and that the same runtime then completes an untainted run with
+// bitwise-correct results.
+func TestWavefrontCancellationMidLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		n := 120 + rng.Intn(120)
+		l, y := randomDAGLoop(rng, n)
+		seq := append([]float64(nil), y...)
+		RunSequential(l, seq)
+		trigger := rng.Intn(n)
+
+		for _, exec := range []ExecutorKind{ExecWavefront, ExecDoacross} {
+			rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield, Executor: exec})
+
+			// Context cancellation from inside a body.
+			ctx, cancel := context.WithCancel(context.Background())
+			cancelling := *l
+			cancelling.Body = func(i int, v *Values) {
+				if i == trigger {
+					cancel()
+					// Give the watcher a moment so the abort lands while this
+					// level (and its successors) still have iterations left.
+					runtime.Gosched()
+				}
+				l.Body(i, v)
+			}
+			par := append([]float64(nil), y...)
+			if _, err := rt.RunContext(ctx, &cancelling, par); err == nil {
+				t.Fatalf("trial %d %v: cancelled run returned nil error", trial, exec)
+			}
+			cancel()
+
+			// Body error at a random iteration.
+			failing := *l
+			failing.Body = nil
+			failing.BodyErr = func(i int, v *Values) error {
+				if i == trigger {
+					return fmt.Errorf("iteration %d failed", i)
+				}
+				l.Body(i, v)
+				return nil
+			}
+			par = append([]float64(nil), y...)
+			if _, err := rt.Run(&failing, par); err == nil || !strings.Contains(err.Error(), "failed") {
+				t.Fatalf("trial %d %v: body error not propagated: %v", trial, exec, err)
+			}
+
+			// Body panic at a random iteration.
+			panicking := *l
+			panicking.Body = func(i int, v *Values) {
+				if i == trigger {
+					panic("boom")
+				}
+				l.Body(i, v)
+			}
+			par = append([]float64(nil), y...)
+			if _, err := rt.Run(&panicking, par); err == nil || !strings.Contains(err.Error(), "boom") {
+				t.Fatalf("trial %d %v: body panic not recovered: %v", trial, exec, err)
+			}
+
+			// The runtime must remain fully reusable after every abort.
+			par = append([]float64(nil), y...)
+			if _, err := rt.Run(l, par); err != nil {
+				t.Fatalf("trial %d %v: clean run after aborts failed: %v", trial, exec, err)
+			}
+			if d := sparse.VecMaxDiff(seq, par); d != 0 {
+				t.Fatalf("trial %d %v: post-abort run mismatch %v", trial, exec, d)
+			}
+			if !rt.ScratchClean() {
+				t.Fatalf("trial %d %v: scratch dirty after aborts", trial, exec)
+			}
+			rt.Close()
+		}
+	}
+}
+
+// TestWavefrontInspectorFailuresReturnErrors pins the wavefront inspection's
+// error contract: a Writes closure that writes out of range (an index panic
+// on a pool worker) or a Reads closure that panics (on the caller goroutine,
+// inside the structural hash) must surface as an error from Run — matching
+// the doacross inspector shard's guard — and must leave the runtime usable.
+func TestWavefrontInspectorFailuresReturnErrors(t *testing.T) {
+	n := 64
+	y := make([]float64, n)
+	rt := NewRuntime(n, Options{Workers: 3, Executor: ExecWavefront})
+	defer rt.Close()
+
+	badWrites := &Loop{
+		N: n, Data: n,
+		Writes: func(i int) []int {
+			if i == 17 {
+				return []int{n + 5}
+			}
+			return []int{i}
+		},
+		Reads: func(i int) []int { return nil },
+		Body:  func(i int, v *Values) { v.Store(i, 1) },
+	}
+	if _, err := rt.Run(badWrites, y); err == nil || !strings.Contains(err.Error(), "inspector panicked") {
+		t.Fatalf("out-of-range write index: err = %v", err)
+	}
+
+	badReads := &Loop{
+		N: n, Data: n,
+		Writes: func(i int) []int { return []int{i} },
+		Reads: func(i int) []int {
+			if i == 3 {
+				panic("broken reads closure")
+			}
+			return nil
+		},
+		Body: func(i int, v *Values) { v.Store(i, 1) },
+	}
+	if _, err := rt.Run(badReads, y); err == nil || !strings.Contains(err.Error(), "inspector panicked") {
+		t.Fatalf("panicking Reads closure: err = %v", err)
+	}
+	if _, err := rt.Inspect(badReads); err == nil {
+		t.Fatal("Inspect swallowed a panicking Reads closure")
+	}
+
+	good := &Loop{
+		N: n, Data: n,
+		Writes: func(i int) []int { return []int{i} },
+		Reads:  func(i int) []int { return nil },
+		Body:   func(i int, v *Values) { v.Store(i, float64(i)) },
+	}
+	if _, err := rt.Run(good, y); err != nil {
+		t.Fatalf("runtime unusable after inspector failures: %v", err)
+	}
+	if y[n-1] != float64(n-1) {
+		t.Fatal("post-failure run produced wrong results")
+	}
+}
+
+// TestAutoColdRunReportsColdInspect pins the InspectCached semantics under
+// ExecAuto: the first run pays the cold inspection and must not claim a
+// cache hit; the second run must.
+func TestAutoColdRunReportsColdInspect(t *testing.T) {
+	n := 300
+	l := &Loop{
+		N: n, Data: 2 * n,
+		Writes: func(i int) []int { return []int{i} },
+		Reads:  func(i int) []int { return []int{i + n} },
+		Body:   func(i int, v *Values) { v.Store(i, v.Load(i+n)) },
+	}
+	rt := NewRuntime(l.Data, Options{Workers: 2, Executor: ExecAuto})
+	defer rt.Close()
+	y := make([]float64, l.Data)
+	rep, err := rt.Run(l, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executor != "wavefront" || rep.InspectCached {
+		t.Fatalf("first auto run: executor=%s cached=%v, want wavefront/false", rep.Executor, rep.InspectCached)
+	}
+	rep, err = rt.Run(l, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.InspectCached {
+		t.Fatal("second auto run missed the schedule cache")
+	}
+}
+
+// TestWavefrontRunCleansStandaloneInspect pins the reuse invariant across
+// executors: a standalone Inspect fills the doacross writer table, and a
+// wavefront run (which otherwise touches no scratch) must clean those
+// entries up so a later doacross-executor run on the same runtime does not
+// classify reads against stale writers.
+func TestWavefrontRunCleansStandaloneInspect(t *testing.T) {
+	n := 200
+	l := &Loop{
+		N: n, Data: 2 * n,
+		Writes: func(i int) []int { return []int{i} },
+		Reads:  func(i int) []int { return []int{i + n} },
+		Body:   func(i int, v *Values) { v.Store(i, v.Load(i+n)+1) },
+	}
+	for _, epoch := range []bool{false, true} {
+		rt := NewRuntime(l.Data, Options{Workers: 3, Executor: ExecWavefront, UseEpochTables: epoch})
+		if _, err := rt.Inspect(l); err != nil {
+			t.Fatal(err)
+		}
+		y := make([]float64, l.Data)
+		rep, err := rt.Run(l, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Executor != "wavefront" {
+			t.Fatalf("executor %q, want wavefront", rep.Executor)
+		}
+		if !rt.ScratchClean() {
+			t.Fatalf("epoch=%v: writer table left dirty after Inspect + wavefront Run", epoch)
+		}
+		// A no-Reads loop (doacross fallback territory) reading elements l
+		// wrote must classify them as untouched, not as stale true deps.
+		l2 := &Loop{
+			N: n, Data: 2 * n,
+			Writes: func(i int) []int { return []int{i + n} },
+			Body:   func(i int, v *Values) { v.Store(i+n, v.Load(i)*2) },
+		}
+		rt.opts.Executor = ExecDoacross
+		y2 := make([]float64, l.Data)
+		if _, err := rt.Run(l2, y2); err != nil {
+			t.Fatal(err)
+		}
+		rt.Close()
 	}
 }

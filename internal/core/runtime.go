@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"doacross/internal/depgraph"
 	"doacross/internal/flags"
 	"doacross/internal/sched"
 )
@@ -18,6 +19,11 @@ type Options struct {
 	Workers int
 	// Policy selects how iterations are assigned to workers.
 	Policy sched.Policy
+	// Executor selects the execution strategy: the paper's flag-based
+	// busy-wait doacross (the zero value), the pre-scheduled wavefront
+	// execution built by the inspector, or automatic selection from the
+	// inspected dependency structure. See ExecutorKind.
+	Executor ExecutorKind
 	// Chunk is the chunk size used by the Dynamic policy (0 = default).
 	Chunk int
 	// WaitStrategy selects how true-dependency waits are performed. The
@@ -62,12 +68,23 @@ type Report struct {
 	Order       string
 	WaitPolicy  string
 	SchedPolicy string
+	// Executor names the execution strategy that ran ("doacross",
+	// "wavefront"); with Options.Executor = ExecAuto it records the one the
+	// inspection picked.
+	Executor string
+	// Levels is the number of wavefront levels executed (wavefront executor
+	// only; zero for the doacross).
+	Levels int
+	// InspectCached reports whether the wavefront decomposition and static
+	// schedule came from the runtime's schedule cache instead of a fresh
+	// inspection — the repeated-solve case the cache exists for.
+	InspectCached bool
 }
 
 // String renders the report in a compact human-readable form.
 func (r Report) String() string {
-	return fmt.Sprintf("P=%d iters=%d pre=%v exec=%v post=%v total=%v truedeps=%d waits=%d",
-		r.Workers, r.Iterations, r.PreTime, r.ExecTime, r.PostTime, r.TotalTime, r.TrueDeps, r.WaitPolls)
+	return fmt.Sprintf("P=%d iters=%d executor=%s pre=%v exec=%v post=%v total=%v truedeps=%d waits=%d",
+		r.Workers, r.Iterations, r.Executor, r.PreTime, r.ExecTime, r.PostTime, r.TotalTime, r.TrueDeps, r.WaitPolls)
 }
 
 // Runtime holds the reusable scratch state of the preprocessed doacross: the
@@ -99,6 +116,23 @@ type Runtime struct {
 	// lastTrace holds the per-iteration trace of the most recent Run when
 	// Options.CollectTrace is set.
 	lastTrace *Trace
+
+	// Schedule cache of the wavefront executor: planMemoLoop/planMemo is the
+	// pointer-identity fast path for runs reusing one Loop value (the Solver
+	// hot path), planCache the structural-hash tier behind it, and
+	// levelScratch the reusable level-decomposition buffers of cold
+	// inspections. See wavefrontPlan.
+	planMemoLoop *Loop
+	planMemo     *wavefrontPlan
+	planCache    map[uint64]*wavefrontPlan
+	levelScratch depgraph.LevelSet
+
+	// inspectDirty records that inspectTables filled the writer table and no
+	// doacross postprocess has reset it yet. A doacross-executor run always
+	// restores the table itself; a wavefront run normally touches no scratch
+	// at all, so it consults this flag to clean up after a standalone
+	// Inspect and keep the reuse invariant (ScratchClean) intact.
+	inspectDirty bool
 
 	// ab is the per-run abort state, reused across runs so the hot path
 	// allocates nothing for it. It is armed at the start of every run and
@@ -377,126 +411,37 @@ func (rt *Runtime) RunContext(ctx context.Context, l *Loop, y []float64) (Report
 
 	if rt.opts.SpawnPerCall {
 		// The measurement baseline reproduces the pre-pool behaviour
-		// faithfully: three separate phase dispatches, each spawning its own
-		// goroutines. It honors body failures but checks ctx only between
-		// phases, not mid-phase; the fused path is the supported one.
+		// faithfully: three separate phase dispatches of the flag-based
+		// doacross, each spawning its own goroutines. It honors body failures
+		// but checks ctx only between phases, not mid-phase; the fused path
+		// is the supported one.
 		return rt.runPhased(ctx, l, y, rep)
 	}
 
-	stopWatch := rt.watchContext(ctx)
-	tab := rt.table()
-	ready := rt.waiter()
-	// Wake no more workers than there are iterations: with fewer positions
-	// than workers, the surplus would only rendezvous at the phase barriers
-	// for zero work (the pre-pool phases applied the same clamp).
-	k := rt.opts.Workers
-	if k > l.N {
-		k = l.N
-	}
-	if k < 1 {
-		k = 1
-	}
-	for i := range rt.counters {
-		rt.counters[i] = execCounters{}
-	}
-
-	var traceBase time.Time
-	if rt.opts.CollectTrace {
-		rt.lastTrace = &Trace{Workers: rt.opts.Workers, Iterations: make([]IterTrace, l.N)}
-		traceBase = time.Now()
-	} else {
-		rt.lastTrace = nil
-	}
-	body := rt.execBody(l, y, tab, ready, traceBase)
-
-	dynamic := rt.opts.Policy == sched.Dynamic
-	chunk := rt.opts.Chunk
-	if chunk < 1 {
-		chunk = sched.DefaultChunk
-	}
-	var next atomic.Int64
-	var s *sched.Schedule
-	if !dynamic {
-		s = rt.schedule(l.N)
-	}
-
-	useEpoch := rt.opts.UseEpochTables
-	ab := &rt.ab
-	stop := func() bool { return ab.triggered.Load() }
-	// guard runs one phase shard with panic recovery: a panicking user
-	// function (the body, or a broken Writes closure in the fully-parallel
-	// phases) aborts the run instead of crashing the process, and the worker
-	// proceeds to the next phase barrier as usual, so an abort never leaks
-	// the barrier. Recovery is per phase, not per shard, because a shard
-	// that skipped a barrier wait would deadlock the other workers.
-	guard := func(phase string, f func()) {
-		defer func() {
-			if r := recover(); r != nil {
-				ab.abort(fmt.Errorf("core: %s panicked: %v", phase, r))
-			}
-		}()
-		f()
-	}
-	bar := phaseBarrier{n: int32(k)}
-	var preEnd, execEnd time.Duration
-	start := time.Now()
-	rt.pool.Submit(k, func(w int) {
-		// Inspector shard (Figure 3, left): fully parallel, block-distributed.
-		lo, hi := sched.BlockRange(l.N, k, w)
-		guard("loop Writes (inspector)", func() {
-			for i := lo; i < hi; i++ {
-				for _, e := range l.Writes(i) {
-					tab.Record(e, i)
-				}
-			}
-		})
-		bar.wait(func() { preEnd = time.Since(start) })
-
-		// Executor shard: the transformed loop of Figure 5.
-		guard("loop body", func() {
-			if dynamic {
-				sched.DynamicLoop(&next, l.N, chunk, w, body, stop)
-			} else if w < len(s.PerWorker) {
-				for _, pos := range s.PerWorker[w] {
-					body(w, pos)
-				}
-			}
-		})
-		bar.wait(func() { execEnd = time.Since(start) })
-
-		// Postprocessor shard (Figure 3, right): copy back and reset. An
-		// aborted run resets the scratch state (so the runtime stays
-		// reusable) but skips the copy-back: skipped iterations never
-		// seeded ynew, so copying would publish stale values into y.
-		aborted := ab.triggered.Load()
-		guard("loop Writes (postprocessor)", func() {
-			for i := lo; i < hi; i++ {
-				for _, e := range l.Writes(i) {
-					if !aborted {
-						y[e] = rt.ynew[e]
-					}
-					if !useEpoch {
-						rt.iter.Reset(e)
-						rt.ready.Clear(e)
-					}
-				}
-			}
-		})
-	})
-	if useEpoch {
-		rt.eIter.Advance()
-		rt.eReady.Advance()
-	}
-	stopWatch()
-	if err := ab.firstErr(); err != nil {
+	// Resolve the execution strategy. For ExecWavefront/ExecAuto this is
+	// where the inspection (or its cache hit) happens, so its cost is folded
+	// into the report's preprocessing time below. Like the doacross's own
+	// inspector shard, a cold inspection is not interruptible mid-flight;
+	// ctx is re-checked as soon as it completes.
+	selStart := time.Now()
+	ex, err := rt.executorFor(l)
+	if err != nil {
 		return Report{}, err
 	}
-	total := time.Since(start)
+	selTime := time.Since(selStart)
+	rep.Executor = ex.name()
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 
-	rep.PreTime = preEnd
-	rep.ExecTime = execEnd - preEnd
-	rep.PostTime = total - execEnd
-	rep.TotalTime = total
+	stopWatch := rt.watchContext(ctx)
+	ex.execute(l, y, &rep)
+	stopWatch()
+	if err := rt.ab.firstErr(); err != nil {
+		return Report{}, err
+	}
+	rep.PreTime += selTime
+	rep.TotalTime += selTime
 	rep.setCounters(sumCounters(rt.counters))
 	return rep, nil
 }
@@ -523,14 +468,37 @@ func (r *Report) setCounters(c execCounters) {
 
 // Inspect is the execution-time preprocessing phase (the inspector): it runs
 // a fully parallel loop that records, for every element written by the loop,
-// the iteration that writes it (Figure 3, left, in the paper).
-func (rt *Runtime) Inspect(l *Loop) {
+// the iteration that writes it (Figure 3, left, in the paper), and — when the
+// loop declares Reads — derives the wavefront decomposition through the same
+// schedule cache the wavefront executor uses, returning the inspection
+// statistics the Auto executor selection consults. Loops without Reads return
+// stats with only Iterations set (no graph can be built). The error is
+// non-nil when a Writes/Reads closure panicked during the decomposition.
+func (rt *Runtime) Inspect(l *Loop) (InspectStats, error) {
+	rt.inspectTables(l)
+	if l.Reads == nil {
+		return InspectStats{Iterations: l.N}, nil
+	}
+	plan, cached, err := rt.wavefrontPlan(l)
+	if err != nil {
+		return InspectStats{Iterations: l.N}, err
+	}
+	st := plan.stats
+	st.CacheHit = cached
+	return st, nil
+}
+
+// inspectTables fills the writer table only — the inspector work the
+// flag-based doacross phases consume. It is what the SpawnPerCall baseline
+// runs, so that baseline keeps measuring exactly the paper's three phases.
+func (rt *Runtime) inspectTables(l *Loop) {
 	tab := rt.table()
 	rt.pool.ParallelFor(l.N, func(i int) {
 		for _, e := range l.Writes(i) {
 			tab.Record(e, i)
 		}
 	})
+	rt.inspectDirty = true
 }
 
 // execCounters aggregates the per-iteration dependency counters.
@@ -548,8 +516,9 @@ type execCounters struct {
 // Postprocess always runs so the scratch state is restored even after a
 // failed executor phase.
 func (rt *Runtime) runPhased(ctx context.Context, l *Loop, y []float64, rep Report) (Report, error) {
+	rep.Executor = "doacross"
 	start := time.Now()
-	rt.Inspect(l)
+	rt.inspectTables(l)
 	rep.PreTime = time.Since(start)
 
 	execStart := time.Now()
@@ -647,14 +616,7 @@ func (rt *Runtime) Execute(l *Loop, y []float64) (execCounters, error) {
 	ready := rt.waiter()
 	rt.ab.arm(rt.wakeWaiters())
 
-	var traceBase time.Time
-	if rt.opts.CollectTrace {
-		rt.lastTrace = &Trace{Workers: rt.opts.Workers, Iterations: make([]IterTrace, l.N)}
-		traceBase = time.Now()
-	} else {
-		rt.lastTrace = nil
-	}
-
+	traceBase := rt.armTrace(l)
 	for i := range rt.counters {
 		rt.counters[i] = execCounters{}
 	}
@@ -683,6 +645,7 @@ func (rt *Runtime) Postprocess(l *Loop, y []float64) {
 		})
 		rt.eIter.Advance()
 		rt.eReady.Advance()
+		rt.inspectDirty = false
 		return
 	}
 	rt.pool.ParallelFor(l.N, func(i int) {
@@ -692,6 +655,7 @@ func (rt *Runtime) Postprocess(l *Loop, y []float64) {
 			rt.ready.Clear(e)
 		}
 	})
+	rt.inspectDirty = false
 }
 
 // ScratchClean reports whether the scratch arrays are back in their pristine

@@ -91,6 +91,85 @@ func BuildFromWriterIndex(n int, write []int, reads func(i int) []int) *Graph {
 	})
 }
 
+// BuildParallel constructs the same graph as Build but distributes the two
+// expensive passes — filling the dense writer index and computing each
+// iteration's predecessor list — with the supplied parallel-for runner, so the
+// inspector cost of a wavefront executor shrinks with the number of workers.
+//
+// dataLen bounds the data elements the access pattern may touch (elements are
+// in [0, dataLen)); it replaces Build's writer map with a dense array, which
+// is what makes the fill parallelizable. parallelFor must run body(i) for
+// every i in [0, n), possibly concurrently, and return only once all calls
+// have finished — sched.Pool.ParallelFor satisfies the contract. A nil
+// parallelFor runs both passes sequentially.
+//
+// The access pattern must be free of output dependencies (no element written
+// by two different iterations, the preprocessed doacross precondition);
+// otherwise the concurrent writer-index fill would race.
+func BuildParallel(a Access, dataLen int, parallelFor func(n int, body func(i int))) *Graph {
+	if parallelFor == nil {
+		parallelFor = func(n int, body func(i int)) {
+			for i := 0; i < n; i++ {
+				body(i)
+			}
+		}
+	}
+	writer := make([]int32, dataLen)
+	parallelFor(dataLen, func(e int) { writer[e] = -1 })
+	parallelFor(a.N, func(i int) {
+		for _, e := range a.Writes(i) {
+			writer[e] = int32(i)
+		}
+	})
+	return BuildParallelFromWriterIndex(a.N, writer, a.Reads, parallelFor)
+}
+
+// BuildParallelFromWriterIndex is BuildParallel for callers that already hold
+// the dense writer index (writer[e] = the iteration writing element e, -1 for
+// unwritten elements) — the wavefront inspector fills that index anyway for
+// its execution-time dependency checks and shares it here instead of building
+// it twice. parallelFor follows the BuildParallel contract; nil runs
+// sequentially.
+func BuildParallelFromWriterIndex(n int, writer []int32, reads func(i int) []int, parallelFor func(n int, body func(i int))) *Graph {
+	if parallelFor == nil {
+		parallelFor = func(n int, body func(i int)) {
+			for i := 0; i < n; i++ {
+				body(i)
+			}
+		}
+	}
+	g := &Graph{
+		N:     n,
+		Preds: make([][]int32, n),
+		Succs: make([][]int32, n),
+	}
+	parallelFor(n, func(i int) {
+		var preds []int32
+		for _, e := range reads(i) {
+			if e < 0 || e >= len(writer) {
+				continue
+			}
+			j := writer[e]
+			if j < 0 || int(j) >= i {
+				// Not written, self dependence, or anti-dependence
+				// (removed by renaming).
+				continue
+			}
+			preds = append(preds, j)
+		}
+		g.Preds[i] = dedupSorted(preds)
+	})
+	// The reverse adjacency appends to shared per-node slices, so it stays
+	// sequential; it is O(edges), cheap next to the predecessor scans above.
+	for i := 0; i < n; i++ {
+		g.Edges += len(g.Preds[i])
+		for _, j := range g.Preds[i] {
+			g.Succs[j] = append(g.Succs[j], int32(i))
+		}
+	}
+	return g
+}
+
 func dedupSorted(xs []int32) []int32 {
 	if len(xs) < 2 {
 		return xs
@@ -136,6 +215,95 @@ func (g *Graph) Levels() (level []int, byLevel [][]int) {
 		byLevel[l] = append(byLevel[l], i)
 	}
 	return level, byLevel
+}
+
+// LevelSet is a compact wavefront decomposition in CSR form: Level[i] is the
+// level of iteration i, and level l's members are Members[Off[l]:Off[l+1]],
+// in ascending iteration order. It is the allocation-free counterpart of the
+// byLevel slices returned by Levels, for callers (the wavefront inspector)
+// that decompose a graph on every cold inspect and want to reuse buffers.
+type LevelSet struct {
+	Level   []int32
+	Members []int32
+	Off     []int32
+}
+
+// Count returns the number of levels.
+func (ls *LevelSet) Count() int { return len(ls.Off) - 1 }
+
+// LevelMembers returns the iterations of level l, in ascending order.
+func (ls *LevelSet) LevelMembers(l int) []int32 { return ls.Members[ls.Off[l]:ls.Off[l+1]] }
+
+// MaxWidth returns the size of the widest level.
+func (ls *LevelSet) MaxWidth() int {
+	max := 0
+	for l := 0; l < ls.Count(); l++ {
+		if w := int(ls.Off[l+1] - ls.Off[l]); w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// grow returns buf resized to length n, reusing its backing array when
+// possible.
+func grow(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// LevelsInto computes the same wavefront decomposition as Levels into the
+// reusable buffers of ls, allocating only when the buffers are too small (or
+// ls is nil, in which case a fresh LevelSet is allocated). It returns ls.
+//
+// The decomposition is a forward sweep followed by a counting sort, both
+// O(N + edges) with no per-level allocations — the property the wavefront
+// inspector needs when it cold-inspects loop after loop on one runtime.
+func (g *Graph) LevelsInto(ls *LevelSet) *LevelSet {
+	if ls == nil {
+		ls = &LevelSet{}
+	}
+	ls.Level = grow(ls.Level, g.N)
+	ls.Members = grow(ls.Members, g.N)
+	levels := int32(0)
+	for i := 0; i < g.N; i++ {
+		l := int32(0)
+		for _, p := range g.Preds[i] {
+			if lp := ls.Level[p] + 1; lp > l {
+				l = lp
+			}
+		}
+		ls.Level[i] = l
+		if l+1 > levels {
+			levels = l + 1
+		}
+	}
+	ls.Off = grow(ls.Off, int(levels)+1)
+	for l := range ls.Off {
+		ls.Off[l] = 0
+	}
+	for i := 0; i < g.N; i++ {
+		ls.Off[ls.Level[i]+1]++
+	}
+	for l := 0; l < int(levels); l++ {
+		ls.Off[l+1] += ls.Off[l]
+	}
+	// Scatter, advancing Off[l] as the cursor of level l; afterwards Off[l]
+	// holds the END of level l, so shifting the array right by one restores
+	// the start offsets. Iterating i in ascending order keeps each level's
+	// members sorted.
+	for i := 0; i < g.N; i++ {
+		l := ls.Level[i]
+		ls.Members[ls.Off[l]] = int32(i)
+		ls.Off[l]++
+	}
+	for l := int(levels); l >= 1; l-- {
+		ls.Off[l] = ls.Off[l-1]
+	}
+	ls.Off[0] = 0
+	return ls
 }
 
 // CriticalPath returns the length of the longest weighted chain through the

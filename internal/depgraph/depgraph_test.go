@@ -293,3 +293,191 @@ func TestStatsString(t *testing.T) {
 		t.Errorf("Stats.String() = %q", s)
 	}
 }
+
+// randomAccess builds a random output-dependency-free access pattern:
+// iteration i writes element perm[i] and reads a few random elements, so the
+// graph mixes true dependencies, anti-dependencies and untouched reads.
+func randomAccess(rng *rand.Rand, n int) (Access, int) {
+	dataLen := 2 * n
+	perm := rng.Perm(dataLen)[:n]
+	reads := make([][]int, n)
+	for i := range reads {
+		k := rng.Intn(4)
+		for j := 0; j < k; j++ {
+			reads[i] = append(reads[i], rng.Intn(dataLen))
+		}
+	}
+	return Access{
+		N:      n,
+		Writes: func(i int) []int { return perm[i : i+1] },
+		Reads:  func(i int) []int { return reads[i] },
+	}, dataLen
+}
+
+// goParallelFor is a goroutine-per-shard parallel runner used to exercise
+// BuildParallel's concurrency under the race detector.
+func goParallelFor(n int, body func(i int)) {
+	const shards = 4
+	done := make(chan struct{}, shards)
+	for s := 0; s < shards; s++ {
+		go func(s int) {
+			for i := s; i < n; i += shards {
+				body(i)
+			}
+			done <- struct{}{}
+		}(s)
+	}
+	for s := 0; s < shards; s++ {
+		<-done
+	}
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.N != b.N || a.Edges != b.Edges {
+		return false
+	}
+	for i := 0; i < a.N; i++ {
+		if len(a.Preds[i]) != len(b.Preds[i]) {
+			return false
+		}
+		for k := range a.Preds[i] {
+			if a.Preds[i][k] != b.Preds[i][k] {
+				return false
+			}
+		}
+		if len(a.Succs[i]) != len(b.Succs[i]) {
+			return false
+		}
+		for k := range a.Succs[i] {
+			if a.Succs[i][k] != b.Succs[i][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestBuildParallelMatchesBuild checks that the pool-parallel construction
+// produces exactly the graph of the sequential Build, for random access
+// patterns, both with a nil runner and a genuinely concurrent one.
+func TestBuildParallelMatchesBuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, dataLen := randomAccess(rng, 20+rng.Intn(200))
+		want := Build(a)
+		if !graphsEqual(want, BuildParallel(a, dataLen, nil)) {
+			return false
+		}
+		return graphsEqual(want, BuildParallel(a, dataLen, goParallelFor))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLevelsIntoMatchesLevels checks the CSR decomposition against the
+// slice-of-slices one on random graphs, including buffer reuse across graphs
+// of different sizes.
+func TestLevelsIntoMatchesLevels(t *testing.T) {
+	ls := &LevelSet{} // reused across all iterations to exercise buffer reuse
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := randomAccess(rng, 10+rng.Intn(300))
+		g := Build(a)
+		level, byLevel := g.Levels()
+		g.LevelsInto(ls)
+		if ls.Count() != len(byLevel) {
+			return false
+		}
+		for i := 0; i < g.N; i++ {
+			if int(ls.Level[i]) != level[i] {
+				return false
+			}
+		}
+		for l := range byLevel {
+			members := ls.LevelMembers(l)
+			if len(members) != len(byLevel[l]) {
+				return false
+			}
+			for k := range members {
+				if int(members[k]) != byLevel[l][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelsIntoEmptyAndNil(t *testing.T) {
+	g := Build(Access{N: 0, Writes: func(int) []int { return nil }, Reads: func(int) []int { return nil }})
+	ls := g.LevelsInto(nil)
+	if ls.Count() != 0 {
+		t.Fatalf("empty graph has %d levels, want 0", ls.Count())
+	}
+	if ls.MaxWidth() != 0 {
+		t.Fatalf("empty graph max width = %d, want 0", ls.MaxWidth())
+	}
+}
+
+func TestLevelSetMaxWidth(t *testing.T) {
+	// Diamond: 0 -> {1,2} -> 3. Levels: {0}, {1,2}, {3}; max width 2.
+	g := BuildFromWriterIndex(4, []int{0, 1, 2, 3}, func(i int) []int {
+		switch i {
+		case 1, 2:
+			return []int{0}
+		case 3:
+			return []int{1, 2}
+		}
+		return nil
+	})
+	ls := g.LevelsInto(nil)
+	if ls.Count() != 3 || ls.MaxWidth() != 2 {
+		t.Fatalf("diamond: levels=%d maxWidth=%d, want 3, 2", ls.Count(), ls.MaxWidth())
+	}
+}
+
+// BenchmarkLevels and BenchmarkLevelsInto compare the allocating and the
+// buffer-reusing level decompositions; the wavefront inspector calls this on
+// every cold inspect, so the Into variant must be allocation-free after the
+// first call.
+func BenchmarkLevels(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a, _ := randomAccess(rng, 20000)
+	g := Build(a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Levels()
+	}
+}
+
+func BenchmarkLevelsInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a, _ := randomAccess(rng, 20000)
+	g := Build(a)
+	ls := g.LevelsInto(nil) // warm the buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.LevelsInto(ls)
+	}
+}
+
+func BenchmarkBuildParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a, dataLen := randomAccess(rng, 20000)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BuildParallel(a, dataLen, nil)
+		}
+	})
+	b.Run("goroutines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BuildParallel(a, dataLen, goParallelFor)
+		}
+	})
+}

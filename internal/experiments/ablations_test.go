@@ -175,13 +175,13 @@ func TestLiveTrisolveMeasurement(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live measurement skipped in -short mode")
 	}
-	for _, reordered := range []bool{false, true} {
-		res, err := RunLiveTrisolve(stencil.FivePoint, 2, 1, reordered)
+	for _, variant := range TrisolveVariants {
+		res, err := RunLiveTrisolve(stencil.FivePoint, 2, 1, variant)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if res.Checks != "results match" {
-			t.Fatalf("reordered=%v: live solve produced wrong results: %s", reordered, res.Checks)
+			t.Fatalf("%v: live solve produced wrong results: %s", variant, res.Checks)
 		}
 	}
 	out := FormatLive([]LiveResult{{Name: "x", Workers: 1}})

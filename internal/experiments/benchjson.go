@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// BenchRecord is one machine-readable performance measurement, the unit of
+// the BENCH_results.json file doabench emits alongside its human tables so
+// the repo's performance trajectory can be tracked run over run.
+type BenchRecord struct {
+	// Experiment names the experiment that produced the record ("live",
+	// "executors").
+	Experiment string `json:"experiment"`
+	// Name identifies the workload configuration.
+	Name    string `json:"name"`
+	Workers int    `json:"workers"`
+	// NsPerOp is the parallel wall-clock time of one operation (one run or
+	// solve) in nanoseconds; SeqNsPerOp the sequential reference.
+	NsPerOp    float64 `json:"ns_per_op"`
+	SeqNsPerOp float64 `json:"seq_ns_per_op,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"`
+	Efficiency float64 `json:"efficiency,omitempty"`
+	// WaitPolls is the aggregate busy-wait poll count of the measured run
+	// (zero for the wavefront executor by construction).
+	WaitPolls int64 `json:"wait_polls"`
+	// Executor names the execution strategy, when the workload ran through
+	// the preprocessed runtime.
+	Executor string `json:"executor,omitempty"`
+	// Levels and the inspect times are wavefront-specific: the level count
+	// and the cold (first solve) vs warm (schedule-cache hit) preprocessing
+	// cost.
+	Levels        int     `json:"levels,omitempty"`
+	ColdInspectNs float64 `json:"cold_inspect_ns,omitempty"`
+	WarmInspectNs float64 `json:"warm_inspect_ns,omitempty"`
+}
+
+// BenchFile is the envelope of BENCH_results.json.
+type BenchFile struct {
+	Schema      int           `json:"schema"`
+	GeneratedBy string        `json:"generated_by"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Records     []BenchRecord `json:"records"`
+}
+
+// LiveBenchRecords converts live measurements into bench records.
+func LiveBenchRecords(results []LiveResult) []BenchRecord {
+	records := make([]BenchRecord, 0, len(results))
+	for _, r := range results {
+		records = append(records, BenchRecord{
+			Experiment: "live",
+			Name:       r.Name,
+			Workers:    r.Workers,
+			NsPerOp:    float64(r.TPar.Nanoseconds()),
+			SeqNsPerOp: float64(r.TSeq.Nanoseconds()),
+			Speedup:    r.Speedup,
+			Efficiency: r.Efficiency,
+			WaitPolls:  r.WaitPolls,
+			Executor:   r.Executor,
+		})
+	}
+	return records
+}
+
+// ExecutorBenchRecords converts an executor sweep into bench records, one
+// per strategy per configuration.
+func ExecutorBenchRecords(rows []ExecutorSweepRow) []BenchRecord {
+	records := make([]BenchRecord, 0, 2*len(rows))
+	for _, r := range rows {
+		records = append(records,
+			BenchRecord{
+				Experiment: "executors",
+				Name:       fmt.Sprintf("trisolve %s", r.Problem),
+				Workers:    r.Workers,
+				NsPerOp:    float64(r.TDoacross.Nanoseconds()),
+				SeqNsPerOp: float64(r.TSeq.Nanoseconds()),
+				Speedup:    r.DoacrossSpeedup,
+				WaitPolls:  r.DoacrossWaits,
+				Executor:   "doacross",
+			},
+			BenchRecord{
+				Experiment:    "executors",
+				Name:          fmt.Sprintf("trisolve %s", r.Problem),
+				Workers:       r.Workers,
+				NsPerOp:       float64(r.TWavefront.Nanoseconds()),
+				SeqNsPerOp:    float64(r.TSeq.Nanoseconds()),
+				Speedup:       r.WavefrontSpeedup,
+				Executor:      "wavefront",
+				Levels:        r.Levels,
+				ColdInspectNs: float64(r.ColdInspect.Nanoseconds()),
+				WarmInspectNs: float64(r.WarmInspect.Nanoseconds()),
+			})
+	}
+	return records
+}
+
+// WriteBenchJSON writes the records as BENCH_results.json-style output to
+// path.
+func WriteBenchJSON(path string, records []BenchRecord) error {
+	f := BenchFile{
+		Schema:      1,
+		GeneratedBy: "doabench",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Records:     records,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

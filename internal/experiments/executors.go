@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"doacross"
+	"doacross/internal/stencil"
+	"doacross/internal/trace"
+)
+
+// ExecutorSweepRow compares the runtime's execution strategies on one
+// triangular-solve workload at one worker count: the busy-wait doacross
+// against the pre-scheduled wavefront executor, plus what the Auto selection
+// picks and how much of the wavefront's inspection the schedule cache
+// amortizes away.
+type ExecutorSweepRow struct {
+	Problem string
+	Workers int
+
+	TSeq       time.Duration
+	TDoacross  time.Duration
+	TWavefront time.Duration
+
+	DoacrossSpeedup  float64
+	WavefrontSpeedup float64
+
+	// DoacrossWaits is the doacross's aggregate busy-wait poll count;
+	// WavefrontWaits must be zero by construction and is recorded so the
+	// check below can enforce that invariant.
+	DoacrossWaits  int64
+	WavefrontWaits int64
+	// Levels is the wavefront decomposition's level count.
+	Levels int
+
+	// ColdInspect is the wavefront preprocessing time of the first solve
+	// (graph build + level decomposition + schedule); WarmInspect is the
+	// preprocessing time of a later solve on the same solver, which the
+	// schedule cache reduces to a memo lookup.
+	ColdInspect time.Duration
+	WarmInspect time.Duration
+	// WarmCached reports whether the warm solve actually hit the cache.
+	WarmCached bool
+
+	// AutoPicked names the executor the Auto selection chose.
+	AutoPicked string
+	Checks     string
+}
+
+// RunExecutorSweep sweeps both executors over the given problems and worker
+// counts, repeat runs per measurement (best time wins, as in the other live
+// experiments).
+func RunExecutorSweep(probs []stencil.Problem, workers []int, repeat int) ([]ExecutorSweepRow, error) {
+	var rows []ExecutorSweepRow
+	for _, prob := range probs {
+		l, _, err := stencil.LowerFactor(prob, 1)
+		if err != nil {
+			return nil, err
+		}
+		rhs := stencil.RHS(l.N, 7)
+		var want []float64
+		seqSample := trace.Measure(repeat, func() {
+			want = doacross.SolveSequential(l, rhs)
+		})
+
+		for _, p := range workers {
+			row := ExecutorSweepRow{Problem: prob.String(), Workers: p, TSeq: seqSample.Min()}
+			opts := liveSolverOptions(p, 32)
+
+			da, err := doacross.NewSolver(l, opts...)
+			if err != nil {
+				return nil, err
+			}
+			daOut := make([]float64, l.N)
+			var runErr error
+			var daRep doacross.Report
+			daSample := trace.Measure(repeat, func() {
+				rep, _, e := solverSolve(da, rhs, daOut)
+				if e != nil {
+					runErr = e
+				}
+				daRep = rep
+			})
+			da.Close()
+			if runErr != nil {
+				return nil, runErr
+			}
+			row.TDoacross = daSample.Min()
+			row.DoacrossWaits = daRep.WaitPolls
+
+			wf, err := doacross.NewSolver(l, append(opts, doacross.WithExecutor(doacross.Wavefront))...)
+			if err != nil {
+				return nil, err
+			}
+			wfOut := make([]float64, l.N)
+			coldRep, _, err := solverSolve(wf, rhs, wfOut)
+			if err != nil {
+				wf.Close()
+				return nil, err
+			}
+			row.ColdInspect = coldRep.PreTime
+			row.Levels = coldRep.Levels
+			var wfRep doacross.Report
+			wfSample := trace.Measure(repeat, func() {
+				rep, _, e := solverSolve(wf, rhs, wfOut)
+				if e != nil {
+					runErr = e
+				}
+				wfRep = rep
+			})
+			wf.Close()
+			if runErr != nil {
+				return nil, runErr
+			}
+			row.TWavefront = wfSample.Min()
+			row.WarmInspect = wfRep.PreTime
+			row.WarmCached = wfRep.InspectCached
+			row.WavefrontWaits = wfRep.WaitPolls
+
+			auto, err := doacross.NewSolver(l, append(opts, doacross.WithExecutor(doacross.Auto))...)
+			if err != nil {
+				return nil, err
+			}
+			autoOut := make([]float64, l.N)
+			autoRep, _, err := solverSolve(auto, rhs, autoOut)
+			auto.Close()
+			if err != nil {
+				return nil, err
+			}
+			row.AutoPicked = autoRep.Executor
+
+			row.DoacrossSpeedup = trace.Speedup(row.TSeq, row.TDoacross)
+			row.WavefrontSpeedup = trace.Speedup(row.TSeq, row.TWavefront)
+			checks := []string{checkClose(want, daOut), checkClose(want, wfOut), checkClose(want, autoOut)}
+			row.Checks = "results match"
+			for _, c := range checks {
+				if c != "results match" {
+					row.Checks = c
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatExecutorSweep renders the executor comparison.
+func FormatExecutorSweep(rows []ExecutorSweepRow) string {
+	var b strings.Builder
+	b.WriteString("Executor sweep (live): busy-wait doacross vs pre-scheduled wavefront\n")
+	fmt.Fprintf(&b, "%-8s %3s %12s %12s %12s %7s %7s %9s %8s %12s %12s %-10s %s\n",
+		"problem", "P", "Tseq", "Tdoacross", "Twavefront", "S(da)", "S(wf)", "waits", "levels", "coldInspect", "warmInspect", "auto", "check")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %3d %12v %12v %12v %7.2f %7.2f %9d %8d %12v %12v %-10s %s\n",
+			r.Problem, r.Workers, r.TSeq, r.TDoacross, r.TWavefront,
+			r.DoacrossSpeedup, r.WavefrontSpeedup, r.DoacrossWaits, r.Levels,
+			r.ColdInspect, r.WarmInspect, r.AutoPicked, r.Checks)
+	}
+	return b.String()
+}
+
+// CheckExecutorSweep verifies the sweep's qualitative claims: every executor
+// reproduced the sequential result, warm solves hit the schedule cache, and
+// the wavefront executor never busy-waits.
+func CheckExecutorSweep(rows []ExecutorSweepRow) []string {
+	var problems []string
+	for _, r := range rows {
+		if r.Checks != "results match" {
+			problems = append(problems, fmt.Sprintf("%s P=%d: %s", r.Problem, r.Workers, r.Checks))
+		}
+		if !r.WarmCached {
+			problems = append(problems, fmt.Sprintf("%s P=%d: warm solve missed the schedule cache", r.Problem, r.Workers))
+		}
+		if r.WavefrontWaits != 0 {
+			problems = append(problems, fmt.Sprintf("%s P=%d: wavefront executor busy-waited (%d polls)", r.Problem, r.Workers, r.WavefrontWaits))
+		}
+	}
+	return problems
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"doacross/internal/stencil"
+)
+
+func TestExecutorSweepAndBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live measurement skipped in -short mode")
+	}
+	rows, err := RunExecutorSweep([]stencil.Problem{stencil.SPE2}, []int{2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if problems := CheckExecutorSweep(rows); len(problems) > 0 {
+		t.Fatalf("sweep violations: %v", problems)
+	}
+	if r.Levels == 0 || r.AutoPicked == "" {
+		t.Fatalf("implausible row: %+v", r)
+	}
+	out := FormatExecutorSweep(rows)
+	if !strings.Contains(out, "wavefront") || !strings.Contains(out, "SPE2") {
+		t.Errorf("format output missing fields:\n%s", out)
+	}
+
+	records := ExecutorBenchRecords(rows)
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2 (doacross + wavefront)", len(records))
+	}
+	if records[1].Executor != "wavefront" || records[1].WaitPolls != 0 {
+		t.Fatalf("wavefront record: %+v", records[1])
+	}
+	if records[1].ColdInspectNs <= 0 {
+		t.Fatalf("wavefront record missing cold inspect time: %+v", records[1])
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_results.json")
+	if err := WriteBenchJSON(path, records); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("BENCH_results.json is not valid JSON: %v", err)
+	}
+	if f.Schema != 1 || len(f.Records) != 2 || f.Records[0].NsPerOp <= 0 {
+		t.Fatalf("unexpected bench file: %+v", f)
+	}
+}
+
+func TestLiveBenchRecords(t *testing.T) {
+	recs := LiveBenchRecords([]LiveResult{{Name: "w", Workers: 3, Executor: "doacross", WaitPolls: 5}})
+	if len(recs) != 1 || recs[0].Experiment != "live" || recs[0].WaitPolls != 5 {
+		t.Fatalf("unexpected records: %+v", recs)
+	}
+}

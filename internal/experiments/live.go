@@ -28,11 +28,17 @@ type LiveResult struct {
 	Speedup    float64
 	Efficiency float64
 	Checks     string // result-correctness note
+	// Executor names the execution strategy of the parallel run ("doacross",
+	// "wavefront"), and WaitPolls its aggregate busy-wait polls, both taken
+	// from the last run's report (empty/zero for workloads that bypass the
+	// preprocessed runtime).
+	Executor  string
+	WaitPolls int64
 }
 
 // String renders the measurement.
 func (r LiveResult) String() string {
-	return fmt.Sprintf("%-28s P=%-2d Tseq=%-12v Tpar=%-12v speedup=%.2f eff=%.2f %s",
+	return fmt.Sprintf("%-30s P=%-2d Tseq=%-12v Tpar=%-12v speedup=%.2f eff=%.2f %s",
 		r.Name, r.Workers, r.TSeq, r.TPar, r.Speedup, r.Efficiency, r.Checks)
 }
 
@@ -106,9 +112,46 @@ func RunLiveTestLoop(tc testloop.Config, workers, repeat int) (LiveResult, error
 	return res, nil
 }
 
-// RunLiveTrisolve measures the live doacross triangular solve on one of the
+// TrisolveVariant selects which triangular-solve configuration a live
+// measurement runs; together the variants sweep both execution strategies
+// (and the reordering) over the paper's test problems.
+type TrisolveVariant int
+
+const (
+	// TrisolvePlain is the natural-order busy-wait doacross.
+	TrisolvePlain TrisolveVariant = iota
+	// TrisolveReordered is the doacross with doconsider-reordered iterations.
+	TrisolveReordered
+	// TrisolveWavefront is the pre-scheduled wavefront executor with its
+	// schedule cache.
+	TrisolveWavefront
+	// TrisolveAuto lets the inspection pick the executor.
+	TrisolveAuto
+)
+
+// String returns the variant's short name as used in result rows.
+func (v TrisolveVariant) String() string {
+	switch v {
+	case TrisolvePlain:
+		return "doacross"
+	case TrisolveReordered:
+		return "reordered"
+	case TrisolveWavefront:
+		return "wavefront"
+	case TrisolveAuto:
+		return "auto"
+	default:
+		return "unknown"
+	}
+}
+
+// TrisolveVariants lists every live triangular-solve configuration, in
+// reporting order.
+var TrisolveVariants = []TrisolveVariant{TrisolvePlain, TrisolveReordered, TrisolveWavefront, TrisolveAuto}
+
+// RunLiveTrisolve measures one live triangular-solve variant on one of the
 // paper's test problems.
-func RunLiveTrisolve(prob stencil.Problem, workers, repeat int, reordered bool) (LiveResult, error) {
+func RunLiveTrisolve(prob stencil.Problem, workers, repeat int, variant TrisolveVariant) (LiveResult, error) {
 	l, _, err := stencil.LowerFactor(prob, 1)
 	if err != nil {
 		return LiveResult{}, err
@@ -121,16 +164,19 @@ func RunLiveTrisolve(prob stencil.Problem, workers, repeat int, reordered bool) 
 	})
 
 	// One reusable solver serves every repetition: the worker pool, scratch
-	// arrays and (when reordered) the doconsider plan are built once, which
-	// is how an iterative driver would use the doacross.
+	// arrays, any doconsider plan and the wavefront schedule cache are built
+	// once, which is how an iterative driver would use the doacross.
 	opts := liveSolverOptions(workers, 32)
 	var solver *doacross.Solver
 	var err2 error
-	name := fmt.Sprintf("trisolve %v doacross", prob)
-	if reordered {
+	switch variant {
+	case TrisolveReordered:
 		solver, err2 = doacross.NewReorderedSolver(l, doacross.ReorderLevel, opts...)
-		name = fmt.Sprintf("trisolve %v reordered", prob)
-	} else {
+	case TrisolveWavefront:
+		solver, err2 = doacross.NewSolver(l, append(opts, doacross.WithExecutor(doacross.Wavefront))...)
+	case TrisolveAuto:
+		solver, err2 = doacross.NewSolver(l, append(opts, doacross.WithExecutor(doacross.Auto))...)
+	default:
 		solver, err2 = doacross.NewSolver(l, opts...)
 	}
 	if err2 != nil {
@@ -139,25 +185,37 @@ func RunLiveTrisolve(prob stencil.Problem, workers, repeat int, reordered bool) 
 	defer solver.Close()
 	parOut := make([]float64, l.N)
 	var runErr error
+	var lastRep doacross.Report
 	parSample := trace.Measure(repeat, func() {
-		if _, _, e := solver.Solve(rhs, parOut); e != nil {
+		rep, _, e := solverSolve(solver, rhs, parOut)
+		if e != nil {
 			runErr = e
 		}
+		lastRep = rep
 	})
 	if runErr != nil {
 		return LiveResult{}, runErr
 	}
 
 	res := LiveResult{
-		Name:    name,
-		Workers: workers,
-		TSeq:    seqSample.Min(),
-		TPar:    parSample.Min(),
+		Name:      fmt.Sprintf("trisolve %v %v", prob, variant),
+		Workers:   workers,
+		TSeq:      seqSample.Min(),
+		TPar:      parSample.Min(),
+		Executor:  lastRep.Executor,
+		WaitPolls: lastRep.WaitPolls,
 	}
 	res.Speedup = trace.Speedup(res.TSeq, res.TPar)
 	res.Efficiency = trace.Efficiency(res.TSeq, res.TPar, workers)
 	res.Checks = checkClose(seqOut, parOut)
 	return res, nil
+}
+
+// solverSolve adapts Solver.Solve to return the report first, keeping the
+// measurement closure above readable.
+func solverSolve(s *doacross.Solver, rhs, y []float64) (doacross.Report, []float64, error) {
+	out, rep, err := s.Solve(rhs, y)
+	return rep, out, err
 }
 
 // RunLiveKrylovReuse measures the motivating application end to end: an

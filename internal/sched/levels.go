@@ -1,0 +1,126 @@
+package sched
+
+import "fmt"
+
+// LevelSchedule is a level-sorted static schedule: the pre-scheduled
+// counterpart of the busy-wait doacross. The iteration space is decomposed
+// into wavefront levels (every iteration's true dependencies lie in strictly
+// earlier levels), each level is distributed statically over the workers, and
+// the executor separates consecutive levels with a barrier — so no
+// per-element ready flags and no waiting inside a level are needed.
+//
+// The assignments are stored flat (level-major, worker-major) so a schedule
+// for a large loop is two slices, not levels*workers allocations, and the
+// per-worker item lists of one level are contiguous.
+type LevelSchedule struct {
+	items []int32 // iteration indices, grouped by (level, worker)
+	off   []int32 // len levels*workers+1; items of (l,w) are items[off[l*W+w]:off[l*W+w+1]]
+
+	levels  int
+	workers int
+	n       int
+	// PolicyUsed records how each level was distributed. Dynamic has no
+	// pre-scheduled analogue, so it degrades to Cyclic.
+	PolicyUsed Policy
+}
+
+// NewLevelSchedule builds a level schedule over p workers from a wavefront
+// decomposition in CSR form: level l's iterations are members[off[l]:off[l+1]]
+// (ascending), exactly the layout of depgraph.LevelSet. Within each level the
+// members are distributed by policy: Block gives each worker a contiguous
+// chunk of the level, Cyclic (and Dynamic, which cannot be materialized
+// statically) deals them round robin.
+func NewLevelSchedule(members, off []int32, policy Policy, p int) *LevelSchedule {
+	if p < 1 {
+		p = 1
+	}
+	levels := len(off) - 1
+	if levels < 0 {
+		levels = 0
+	}
+	used := policy
+	if used == Dynamic {
+		used = Cyclic
+	}
+	s := &LevelSchedule{
+		items:      make([]int32, len(members)),
+		off:        make([]int32, levels*p+1),
+		levels:     levels,
+		workers:    p,
+		n:          len(members),
+		PolicyUsed: used,
+	}
+	pos := 0
+	for l := 0; l < levels; l++ {
+		lvl := members[off[l]:off[l+1]]
+		base := l * p
+		switch used {
+		case Cyclic:
+			for w := 0; w < p; w++ {
+				s.off[base+w] = int32(pos)
+				for k := w; k < len(lvl); k += p {
+					s.items[pos] = lvl[k]
+					pos++
+				}
+			}
+		default: // Block
+			for w := 0; w < p; w++ {
+				s.off[base+w] = int32(pos)
+				lo, hi := BlockRange(len(lvl), p, w)
+				pos += copy(s.items[pos:], lvl[lo:hi])
+			}
+		}
+	}
+	s.off[levels*p] = int32(pos)
+	return s
+}
+
+// Levels returns the number of wavefront levels.
+func (s *LevelSchedule) Levels() int { return s.levels }
+
+// Workers returns the number of workers the schedule distributes over.
+func (s *LevelSchedule) Workers() int { return s.workers }
+
+// N returns the total number of scheduled iterations.
+func (s *LevelSchedule) N() int { return s.n }
+
+// Items returns the iterations worker w executes in level l, in order.
+func (s *LevelSchedule) Items(l, w int) []int32 {
+	i := l*s.workers + w
+	return s.items[s.off[i]:s.off[i+1]]
+}
+
+// LevelWidth returns the number of iterations in level l.
+func (s *LevelSchedule) LevelWidth(l int) int {
+	return int(s.off[(l+1)*s.workers] - s.off[l*s.workers])
+}
+
+// Validate checks that the schedule covers every iteration in [0, N) exactly
+// once and that the flat offsets are monotone.
+func (s *LevelSchedule) Validate() error {
+	seen := make([]bool, s.n)
+	count := 0
+	for i := 1; i < len(s.off); i++ {
+		if s.off[i] < s.off[i-1] {
+			return fmt.Errorf("level schedule: offsets not monotone at %d", i)
+		}
+	}
+	for l := 0; l < s.levels; l++ {
+		for w := 0; w < s.workers; w++ {
+			for _, it := range s.Items(l, w) {
+				if it < 0 || int(it) >= s.n {
+					return fmt.Errorf("level %d worker %d: iteration %d out of range [0,%d)", l, w, it, s.n)
+				}
+				if seen[it] {
+					return fmt.Errorf("level %d worker %d: iteration %d assigned more than once", l, w, it)
+				}
+				seen[it] = true
+				count++
+			}
+		}
+	}
+	if count != s.n {
+		return fmt.Errorf("level schedule covers %d of %d iterations", count, s.n)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// csrLevels packs per-level member lists into the CSR form NewLevelSchedule
+// consumes.
+func csrLevels(byLevel [][]int32) (members, off []int32) {
+	off = append(off, 0)
+	for _, lvl := range byLevel {
+		members = append(members, lvl...)
+		off = append(off, int32(len(members)))
+	}
+	return members, off
+}
+
+func TestLevelScheduleBlock(t *testing.T) {
+	members, off := csrLevels([][]int32{{0, 1, 2, 3, 4}, {5, 6}, {7}})
+	s := NewLevelSchedule(members, off, Block, 2)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Levels() != 3 || s.Workers() != 2 || s.N() != 8 {
+		t.Fatalf("levels=%d workers=%d n=%d", s.Levels(), s.Workers(), s.N())
+	}
+	// Block: worker 0 gets the first ceil(5/2)=3 of level 0.
+	if got := s.Items(0, 0); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("level 0 worker 0 items = %v", got)
+	}
+	if got := s.Items(2, 1); len(got) != 0 {
+		t.Fatalf("narrow level gave worker 1 items %v", got)
+	}
+	if w := s.LevelWidth(0); w != 5 {
+		t.Fatalf("level 0 width = %d, want 5", w)
+	}
+}
+
+func TestLevelScheduleCyclic(t *testing.T) {
+	members, off := csrLevels([][]int32{{0, 1, 2, 3, 4}})
+	s := NewLevelSchedule(members, off, Cyclic, 2)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w0, w1 := s.Items(0, 0), s.Items(0, 1)
+	if len(w0) != 3 || w0[0] != 0 || w0[1] != 2 || w0[2] != 4 {
+		t.Fatalf("cyclic worker 0 items = %v", w0)
+	}
+	if len(w1) != 2 || w1[0] != 1 || w1[1] != 3 {
+		t.Fatalf("cyclic worker 1 items = %v", w1)
+	}
+}
+
+func TestLevelScheduleDynamicDegradesToCyclic(t *testing.T) {
+	members, off := csrLevels([][]int32{{0, 1, 2}})
+	s := NewLevelSchedule(members, off, Dynamic, 2)
+	if s.PolicyUsed != Cyclic {
+		t.Fatalf("dynamic level schedule recorded policy %v, want cyclic", s.PolicyUsed)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelScheduleEmpty(t *testing.T) {
+	s := NewLevelSchedule(nil, []int32{0}, Block, 4)
+	if s.Levels() != 0 || s.N() != 0 {
+		t.Fatalf("empty schedule: levels=%d n=%d", s.Levels(), s.N())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLevelScheduleRandomCoverage fuzzes random decompositions over random
+// worker counts: the schedule must always cover every iteration exactly once
+// and keep iterations inside their level.
+func TestLevelScheduleRandomCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		var byLevel [][]int32
+		next := int32(0)
+		for int(next) < n {
+			w := 1 + rng.Intn(10)
+			var lvl []int32
+			for k := 0; k < w && int(next) < n; k++ {
+				lvl = append(lvl, next)
+				next++
+			}
+			byLevel = append(byLevel, lvl)
+		}
+		members, off := csrLevels(byLevel)
+		p := 1 + rng.Intn(8)
+		policy := Policy(rng.Intn(3))
+		s := NewLevelSchedule(members, off, policy, p)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d (n=%d p=%d policy=%v): %v", trial, n, p, policy, err)
+		}
+		for l := 0; l < s.Levels(); l++ {
+			want := byLevel[l]
+			lo, hi := want[0], want[len(want)-1]
+			for w := 0; w < p; w++ {
+				for _, it := range s.Items(l, w) {
+					if it < lo || it > hi {
+						t.Fatalf("iteration %d escaped level %d [%d,%d]", it, l, lo, hi)
+					}
+				}
+			}
+		}
+	}
+}

@@ -164,8 +164,13 @@ func NewSolver(t *sparse.Triangular, opts core.Options) (*Solver, error) {
 
 // NewReorderedSolver builds a reusable doacross solver whose iterations are
 // rearranged once with the given doconsider strategy; every subsequent Solve
-// reuses the plan.
+// reuses the plan. The wavefront executor derives its own level order, so
+// combining it with a reordering is rejected here rather than failing on the
+// first Solve.
 func NewReorderedSolver(t *sparse.Triangular, strategy doconsider.Strategy, opts core.Options) (*Solver, error) {
+	if opts.Executor == core.ExecWavefront {
+		return nil, fmt.Errorf("trisolve: a reordered solver cannot use the wavefront executor (it derives its own level order)")
+	}
 	var g *depgraph.Graph
 	if t.Lower {
 		g = Graph(t)
@@ -455,6 +460,12 @@ const (
 	DoacrossReordered
 	LinearSubscript
 	LevelScheduled
+	// DoacrossWavefront runs the preprocessed runtime with its wavefront
+	// executor: the inspected dependency graph executed level by level with
+	// the decomposition and static schedule cached across solves. It differs
+	// from LevelScheduled, which rebuilds the level sets on every call and
+	// exists as the naive baseline.
+	DoacrossWavefront
 )
 
 // String returns the executor's name as used in reports.
@@ -470,6 +481,8 @@ func (k SolverKind) String() string {
 		return "doacross-linear"
 	case LevelScheduled:
 		return "level-scheduled"
+	case DoacrossWavefront:
+		return "doacross-wavefront"
 	default:
 		return "unknown"
 	}
@@ -490,6 +503,9 @@ func Solve(kind SolverKind, t *sparse.Triangular, rhs []float64, opts core.Optio
 	case LevelScheduled:
 		y, levels := SolveLevelScheduled(t, rhs, opts.Workers)
 		return y, core.Report{Workers: opts.Workers, Iterations: t.N, Order: fmt.Sprintf("level-scheduled(%d levels)", levels)}, nil
+	case DoacrossWavefront:
+		opts.Executor = core.ExecWavefront
+		return SolveDoacross(t, rhs, opts)
 	default:
 		return nil, core.Report{}, fmt.Errorf("trisolve: unknown solver kind %d", int(kind))
 	}

@@ -38,8 +38,14 @@ const (
 	SolverReordered SolverKind = trisolve.DoacrossReordered
 	// SolverLinear is the linear-subscript doacross (no inspector).
 	SolverLinear SolverKind = trisolve.LinearSubscript
-	// SolverLevelScheduled is the wavefront (level-scheduled) baseline.
+	// SolverLevelScheduled is the wavefront (level-scheduled) baseline that
+	// rebuilds its level sets on every call.
 	SolverLevelScheduled SolverKind = trisolve.LevelScheduled
+	// SolverWavefront is the preprocessed runtime with its wavefront
+	// executor: pre-scheduled level-set execution with the decomposition and
+	// static schedule cached across solves. Equivalent to SolverDoacross
+	// with WithExecutor(Wavefront).
+	SolverWavefront SolverKind = trisolve.DoacrossWavefront
 )
 
 // ReorderStrategy selects how the doconsider transformation derives a new
@@ -114,6 +120,9 @@ func SolveTriangular(kind SolverKind, t *Triangular, rhs []float64, opts ...Opti
 		return trisolve.SolveUpperDoacross(t, rhs, o)
 	case SolverReordered:
 		return trisolve.SolveUpperDoacrossReordered(t, rhs, doconsider.Level, o)
+	case SolverWavefront:
+		o.Executor = Wavefront
+		return trisolve.SolveUpperDoacross(t, rhs, o)
 	default:
 		return nil, Report{}, fmt.Errorf("doacross: executor %v is not supported for upper (backward-substitution) factors", kind)
 	}
