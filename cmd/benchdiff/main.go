@@ -1,0 +1,55 @@
+// Command benchdiff compares two BENCH_results.json files (written by
+// doabench -json) and fails when any workload's ns/op regressed beyond a
+// threshold. It is the CI gate that keeps the repo's performance trajectory
+// visible run over run:
+//
+//	benchdiff -old BENCH_results.json -new BENCH_results.new.json -threshold 0.20
+//
+// Workloads are matched by (experiment, name, workers, executor); records
+// present in only one file are reported but never fail the comparison, so
+// adding or retiring experiments does not break the gate. A comparison that
+// matches nothing at all while both sides have records is an error — a
+// silent configuration mismatch must not pass as a green gate. Exit status
+// is 2 when at least one matched workload is more than threshold slower, 1
+// on usage or I/O errors or a vacuous comparison, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"doacross/internal/experiments"
+)
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "BENCH_results.json", "baseline results file")
+		newPath   = flag.String("new", "BENCH_results.new.json", "current results file")
+		threshold = flag.Float64("threshold", 0.20, "allowed fractional ns/op slowdown before failing")
+	)
+	flag.Parse()
+	if *threshold < 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: threshold must be non-negative")
+		os.Exit(1)
+	}
+	oldFile, err := experiments.ReadBenchJSON(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	newFile, err := experiments.ReadBenchJSON(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	cmp := experiments.CompareBenchRecords(oldFile.Records, newFile.Records, *threshold)
+	fmt.Print(cmp.Format())
+	if cmp.Vacuous() {
+		fmt.Fprintln(os.Stderr, "benchdiff: no workload matched between baseline and current — the gate checked nothing (mismatched worker counts or experiment sets?)")
+		os.Exit(1)
+	}
+	if len(cmp.Regressions()) > 0 {
+		os.Exit(2)
+	}
+}

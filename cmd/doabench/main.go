@@ -11,6 +11,7 @@
 //	doabench -experiment linear      # Ablation C: linear-subscript variant
 //	doabench -experiment ordering    # Ablation E: doconsider ordering strategies
 //	doabench -experiment sweep       # Ablation F: processor-count sweep (extension)
+//	doabench -experiment executors   # live doacross-vs-wavefront executor sweep
 //	doabench -experiment live        # live goroutine measurements on this host
 //	doabench -experiment all         # everything above
 //
@@ -25,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"doacross/internal/experiments"
@@ -41,7 +43,11 @@ func main() {
 		check      = flag.Bool("check", false, "verify the paper's qualitative claims and fail if violated")
 		liveReps   = flag.Int("live-reps", 3, "repetitions for live measurements")
 		format     = flag.String("format", "text", "output format for fig6/table1/sweep: text | markdown | csv")
-		jsonPath   = flag.String("json", "BENCH_results.json", "write machine-readable results of the live/executors experiments here (empty disables)")
+		// The default deliberately differs from the committed baseline
+		// (BENCH_results.json) so a partial experiment run cannot silently
+		// clobber it; regenerating the baseline is an explicit -json.
+		jsonPath    = flag.String("json", "BENCH_results.new.json", "write machine-readable results of the live/executors experiments here (empty disables)")
+		liveWorkers = flag.String("workers", "", "comma-separated worker counts for the executors sweep (default: derived from GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -170,6 +176,16 @@ func main() {
 		sweep := []int{workers}
 		if workers > 2 {
 			sweep = []int{2, workers}
+		}
+		if *liveWorkers != "" {
+			sweep = nil
+			for _, s := range strings.Split(*liveWorkers, ",") {
+				w, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || w < 1 {
+					return "", nil, fmt.Errorf("invalid -workers entry %q", s)
+				}
+				sweep = append(sweep, w)
+			}
 		}
 		rows, err := experiments.RunExecutorSweep(
 			[]stencil.Problem{stencil.SPE2, stencil.FivePoint, stencil.SevenPoint}, sweep, *liveReps)

@@ -67,10 +67,20 @@ const (
 	// inspect once. Requires Loop.Reads and natural order (no WithOrder).
 	Wavefront ExecutorKind = core.ExecWavefront
 	// Auto inspects the loop once through the same cache and picks the
-	// strategy from the dependency graph's shape: wide shallow graphs run as
-	// wavefronts, narrow deep graphs keep the doacross pipelining.
+	// strategy with a calibrated cost model: the inspected dependency
+	// structure (edges, levels, schedule rounds) is priced with measured
+	// barrier and flag-check costs — supplied through WithAutoCosts, or
+	// self-calibrated once per runtime by micro-timing both primitives on
+	// the live worker pool — and the predicted-cheaper executor runs. The
+	// coefficients and both predictions are reported in Report.
 	Auto ExecutorKind = core.ExecAuto
 )
+
+// AutoCosts are the coefficients of the Auto selection's cost model: the
+// cost of one level-barrier rendezvous, of one flag-table operation, and an
+// optional per-iteration work estimate. Zero value means self-calibrate; see
+// WithAutoCosts and the core documentation of the model.
+type AutoCosts = core.AutoCosts
 
 // InspectStats describes what the inspector learned about a loop's
 // dependency structure: level count, widths, critical path, and whether the
@@ -176,6 +186,25 @@ func WithExecutor(k ExecutorKind) Option {
 	}
 }
 
+// WithAutoCosts fixes the Auto selection's cost-model coefficients instead
+// of the per-runtime self-calibration probe: BarrierNs is the cost of one
+// level-barrier rendezvous at the runtime's worker count, FlagCheckNs the
+// cost of one flag-table operation, and IterNs an optional estimate of one
+// iteration's useful work (zero compares pure synchronization overheads).
+// Only the ratios matter. Supplying the coefficients makes WithExecutor(Auto)
+// deterministic across hosts — tests and simulator-calibrated deployments
+// want that; leave it unset to let the runtime measure its own barrier and
+// flag-check costs once on its live pool.
+func WithAutoCosts(c AutoCosts) Option {
+	return func(cf *config) {
+		if c.BarrierNs <= 0 || c.FlagCheckNs <= 0 || c.IterNs < 0 {
+			cf.fail(fmt.Errorf("doacross: WithAutoCosts requires positive BarrierNs and FlagCheckNs (and non-negative IterNs), got %+v", c))
+			return
+		}
+		cf.opts.AutoCosts = c
+	}
+}
+
 // WithOrder sets the execution order produced by a reordering transform:
 // position k of the parallel loop executes original iteration order[k]. The
 // order must be a permutation of 0..N-1 of the loop the runtime will run,
@@ -241,8 +270,10 @@ func buildOptions(opts []Option) (core.Options, error) {
 // Runtime holds the reusable state of a preprocessed doacross: the
 // inspector's scratch tables, the renaming buffer and a persistent worker
 // pool. Build one Runtime per data-array length and reuse it across runs (an
-// iterative driver calls Run thousands of times on one Runtime); it is not
-// safe for concurrent use. Close releases the worker pool.
+// iterative driver calls Run thousands of times on one Runtime). Run,
+// Inspect and InvalidatePlans may be called from multiple goroutines — they
+// serialize on an internal mutex, so one run executes at a time. Close
+// releases the worker pool.
 type Runtime struct {
 	rt *core.Runtime
 }
@@ -309,6 +340,15 @@ func (r *Runtime) RunDoall(l *Loop, y []float64) (Report, error) {
 // for overhead measurements and executor-selection diagnostics; Run inspects
 // automatically.
 func (r *Runtime) Inspect(l *Loop) (InspectStats, error) { return r.rt.Inspect(l) }
+
+// InvalidatePlans evicts every cached wavefront plan (both the Loop
+// pointer-identity memo and the structural-hash tier) by advancing the
+// schedule cache's generation counter, so the next Wavefront/Auto run
+// re-inspects cold. Call it after mutating a loop's index arrays in place —
+// the cache otherwise assumes a Loop value's access pattern never changes
+// and would silently replay the stale schedule. Safe to call concurrently
+// with Run.
+func (r *Runtime) InvalidatePlans() { r.rt.InvalidatePlans() }
 
 // Trace returns the per-iteration trace of the most recent run when the
 // runtime was built with WithTrace, or nil otherwise. The trace is owned by

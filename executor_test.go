@@ -96,10 +96,50 @@ func TestScheduleCacheAcrossSolves(t *testing.T) {
 	}
 }
 
-// TestAutoExecutorThroughFacade checks WithExecutor(Auto) end to end: the
-// five-point factor is wide enough that Auto pre-schedules it, and the
-// report names the picked strategy.
+// TestAutoExecutorThroughFacade checks WithExecutor(Auto) end to end: with
+// cost coefficients where barriers are cheap relative to the flag protocol,
+// the cost model pre-schedules the five-point factor (its natural order is
+// riddled with distance-1 stalls), the report names the picked strategy and
+// the prediction behind it, and the result matches the sequential solve.
 func TestAutoExecutorThroughFacade(t *testing.T) {
+	l, _, err := stencil.LowerFactor(stencil.FivePoint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := stencil.RHS(l.N, 7)
+	want := doacross.SolveSequential(l, rhs)
+	got, rep, err := doacross.SolveTriangular(doacross.SolverDoacross, l, rhs,
+		doacross.WithWorkers(4),
+		doacross.WithExecutor(doacross.Auto),
+		doacross.WithAutoCosts(doacross.AutoCosts{BarrierNs: 100, FlagCheckNs: 10}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executor != "wavefront" {
+		t.Fatalf("auto picked %q for the five-point factor, want wavefront", rep.Executor)
+	}
+	if rep.AutoCosts.BarrierNs != 100 || rep.AutoCosts.FlagCheckNs != 10 {
+		t.Fatalf("report did not carry the configured auto costs: %+v", rep.AutoCosts)
+	}
+	if !(rep.PredictedWavefrontNs > 0 && rep.PredictedWavefrontNs < rep.PredictedDoacrossNs) {
+		t.Fatalf("predictions inconsistent with the pick: doacross=%.0f wavefront=%.0f",
+			rep.PredictedDoacrossNs, rep.PredictedWavefrontNs)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("element %d differs", i)
+		}
+	}
+}
+
+// TestAutoSelfCalibrates checks the probe path: without WithAutoCosts the
+// runtime measures its own barrier and flag-check costs on the live pool.
+// Which executor wins is host-dependent (that is the point of calibrating),
+// so the test asserts only that a decision was made from positive
+// coefficients, the predictions are consistent with the pick, and the run
+// is correct.
+func TestAutoSelfCalibrates(t *testing.T) {
 	l, _, err := stencil.LowerFactor(stencil.FivePoint, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -113,13 +153,89 @@ func TestAutoExecutorThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Executor != "wavefront" {
-		t.Fatalf("auto picked %q for the five-point factor, want wavefront", rep.Executor)
+	if rep.AutoCosts.BarrierNs <= 0 || rep.AutoCosts.FlagCheckNs <= 0 {
+		t.Fatalf("self-calibration produced unusable coefficients: %+v", rep.AutoCosts)
+	}
+	wantExec := "doacross"
+	if rep.PredictedWavefrontNs < rep.PredictedDoacrossNs {
+		wantExec = "wavefront"
+	}
+	if rep.Executor != wantExec {
+		t.Fatalf("executor %q inconsistent with predictions (doacross=%.0f wavefront=%.0f)",
+			rep.Executor, rep.PredictedDoacrossNs, rep.PredictedWavefrontNs)
 	}
 	for i := range want {
 		if want[i] != got[i] {
 			t.Fatalf("element %d differs", i)
 		}
+	}
+}
+
+// TestAutoFlipsAtBreakEven is the cost-model acceptance property: for a
+// fixed loop shape, sweeping the calibrated barrier/flag-check cost ratio
+// across the model's break-even point flips the Auto selection from
+// wavefront (cheap barriers) to doacross (expensive barriers), with the
+// flip exactly where Predict says the two estimates cross.
+func TestAutoFlipsAtBreakEven(t *testing.T) {
+	l, _, err := stencil.LowerFactor(stencil.FivePoint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := stencil.RHS(l.N, 7)
+	const workers = 4
+	const flagNs = 10.0
+
+	// Locate the break-even ratio from the model itself, using the stats the
+	// runtime's own inspection reports.
+	rt, err := doacross.New(l.N, doacross.WithWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, err := doacross.TrisolveLoop(l, rhs)
+	if err != nil {
+		rt.Close()
+		t.Fatal(err)
+	}
+	st, err := rt.Inspect(loop)
+	rt.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Levels <= 1 {
+		t.Fatalf("degenerate decomposition: %+v", st)
+	}
+	lo, hi := 1e-3, 1e6
+	for range 200 {
+		mid := (lo + hi) / 2
+		tda, twf := doacross.AutoCosts{BarrierNs: mid * flagNs, FlagCheckNs: flagNs}.Predict(st, workers)
+		if twf < tda {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	breakEven := (lo + hi) / 2
+	if breakEven <= 1e-3 || breakEven >= 1e6 {
+		t.Fatalf("no break-even ratio found in range (%.4g)", breakEven)
+	}
+
+	solveWithRatio := func(ratio float64) doacross.Report {
+		t.Helper()
+		_, rep, err := doacross.SolveTriangular(doacross.SolverDoacross, l, rhs,
+			doacross.WithWorkers(workers),
+			doacross.WithExecutor(doacross.Auto),
+			doacross.WithAutoCosts(doacross.AutoCosts{BarrierNs: ratio * flagNs, FlagCheckNs: flagNs}),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	if rep := solveWithRatio(breakEven / 2); rep.Executor != "wavefront" {
+		t.Fatalf("below break-even (ratio %.1f): picked %q, want wavefront", breakEven/2, rep.Executor)
+	}
+	if rep := solveWithRatio(breakEven * 2); rep.Executor != "doacross" {
+		t.Fatalf("above break-even (ratio %.1f): picked %q, want doacross", breakEven*2, rep.Executor)
 	}
 }
 

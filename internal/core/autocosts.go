@@ -1,0 +1,190 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"doacross/internal/flags"
+)
+
+// AutoCosts are the coefficients of the Auto executor's calibrated cost
+// model. The unit is nominally nanoseconds (what the live self-calibration
+// probe measures), but only ratios matter for the selection, so the
+// simulator-side experiments feed the Figure 6 cost-model constants in
+// straight.
+//
+// The model estimates the executor-phase time of both strategies from the
+// inspection statistics (see Predict) and picks the cheaper one. Zero-valued
+// coefficients mean "calibrate on first use": the runtime micro-times one
+// level-barrier rendezvous on its live pool and one iter-table/ready-flag
+// operation, once per Runtime.
+type AutoCosts struct {
+	// BarrierNs is the cost of one level-barrier rendezvous at the runtime's
+	// worker count — what the wavefront executor pays once per level.
+	BarrierNs float64
+	// FlagCheckNs is the cost of one flag-table operation: the iter-table
+	// lookup-and-branch of the paper's Figure 5, and (taken as the same
+	// order) the table writes the doacross pays per element in its
+	// inspector, executor and postprocessor.
+	FlagCheckNs float64
+	// IterNs is an optional estimate of one iteration's useful work. The
+	// probe cannot know the body's cost, so it defaults to zero — the
+	// overhead-bound regime, which is where executor choice matters most.
+	// Callers whose bodies are heavy can supply it (WithAutoCosts) to credit
+	// the doacross's cross-level pipelining against the wavefront's
+	// barrier-rounded schedule.
+	IterNs float64
+}
+
+// valid reports whether the coefficients are usable for a decision.
+func (c AutoCosts) valid() bool { return c.BarrierNs > 0 && c.FlagCheckNs > 0 }
+
+// Predict estimates the executor-phase time of both strategies for a loop
+// with the given inspection statistics on the given worker count, in the
+// coefficients' time unit. The model (writing N, E, W, L for iterations,
+// edges, stall weight, levels, and P for workers, with r = E/N the mean
+// true-dependency reads per iteration):
+//
+//	rounds_da = max(ceil(N/P), L) + W/P
+//	rounds_wf = ScheduleRounds = Σ_l ceil(w_l/P)
+//
+//	T_doacross  = rounds_da * (IterNs + (r+3)*FlagCheckNs)
+//	T_wavefront = rounds_wf * (IterNs + r*FlagCheckNs) + L*BarrierNs
+//
+// The doacross executes in rounds bounded below by both the work
+// distribution (ceil(N/P)) and the critical path (L), plus the stalls its
+// short-distance dependencies inject (InspectStats.StallWeight — the stalls
+// the paper's doconsider reordering removes by lengthening distances). Each
+// doacross round costs the iteration's work plus one flag check per
+// dependency read and roughly three table writes (inspector record, ready
+// set, postprocess reset). The wavefront executes the level schedule's
+// barrier-rounded depth (rounds_wf ≥ max(ceil(N/P), L): levels cannot
+// pipeline, and widths round up per level), pays the classify per read but
+// no table maintenance and no waits, and adds one full barrier per level.
+//
+// With the default IterNs = 0 the comparison is purely between
+// synchronization overheads, and for a fixed shape the choice flips exactly
+// where the BarrierNs/FlagCheckNs ratio crosses
+//
+//	(rounds_da*(r+3) - rounds_wf*r) / L
+func (c AutoCosts) Predict(st InspectStats, workers int) (tDoacross, tWavefront float64) {
+	p := workers
+	if p < 1 {
+		p = 1
+	}
+	n := st.Iterations
+	if n == 0 {
+		return 0, 0
+	}
+	workRounds := (n + p - 1) / p
+	bound := workRounds
+	if st.CriticalPathLen > bound {
+		bound = st.CriticalPathLen
+	}
+	daRounds := float64(bound) + st.StallWeight/float64(p)
+	minWfRounds := workRounds
+	if st.Levels > minWfRounds {
+		minWfRounds = st.Levels
+	}
+	wfRounds := st.ScheduleRounds
+	if wfRounds < minWfRounds {
+		// Stats from a source that did not fill ScheduleRounds: the level
+		// schedule can never be shallower than either bound.
+		wfRounds = minWfRounds
+	}
+	r := float64(st.Edges) / float64(n)
+	tDoacross = daRounds * (c.IterNs + (r+3)*c.FlagCheckNs)
+	tWavefront = float64(wfRounds)*(c.IterNs+r*c.FlagCheckNs) + float64(st.Levels)*c.BarrierNs
+	return tDoacross, tWavefront
+}
+
+// wavefrontProfitable is the Auto selection: a single barrier-free level (a
+// doall, or an empty loop) always pre-schedules; otherwise the calibrated
+// cost model decides.
+func wavefrontProfitable(st InspectStats, workers int, costs AutoCosts) bool {
+	if st.Levels <= 1 {
+		return true
+	}
+	tda, twf := costs.Predict(st, workers)
+	return twf < tda
+}
+
+// autoCostsFor returns the coefficients the Auto selection uses: the ones
+// configured through Options.AutoCosts when set, otherwise the probe's
+// measurements, taken once per Runtime and memoized.
+func (rt *Runtime) autoCostsFor() AutoCosts {
+	if rt.autoCosts.valid() {
+		return rt.autoCosts
+	}
+	if rt.opts.AutoCosts.valid() {
+		rt.autoCosts = rt.opts.AutoCosts
+	} else {
+		rt.autoCosts = measureAutoCosts(rt)
+	}
+	return rt.autoCosts
+}
+
+// Probe sizes: small enough that the one-time calibration costs well under a
+// millisecond, large enough that the per-operation times are averaged over
+// thousands of operations.
+const (
+	probeBarriers  = 256
+	probeFlagElems = 1024
+	probeFlagReps  = 16
+)
+
+// probeSink keeps the flag-probe loop observable so the compiler cannot
+// delete it. Updated atomically: distinct Runtimes may calibrate
+// concurrently (each holds only its own run mutex).
+var probeSink atomic.Int64
+
+// measureAutoCosts is the self-calibration probe: it micro-times one level
+// barrier on the runtime's live pool at its configured worker count (all
+// workers spinning back-to-back through probeBarriers rendezvous, exactly
+// the wavefront executor's steady state) and one flag-table operation
+// (averaged over the record/classify/set/check/reset/clear cycle the
+// doacross performs per element, on tables of the doacross's own types).
+func measureAutoCosts(rt *Runtime) AutoCosts {
+	k := rt.opts.Workers
+	if k < 1 {
+		k = 1
+	}
+	bar := phaseBarrier{n: int32(k)}
+	start := time.Now()
+	rt.pool.Submit(k, func(w int) {
+		for r := 0; r < probeBarriers; r++ {
+			bar.wait(nil)
+		}
+	})
+	barrierNs := float64(time.Since(start).Nanoseconds()) / probeBarriers
+
+	tab := flags.NewIterTable(probeFlagElems)
+	ready := flags.NewReadyFlags(probeFlagElems)
+	var sink int64
+	start = time.Now()
+	for rep := 0; rep < probeFlagReps; rep++ {
+		for e := 0; e < probeFlagElems; e++ {
+			tab.Record(e, e)
+			dep, w := tab.Classify(e, e+1)
+			sink += int64(dep) + w
+			ready.Set(e)
+			if ready.IsDone(e) {
+				sink++
+			}
+			tab.Reset(e)
+			ready.Clear(e)
+		}
+	}
+	flagNs := float64(time.Since(start).Nanoseconds()) / float64(6*probeFlagReps*probeFlagElems)
+	probeSink.Add(sink)
+
+	// Clock-resolution floors: a decision needs positive coefficients even
+	// on hosts whose timer cannot resolve a single rendezvous.
+	if barrierNs < 1 {
+		barrierNs = 1
+	}
+	if flagNs < 0.25 {
+		flagNs = 0.25
+	}
+	return AutoCosts{BarrierNs: barrierNs, FlagCheckNs: flagNs}
+}

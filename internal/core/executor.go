@@ -38,10 +38,13 @@ const (
 	// pre-scheduled execution (see the Loop.Reads contract).
 	ExecWavefront
 	// ExecAuto inspects the loop once (through the same cache ExecWavefront
-	// uses) and picks the strategy from the graph's shape: wide shallow
-	// graphs run as wavefronts, narrow deep graphs keep the doacross
-	// pipelining. Loops without Reads, or with an explicit Options.Order,
-	// fall back to the doacross.
+	// uses) and picks the strategy with a calibrated cost model: the
+	// inspection statistics (edges, levels, schedule rounds) are combined
+	// with measured barrier and flag-check costs (AutoCosts — supplied
+	// through Options.AutoCosts or self-calibrated once per Runtime) to
+	// estimate both executors' times, and the cheaper one runs. Loops
+	// without Reads, or with an explicit Options.Order, fall back to the
+	// doacross.
 	ExecAuto
 )
 
@@ -74,8 +77,10 @@ type executor interface {
 
 // executorFor resolves the configured executor kind against the loop: it is
 // where ExecAuto inspects and decides, and where a strategy's structural
-// requirements (Reads for the wavefront, natural order) are enforced.
-func (rt *Runtime) executorFor(l *Loop) (executor, error) {
+// requirements (Reads for the wavefront, natural order) are enforced. For an
+// ExecAuto decision the report's AutoCosts and predicted times are filled so
+// the caller can see what the selection compared.
+func (rt *Runtime) executorFor(l *Loop, rep *Report) (executor, error) {
 	switch rt.opts.Executor {
 	case ExecDoacross:
 		return doacrossExecutor{rt}, nil
@@ -99,27 +104,18 @@ func (rt *Runtime) executorFor(l *Loop) (executor, error) {
 		if err != nil {
 			return nil, err
 		}
-		if wavefrontProfitable(plan.stats, rt.opts.Workers) {
+		costs := rt.autoCostsFor()
+		if rep != nil {
+			rep.AutoCosts = costs
+			rep.PredictedDoacrossNs, rep.PredictedWavefrontNs = costs.Predict(plan.stats, rt.opts.Workers)
+		}
+		if wavefrontProfitable(plan.stats, rt.opts.Workers, costs) {
 			return wavefrontExecutor{rt: rt, plan: plan, cached: cached}, nil
 		}
 		return doacrossExecutor{rt}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown executor kind %d", int(rt.opts.Executor))
 	}
-}
-
-// wavefrontProfitable is the Auto selection heuristic: pre-scheduled
-// wavefronts win when the levels are wide enough to keep every worker busy
-// between barriers (the barrier cost is paid once per level, the flag checks
-// once per read); narrow deep graphs keep the doacross, whose pipelining can
-// overlap iterations of different levels. The 2× margin accounts for the
-// within-level imbalance a static schedule cannot smooth.
-func wavefrontProfitable(st InspectStats, workers int) bool {
-	if st.Levels <= 1 {
-		// A doall (or empty) loop: one barrier-free level.
-		return true
-	}
-	return st.MeanLevelWidth >= float64(2*workers)
 }
 
 // InspectStats describes what the inspector learned about a loop's
@@ -130,6 +126,16 @@ type InspectStats struct {
 	Iterations int
 	// Edges is the number of (deduplicated) true-dependency edges.
 	Edges int
+	// StallWeight estimates the pipeline stalls the doacross would suffer,
+	// from the dependence-distance histogram: Σ over edges of
+	// max(0, (P - d)/P), where d is the edge's distance (consumer iteration
+	// minus producer) and P the worker count. A distance-1 edge stalls its
+	// consumer's worker almost a full iteration (the producer started in the
+	// same schedule round); an edge at distance ≥ P is fully absorbed by the
+	// pipelining. Lengthening distances is exactly what the paper's
+	// doconsider reordering buys, so this is the statistic that separates a
+	// natural-order solve from a reordered one.
+	StallWeight float64
 	// Levels is the number of wavefront levels.
 	Levels int
 	// MaxLevelWidth is the size of the widest level.
@@ -141,6 +147,12 @@ type InspectStats struct {
 	// chain (equal to Levels: the level of an iteration is the length of the
 	// longest chain ending at it).
 	CriticalPathLen int
+	// ScheduleRounds is the barrier-rounded depth of the wavefront's static
+	// schedule: the sum over levels of ceil(width / schedule workers), i.e.
+	// the number of iteration slots the slowest worker executes. It is what
+	// the Auto cost model charges the wavefront's work term with (the
+	// doacross's pipelined counterpart is max(ceil(N/P), CriticalPathLen)).
+	ScheduleRounds int
 	// CacheHit reports whether the decomposition came from the runtime's
 	// schedule cache rather than a fresh inspection.
 	CacheHit bool
@@ -161,6 +173,9 @@ type wavefrontPlan struct {
 	writer  []int32 // writer[e] = iteration writing element e, -1 if none
 	sched   *sched.LevelSchedule
 	stats   InspectStats
+	// gen is the runtime's plan generation at build time; InvalidatePlans
+	// advances the generation, making every earlier plan stale.
+	gen uint64
 }
 
 // table returns the plan's writer index as the executor's dependency
@@ -230,11 +245,11 @@ func (rt *Runtime) wavefrontPlan(l *Loop) (p *wavefrontPlan, cached bool, err er
 			p, cached, err = nil, false, fmt.Errorf("core: wavefront inspector panicked: %v", r)
 		}
 	}()
-	if rt.planMemoLoop == l && rt.planMemo != nil {
+	if rt.planMemoLoop == l && rt.planMemo != nil && rt.planMemo.gen == rt.planGen {
 		return rt.planMemo, true, nil
 	}
 	h := accessHash(l)
-	if p, ok := rt.planCache[h]; ok && p.n == l.N && p.data == l.Data {
+	if p, ok := rt.planCache[h]; ok && p.n == l.N && p.data == l.Data && p.gen == rt.planGen {
 		rt.planMemoLoop, rt.planMemo = l, p
 		return p, true, nil
 	}
@@ -319,12 +334,18 @@ func (rt *Runtime) buildPlan(l *Loop) (*wavefrontPlan, error) {
 	if levels > 0 {
 		stats.MeanLevelWidth = float64(l.N) / float64(levels)
 	}
+	s := sched.NewLevelSchedule(ls.Members, ls.Off, rt.opts.Policy, p)
+	for lvl := 0; lvl < levels; lvl++ {
+		stats.ScheduleRounds += (s.LevelWidth(lvl) + p - 1) / p
+	}
+	stats.StallWeight = g.StallWeight(rt.opts.Workers)
 	return &wavefrontPlan{
 		n:      l.N,
 		data:   l.Data,
 		writer: writer,
-		sched:  sched.NewLevelSchedule(ls.Members, ls.Off, rt.opts.Policy, p),
+		sched:  s,
 		stats:  stats,
+		gen:    rt.planGen,
 	}, nil
 }
 

@@ -24,6 +24,12 @@ type Options struct {
 	// execution built by the inspector, or automatic selection from the
 	// inspected dependency structure. See ExecutorKind.
 	Executor ExecutorKind
+	// AutoCosts supplies the Auto selection's cost-model coefficients. The
+	// zero value means self-calibrate: the runtime micro-times a barrier and
+	// a flag check on its live pool the first time an Auto decision needs
+	// them. Supplying explicit coefficients makes the selection
+	// deterministic (tests, simulators, known deployment hosts).
+	AutoCosts AutoCosts
 	// Chunk is the chunk size used by the Dynamic policy (0 = default).
 	Chunk int
 	// WaitStrategy selects how true-dependency waits are performed. The
@@ -79,6 +85,15 @@ type Report struct {
 	// schedule came from the runtime's schedule cache instead of a fresh
 	// inspection — the repeated-solve case the cache exists for.
 	InspectCached bool
+	// AutoCosts are the cost-model coefficients an ExecAuto selection used
+	// (configured or self-calibrated); zero when no cost-model decision was
+	// made (fixed executor, or the Auto fallback for loops without Reads).
+	AutoCosts AutoCosts
+	// PredictedDoacrossNs and PredictedWavefrontNs are the cost model's
+	// executor-phase estimates behind an ExecAuto decision, in the
+	// coefficients' time unit; zero when no cost-model decision was made.
+	PredictedDoacrossNs  float64
+	PredictedWavefrontNs float64
 }
 
 // String renders the report in a compact human-readable form.
@@ -92,6 +107,9 @@ func (r Report) String() string {
 // Section 2.1 of the paper, one Runtime is shared by successive doacross
 // loops over data arrays of the same length, and its postprocessing phase
 // restores the scratch state so the next loop can start immediately.
+// RunContext, Inspect and InvalidatePlans may be called from multiple
+// goroutines: they serialize on an internal mutex (one run executes at a
+// time). The phase-level APIs (Execute, Postprocess) remain single-caller.
 type Runtime struct {
 	opts Options
 	pool *sched.Pool
@@ -117,15 +135,29 @@ type Runtime struct {
 	// Options.CollectTrace is set.
 	lastTrace *Trace
 
+	// runMu serializes the stateful entry points (RunContext, Inspect,
+	// InvalidatePlans): the scratch tables, counters and schedule cache
+	// belong to one run at a time, so concurrent callers queue up rather
+	// than race. It is not held by the phase-level APIs (Execute,
+	// Postprocess), which remain single-caller.
+	runMu sync.Mutex
+
 	// Schedule cache of the wavefront executor: planMemoLoop/planMemo is the
 	// pointer-identity fast path for runs reusing one Loop value (the Solver
 	// hot path), planCache the structural-hash tier behind it, and
 	// levelScratch the reusable level-decomposition buffers of cold
-	// inspections. See wavefrontPlan.
+	// inspections. planGen is the cache's generation: InvalidatePlans
+	// advances it, and lookups reject plans built under an earlier
+	// generation. See wavefrontPlan.
 	planMemoLoop *Loop
 	planMemo     *wavefrontPlan
 	planCache    map[uint64]*wavefrontPlan
+	planGen      uint64
 	levelScratch depgraph.LevelSet
+
+	// autoCosts memoizes the Auto selection's coefficients (configured or
+	// probed) for the lifetime of the runtime.
+	autoCosts AutoCosts
 
 	// inspectDirty records that inspectTables filled the writer table and no
 	// doacross postprocess has reset it yet. A doacross-executor run always
@@ -233,6 +265,22 @@ func (rt *Runtime) Options() Options { return rt.opts }
 // is garbage collected without Close releases its workers through the pool's
 // finalizer, so forgetting Close never leaks goroutines.
 func (rt *Runtime) Close() { rt.pool.Close() }
+
+// InvalidatePlans evicts every cached wavefront plan by advancing the
+// schedule cache's generation counter: both cache tiers (the Loop
+// pointer-identity memo and the structural-hash map) reject plans built
+// under an earlier generation, so the next run re-inspects cold. It exists
+// for drivers that mutate a loop's index arrays in place — the cache
+// otherwise assumes a Loop value's access pattern is stable for the Loop's
+// lifetime, and a mutated pattern would silently replay a stale schedule.
+// Safe to call concurrently with Run.
+func (rt *Runtime) InvalidatePlans() {
+	rt.runMu.Lock()
+	defer rt.runMu.Unlock()
+	rt.planGen++
+	rt.planMemoLoop, rt.planMemo = nil, nil
+	clear(rt.planCache)
+}
 
 // schedule returns the static schedule for n positions, rebuilding it only
 // when n changes between runs.
@@ -396,6 +444,10 @@ func (rt *Runtime) RunContext(ctx context.Context, l *Loop, y []float64) (Report
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}
+	// One run owns the scratch state at a time; concurrent Run (and Inspect,
+	// and InvalidatePlans) calls serialize here.
+	rt.runMu.Lock()
+	defer rt.runMu.Unlock()
 
 	rep := Report{
 		Workers:     rt.opts.Workers,
@@ -424,7 +476,7 @@ func (rt *Runtime) RunContext(ctx context.Context, l *Loop, y []float64) (Report
 	// inspector shard, a cold inspection is not interruptible mid-flight;
 	// ctx is re-checked as soon as it completes.
 	selStart := time.Now()
-	ex, err := rt.executorFor(l)
+	ex, err := rt.executorFor(l, &rep)
 	if err != nil {
 		return Report{}, err
 	}
@@ -475,6 +527,8 @@ func (r *Report) setCounters(c execCounters) {
 // stats with only Iterations set (no graph can be built). The error is
 // non-nil when a Writes/Reads closure panicked during the decomposition.
 func (rt *Runtime) Inspect(l *Loop) (InspectStats, error) {
+	rt.runMu.Lock()
+	defer rt.runMu.Unlock()
 	rt.inspectTables(l)
 	if l.Reads == nil {
 		return InspectStats{Iterations: l.N}, nil

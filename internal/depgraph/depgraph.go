@@ -306,6 +306,29 @@ func (g *Graph) LevelsInto(ls *LevelSet) *LevelSet {
 	return ls
 }
 
+// StallWeight estimates the pipeline stalls a busy-wait doacross on the
+// given worker count would suffer, from the dependence-distance histogram:
+// Σ over edges of max(0, (P - d)/P), where d is the edge's distance
+// (consumer iteration minus producer). A distance-1 edge stalls its
+// consumer's worker almost a full iteration (the producer started in the
+// same schedule round); an edge at distance ≥ P is fully absorbed by the
+// pipelining. It is the statistic the Auto executor selection prices and
+// the quantity the doconsider reordering exists to shrink.
+func (g *Graph) StallWeight(workers int) float64 {
+	if workers <= 1 {
+		return 0
+	}
+	w := 0.0
+	for i := 0; i < g.N; i++ {
+		for _, p := range g.Preds[i] {
+			if d := i - int(p); d < workers {
+				w += float64(workers-d) / float64(workers)
+			}
+		}
+	}
+	return w
+}
+
 // CriticalPath returns the length of the longest weighted chain through the
 // graph, where cost(i) is the execution cost of iteration i. With a nil cost
 // function every iteration costs 1, so the result is the number of iterations

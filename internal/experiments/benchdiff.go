@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// ReadBenchJSON reads a BENCH_results.json file written by WriteBenchJSON.
+func ReadBenchJSON(path string) (BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchFile{}, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return BenchFile{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// BenchDelta is one matched record pair of a baseline-vs-current comparison.
+type BenchDelta struct {
+	// Key identifies the workload: experiment, name, workers and executor.
+	Key string
+	// OldNs and NewNs are the baseline and current ns/op; Ratio is
+	// NewNs/OldNs (above 1 means slower).
+	OldNs, NewNs, Ratio float64
+	// Regression reports whether the slowdown exceeds the comparison's
+	// threshold.
+	Regression bool
+}
+
+// BenchComparison is the result of comparing two bench files record by
+// record.
+type BenchComparison struct {
+	// Threshold is the allowed fractional slowdown (0.20 = fail above +20%).
+	Threshold float64
+	// Deltas lists every workload present in both files, slowest-relative
+	// first.
+	Deltas []BenchDelta
+	// OnlyOld and OnlyNew list workload keys present in just one file; they
+	// are reported but never fail the comparison (experiments come and go
+	// across PRs).
+	OnlyOld, OnlyNew []string
+}
+
+// Regressions returns the deltas whose slowdown exceeds the threshold.
+func (c BenchComparison) Regressions() []BenchDelta {
+	var out []BenchDelta
+	for _, d := range c.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Vacuous reports whether the comparison matched no workloads at all even
+// though both sides had records — a baseline recorded under a different
+// configuration (worker counts, experiment set), which would otherwise let
+// a regression gate pass without checking anything.
+func (c BenchComparison) Vacuous() bool {
+	return len(c.Deltas) == 0 && len(c.OnlyOld) > 0 && len(c.OnlyNew) > 0
+}
+
+// Format renders the comparison as a human-readable report.
+func (c BenchComparison) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bench comparison (threshold +%.0f%% ns/op):\n", c.Threshold*100)
+	for _, d := range c.Deltas {
+		mark := " "
+		if d.Regression {
+			mark = "!"
+		}
+		fmt.Fprintf(&b, "%s %-48s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			mark, d.Key, d.OldNs, d.NewNs, (d.Ratio-1)*100)
+	}
+	for _, k := range c.OnlyOld {
+		fmt.Fprintf(&b, "  %-48s only in baseline\n", k)
+	}
+	for _, k := range c.OnlyNew {
+		fmt.Fprintf(&b, "  %-48s only in current\n", k)
+	}
+	if n := len(c.Regressions()); n > 0 {
+		fmt.Fprintf(&b, "%d workload(s) regressed beyond the threshold\n", n)
+	} else {
+		b.WriteString("no regressions beyond the threshold\n")
+	}
+	return b.String()
+}
+
+// benchKey identifies a record for matching across files.
+func benchKey(r BenchRecord) string {
+	key := fmt.Sprintf("%s/%s/P=%d", r.Experiment, r.Name, r.Workers)
+	if r.Executor != "" {
+		key += "/" + r.Executor
+	}
+	return key
+}
+
+// CompareBenchRecords matches baseline and current records by workload key
+// and flags every current record that is more than threshold slower (ns/op)
+// than its baseline. Records without a counterpart, duplicates beyond the
+// first, and non-positive measurements are reported but never flagged.
+func CompareBenchRecords(old, new []BenchRecord, threshold float64) BenchComparison {
+	c := BenchComparison{Threshold: threshold}
+	oldBy := make(map[string]BenchRecord)
+	for _, r := range old {
+		if _, dup := oldBy[benchKey(r)]; !dup {
+			oldBy[benchKey(r)] = r
+		}
+	}
+	seenNew := make(map[string]bool)
+	for _, r := range new {
+		k := benchKey(r)
+		if seenNew[k] {
+			continue
+		}
+		seenNew[k] = true
+		o, ok := oldBy[k]
+		if !ok {
+			c.OnlyNew = append(c.OnlyNew, k)
+			continue
+		}
+		if o.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / o.NsPerOp
+		c.Deltas = append(c.Deltas, BenchDelta{
+			Key:        k,
+			OldNs:      o.NsPerOp,
+			NewNs:      r.NsPerOp,
+			Ratio:      ratio,
+			Regression: ratio > 1+threshold,
+		})
+	}
+	for k := range oldBy {
+		if !seenNew[k] {
+			c.OnlyOld = append(c.OnlyOld, k)
+		}
+	}
+	sort.Slice(c.Deltas, func(i, j int) bool { return c.Deltas[i].Ratio > c.Deltas[j].Ratio })
+	sort.Strings(c.OnlyOld)
+	sort.Strings(c.OnlyNew)
+	return c
+}

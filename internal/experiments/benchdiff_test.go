@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareBenchRecords(t *testing.T) {
+	old := []BenchRecord{
+		{Experiment: "executors", Name: "trisolve 5-PT", Workers: 2, Executor: "doacross", NsPerOp: 1000},
+		{Experiment: "executors", Name: "trisolve 5-PT", Workers: 2, Executor: "wavefront", NsPerOp: 1000},
+		{Experiment: "live", Name: "retired workload", Workers: 2, NsPerOp: 500},
+		{Experiment: "live", Name: "unmeasured", Workers: 2, NsPerOp: 0},
+	}
+	current := []BenchRecord{
+		// 19% slower: within the 20% threshold.
+		{Experiment: "executors", Name: "trisolve 5-PT", Workers: 2, Executor: "doacross", NsPerOp: 1190},
+		// 50% slower: a regression.
+		{Experiment: "executors", Name: "trisolve 5-PT", Workers: 2, Executor: "wavefront", NsPerOp: 1500},
+		// Duplicate key: only the first occurrence counts.
+		{Experiment: "executors", Name: "trisolve 5-PT", Workers: 2, Executor: "wavefront", NsPerOp: 1},
+		{Experiment: "live", Name: "new workload", Workers: 2, NsPerOp: 700},
+		{Experiment: "live", Name: "unmeasured", Workers: 2, NsPerOp: 600},
+	}
+	cmp := CompareBenchRecords(old, current, 0.20)
+	if len(cmp.Deltas) != 2 {
+		t.Fatalf("got %d deltas: %+v", len(cmp.Deltas), cmp.Deltas)
+	}
+	regs := cmp.Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0].Key, "wavefront") {
+		t.Fatalf("got regressions %+v, want the wavefront slowdown only", regs)
+	}
+	// Deltas are sorted slowest-relative first.
+	if cmp.Deltas[0].Ratio < cmp.Deltas[1].Ratio {
+		t.Fatalf("deltas not sorted by ratio: %+v", cmp.Deltas)
+	}
+	if len(cmp.OnlyOld) != 1 || !strings.Contains(cmp.OnlyOld[0], "retired") {
+		t.Fatalf("only-old = %v", cmp.OnlyOld)
+	}
+	if len(cmp.OnlyNew) != 1 || !strings.Contains(cmp.OnlyNew[0], "new workload") {
+		t.Fatalf("only-new = %v", cmp.OnlyNew)
+	}
+	out := cmp.Format()
+	if !strings.Contains(out, "1 workload(s) regressed") || !strings.Contains(out, "only in baseline") {
+		t.Errorf("format output incomplete:\n%s", out)
+	}
+
+	// Within threshold everywhere: no regressions, and the report says so.
+	calm := CompareBenchRecords(old[:1], current[:1], 0.20)
+	if len(calm.Regressions()) != 0 {
+		t.Fatalf("unexpected regressions: %+v", calm.Regressions())
+	}
+	if !strings.Contains(calm.Format(), "no regressions") {
+		t.Errorf("calm report wrong:\n%s", calm.Format())
+	}
+	if calm.Vacuous() || cmp.Vacuous() {
+		t.Fatal("matched comparisons must not be vacuous")
+	}
+
+	// Disjoint keys (e.g. a baseline recorded at different worker counts)
+	// match nothing: the comparison must flag itself as vacuous rather than
+	// pass as green.
+	moved := []BenchRecord{{Experiment: "executors", Name: "trisolve 5-PT", Workers: 4, Executor: "doacross", NsPerOp: 900}}
+	vac := CompareBenchRecords(old[:1], moved, 0.20)
+	if !vac.Vacuous() {
+		t.Fatalf("disjoint comparison not flagged vacuous: %+v", vac)
+	}
+	if CompareBenchRecords(nil, nil, 0.20).Vacuous() {
+		t.Fatal("empty comparison should not count as vacuous")
+	}
+}
+
+func TestReadBenchJSONRoundTrip(t *testing.T) {
+	records := []BenchRecord{{Experiment: "live", Name: "w", Workers: 2, NsPerOp: 123, AutoPicked: "wavefront"}}
+	path := filepath.Join(t.TempDir(), "BENCH_results.json")
+	if err := WriteBenchJSON(path, records); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Records) != 1 || f.Records[0].NsPerOp != 123 || f.Records[0].AutoPicked != "wavefront" {
+		t.Fatalf("round trip lost data: %+v", f)
+	}
+	if _, err := ReadBenchJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -35,6 +35,12 @@ type BenchRecord struct {
 	Levels        int     `json:"levels,omitempty"`
 	ColdInspectNs float64 `json:"cold_inspect_ns,omitempty"`
 	WarmInspectNs float64 `json:"warm_inspect_ns,omitempty"`
+	// AutoPicked records what the calibrated Auto selection chose for this
+	// workload on the measuring host, with the coefficients its
+	// self-calibration probe measured.
+	AutoPicked    string  `json:"auto_picked,omitempty"`
+	AutoBarrierNs float64 `json:"auto_barrier_ns,omitempty"`
+	AutoFlagNs    float64 `json:"auto_flag_check_ns,omitempty"`
 }
 
 // BenchFile is the envelope of BENCH_results.json.
@@ -91,6 +97,9 @@ func ExecutorBenchRecords(rows []ExecutorSweepRow) []BenchRecord {
 				Levels:        r.Levels,
 				ColdInspectNs: float64(r.ColdInspect.Nanoseconds()),
 				WarmInspectNs: float64(r.WarmInspect.Nanoseconds()),
+				AutoPicked:    r.AutoPicked,
+				AutoBarrierNs: r.AutoCosts.BarrierNs,
+				AutoFlagNs:    r.AutoCosts.FlagCheckNs,
 			})
 	}
 	return records

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"doacross"
 	"doacross/internal/machine"
 	"doacross/internal/sparse"
 	"doacross/internal/testloop"
@@ -39,6 +40,65 @@ const (
 	fig6PrePerIter   = 0.25
 	fig6PostPerIter  = 0.25
 )
+
+// Wavefront-model calibration.
+//
+// The pre-scheduled wavefront executor pays none of the doacross's per-read
+// checks; its per-iteration overhead is the ynew seeding and loop
+// bookkeeping with no flag to set — calibrated as half the doacross
+// IterOverhead. The paper reports no Multimax barrier time, so the barrier
+// is anchored to the synchronization it replaces: one all-processor
+// rendezvous is taken as roughly a dozen flag operations (the Multimax's
+// shared-bus atomic increment per processor plus the spin until the count
+// fills), which puts one barrier at several iterations' worth of overhead —
+// expensive enough that deep, narrow level structures lose to the doacross
+// pipelining, cheap enough that wide levels amortize it easily.
+const (
+	fig6Barrier        = 8.0
+	fig6WfIterOverhead = 0.6
+	triBarrier         = 4.0
+	triWfIterOverhead  = 0.35
+)
+
+// Figure6WavefrontCosts returns the wavefront-executor costs calibrated
+// against the Figure 6 constants.
+func Figure6WavefrontCosts() machine.WavefrontCosts {
+	return machine.WavefrontCosts{Barrier: fig6Barrier, IterOverhead: fig6WfIterOverhead}
+}
+
+// TrisolveWavefrontCosts returns the wavefront-executor costs for the
+// Table 1 triangular solves.
+func TrisolveWavefrontCosts() machine.WavefrontCosts {
+	return machine.WavefrontCosts{Barrier: triBarrier, IterOverhead: triWfIterOverhead}
+}
+
+// Figure6AutoCosts maps the Figure 6 calibration onto the Auto selection's
+// coefficient space: the simulator-side defaults of the cost-model
+// comparison (on a live host the runtime measures BarrierNs and FlagCheckNs
+// itself). The per-iteration work term is the test loop's BaseWork + M
+// multiply-adds.
+func Figure6AutoCosts(m int) doacross.AutoCosts {
+	return doacross.AutoCosts{
+		BarrierNs:   fig6Barrier,
+		FlagCheckNs: fig6CheckPerRead,
+		IterNs:      fig6BaseWork + fig6TermWork*float64(m),
+	}
+}
+
+// TrisolveAutoCosts maps the Table 1 calibration onto the Auto selection's
+// coefficient space for a forward substitution on t, with the matrix's mean
+// row occupancy as the per-iteration work term.
+func TrisolveAutoCosts(t *sparse.Triangular) doacross.AutoCosts {
+	meanReads := 0.0
+	if t.N > 0 {
+		meanReads = float64(t.NNZ()) / float64(t.N)
+	}
+	return doacross.AutoCosts{
+		BarrierNs:   triBarrier,
+		FlagCheckNs: triCheckPerRead,
+		IterNs:      triBaseWork + triTermWork*meanReads,
+	}
+}
 
 // Figure6CostModel returns the calibrated cost model for the Figure 4 test
 // loop with inner length M.

@@ -43,9 +43,15 @@ type ExecutorSweepRow struct {
 	// WarmCached reports whether the warm solve actually hit the cache.
 	WarmCached bool
 
-	// AutoPicked names the executor the Auto selection chose.
-	AutoPicked string
-	Checks     string
+	// AutoPicked names the executor the Auto selection chose, AutoCosts the
+	// coefficients it measured on the live pool (self-calibration probe),
+	// and PredictedDoacrossNs/PredictedWavefrontNs the cost model's two
+	// estimates behind the pick.
+	AutoPicked           string
+	AutoCosts            doacross.AutoCosts
+	PredictedDoacrossNs  float64
+	PredictedWavefrontNs float64
+	Checks               string
 }
 
 // RunExecutorSweep sweeps both executors over the given problems and worker
@@ -129,6 +135,9 @@ func RunExecutorSweep(probs []stencil.Problem, workers []int, repeat int) ([]Exe
 				return nil, err
 			}
 			row.AutoPicked = autoRep.Executor
+			row.AutoCosts = autoRep.AutoCosts
+			row.PredictedDoacrossNs = autoRep.PredictedDoacrossNs
+			row.PredictedWavefrontNs = autoRep.PredictedWavefrontNs
 
 			row.DoacrossSpeedup = trace.Speedup(row.TSeq, row.TDoacross)
 			row.WavefrontSpeedup = trace.Speedup(row.TSeq, row.TWavefront)
@@ -174,6 +183,20 @@ func CheckExecutorSweep(rows []ExecutorSweepRow) []string {
 		}
 		if r.WavefrontWaits != 0 {
 			problems = append(problems, fmt.Sprintf("%s P=%d: wavefront executor busy-waited (%d polls)", r.Problem, r.Workers, r.WavefrontWaits))
+		}
+		if r.AutoCosts.BarrierNs <= 0 || r.AutoCosts.FlagCheckNs <= 0 {
+			problems = append(problems, fmt.Sprintf("%s P=%d: auto selection reported no calibrated costs (%+v)", r.Problem, r.Workers, r.AutoCosts))
+		} else if r.Levels > 1 {
+			// A single barrier-free level short-circuits to the wavefront
+			// regardless of the predictions, so only multi-level solves are
+			// held to prediction consistency.
+			predicted := "doacross"
+			if r.PredictedWavefrontNs < r.PredictedDoacrossNs {
+				predicted = "wavefront"
+			}
+			if r.AutoPicked != predicted {
+				problems = append(problems, fmt.Sprintf("%s P=%d: auto picked %s but its own predictions favor %s", r.Problem, r.Workers, r.AutoPicked, predicted))
+			}
 		}
 	}
 	return problems

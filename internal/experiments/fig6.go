@@ -40,6 +40,18 @@ type Figure6Point struct {
 	MinDepDistance  int
 	WaitTime        float64
 	TSeq, TPar      float64
+
+	// WavefrontEfficiency is the same configuration simulated under the
+	// pre-scheduled wavefront execution model (barrier-separated doall per
+	// level); WavefrontTPar the corresponding parallel time. The extension
+	// beyond the paper: on the deep, narrow level structures of even L the
+	// wavefront loses to the doacross pipelining, on dependency-free odd L
+	// it wins by shedding the flag protocol.
+	WavefrontEfficiency float64
+	WavefrontTPar       float64
+	// AutoPick is the executor the calibrated Auto cost model selects with
+	// the Figure 6 coefficients at this configuration.
+	AutoPick string
 }
 
 // Figure6Result holds the whole sweep, grouped as the paper plots it: one
@@ -88,16 +100,34 @@ func RunFigure6(cfg Figure6Config) (Figure6Result, error) {
 			if err != nil {
 				return Figure6Result{}, err
 			}
+			wf, err := machine.SimulateWavefront(g, machine.Config{
+				Processors: cfg.Processors,
+				Policy:     sched.Cyclic,
+			}, cm, Figure6WavefrontCosts())
+			if err != nil {
+				return Figure6Result{}, err
+			}
+			_, byLevel := g.Levels()
+			st := inspectStatsFromLevels(g, byLevel, cfg.Processors)
+			autoPick := machine.ModelWavefront.String()
+			if st.Levels > 1 {
+				if tda, twf := Figure6AutoCosts(m).Predict(st, cfg.Processors); twf >= tda {
+					autoPick = machine.ModelDoacross.String()
+				}
+			}
 			res.Points = append(res.Points, Figure6Point{
-				M:               m,
-				L:               l,
-				Efficiency:      sim.Efficiency,
-				Speedup:         sim.Speedup,
-				HasDependencies: tc.HasCrossIterationDeps(),
-				MinDepDistance:  tc.MinDepDistance(),
-				WaitTime:        sim.WaitTime,
-				TSeq:            sim.TSeq,
-				TPar:            sim.TPar,
+				M:                   m,
+				L:                   l,
+				Efficiency:          sim.Efficiency,
+				Speedup:             sim.Speedup,
+				HasDependencies:     tc.HasCrossIterationDeps(),
+				MinDepDistance:      tc.MinDepDistance(),
+				WaitTime:            sim.WaitTime,
+				TSeq:                sim.TSeq,
+				TPar:                sim.TPar,
+				WavefrontEfficiency: wf.Efficiency,
+				WavefrontTPar:       wf.TPar,
+				AutoPick:            autoPick,
 			})
 		}
 	}
@@ -112,7 +142,7 @@ func (r Figure6Result) Format() string {
 		r.Config.N, r.Config.Processors)
 	fmt.Fprintf(&b, "%4s", "L")
 	for _, m := range r.Config.Ms {
-		fmt.Fprintf(&b, "  %10s", fmt.Sprintf("eff(M=%d)", m))
+		fmt.Fprintf(&b, "  %10s  %10s  %8s", fmt.Sprintf("eff(M=%d)", m), fmt.Sprintf("effWf(M=%d)", m), "auto")
 	}
 	fmt.Fprintf(&b, "  %s\n", "dependencies")
 	for _, l := range r.Config.Ls {
@@ -121,7 +151,7 @@ func (r Figure6Result) Format() string {
 		for _, m := range r.Config.Ms {
 			for _, p := range r.Points {
 				if p.M == m && p.L == l {
-					fmt.Fprintf(&b, "  %10.3f", p.Efficiency)
+					fmt.Fprintf(&b, "  %10.3f  %10.3f  %8s", p.Efficiency, p.WavefrontEfficiency, p.AutoPick)
 					if p.HasDependencies {
 						note = fmt.Sprintf("true deps, min distance %d", p.MinDepDistance)
 					} else if l%2 == 0 {
@@ -146,7 +176,12 @@ func (r Figure6Result) Format() string {
 //     in L (the paper: larger L means larger distances between dependent
 //     iterations),
 //  4. even-L efficiencies never exceed the odd-L overhead floor for the same
-//     M (dependencies can only hurt).
+//     M (dependencies can only hurt),
+//  5. the wavefront model wins exactly where its structure says it should:
+//     on dependency-free configurations (a single barrier-free level, no
+//     flag protocol) it beats the doacross, while on the deep narrow level
+//     structures of dependent even L it loses to the doacross pipelining —
+//     and the calibrated Auto cost model agrees with both calls.
 func (r Figure6Result) CheckShape() []string {
 	var problems []string
 	for _, m := range r.Config.Ms {
@@ -197,6 +232,24 @@ func (r Figure6Result) CheckShape() []string {
 		for _, p := range evenDepPoints {
 			if p.Efficiency > hi+1e-9 {
 				problems = append(problems, fmt.Sprintf("M=%d L=%d: even-L efficiency %.3f exceeds odd-L floor %.3f", m, p.L, p.Efficiency, hi))
+			}
+		}
+		for _, p := range series {
+			switch {
+			case !p.HasDependencies:
+				if p.WavefrontEfficiency <= p.Efficiency {
+					problems = append(problems, fmt.Sprintf("M=%d L=%d: dependency-free wavefront efficiency %.3f not above doacross %.3f", m, p.L, p.WavefrontEfficiency, p.Efficiency))
+				}
+				if p.AutoPick != "wavefront" {
+					problems = append(problems, fmt.Sprintf("M=%d L=%d: auto picked %s for a dependency-free loop", m, p.L, p.AutoPick))
+				}
+			default:
+				if p.WavefrontEfficiency >= p.Efficiency {
+					problems = append(problems, fmt.Sprintf("M=%d L=%d: deep-level wavefront efficiency %.3f not below doacross %.3f", m, p.L, p.WavefrontEfficiency, p.Efficiency))
+				}
+				if p.AutoPick != "doacross" {
+					problems = append(problems, fmt.Sprintf("M=%d L=%d: auto picked %s for a deep narrow level structure", m, p.L, p.AutoPick))
+				}
 			}
 		}
 	}

@@ -129,3 +129,57 @@ func TestFigure6CostModelCalibration(t *testing.T) {
 		t.Error("Figure6CostModelFor did not propagate M")
 	}
 }
+
+// TestFigure6WavefrontAnchors pins the wavefront simulation against the
+// calibration anchors the Figure 6 constants imply: a dependency-free
+// configuration is a single doall level, so its efficiency is the closed
+// form work / (work + wavefront overhead + pre + post), with only the lone
+// barrier (amortized over N iterations) and the ceil of the work
+// distribution separating simulation from formula.
+func TestFigure6WavefrontAnchors(t *testing.T) {
+	res, err := RunFigure6(smallFigure6Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.HasDependencies {
+			continue
+		}
+		work := fig6BaseWork + fig6TermWork*float64(p.M)
+		anchor := work / (work + fig6WfIterOverhead + fig6PrePerIter + fig6PostPerIter)
+		if p.WavefrontEfficiency < anchor-0.02 || p.WavefrontEfficiency > anchor+0.02 {
+			t.Errorf("M=%d L=%d: wavefront efficiency %.3f not near anchor %.3f",
+				p.M, p.L, p.WavefrontEfficiency, anchor)
+		}
+	}
+}
+
+// TestFigure6WavefrontCrossover pins the executor comparison the extended
+// sweep adds: the wavefront wins every dependency-free configuration,
+// loses every deep narrow one, and the Auto cost model with the Figure 6
+// coefficients calls both sides correctly.
+func TestFigure6WavefrontCrossover(t *testing.T) {
+	res, err := RunFigure6(smallFigure6Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.HasDependencies {
+			if p.WavefrontEfficiency >= p.Efficiency {
+				t.Errorf("M=%d L=%d: wavefront %.3f should lose to doacross %.3f on a deep level structure",
+					p.M, p.L, p.WavefrontEfficiency, p.Efficiency)
+			}
+			if p.AutoPick != "doacross" {
+				t.Errorf("M=%d L=%d: auto picked %s, want doacross", p.M, p.L, p.AutoPick)
+			}
+		} else {
+			if p.WavefrontEfficiency <= p.Efficiency {
+				t.Errorf("M=%d L=%d: wavefront %.3f should beat doacross %.3f without dependencies",
+					p.M, p.L, p.WavefrontEfficiency, p.Efficiency)
+			}
+			if p.AutoPick != "wavefront" {
+				t.Errorf("M=%d L=%d: auto picked %s, want wavefront", p.M, p.L, p.AutoPick)
+			}
+		}
+	}
+}

@@ -42,8 +42,11 @@ func TestTable1RowsMatchProblemSizes(t *testing.T) {
 		if row.NNZ <= row.Equations {
 			t.Errorf("%v: implausible nnz %d", row.Problem, row.NNZ)
 		}
-		if row.LevelScheduledMs <= 0 {
-			t.Errorf("%v: level-scheduled baseline missing", row.Problem)
+		if row.WavefrontMs <= 0 || row.WavefrontEff <= 0 {
+			t.Errorf("%v: wavefront executor column missing", row.Problem)
+		}
+		if row.AutoPick != "doacross" && row.AutoPick != "wavefront" {
+			t.Errorf("%v: implausible auto pick %q", row.Problem, row.AutoPick)
 		}
 	}
 }

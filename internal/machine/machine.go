@@ -2,27 +2,38 @@
 // shared-memory multiprocessor executing a (preprocessed) doacross schedule.
 //
 // The paper's measurements were taken on a 16-processor Encore Multimax/320;
-// this substrate replaces that machine. It replays a given iteration-to-
-// processor assignment with an explicit cost model — per-iteration base work,
-// per-read-term work, per-read dependency-check overhead, fixed per-iteration
-// executor overhead, and the parallel preprocessing/postprocessing phases —
-// and charges every true-dependency wait as busy time on the waiting
-// processor, exactly as the paper's busy-wait implementation does. The output
-// is the parallel time, the sequential time and the parallel efficiency
-// T_seq / (p * T_par) the paper reports.
+// this substrate replaces that machine. Two execution models are simulated,
+// mirroring the two executors of the live runtime (package core):
 //
-// Two wait models are supported. The coarse model charges all dependency
-// waits at the start of an iteration. The fine model (Config.ReadPreds)
-// interleaves waits with the iteration's inner loop: each right-hand-side
-// read waits for its producer only when the executor reaches that term,
-// mirroring statements S3–S5 of the paper's Figure 5 — this partial overlap
-// is what lets a natural-order doacross extract speedup even from rows that
-// depend on their immediate predecessor.
+// The busy-wait doacross (Simulate, ModelDoacross) replays a given
+// iteration-to-processor assignment with an explicit cost model —
+// per-iteration base work, per-read-term work, per-read dependency-check
+// overhead, fixed per-iteration executor overhead, and the parallel
+// preprocessing/postprocessing phases — and charges every true-dependency
+// wait as busy time on the waiting processor, exactly as the paper's
+// busy-wait implementation does. Two wait models are supported: the coarse
+// model charges all dependency waits at the start of an iteration, while the
+// fine model (Config.ReadPreds) interleaves waits with the iteration's inner
+// loop, each right-hand-side read waiting for its producer only when the
+// executor reaches that term (statements S3–S5 of the paper's Figure 5) —
+// this partial overlap is what lets a natural-order doacross extract speedup
+// even from rows that depend on their immediate predecessor.
 //
-// The simulator is deterministic and independent of the host's core count,
-// which is what lets the experiments reproduce the paper's 16-processor
-// curves on any machine; the live runtime in package core provides the
-// real-execution counterpart.
+// The pre-scheduled wavefront execution (SimulateWavefront, ModelWavefront)
+// decomposes the dependency graph into wavefront levels and runs each level
+// as a statically scheduled doall with a barrier between levels: no flags
+// are checked and nothing ever busy-waits, but every level pays one barrier
+// and within-level imbalance shows up as idle time at that barrier. Its
+// per-iteration overhead (WavefrontCosts.IterOverhead) replaces the doacross
+// CheckPerRead/IterOverhead charges. SimulateSchedule dispatches between the
+// two models so experiment sweeps can emit both executor columns.
+//
+// The output of either model is the parallel time, the sequential time and
+// the parallel efficiency T_seq / (p * T_par) the paper reports. The
+// simulator is deterministic and independent of the host's core count, which
+// is what lets the experiments reproduce the paper's 16-processor curves on
+// any machine; the live runtime in package core provides the real-execution
+// counterpart.
 package machine
 
 import (
@@ -146,6 +157,12 @@ type Result struct {
 	// under the executor's per-iteration cost (work + overheads): a lower
 	// bound on ExecTime for any schedule under the coarse wait model.
 	CriticalPath float64
+	// Levels is the number of wavefront levels executed (wavefront model
+	// only; zero for the doacross).
+	Levels int
+	// BarrierTime is the total barrier cost charged (wavefront model only:
+	// Levels * WavefrontCosts.Barrier).
+	BarrierTime float64
 	// ProcBusy[p] is the fraction of the executor phase processor p spent
 	// executing (working or checking) rather than waiting or idle.
 	ProcBusy []float64

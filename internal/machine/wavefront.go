@@ -1,0 +1,189 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"doacross/internal/depgraph"
+	"doacross/internal/sched"
+)
+
+// ExecModel selects which execution model SimulateSchedule replays: the
+// paper's flag-based busy-wait doacross, or the pre-scheduled wavefront
+// execution its inspector enables (barrier-separated doall per level).
+type ExecModel int
+
+const (
+	// ModelDoacross is the busy-wait doacross of Simulate: iterations start
+	// in schedule order, every true-dependency read checks a flag and may
+	// busy-wait, and the preprocessing and postprocessing doalls bracket the
+	// executor phase.
+	ModelDoacross ExecModel = iota
+	// ModelWavefront is the pre-scheduled level execution of
+	// SimulateWavefront: the dependency graph is decomposed into wavefront
+	// levels, each level runs as a statically scheduled doall, and a barrier
+	// separates consecutive levels. No flags are checked and no iteration
+	// ever waits on a predecessor; imbalance within a level shows up as idle
+	// time at the level barrier instead.
+	ModelWavefront
+)
+
+// String returns the model's name as used in experiment tables.
+func (m ExecModel) String() string {
+	switch m {
+	case ModelDoacross:
+		return "doacross"
+	case ModelWavefront:
+		return "wavefront"
+	default:
+		return "unknown"
+	}
+}
+
+// WavefrontCosts extends a CostModel with the two costs specific to the
+// pre-scheduled wavefront executor. The doacross costs it replaces
+// (CheckPerRead, IterOverhead) are never charged by the wavefront model.
+type WavefrontCosts struct {
+	// Barrier is the cost of one level barrier: the rendezvous of all
+	// processors between two consecutive levels. It is charged once per
+	// level, including the last (the executor's end-of-phase rendezvous).
+	Barrier float64
+	// IterOverhead is the fixed per-iteration executor overhead of the
+	// pre-scheduled execution: seeding ynew and loop bookkeeping, with no
+	// flags to check, set or reset.
+	IterOverhead float64
+}
+
+// SimulateSchedule replays the dependency graph under the selected execution
+// model: ModelDoacross forwards to Simulate (wc is ignored), ModelWavefront
+// to SimulateWavefront. It exists so the experiment sweeps can produce both
+// executor columns from one call site.
+func SimulateSchedule(g *depgraph.Graph, model ExecModel, cfg Config, cm CostModel, wc WavefrontCosts) (Result, error) {
+	switch model {
+	case ModelDoacross:
+		return Simulate(g, cfg, cm)
+	case ModelWavefront:
+		return SimulateWavefront(g, cfg, cm, wc)
+	default:
+		return Result{}, fmt.Errorf("machine: unknown execution model %d", int(model))
+	}
+}
+
+// SimulateWavefront simulates the pre-scheduled wavefront execution of the
+// dependency graph: the graph is decomposed into wavefront levels, the levels
+// are distributed over min(Processors, widest level) workers under cfg.Policy
+// (exactly as the live wavefront executor clamps its schedule), and the
+// elapsed executor time is the sum over levels of the slowest worker's work
+// plus one barrier per level.
+//
+// The preprocessing phase is charged as the parallel inspector
+// (ceil(N/P) * PrePerIter), modelling a cold inspection; set
+// cfg.SkipInspector to model the warm run whose plan comes from the schedule
+// cache. The postprocessing phase is the copy-back doall
+// (ceil(N/P) * PostPerIter). cfg.Order must be nil — the wavefront derives
+// its own level order — and cfg.ReadPreds and SkipChecks are ignored: the
+// model has no flags and no waits by construction.
+func SimulateWavefront(g *depgraph.Graph, cfg Config, cm CostModel, wc WavefrontCosts) (Result, error) {
+	if cfg.Order != nil {
+		return Result{}, fmt.Errorf("machine: the wavefront model derives its own level order and cannot honor Config.Order")
+	}
+	p := cfg.Processors
+	if p < 1 {
+		return Result{}, fmt.Errorf("machine: need at least one processor, got %d", p)
+	}
+	if cm.BaseWork == nil && cm.TermWork == 0 {
+		return Result{}, fmt.Errorf("machine: cost model requires BaseWork or TermWork")
+	}
+	ls := g.LevelsInto(nil)
+	pEff := p
+	if w := ls.MaxWidth(); pEff > w {
+		// Processors beyond the widest level would only spin at the barriers.
+		pEff = w
+	}
+	if pEff < 1 {
+		pEff = 1
+	}
+	s := sched.NewLevelSchedule(ls.Members, ls.Off, cfg.Policy, pEff)
+	res, err := SimulateLevelSchedule(s, cfg, cm, wc)
+	if err != nil {
+		return Result{}, err
+	}
+	iterOverhead := wc.IterOverhead
+	if cfg.SkipOverheads {
+		iterOverhead = 0
+	}
+	res.CriticalPath, _ = g.CriticalPath(func(i int) float64 { return cm.IterWork(i) + iterOverhead })
+	return res, nil
+}
+
+// SimulateLevelSchedule replays a concrete level schedule under the wavefront
+// execution model. Each level's elapsed time is the maximum over workers of
+// the sum of their assigned iterations' cost (useful work plus
+// wc.IterOverhead), and every level is followed by one barrier. The schedule
+// is taken as given — callers that want the automatic worker clamp and the
+// graph-derived critical path use SimulateWavefront.
+//
+// Result.CriticalPath is left zero (the schedule alone does not carry the
+// dependency graph); Result.WaitTime is zero by construction — there are no
+// flags to wait on, and within-level imbalance appears as idle time at the
+// barriers, i.e. in the gap between ExecTime and the ProcBusy fractions.
+func SimulateLevelSchedule(s *sched.LevelSchedule, cfg Config, cm CostModel, wc WavefrontCosts) (Result, error) {
+	p := cfg.Processors
+	if p < 1 {
+		return Result{}, fmt.Errorf("machine: need at least one processor, got %d", p)
+	}
+	if cm.BaseWork == nil && cm.TermWork == 0 {
+		return Result{}, fmt.Errorf("machine: cost model requires BaseWork or TermWork")
+	}
+	n := s.N()
+	res := Result{Processors: p, Iterations: n, Levels: s.Levels()}
+	for i := 0; i < n; i++ {
+		res.TSeq += cm.IterWork(i)
+	}
+
+	iterOverhead := wc.IterOverhead
+	barrier := wc.Barrier
+	prePerIter := cm.PrePerIter
+	postPerIter := cm.PostPerIter
+	if cfg.SkipOverheads {
+		iterOverhead, barrier, prePerIter, postPerIter = 0, 0, 0, 0
+	}
+
+	perProc := int(math.Ceil(float64(n) / float64(p)))
+	if !cfg.SkipInspector {
+		res.PreTime = float64(perProc) * prePerIter
+	}
+	if !cfg.SkipPostprocess {
+		res.PostTime = float64(perProc) * postPerIter
+	}
+
+	workers := s.Workers()
+	procBusy := make([]float64, workers)
+	exec := 0.0
+	for l := 0; l < s.Levels(); l++ {
+		levelMax := 0.0
+		for w := 0; w < workers; w++ {
+			tw := 0.0
+			for _, it := range s.Items(l, w) {
+				tw += cm.IterWork(int(it)) + iterOverhead
+			}
+			procBusy[w] += tw
+			if tw > levelMax {
+				levelMax = tw
+			}
+		}
+		exec += levelMax + barrier
+	}
+	res.ExecTime = exec
+	res.BarrierTime = barrier * float64(s.Levels())
+	res.OverheadTime = float64(n)*iterOverhead + res.BarrierTime
+	res.TPar = res.PreTime + res.ExecTime + res.PostTime
+	res.ProcBusy = make([]float64, workers)
+	if exec > 0 {
+		for w := 0; w < workers; w++ {
+			res.ProcBusy[w] = procBusy[w] / exec
+		}
+	}
+	finishResult(&res)
+	return res, nil
+}

@@ -68,6 +68,19 @@ const (
 // reordering strategies and the dependency-structure analyses.
 type DepGraph = depgraph.Graph
 
+// TrisolveLoop returns the doacross Loop description of the substitution on
+// t with the given right-hand side: the forward substitution for a lower
+// triangular matrix, the backward one (with iteration indices reversed so
+// dependencies point forward) for an upper. It is the loop the Solver kinds
+// run internally, exposed so callers can Inspect a solve's dependency
+// structure or drive Runtime.Run themselves.
+func TrisolveLoop(t *Triangular, rhs []float64) (*Loop, error) {
+	if t.Lower {
+		return trisolve.Loop(t, rhs)
+	}
+	return trisolve.UpperLoop(t, rhs)
+}
+
 // TrisolveGraph builds the true-dependency graph of the triangular solve on
 // t (forward substitution for a lower factor, backward for an upper one).
 func TrisolveGraph(t *Triangular) *DepGraph {
