@@ -431,6 +431,7 @@ func BenchmarkExecutorComparison(b *testing.B) {
 	}{
 		{"doacross", doacross.Doacross},
 		{"wavefront", doacross.Wavefront},
+		{"wavefront-dynamic", doacross.WavefrontDynamic},
 		{"auto", doacross.Auto},
 	}
 
@@ -488,6 +489,55 @@ func BenchmarkExecutorComparison(b *testing.B) {
 					waits = rep.WaitPolls
 				}
 				b.ReportMetric(float64(waits), "waits/op")
+			})
+		}
+	}
+}
+
+// BenchmarkDynamicWavefront isolates the static-vs-dynamic within-level
+// trade on the two regimes the cost model separates: "uniform" levels (every
+// iteration reads one element — the claim traffic is pure overhead, static
+// should win) and "skewed" levels (one hot iteration per level reads half
+// the previous level — the static schedule serializes each level behind the
+// hot worker, dynamic reclaims the imbalance). The loop shapes match the
+// skewed acceptance tests; see also the machine-model crossover tests for
+// the simulated counterpart.
+func BenchmarkDynamicWavefront(b *testing.B) {
+	ctx := context.Background()
+	executors := []struct {
+		name string
+		kind doacross.ExecutorKind
+	}{
+		{"wavefront", doacross.Wavefront},
+		{"wavefront-dynamic", doacross.WavefrontDynamic},
+	}
+	for _, shape := range []struct {
+		name     string
+		hotReads int
+	}{
+		{"uniform", 0},
+		{"skewed", 48},
+	} {
+		loop, y0, err := skewedLevelLoop(64, 64, shape.hotReads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ex := range executors {
+			b.Run(fmt.Sprintf("live/%s/%s", shape.name, ex.name), func(b *testing.B) {
+				rt := newRuntime(b, loop.Data,
+					doacross.WithWorkers(liveWorkers),
+					doacross.WithWaitStrategy(doacross.WaitSpinYield),
+					doacross.WithExecutor(ex.kind),
+				)
+				defer rt.Close()
+				y := append([]float64(nil), y0...)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					copy(y, y0)
+					if _, err := rt.Run(ctx, loop, y); err != nil {
+						b.Fatal(err)
+					}
+				}
 			})
 		}
 	}

@@ -11,7 +11,7 @@
 //	doabench -experiment linear      # Ablation C: linear-subscript variant
 //	doabench -experiment ordering    # Ablation E: doconsider ordering strategies
 //	doabench -experiment sweep       # Ablation F: processor-count sweep (extension)
-//	doabench -experiment executors   # live doacross-vs-wavefront executor sweep
+//	doabench -experiment executors   # live executor sweep: doacross vs wavefront vs wavefront-dynamic
 //	doabench -experiment live        # live goroutine measurements on this host
 //	doabench -experiment all         # everything above
 //
@@ -19,7 +19,10 @@
 // Figure 6 iteration count and the SPE perturbation seed. The -check flag
 // verifies the paper's qualitative claims and exits non-zero when a claim is
 // violated. The -format flag renders the fig6/table1/sweep tables as text,
-// Markdown or CSV.
+// Markdown or CSV. The -executors flag restricts the executors experiment to
+// a comma-separated subset of doacross, wavefront, wavefront-dynamic, auto
+// (default all); unknown experiment or executor names are rejected with the
+// valid set spelled out.
 package main
 
 import (
@@ -48,8 +51,22 @@ func main() {
 		// clobber it; regenerating the baseline is an explicit -json.
 		jsonPath    = flag.String("json", "BENCH_results.new.json", "write machine-readable results of the live/executors experiments here (empty disables)")
 		liveWorkers = flag.String("workers", "", "comma-separated worker counts for the executors sweep (default: derived from GOMAXPROCS)")
+		executors   = flag.String("executors", "", "comma-separated executors for the executors sweep: doacross | wavefront | wavefront-dynamic | auto (default: all)")
 	)
 	flag.Parse()
+
+	validExperiments := []string{"fig6", "table1", "overhead", "blocked", "linear", "ordering", "sweep", "executors", "live", "all"}
+	known := false
+	for _, name := range validExperiments {
+		if *experiment == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s)\n", *experiment, strings.Join(validExperiments, ", "))
+		os.Exit(1)
+	}
 
 	failures := 0
 	var benchRecords []experiments.BenchRecord
@@ -187,8 +204,14 @@ func main() {
 				sweep = append(sweep, w)
 			}
 		}
+		var execNames []string
+		if *executors != "" {
+			for _, s := range strings.Split(*executors, ",") {
+				execNames = append(execNames, strings.TrimSpace(s))
+			}
+		}
 		rows, err := experiments.RunExecutorSweep(
-			[]stencil.Problem{stencil.SPE2, stencil.FivePoint, stencil.SevenPoint}, sweep, *liveReps)
+			[]stencil.Problem{stencil.SPE2, stencil.FivePoint, stencil.SevenPoint}, sweep, *liveReps, execNames...)
 		if err != nil {
 			return "", nil, err
 		}

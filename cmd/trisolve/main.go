@@ -32,19 +32,20 @@ func problemByName(name string) (stencil.Problem, error) {
 }
 
 var solverKinds = map[string]doacross.SolverKind{
-	"sequential":         doacross.SolverSequential,
-	"doacross":           doacross.SolverDoacross,
-	"doacross-reordered": doacross.SolverReordered,
-	"doacross-linear":    doacross.SolverLinear,
-	"level-scheduled":    doacross.SolverLevelScheduled,
-	"doacross-wavefront": doacross.SolverWavefront,
+	"sequential":                 doacross.SolverSequential,
+	"doacross":                   doacross.SolverDoacross,
+	"doacross-reordered":         doacross.SolverReordered,
+	"doacross-linear":            doacross.SolverLinear,
+	"level-scheduled":            doacross.SolverLevelScheduled,
+	"doacross-wavefront":         doacross.SolverWavefront,
+	"doacross-wavefront-dynamic": doacross.SolverWavefrontDynamic,
 }
 
 func main() {
 	var (
 		problem   = flag.String("problem", "5-PT", "test system: SPE2, SPE5, 5-PT, 7-PT or 9-PT")
 		workers   = flag.Int("workers", 4, "number of workers for the parallel solvers")
-		solver    = flag.String("solver", "all", "sequential | doacross | doacross-reordered | doacross-linear | level-scheduled | doacross-wavefront | all")
+		solver    = flag.String("solver", "all", "sequential | doacross | doacross-reordered | doacross-linear | level-scheduled | doacross-wavefront | doacross-wavefront-dynamic | all")
 		repeat    = flag.Int("repeat", 3, "timing repetitions (best is reported)")
 		seed      = flag.Int64("seed", 1, "seed for the synthetic SPE operators")
 		showTrace = flag.Bool("trace", false, "print a per-worker execution trace summary of the doacross solve")
@@ -76,7 +77,13 @@ func main() {
 		doacross.WithWaitStrategy(doacross.WaitSpinYield),
 	}
 
-	names := []string{"sequential", "doacross", "doacross-reordered", "doacross-linear", "level-scheduled", "doacross-wavefront"}
+	names := []string{"sequential", "doacross", "doacross-reordered", "doacross-linear", "level-scheduled", "doacross-wavefront", "doacross-wavefront-dynamic"}
+	if _, ok := solverKinds[*solver]; !ok && *solver != "all" {
+		// An unknown solver name used to fall through the loop below and
+		// silently solve nothing; reject it with the valid set instead.
+		fmt.Fprintf(os.Stderr, "unknown solver %q (valid: %s, all)\n", *solver, strings.Join(names, ", "))
+		os.Exit(1)
+	}
 	fmt.Printf("%-20s %12s %10s %10s  %s\n", "solver", "time", "speedup", "eff", "check")
 	var seqTime time.Duration
 	for _, name := range names {

@@ -66,20 +66,32 @@ const (
 	// same runtime (keyed by the loop's access pattern), so repeated solves
 	// inspect once. Requires Loop.Reads and natural order (no WithOrder).
 	Wavefront ExecutorKind = core.ExecWavefront
+	// WavefrontDynamic is the wavefront execution with dynamic within-level
+	// assignment: the same cached decomposition as Wavefront, but inside
+	// each level the workers self-schedule chunks out of the level's member
+	// list (at the WithChunk granularity) instead of running a static
+	// schedule. One contended atomic per chunk claim buys within-level load
+	// balance: a level with one hot iteration no longer stalls the barrier
+	// behind whichever worker the static schedule dealt it to. Same
+	// requirements as Wavefront (Loop.Reads, no WithOrder).
+	WavefrontDynamic ExecutorKind = core.ExecWavefrontDynamic
 	// Auto inspects the loop once through the same cache and picks the
 	// strategy with a calibrated cost model: the inspected dependency
-	// structure (edges, levels, schedule rounds) is priced with measured
-	// barrier and flag-check costs — supplied through WithAutoCosts, or
-	// self-calibrated once per runtime by micro-timing both primitives on
-	// the live worker pool — and the predicted-cheaper executor runs. The
-	// coefficients and both predictions are reported in Report.
+	// structure (edges, levels, schedule rounds, within-level read
+	// imbalance, claim counts) is priced with measured barrier, flag-check
+	// and chunk-claim costs — supplied through WithAutoCosts, or
+	// self-calibrated once per runtime by micro-timing the primitives on
+	// the live worker pool — and the predicted-cheapest of the three
+	// executors runs. The coefficients and all predictions are reported in
+	// Report.
 	Auto ExecutorKind = core.ExecAuto
 )
 
 // AutoCosts are the coefficients of the Auto selection's cost model: the
-// cost of one level-barrier rendezvous, of one flag-table operation, and an
-// optional per-iteration work estimate. Zero value means self-calibrate; see
-// WithAutoCosts and the core documentation of the model.
+// cost of one level-barrier rendezvous, of one flag-table operation, of one
+// dynamic chunk claim, and an optional per-iteration work estimate. Zero
+// value means self-calibrate; see WithAutoCosts and the core documentation
+// of the model.
 type AutoCosts = core.AutoCosts
 
 // InspectStats describes what the inspector learned about a loop's
@@ -168,17 +180,19 @@ func WithWaitStrategy(s WaitStrategy) Option {
 // busy-wait construct). Wavefront switches to pre-scheduled level-set
 // execution — the inspector's dependency graph decomposed into
 // barrier-separated doall levels, with the decomposition and its static
-// schedule cached across runs — and Auto picks per loop from the inspected
-// graph shape. Wavefront requires the loop to declare Reads covering every
-// element the body may Load (see LoopBuilder.Reads) and is incompatible
-// with WithOrder (it derives its own level order); Auto falls back to
-// Doacross in both cases. Both tiers of the schedule cache assume a Loop
-// value's access pattern never changes; build a fresh Loop when the pattern
-// does.
+// schedule cached across runs — WavefrontDynamic runs the same levels with
+// dynamic within-level self-scheduling (absorbing per-level cost variance at
+// the price of one claim per chunk), and Auto picks per loop from the
+// inspected graph shape. Both wavefront executors require the loop to
+// declare Reads covering every element the body may Load (see
+// LoopBuilder.Reads) and are incompatible with WithOrder (they derive their
+// own level order); Auto falls back to Doacross in both cases. Both tiers of
+// the schedule cache assume a Loop value's access pattern never changes;
+// build a fresh Loop when the pattern does.
 func WithExecutor(k ExecutorKind) Option {
 	return func(c *config) {
 		switch k {
-		case Doacross, Wavefront, Auto:
+		case Doacross, Wavefront, WavefrontDynamic, Auto:
 			c.opts.Executor = k
 		default:
 			c.fail(fmt.Errorf("doacross: unknown executor kind %d", int(k)))
@@ -189,16 +203,18 @@ func WithExecutor(k ExecutorKind) Option {
 // WithAutoCosts fixes the Auto selection's cost-model coefficients instead
 // of the per-runtime self-calibration probe: BarrierNs is the cost of one
 // level-barrier rendezvous at the runtime's worker count, FlagCheckNs the
-// cost of one flag-table operation, and IterNs an optional estimate of one
-// iteration's useful work (zero compares pure synchronization overheads).
-// Only the ratios matter. Supplying the coefficients makes WithExecutor(Auto)
-// deterministic across hosts — tests and simulator-calibrated deployments
-// want that; leave it unset to let the runtime measure its own barrier and
-// flag-check costs once on its live pool.
+// cost of one flag-table operation, ClaimNs the cost of one dynamic chunk
+// claim (zero excludes the dynamic executor from the comparison), and IterNs
+// an optional estimate of one iteration's useful work (zero compares pure
+// synchronization overheads). Only the ratios matter. Supplying the
+// coefficients makes WithExecutor(Auto) deterministic across hosts — tests
+// and simulator-calibrated deployments want that; leave it unset to let the
+// runtime measure its own barrier, flag-check and claim costs once on its
+// live pool.
 func WithAutoCosts(c AutoCosts) Option {
 	return func(cf *config) {
-		if c.BarrierNs <= 0 || c.FlagCheckNs <= 0 || c.IterNs < 0 {
-			cf.fail(fmt.Errorf("doacross: WithAutoCosts requires positive BarrierNs and FlagCheckNs (and non-negative IterNs), got %+v", c))
+		if c.BarrierNs <= 0 || c.FlagCheckNs <= 0 || c.ClaimNs < 0 || c.IterNs < 0 {
+			cf.fail(fmt.Errorf("doacross: WithAutoCosts requires positive BarrierNs and FlagCheckNs (and non-negative ClaimNs and IterNs), got %+v", c))
 			return
 		}
 		cf.opts.AutoCosts = c
@@ -261,8 +277,8 @@ func buildOptions(opts []Option) (core.Options, error) {
 	for _, o := range opts {
 		o(&c)
 	}
-	if c.err == nil && c.opts.Order != nil && c.opts.Executor == Wavefront {
-		c.fail(fmt.Errorf("doacross: WithExecutor(Wavefront) is incompatible with WithOrder (the wavefront executor derives its own level order)"))
+	if c.err == nil && c.opts.Order != nil && (c.opts.Executor == Wavefront || c.opts.Executor == WavefrontDynamic) {
+		c.fail(fmt.Errorf("doacross: WithExecutor(%v) is incompatible with WithOrder (the wavefront executors derive their own level order)", c.opts.Executor))
 	}
 	return c.opts, c.err
 }

@@ -44,9 +44,11 @@
 // The execution strategy is pluggable (WithExecutor): the default Doacross
 // is the paper's flag-based busy-wait construct; Wavefront pre-schedules the
 // inspected dependency graph into barrier-separated level sets whose
-// decomposition and static schedule are cached across runs; Auto inspects
-// once and picks from the graph's shape. See the README's "Choosing an
-// executor".
+// decomposition and static schedule are cached across runs;
+// WavefrontDynamic runs the same levels with dynamic within-level
+// self-scheduling, absorbing heavy-tailed per-iteration costs at a claim
+// per chunk; Auto inspects once and picks from the graph's shape with a
+// calibrated three-way cost model. See the README's "Choosing an executor".
 //
 // The runtime is the paper's Section 2.1 design: one Runtime (scratch arrays
 // plus a persistent worker pool) is meant to be built once and reused across

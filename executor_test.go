@@ -207,7 +207,7 @@ func TestAutoFlipsAtBreakEven(t *testing.T) {
 	lo, hi := 1e-3, 1e6
 	for range 200 {
 		mid := (lo + hi) / 2
-		tda, twf := doacross.AutoCosts{BarrierNs: mid * flagNs, FlagCheckNs: flagNs}.Predict(st, workers)
+		tda, twf, _ := doacross.AutoCosts{BarrierNs: mid * flagNs, FlagCheckNs: flagNs}.Predict(st, workers)
 		if twf < tda {
 			lo = mid
 		} else {
@@ -239,6 +239,177 @@ func TestAutoFlipsAtBreakEven(t *testing.T) {
 	}
 }
 
+// TestDynamicWavefrontSolvesPaperSystems extends the acceptance property to
+// the dynamic within-level executor: it solves every Table 1 triangular
+// system (forward and backward substitution) with results bitwise identical
+// to the sequential solve, never busy-waits, and reports its own name.
+func TestDynamicWavefrontSolvesPaperSystems(t *testing.T) {
+	for _, prob := range stencil.Problems {
+		l, u, err := stencil.LowerFactor(prob, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs := stencil.RHS(l.N, 7)
+		for _, tri := range []*doacross.Triangular{l, u} {
+			want := doacross.SolveSequential(tri, rhs)
+			got, rep, err := doacross.SolveTriangular(doacross.SolverWavefrontDynamic, tri, rhs, doacross.WithWorkers(4))
+			if err != nil {
+				t.Fatalf("%v lower=%v: %v", prob, tri.Lower, err)
+			}
+			if rep.Executor != "wavefront-dynamic" {
+				t.Fatalf("%v: report executor %q, want wavefront-dynamic", prob, rep.Executor)
+			}
+			if rep.Levels == 0 {
+				t.Fatalf("%v: dynamic wavefront run reports zero levels", prob)
+			}
+			if rep.WaitPolls != 0 {
+				t.Fatalf("%v: dynamic wavefront run busy-waited (%d polls)", prob, rep.WaitPolls)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%v lower=%v: element %d differs: %v vs %v", prob, tri.Lower, i, want[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+// skewedLevelLoop builds a loop whose dependency graph is a fat chain of
+// depth levels of the given width, with a heavy-tailed twist: every
+// iteration reads one element of the previous level, and the FIRST iteration
+// of each level (the hot one) reads hotReads of them. Under a static block
+// schedule the hot iteration's worker also receives its share of cheap
+// members, so each level's read imbalance is what the dynamic within-level
+// executor reclaims. Returns the loop and a data array sized for it.
+func skewedLevelLoop(width, depth, hotReads int) (*doacross.Loop, []float64, error) {
+	n := width * depth
+	reads := make([][]int, n)
+	for l := 1; l < depth; l++ {
+		base, prev := l*width, (l-1)*width
+		for k := 0; k < width; k++ {
+			i := base + k
+			reads[i] = []int{prev + k}
+			if k == 0 {
+				for h := 1; h <= hotReads && h < width; h++ {
+					reads[i] = append(reads[i], prev+h)
+				}
+			}
+		}
+	}
+	loop, err := doacross.NewLoop(n, n).
+		Writes(func(i int) []int { return []int{i} }).
+		Reads(func(i int) []int { return reads[i] }).
+		Body(func(i int, v *doacross.Values) {
+			s := float64(i%7) + 1
+			for k, e := range reads[i] {
+				s += float64(k+1) * v.Load(e)
+			}
+			v.Store(i, s)
+		}).
+		Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = float64((i*31)%17) * 0.25
+	}
+	return loop, y, nil
+}
+
+// TestAutoFlipsToDynamicAtBreakEven is the acceptance property of the
+// three-way cost model, mirroring TestAutoFlipsAtBreakEven one strategy up:
+// on a skewed-cost loop (one hot iteration per level) with cheap barriers,
+// sweeping the claim cost across the model's own static/dynamic break-even
+// flips the Auto selection from wavefront-dynamic (cheap claims reclaim the
+// imbalance) to the static wavefront (claims outweigh it), with results
+// bitwise sequential on both sides.
+func TestAutoFlipsToDynamicAtBreakEven(t *testing.T) {
+	const (
+		workers   = 4
+		flagNs    = 10.0
+		barrierNs = 20.0
+	)
+	loop, y0, err := skewedLevelLoop(64, 8, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := append([]float64(nil), y0...)
+	if err := doacross.RunSequential(loop, seq); err != nil {
+		t.Fatal(err)
+	}
+
+	rt, err := doacross.New(loop.Data, doacross.WithWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := rt.Inspect(loop)
+	rt.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Levels <= 1 || st.ReadImbalance <= 0 || st.DynamicClaims <= 0 {
+		t.Fatalf("degenerate skewed decomposition: %+v", st)
+	}
+
+	// Locate the static/dynamic break-even claim cost from the model itself,
+	// and confirm the barriers are cheap enough that the flip happens inside
+	// the wavefront family (the doacross never wins here).
+	predict := func(claimNs float64) (tda, twf, tdyn float64) {
+		return doacross.AutoCosts{BarrierNs: barrierNs, FlagCheckNs: flagNs, ClaimNs: claimNs}.Predict(st, workers)
+	}
+	lo, hi := 1e-4, 1e6
+	for range 200 {
+		mid := (lo + hi) / 2
+		_, twf, tdyn := predict(mid)
+		if tdyn < twf {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	breakEven := (lo + hi) / 2
+	if breakEven <= 1e-4 || breakEven >= 1e6 {
+		t.Fatalf("no static/dynamic break-even claim cost found (%.4g)", breakEven)
+	}
+	if tda, twf, _ := predict(breakEven); twf >= tda {
+		t.Fatalf("barriers not cheap enough: static wavefront (%.0f) loses to doacross (%.0f) at the break-even", twf, tda)
+	}
+
+	solveWithClaim := func(claimNs float64) string {
+		t.Helper()
+		rt, err := doacross.New(loop.Data,
+			doacross.WithWorkers(workers),
+			doacross.WithExecutor(doacross.Auto),
+			doacross.WithAutoCosts(doacross.AutoCosts{BarrierNs: barrierNs, FlagCheckNs: flagNs, ClaimNs: claimNs}),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		y := append([]float64(nil), y0...)
+		rep, err := rt.Run(context.Background(), loop, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			if seq[i] != y[i] {
+				t.Fatalf("claim %.3f: element %d differs from sequential", claimNs, i)
+			}
+		}
+		if rep.PredictedDynamicNs <= 0 {
+			t.Fatalf("claim %.3f: report carries no dynamic prediction: %+v", claimNs, rep)
+		}
+		return rep.Executor
+	}
+	if got := solveWithClaim(breakEven / 2); got != "wavefront-dynamic" {
+		t.Fatalf("below break-even (claim %.2f): picked %q, want wavefront-dynamic", breakEven/2, got)
+	}
+	if got := solveWithClaim(breakEven * 2); got != "wavefront" {
+		t.Fatalf("above break-even (claim %.2f): picked %q, want wavefront", breakEven*2, got)
+	}
+}
+
 // TestWithExecutorValidation pins the option's error paths.
 func TestWithExecutorValidation(t *testing.T) {
 	if _, err := doacross.New(8, doacross.WithExecutor(doacross.ExecutorKind(42))); err == nil {
@@ -254,12 +425,18 @@ func TestWithExecutorValidation(t *testing.T) {
 	if _, err := doacross.New(8, doacross.WithExecutor(doacross.Wavefront), doacross.WithOrder(order)); err == nil {
 		t.Fatal("Wavefront + WithOrder accepted")
 	}
+	if _, err := doacross.New(8, doacross.WithOrder(order), doacross.WithExecutor(doacross.WavefrontDynamic)); err == nil {
+		t.Fatal("WithOrder + WavefrontDynamic accepted")
+	}
 	lf, _, err := stencil.LowerFactor(stencil.SPE2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := doacross.NewReorderedSolver(lf, doacross.ReorderLevel, doacross.WithExecutor(doacross.Wavefront)); err == nil {
 		t.Fatal("reordered solver accepted the wavefront executor")
+	}
+	if _, err := doacross.NewReorderedSolver(lf, doacross.ReorderLevel, doacross.WithExecutor(doacross.WavefrontDynamic)); err == nil {
+		t.Fatal("reordered solver accepted the dynamic wavefront executor")
 	}
 
 	// Wavefront without Reads fails at run time with a descriptive error.

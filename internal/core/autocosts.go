@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"doacross/internal/flags"
+	"doacross/internal/sched"
 )
 
 // AutoCosts are the coefficients of the Auto executor's calibrated cost
@@ -13,20 +14,29 @@ import (
 // simulator-side experiments feed the Figure 6 cost-model constants in
 // straight.
 //
-// The model estimates the executor-phase time of both strategies from the
-// inspection statistics (see Predict) and picks the cheaper one. Zero-valued
-// coefficients mean "calibrate on first use": the runtime micro-times one
-// level-barrier rendezvous on its live pool and one iter-table/ready-flag
-// operation, once per Runtime.
+// The model estimates the executor-phase time of all three strategies from
+// the inspection statistics (see Predict) and picks the cheapest one.
+// Zero-valued BarrierNs/FlagCheckNs mean "calibrate on first use": the
+// runtime micro-times one level-barrier rendezvous, one iter-table/ready-flag
+// operation and one dynamic chunk claim on its live pool, once per Runtime.
 type AutoCosts struct {
 	// BarrierNs is the cost of one level-barrier rendezvous at the runtime's
-	// worker count — what the wavefront executor pays once per level.
+	// worker count — what both wavefront executors pay once per level.
 	BarrierNs float64
 	// FlagCheckNs is the cost of one flag-table operation: the iter-table
 	// lookup-and-branch of the paper's Figure 5, and (taken as the same
 	// order) the table writes the doacross pays per element in its
 	// inspector, executor and postprocessor.
 	FlagCheckNs float64
+	// ClaimNs is the cost of one dynamic chunk claim: the contended atomic
+	// fetch-add of the self-scheduling loop, what the dynamic within-level
+	// wavefront pays per chunk (plus one failed claim per worker per level).
+	// Zero means no claim coefficient is available — the dynamic executor is
+	// then excluded from the comparison (Predict reports zero for it), which
+	// keeps decisions from coefficients configured before the dynamic
+	// executor existed exactly two-way. The self-calibration probe always
+	// measures it.
+	ClaimNs float64
 	// IterNs is an optional estimate of one iteration's useful work. The
 	// probe cannot know the body's cost, so it defaults to zero — the
 	// overhead-bound regime, which is where executor choice matters most.
@@ -39,8 +49,8 @@ type AutoCosts struct {
 // valid reports whether the coefficients are usable for a decision.
 func (c AutoCosts) valid() bool { return c.BarrierNs > 0 && c.FlagCheckNs > 0 }
 
-// Predict estimates the executor-phase time of both strategies for a loop
-// with the given inspection statistics on the given worker count, in the
+// Predict estimates the executor-phase time of all three strategies for a
+// loop with the given inspection statistics on the given worker count, in the
 // coefficients' time unit. The model (writing N, E, W, L for iterations,
 // edges, stall weight, levels, and P for workers, with r = E/N the mean
 // true-dependency reads per iteration):
@@ -48,8 +58,11 @@ func (c AutoCosts) valid() bool { return c.BarrierNs > 0 && c.FlagCheckNs > 0 }
 //	rounds_da = max(ceil(N/P), L) + W/P
 //	rounds_wf = ScheduleRounds = Σ_l ceil(w_l/P)
 //
-//	T_doacross  = rounds_da * (IterNs + (r+3)*FlagCheckNs)
-//	T_wavefront = rounds_wf * (IterNs + r*FlagCheckNs) + L*BarrierNs
+//	T_doacross = rounds_da * (IterNs + (r+3)*FlagCheckNs)
+//	T_static   = rounds_wf * (IterNs + r*FlagCheckNs) + L*BarrierNs
+//	           + ReadImbalance * (FlagCheckNs + IterNs/(r+1))
+//	T_dynamic  = rounds_wf * (IterNs + r*FlagCheckNs) + L*BarrierNs
+//	           + DynamicClaims * ClaimNs
 //
 // The doacross executes in rounds bounded below by both the work
 // distribution (ceil(N/P)) and the critical path (L), plus the stalls its
@@ -57,24 +70,39 @@ func (c AutoCosts) valid() bool { return c.BarrierNs > 0 && c.FlagCheckNs > 0 }
 // the paper's doconsider reordering removes by lengthening distances). Each
 // doacross round costs the iteration's work plus one flag check per
 // dependency read and roughly three table writes (inspector record, ready
-// set, postprocess reset). The wavefront executes the level schedule's
-// barrier-rounded depth (rounds_wf ≥ max(ceil(N/P), L): levels cannot
-// pipeline, and widths round up per level), pays the classify per read but
-// no table maintenance and no waits, and adds one full barrier per level.
+// set, postprocess reset).
 //
-// With the default IterNs = 0 the comparison is purely between
-// synchronization overheads, and for a fixed shape the choice flips exactly
-// where the BarrierNs/FlagCheckNs ratio crosses
+// Both wavefront strategies execute the level schedule's barrier-rounded
+// depth (rounds_wf ≥ max(ceil(N/P), L): levels cannot pipeline, and widths
+// round up per level), pay the classify per read but no table maintenance
+// and no waits, and add one full barrier per level. They differ in how
+// per-iteration cost variance lands: the static schedule assigns a level's
+// members without regard to their cost, so the extra read terms its slowest
+// worker executes beyond a balanced split (InspectStats.ReadImbalance) are
+// charged at one read term's cost — the classify plus the read's share of
+// the iteration work, IterNs/(r+1), distributing IterNs over the base term
+// and r reads. The dynamic executor self-schedules the level and absorbs
+// that imbalance, paying instead one ClaimNs per chunk claim
+// (InspectStats.DynamicClaims; when the stats carry no claim count, it is
+// estimated as ceil(N/DefaultChunk) + L*P). Dynamic beats static exactly
+// when the imbalance it reclaims exceeds the claim overhead it adds.
+//
+// tDynamic is zero — "not considered" — when ClaimNs is zero; see ClaimNs.
+//
+// With the default IterNs = 0, balanced levels (ReadImbalance = 0) and the
+// dynamic excluded, the comparison reduces to the two-way overhead model of
+// the static wavefront: for a fixed shape the choice flips exactly where the
+// BarrierNs/FlagCheckNs ratio crosses
 //
 //	(rounds_da*(r+3) - rounds_wf*r) / L
-func (c AutoCosts) Predict(st InspectStats, workers int) (tDoacross, tWavefront float64) {
+func (c AutoCosts) Predict(st InspectStats, workers int) (tDoacross, tWavefront, tDynamic float64) {
 	p := workers
 	if p < 1 {
 		p = 1
 	}
 	n := st.Iterations
 	if n == 0 {
-		return 0, 0
+		return 0, 0, 0
 	}
 	workRounds := (n + p - 1) / p
 	bound := workRounds
@@ -93,20 +121,40 @@ func (c AutoCosts) Predict(st InspectStats, workers int) (tDoacross, tWavefront 
 		wfRounds = minWfRounds
 	}
 	r := float64(st.Edges) / float64(n)
+	perIter := c.IterNs + r*c.FlagCheckNs
 	tDoacross = daRounds * (c.IterNs + (r+3)*c.FlagCheckNs)
-	tWavefront = float64(wfRounds)*(c.IterNs+r*c.FlagCheckNs) + float64(st.Levels)*c.BarrierNs
-	return tDoacross, tWavefront
+	wfBase := float64(wfRounds)*perIter + float64(st.Levels)*c.BarrierNs
+	readTermNs := c.FlagCheckNs + c.IterNs/(r+1)
+	tWavefront = wfBase + st.ReadImbalance*readTermNs
+	if c.ClaimNs > 0 {
+		claims := float64(st.DynamicClaims)
+		if claims <= 0 {
+			claims = float64((n+sched.DefaultChunk-1)/sched.DefaultChunk + st.Levels*p)
+		}
+		tDynamic = wfBase + claims*c.ClaimNs
+	}
+	return tDoacross, tWavefront, tDynamic
 }
 
-// wavefrontProfitable is the Auto selection: a single barrier-free level (a
-// doall, or an empty loop) always pre-schedules; otherwise the calibrated
-// cost model decides.
-func wavefrontProfitable(st InspectStats, workers int, costs AutoCosts) bool {
+// autoChoose is the Auto selection: a single barrier-free level (a doall, or
+// an empty loop) always pre-schedules statically (a dynamic run of one level
+// would only add claim traffic); otherwise the calibrated cost model picks
+// the cheapest of the three strategies, with the dynamic considered only
+// when a claim coefficient is available (Predict returns zero for it
+// otherwise).
+func autoChoose(st InspectStats, workers int, costs AutoCosts) ExecutorKind {
 	if st.Levels <= 1 {
-		return true
+		return ExecWavefront
 	}
-	tda, twf := costs.Predict(st, workers)
-	return twf < tda
+	tda, twf, tdyn := costs.Predict(st, workers)
+	pick, best := ExecDoacross, tda
+	if twf < best {
+		pick, best = ExecWavefront, twf
+	}
+	if tdyn > 0 && tdyn < best {
+		pick = ExecWavefrontDynamic
+	}
+	return pick
 }
 
 // autoCostsFor returns the coefficients the Auto selection uses: the ones
@@ -131,6 +179,7 @@ const (
 	probeBarriers  = 256
 	probeFlagElems = 1024
 	probeFlagReps  = 16
+	probeClaims    = 2048
 )
 
 // probeSink keeps the flag-probe loop observable so the compiler cannot
@@ -141,9 +190,12 @@ var probeSink atomic.Int64
 // measureAutoCosts is the self-calibration probe: it micro-times one level
 // barrier on the runtime's live pool at its configured worker count (all
 // workers spinning back-to-back through probeBarriers rendezvous, exactly
-// the wavefront executor's steady state) and one flag-table operation
-// (averaged over the record/classify/set/check/reset/clear cycle the
-// doacross performs per element, on tables of the doacross's own types).
+// the wavefront executor's steady state), one flag-table operation (averaged
+// over the record/classify/set/check/reset/clear cycle the doacross performs
+// per element, on tables of the doacross's own types), and one dynamic chunk
+// claim (all workers draining a shared counter at chunk size 1 — the fully
+// contended fetch-add the dynamic wavefront's claim loop degrades to inside
+// a narrow level).
 func measureAutoCosts(rt *Runtime) AutoCosts {
 	k := rt.opts.Workers
 	if k < 1 {
@@ -178,6 +230,13 @@ func measureAutoCosts(rt *Runtime) AutoCosts {
 	flagNs := float64(time.Since(start).Nanoseconds()) / float64(6*probeFlagReps*probeFlagElems)
 	probeSink.Add(sink)
 
+	var next atomic.Int64
+	start = time.Now()
+	rt.pool.Submit(k, func(w int) {
+		sched.DynamicLoop(&next, probeClaims, 1, w, func(worker, pos int) {}, nil)
+	})
+	claimNs := float64(time.Since(start).Nanoseconds()) / probeClaims
+
 	// Clock-resolution floors: a decision needs positive coefficients even
 	// on hosts whose timer cannot resolve a single rendezvous.
 	if barrierNs < 1 {
@@ -186,5 +245,8 @@ func measureAutoCosts(rt *Runtime) AutoCosts {
 	if flagNs < 0.25 {
 		flagNs = 0.25
 	}
-	return AutoCosts{BarrierNs: barrierNs, FlagCheckNs: flagNs}
+	if claimNs < 0.25 {
+		claimNs = 0.25
+	}
+	return AutoCosts{BarrierNs: barrierNs, FlagCheckNs: flagNs, ClaimNs: claimNs}
 }

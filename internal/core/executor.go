@@ -39,13 +39,23 @@ const (
 	ExecWavefront
 	// ExecAuto inspects the loop once (through the same cache ExecWavefront
 	// uses) and picks the strategy with a calibrated cost model: the
-	// inspection statistics (edges, levels, schedule rounds) are combined
-	// with measured barrier and flag-check costs (AutoCosts — supplied
-	// through Options.AutoCosts or self-calibrated once per Runtime) to
-	// estimate both executors' times, and the cheaper one runs. Loops
-	// without Reads, or with an explicit Options.Order, fall back to the
-	// doacross.
+	// inspection statistics (edges, levels, schedule rounds, within-level
+	// read imbalance, claim counts) are combined with measured barrier,
+	// flag-check and chunk-claim costs (AutoCosts — supplied through
+	// Options.AutoCosts or self-calibrated once per Runtime) to estimate all
+	// three executors' times, and the cheapest one runs. Loops without
+	// Reads, or with an explicit Options.Order, fall back to the doacross.
 	ExecAuto
+	// ExecWavefrontDynamic is the wavefront execution with dynamic
+	// within-level assignment: the same cached decomposition as
+	// ExecWavefront, but inside each level the workers self-schedule chunks
+	// out of the level's member list instead of executing a static
+	// schedule. The claim traffic costs one contended atomic per chunk; in
+	// exchange, per-iteration cost variance within a level (one hot row in
+	// an otherwise cheap wavefront) no longer parks every other worker at
+	// the barrier behind the unlucky static assignment. Same structural
+	// requirements as ExecWavefront (Loop.Reads, natural order).
+	ExecWavefrontDynamic
 )
 
 // String returns the executor's name as used in reports.
@@ -57,6 +67,8 @@ func (k ExecutorKind) String() string {
 		return "wavefront"
 	case ExecAuto:
 		return "auto"
+	case ExecWavefrontDynamic:
+		return "wavefront-dynamic"
 	default:
 		return "unknown"
 	}
@@ -84,17 +96,21 @@ func (rt *Runtime) executorFor(l *Loop, rep *Report) (executor, error) {
 	switch rt.opts.Executor {
 	case ExecDoacross:
 		return doacrossExecutor{rt}, nil
-	case ExecWavefront:
+	case ExecWavefront, ExecWavefrontDynamic:
 		if l.Reads == nil {
-			return nil, fmt.Errorf("core: the wavefront executor requires Loop.Reads to build the dependency graph")
+			return nil, fmt.Errorf("core: the %s executor requires Loop.Reads to build the dependency graph", rt.opts.Executor)
 		}
 		if rt.opts.Order != nil {
-			return nil, fmt.Errorf("core: the wavefront executor derives its own level order and cannot honor Options.Order")
+			return nil, fmt.Errorf("core: the %s executor derives its own level order and cannot honor Options.Order", rt.opts.Executor)
 		}
 		plan, cached, err := rt.wavefrontPlan(l)
 		if err != nil {
 			return nil, err
 		}
+		if rt.opts.Executor == ExecWavefrontDynamic {
+			return dynamicWavefrontExecutor{rt: rt, plan: plan, cached: cached}, nil
+		}
+		plan.staticSchedule(rt.opts.Policy)
 		return wavefrontExecutor{rt: rt, plan: plan, cached: cached}, nil
 	case ExecAuto:
 		if l.Reads == nil || rt.opts.Order != nil {
@@ -107,12 +123,18 @@ func (rt *Runtime) executorFor(l *Loop, rep *Report) (executor, error) {
 		costs := rt.autoCostsFor()
 		if rep != nil {
 			rep.AutoCosts = costs
-			rep.PredictedDoacrossNs, rep.PredictedWavefrontNs = costs.Predict(plan.stats, rt.opts.Workers)
+			rep.PredictedDoacrossNs, rep.PredictedWavefrontNs, rep.PredictedDynamicNs =
+				costs.Predict(plan.stats, rt.opts.Workers)
 		}
-		if wavefrontProfitable(plan.stats, rt.opts.Workers, costs) {
+		switch autoChoose(plan.stats, rt.opts.Workers, costs) {
+		case ExecWavefrontDynamic:
+			return dynamicWavefrontExecutor{rt: rt, plan: plan, cached: cached}, nil
+		case ExecWavefront:
+			plan.staticSchedule(rt.opts.Policy)
 			return wavefrontExecutor{rt: rt, plan: plan, cached: cached}, nil
+		default:
+			return doacrossExecutor{rt}, nil
 		}
-		return doacrossExecutor{rt}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown executor kind %d", int(rt.opts.Executor))
 	}
@@ -153,6 +175,20 @@ type InspectStats struct {
 	// the Auto cost model charges the wavefront's work term with (the
 	// doacross's pipelined counterpart is max(ceil(N/P), CriticalPathLen)).
 	ScheduleRounds int
+	// ReadImbalance is the extra true-dependency read terms the static level
+	// schedule's slowest worker executes beyond a perfectly balanced
+	// within-level split, summed over levels: Σ_l (max_w reads(items(l,w)) −
+	// ceil(reads_l / P)), with reads counted as in-degree. It is zero when
+	// every iteration of a level costs the same, and grows with the
+	// heavy-tailed per-iteration cost variance (one hot row per wavefront)
+	// that the dynamic within-level executor absorbs — the statistic that
+	// separates the static from the dynamic wavefront in the Auto model.
+	ReadImbalance float64
+	// DynamicClaims is the number of chunk claims a dynamic within-level
+	// execution of this decomposition issues: Σ_l (ceil(w_l/chunk) + P) —
+	// every successful chunk claim plus each worker's final failed claim per
+	// level, at the runtime's configured chunk size.
+	DynamicClaims int
 	// CacheHit reports whether the decomposition came from the runtime's
 	// schedule cache rather than a fresh inspection.
 	CacheHit bool
@@ -164,18 +200,44 @@ func (s InspectStats) String() string {
 		s.Iterations, s.Edges, s.Levels, s.MaxLevelWidth, s.MeanLevelWidth, s.CacheHit)
 }
 
-// wavefrontPlan is everything the wavefront executor needs to run one loop
-// shape: the dense writer index (the execution-time dependency classifier),
-// the level-sorted static schedule, and the inspection statistics. Plans are
-// immutable once built and cached on the runtime.
+// wavefrontPlan is everything the two wavefront executors need to run one
+// loop shape: the dense writer index (the execution-time dependency
+// classifier), the plan's own copy of the wavefront decomposition, and the
+// inspection statistics. The decomposition and stats are immutable once
+// built; the static schedule is materialized lazily (see staticSchedule),
+// under the same run mutex that guards every other plan access.
 type wavefrontPlan struct {
 	n, data int
 	writer  []int32 // writer[e] = iteration writing element e, -1 if none
-	sched   *sched.LevelSchedule
-	stats   InspectStats
+	// levels is the plan's owned copy of the wavefront decomposition in CSR
+	// form (the inspector's scratch LevelSet is reused across builds, so the
+	// plan cannot alias it). The dynamic executor claims chunks straight out
+	// of its per-level member lists; the static schedule below is derived
+	// from it on first static use.
+	levels depgraph.LevelSet
+	// workers is the schedule worker count: the runtime's workers clamped to
+	// the widest level (extra workers would only spin at the barriers).
+	workers int
+	// static is the level-sorted static schedule, built by staticSchedule on
+	// the first static-wavefront run. A runtime that only ever runs the
+	// dynamic executor never materializes it — the dynamic run consumes the
+	// cached LevelSet directly.
+	static *sched.LevelSchedule
+	stats  InspectStats
 	// gen is the runtime's plan generation at build time; InvalidatePlans
 	// advances the generation, making every earlier plan stale.
 	gen uint64
+}
+
+// staticSchedule returns the plan's level-sorted static schedule, deriving it
+// from the decomposition on first use. Callers hold the runtime's run mutex
+// (plans are only touched by the serialized entry points), so the lazy build
+// needs no further synchronization.
+func (p *wavefrontPlan) staticSchedule(policy sched.Policy) *sched.LevelSchedule {
+	if p.static == nil {
+		p.static = sched.NewLevelSchedule(p.levels.Members, p.levels.Off, policy, p.workers)
+	}
+	return p.static
 }
 
 // table returns the plan's writer index as the executor's dependency
@@ -324,6 +386,10 @@ func (rt *Runtime) buildPlan(l *Loop) (*wavefrontPlan, error) {
 	if p < 1 {
 		p = 1
 	}
+	chunk := rt.opts.Chunk
+	if chunk < 1 {
+		chunk = sched.DefaultChunk
+	}
 	stats := InspectStats{
 		Iterations:      l.N,
 		Edges:           g.Edges,
@@ -334,19 +400,45 @@ func (rt *Runtime) buildPlan(l *Loop) (*wavefrontPlan, error) {
 	if levels > 0 {
 		stats.MeanLevelWidth = float64(l.N) / float64(levels)
 	}
-	s := sched.NewLevelSchedule(ls.Members, ls.Off, rt.opts.Policy, p)
 	for lvl := 0; lvl < levels; lvl++ {
-		stats.ScheduleRounds += (s.LevelWidth(lvl) + p - 1) / p
+		w := int(ls.Off[lvl+1] - ls.Off[lvl])
+		stats.ScheduleRounds += (w + p - 1) / p
+		stats.DynamicClaims += sched.DynamicClaims(w, chunk, p)
 	}
 	stats.StallWeight = g.StallWeight(rt.opts.Workers)
+	stats.ReadImbalance = levelReadImbalance(g, ls, rt.opts.Policy, p)
 	return &wavefrontPlan{
 		n:      l.N,
 		data:   l.Data,
 		writer: writer,
-		sched:  s,
-		stats:  stats,
-		gen:    rt.planGen,
+		levels: depgraph.LevelSet{
+			Members: append([]int32(nil), ls.Members...),
+			Off:     append([]int32(nil), ls.Off...),
+		},
+		workers: p,
+		stats:   stats,
+		gen:     rt.planGen,
 	}, nil
+}
+
+// levelReadImbalance computes InspectStats.ReadImbalance: how many extra
+// true-dependency read terms the static level schedule's slowest worker
+// executes beyond a perfectly balanced within-level split, summed over
+// levels (sched.LevelImbalance per level, replaying the exact
+// NewLevelSchedule assignment). In-degree stands in for an iteration's read
+// count, the work proxy the inspector can see without pricing the body.
+func levelReadImbalance(g *depgraph.Graph, ls *depgraph.LevelSet, policy sched.Policy, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	imbalance := 0.0
+	for l := 0; l < ls.Count(); l++ {
+		lvl := ls.LevelMembers(l)
+		imbalance += float64(sched.LevelImbalance(len(lvl), policy, p, func(k int) int {
+			return len(g.Preds[int(lvl[k])])
+		}))
+	}
+	return imbalance
 }
 
 // accessHash computes a structural 64-bit FNV-1a-style hash of the loop's
@@ -503,9 +595,12 @@ func (wavefrontExecutor) name() string { return "wavefront" }
 func (e wavefrontExecutor) execute(l *Loop, y []float64, rep *Report) {
 	rt := e.rt
 	plan := e.plan
+	// executorFor materialized the schedule while resolving the plan (so its
+	// cost counts as preprocessing); this lookup is a memo hit.
+	s := plan.staticSchedule(rt.opts.Policy)
 	start := time.Now()
 	rep.InspectCached = e.cached
-	rep.Levels = plan.sched.Levels()
+	rep.Levels = s.Levels()
 	preEnd := time.Duration(0)
 
 	for i := range rt.counters {
@@ -514,8 +609,8 @@ func (e wavefrontExecutor) execute(l *Loop, y []float64, rep *Report) {
 	traceBase := rt.armTrace(l)
 	body := rt.execBody(l, y, plan.table(), levelReady{}, traceBase)
 
-	k := plan.sched.Workers()
-	levels := plan.sched.Levels()
+	k := s.Workers()
+	levels := s.Levels()
 	ab := &rt.ab
 	bar := phaseBarrier{n: int32(k)}
 	execEnd := preEnd
@@ -527,7 +622,7 @@ func (e wavefrontExecutor) execute(l *Loop, y []float64, rep *Report) {
 			// an aborted run drains without deadlock.
 			if !ab.triggered.Load() {
 				rt.guard("loop body", func() {
-					for _, it := range plan.sched.Items(lvl, w) {
+					for _, it := range s.Items(lvl, w) {
 						body(w, int(it))
 					}
 				})
@@ -552,22 +647,125 @@ func (e wavefrontExecutor) execute(l *Loop, y []float64, rep *Report) {
 			}
 		})
 	})
-	if rt.inspectDirty {
-		// A standalone Inspect filled the doacross writer table and no
-		// doacross postprocess has reset it; clean up the entries this
-		// loop recorded so a later doacross run on the same runtime does
-		// not classify against stale writers (the ScratchClean invariant).
-		if rt.opts.UseEpochTables {
-			rt.eIter.Advance()
-		} else {
-			rt.pool.ParallelFor(l.N, func(i int) {
-				for _, e := range l.Writes(i) {
-					rt.iter.Reset(e)
-				}
-			})
-		}
-		rt.inspectDirty = false
+	rt.cleanStandaloneInspect(l)
+	total := time.Since(start)
+
+	rep.PreTime = preEnd
+	rep.ExecTime = execEnd - preEnd
+	rep.PostTime = total - execEnd
+	rep.TotalTime = total
+}
+
+// cleanStandaloneInspect restores the doacross writer table after a
+// wavefront-family run when a standalone Inspect filled it and no doacross
+// postprocess has reset it: the entries the loop recorded are cleaned up so a
+// later doacross run on the same runtime does not classify against stale
+// writers (the ScratchClean invariant). A no-op when nothing is dirty.
+func (rt *Runtime) cleanStandaloneInspect(l *Loop) {
+	if !rt.inspectDirty {
+		return
 	}
+	if rt.opts.UseEpochTables {
+		rt.eIter.Advance()
+	} else {
+		rt.pool.ParallelFor(l.N, func(i int) {
+			for _, e := range l.Writes(i) {
+				rt.iter.Reset(e)
+			}
+		})
+	}
+	rt.inspectDirty = false
+}
+
+// dynamicWavefrontExecutor is the wavefront execution with dynamic
+// within-level assignment: the same cached plan (writer index and level
+// decomposition) as the static wavefrontExecutor, but each level is a
+// self-scheduled doall — workers claim chunks out of the level's member list
+// through the shared claim counter, exactly the sched.DynamicLoop protocol
+// the busy-wait doacross uses under the Dynamic policy, restricted to one
+// level at a time. The counter is reset by the last arriver at each level
+// barrier, so the reset is ordered before any worker starts claiming the
+// next level.
+//
+// Compared to the static wavefront it trades one contended atomic per chunk
+// claim for within-level load balance: a level whose members have
+// heavy-tailed costs (one hot row per wavefront) no longer serializes behind
+// whichever worker the static schedule dealt the hot member to. It never
+// materializes a LevelSchedule — the plan's cached LevelSet is consumed
+// directly, so a runtime that only runs dynamically skips NewLevelSchedule
+// altogether.
+type dynamicWavefrontExecutor struct {
+	rt     *Runtime
+	plan   *wavefrontPlan
+	cached bool
+}
+
+func (dynamicWavefrontExecutor) name() string { return "wavefront-dynamic" }
+
+func (e dynamicWavefrontExecutor) execute(l *Loop, y []float64, rep *Report) {
+	rt := e.rt
+	plan := e.plan
+	start := time.Now()
+	rep.InspectCached = e.cached
+	levels := plan.levels.Count()
+	rep.Levels = levels
+	preEnd := time.Duration(0)
+
+	for i := range rt.counters {
+		rt.counters[i] = execCounters{}
+	}
+	traceBase := rt.armTrace(l)
+	body := rt.execBody(l, y, plan.table(), levelReady{}, traceBase)
+
+	chunk := rt.opts.Chunk
+	if chunk < 1 {
+		chunk = sched.DefaultChunk
+	}
+	k := plan.workers
+	ab := &rt.ab
+	stop := func() bool { return ab.triggered.Load() }
+	bar := phaseBarrier{n: int32(k)}
+	var next atomic.Int64
+	execEnd := preEnd
+	// The level barrier's last arriver resets the claim counter before the
+	// barrier opens, so every worker observes a zeroed counter when it starts
+	// claiming the next level.
+	resetNext := func() { next.Store(0) }
+	stampExec := func() { next.Store(0); execEnd = time.Since(start) }
+	rt.pool.Submit(k, func(w int) {
+		for lvl := 0; lvl < levels; lvl++ {
+			if !ab.triggered.Load() {
+				members := plan.levels.LevelMembers(lvl)
+				// Every worker derives the same per-level chunk clamp, so no
+				// coordination is needed (see sched.LevelChunk).
+				c := sched.LevelChunk(chunk, len(members), k)
+				rt.guard("loop body", func() {
+					sched.DynamicLoopOver(&next, members, c, w, body, stop)
+				})
+			}
+			// Every worker reaches every barrier even when aborted, so a
+			// failed run drains without deadlock, as in the static executor.
+			if lvl == levels-1 {
+				bar.wait(stampExec)
+			} else {
+				bar.wait(resetNext)
+			}
+		}
+		if ab.triggered.Load() {
+			return
+		}
+		// Postprocessor shard: only the copy-back, as in the static
+		// wavefront — nothing was recorded, so nothing is reset.
+		lo, hi := sched.BlockRange(l.N, k, w)
+		rt.guard("loop Writes (postprocessor)", func() {
+			for i := lo; i < hi; i++ {
+				for _, e := range l.Writes(i) {
+					y[e] = rt.ynew[e]
+				}
+			}
+		})
+	})
+	rt.cleanStandaloneInspect(l)
 	total := time.Since(start)
 
 	rep.PreTime = preEnd

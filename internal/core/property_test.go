@@ -281,9 +281,10 @@ func randomDAGLoop(rng *rand.Rand, n int) (*Loop, []float64) {
 }
 
 // TestPropertyExecutorsEquivalentToSequential runs random-DAG loops through
-// every executor kind (doacross, wavefront, auto) and asserts bitwise
-// equality with the sequential loop across worker counts, policies and table
-// implementations — the acceptance property of the pluggable executor layer.
+// every executor kind (doacross, wavefront, auto, wavefront-dynamic) and
+// asserts bitwise equality with the sequential loop across worker counts,
+// policies and table implementations — the acceptance property of the
+// pluggable executor layer.
 func TestPropertyExecutorsEquivalentToSequential(t *testing.T) {
 	f := func(seed int64, workerBits, policyBits, execBits, epochBit uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -296,7 +297,7 @@ func TestPropertyExecutorsEquivalentToSequential(t *testing.T) {
 		seq := append([]float64(nil), y...)
 		RunSequential(l, seq)
 
-		exec := ExecutorKind(int(execBits) % 3)
+		exec := ExecutorKind(int(execBits) % 4)
 		opts := Options{
 			Workers:        int(workerBits)%7 + 1,
 			Policy:         sched.Policy(int(policyBits) % 3),
@@ -316,9 +317,9 @@ func TestPropertyExecutorsEquivalentToSequential(t *testing.T) {
 				t.Logf("executor %v run %d: %v", exec, run, err)
 				return false
 			}
-			if exec == ExecWavefront {
-				if rep.Executor != "wavefront" {
-					t.Logf("report says %q, want wavefront", rep.Executor)
+			if exec == ExecWavefront || exec == ExecWavefrontDynamic {
+				if rep.Executor != exec.String() {
+					t.Logf("report says %q, want %q", rep.Executor, exec.String())
 					return false
 				}
 				if (run == 1) != rep.InspectCached {
@@ -347,7 +348,7 @@ func TestWavefrontMatchesDoacrossOnFigure1(t *testing.T) {
 		l, y := randomFigure1(rng, 80+rng.Intn(80))
 		seq := append([]float64(nil), y...)
 		RunSequential(l, seq)
-		for _, exec := range []ExecutorKind{ExecDoacross, ExecWavefront, ExecAuto} {
+		for _, exec := range []ExecutorKind{ExecDoacross, ExecWavefront, ExecWavefrontDynamic, ExecAuto} {
 			par := append([]float64(nil), y...)
 			rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield, Executor: exec})
 			if _, err := rt.Run(l, par); err != nil {
@@ -395,6 +396,18 @@ func TestWavefrontRequiresReadsAndNaturalOrder(t *testing.T) {
 	defer rtOrd.Close()
 	if _, err := rtOrd.Run(withReads, y); err == nil {
 		t.Fatal("wavefront executor accepted an explicit Order")
+	}
+
+	// The dynamic wavefront shares both structural requirements.
+	rtDyn := NewRuntime(n, Options{Workers: 2, Executor: ExecWavefrontDynamic})
+	defer rtDyn.Close()
+	if _, err := rtDyn.Run(noReads, y); err == nil {
+		t.Fatal("dynamic wavefront executor accepted a loop without Reads")
+	}
+	rtDynOrd := NewRuntime(n, Options{Workers: 2, Executor: ExecWavefrontDynamic, Order: order})
+	defer rtDynOrd.Close()
+	if _, err := rtDynOrd.Run(withReads, y); err == nil {
+		t.Fatal("dynamic wavefront executor accepted an explicit Order")
 	}
 
 	for _, l := range []*Loop{noReads, withReads} {
@@ -480,7 +493,7 @@ func TestWavefrontCancellationMidLevel(t *testing.T) {
 		RunSequential(l, seq)
 		trigger := rng.Intn(n)
 
-		for _, exec := range []ExecutorKind{ExecWavefront, ExecDoacross} {
+		for _, exec := range []ExecutorKind{ExecWavefront, ExecWavefrontDynamic, ExecDoacross} {
 			rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield, Executor: exec})
 
 			// Context cancellation from inside a body.
@@ -542,6 +555,184 @@ func TestWavefrontCancellationMidLevel(t *testing.T) {
 			}
 			rt.Close()
 		}
+	}
+}
+
+// skewedLevelLoop builds a loop whose wavefront decomposition is depth
+// levels of the given width with one hot iteration per level: every
+// iteration reads one element of the previous level, while the level's first
+// iteration reads about half of it and burns extra non-commutative
+// arithmetic on each value — the heavy-tailed per-iteration cost regime the
+// dynamic within-level executor targets. Any mis-ordered, dropped or doubled
+// read changes the bits of the result.
+func skewedLevelLoop(rng *rand.Rand, width, depth int) (*Loop, []float64) {
+	n := width * depth
+	hotReads := width / 2
+	reads := make([][]int, n)
+	for l := 1; l < depth; l++ {
+		base, prev := l*width, (l-1)*width
+		for k := 0; k < width; k++ {
+			i := base + k
+			reads[i] = []int{prev + rng.Intn(width)}
+			if k == 0 {
+				for h := 0; h < hotReads; h++ {
+					reads[i] = append(reads[i], prev+rng.Intn(width))
+				}
+			}
+		}
+	}
+	l := &Loop{
+		N:      n,
+		Data:   n,
+		Writes: func(i int) []int { return []int{i} },
+		Reads:  func(i int) []int { return reads[i] },
+		Body: func(i int, v *Values) {
+			s := float64(i%11) + 0.5
+			for k, e := range reads[i] {
+				x := v.Load(e)
+				// The hot iteration's extra work is real arithmetic over the
+				// loaded value, so skipping it (or reordering it) is visible.
+				if k > 0 {
+					for r := 0; r < 8; r++ {
+						x = 0.5*x + float64(r)
+					}
+				}
+				s = 0.75*s + float64(k+1)*x
+			}
+			v.Store(i, s)
+		},
+	}
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	return l, y
+}
+
+// TestSkewedCostExecutorsEquivalentToSequential runs the heavy-tailed
+// one-hot-iteration-per-level loops through all four executors across worker
+// counts, policies and table implementations, asserting bitwise equality
+// with the sequential loop — the correctness side of the workload the
+// dynamic executor exists for (its performance side is
+// BenchmarkDynamicWavefront and the machine-model crossover tests).
+func TestSkewedCostExecutorsEquivalentToSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	execs := []ExecutorKind{ExecDoacross, ExecWavefront, ExecWavefrontDynamic, ExecAuto}
+	for trial := 0; trial < 6; trial++ {
+		width := 8 + rng.Intn(40)
+		depth := 2 + rng.Intn(6)
+		l, y := skewedLevelLoop(rng, width, depth)
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		seq := append([]float64(nil), y...)
+		RunSequential(l, seq)
+		for _, workers := range []int{1, 3, 7} {
+			for _, policy := range []sched.Policy{sched.Block, sched.Cyclic, sched.Dynamic} {
+				for _, exec := range execs {
+					opts := Options{
+						Workers:        workers,
+						Policy:         policy,
+						Chunk:          1 + rng.Intn(8),
+						WaitStrategy:   flags.WaitSpinYield,
+						UseEpochTables: trial%2 == 0,
+						Executor:       exec,
+					}
+					rt := NewRuntime(l.Data, opts)
+					for run := 0; run < 2; run++ {
+						par := append([]float64(nil), y...)
+						rep, err := rt.Run(l, par)
+						if err != nil {
+							t.Fatalf("trial %d %v P=%d %v: %v", trial, exec, workers, policy, err)
+						}
+						if exec == ExecWavefrontDynamic && rep.WaitPolls != 0 {
+							t.Fatalf("trial %d: dynamic executor busy-waited (%d polls)", trial, rep.WaitPolls)
+						}
+						if d := sparse.VecMaxDiff(seq, par); d != 0 {
+							t.Fatalf("trial %d %v P=%d %v run %d: mismatch %v", trial, exec, workers, policy, run, d)
+						}
+					}
+					rt.Close()
+				}
+			}
+		}
+	}
+}
+
+// TestDynamicWavefrontAbortsAtHotIteration aborts dynamic-executor runs from
+// inside the hot iteration of a middle level — the worst spot: the rest of
+// the level is mid-claim on other workers — via cancellation, body error and
+// body panic, and checks the abort drains through every remaining level
+// barrier, the claim counter is left consistent (the next run starts clean),
+// and the runtime stays bitwise-correct afterwards.
+func TestDynamicWavefrontAbortsAtHotIteration(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 8; trial++ {
+		width := 12 + rng.Intn(24)
+		depth := 3 + rng.Intn(5)
+		l, y := skewedLevelLoop(rng, width, depth)
+		seq := append([]float64(nil), y...)
+		RunSequential(l, seq)
+		trigger := (depth / 2) * width // the hot iteration of a middle level
+
+		rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield, Executor: ExecWavefrontDynamic})
+
+		ctx, cancel := context.WithCancel(context.Background())
+		cancelling := *l
+		cancelling.Body = func(i int, v *Values) {
+			if i == trigger {
+				cancel()
+				runtime.Gosched()
+			}
+			l.Body(i, v)
+		}
+		par := append([]float64(nil), y...)
+		if _, err := rt.RunContext(ctx, &cancelling, par); err == nil {
+			t.Fatalf("trial %d: cancelled dynamic run returned nil error", trial)
+		}
+		cancel()
+
+		failing := *l
+		failing.Body = nil
+		failing.BodyErr = func(i int, v *Values) error {
+			if i == trigger {
+				return fmt.Errorf("hot iteration %d failed", i)
+			}
+			l.Body(i, v)
+			return nil
+		}
+		par = append([]float64(nil), y...)
+		if _, err := rt.Run(&failing, par); err == nil || !strings.Contains(err.Error(), "failed") {
+			t.Fatalf("trial %d: dynamic body error not propagated: %v", trial, err)
+		}
+
+		panicking := *l
+		panicking.Body = func(i int, v *Values) {
+			if i == trigger {
+				panic("hot boom")
+			}
+			l.Body(i, v)
+		}
+		par = append([]float64(nil), y...)
+		if _, err := rt.Run(&panicking, par); err == nil || !strings.Contains(err.Error(), "hot boom") {
+			t.Fatalf("trial %d: dynamic body panic not recovered: %v", trial, err)
+		}
+
+		par = append([]float64(nil), y...)
+		rep, err := rt.Run(l, par)
+		if err != nil {
+			t.Fatalf("trial %d: clean dynamic run after aborts failed: %v", trial, err)
+		}
+		if rep.Executor != "wavefront-dynamic" {
+			t.Fatalf("trial %d: post-abort run used %q", trial, rep.Executor)
+		}
+		if d := sparse.VecMaxDiff(seq, par); d != 0 {
+			t.Fatalf("trial %d: post-abort dynamic run mismatch %v", trial, d)
+		}
+		if !rt.ScratchClean() {
+			t.Fatalf("trial %d: scratch dirty after dynamic aborts", trial)
+		}
+		rt.Close()
 	}
 }
 

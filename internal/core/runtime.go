@@ -75,11 +75,11 @@ type Report struct {
 	WaitPolicy  string
 	SchedPolicy string
 	// Executor names the execution strategy that ran ("doacross",
-	// "wavefront"); with Options.Executor = ExecAuto it records the one the
-	// inspection picked.
+	// "wavefront", "wavefront-dynamic"); with Options.Executor = ExecAuto it
+	// records the one the inspection picked.
 	Executor string
-	// Levels is the number of wavefront levels executed (wavefront executor
-	// only; zero for the doacross).
+	// Levels is the number of wavefront levels executed (wavefront
+	// executors only; zero for the doacross).
 	Levels int
 	// InspectCached reports whether the wavefront decomposition and static
 	// schedule came from the runtime's schedule cache instead of a fresh
@@ -89,11 +89,15 @@ type Report struct {
 	// (configured or self-calibrated); zero when no cost-model decision was
 	// made (fixed executor, or the Auto fallback for loops without Reads).
 	AutoCosts AutoCosts
-	// PredictedDoacrossNs and PredictedWavefrontNs are the cost model's
-	// executor-phase estimates behind an ExecAuto decision, in the
-	// coefficients' time unit; zero when no cost-model decision was made.
+	// PredictedDoacrossNs, PredictedWavefrontNs and PredictedDynamicNs are
+	// the cost model's executor-phase estimates behind an ExecAuto decision,
+	// in the coefficients' time unit; zero when no cost-model decision was
+	// made. PredictedDynamicNs is also zero when the coefficients carry no
+	// claim cost (AutoCosts.ClaimNs), in which case the dynamic executor was
+	// not considered.
 	PredictedDoacrossNs  float64
 	PredictedWavefrontNs float64
+	PredictedDynamicNs   float64
 }
 
 // String renders the report in a compact human-readable form.

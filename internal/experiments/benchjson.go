@@ -41,6 +41,7 @@ type BenchRecord struct {
 	AutoPicked    string  `json:"auto_picked,omitempty"`
 	AutoBarrierNs float64 `json:"auto_barrier_ns,omitempty"`
 	AutoFlagNs    float64 `json:"auto_flag_check_ns,omitempty"`
+	AutoClaimNs   float64 `json:"auto_claim_ns,omitempty"`
 }
 
 // BenchFile is the envelope of BENCH_results.json.
@@ -71,12 +72,13 @@ func LiveBenchRecords(results []LiveResult) []BenchRecord {
 }
 
 // ExecutorBenchRecords converts an executor sweep into bench records, one
-// per strategy per configuration.
+// per measured strategy per configuration (strategies excluded from the
+// sweep emit no record).
 func ExecutorBenchRecords(rows []ExecutorSweepRow) []BenchRecord {
-	records := make([]BenchRecord, 0, 2*len(rows))
+	records := make([]BenchRecord, 0, 3*len(rows))
 	for _, r := range rows {
-		records = append(records,
-			BenchRecord{
+		if r.TDoacross > 0 {
+			records = append(records, BenchRecord{
 				Experiment: "executors",
 				Name:       fmt.Sprintf("trisolve %s", r.Problem),
 				Workers:    r.Workers,
@@ -85,8 +87,10 @@ func ExecutorBenchRecords(rows []ExecutorSweepRow) []BenchRecord {
 				Speedup:    r.DoacrossSpeedup,
 				WaitPolls:  r.DoacrossWaits,
 				Executor:   "doacross",
-			},
-			BenchRecord{
+			})
+		}
+		if r.TWavefront > 0 {
+			records = append(records, BenchRecord{
 				Experiment:    "executors",
 				Name:          fmt.Sprintf("trisolve %s", r.Problem),
 				Workers:       r.Workers,
@@ -101,6 +105,40 @@ func ExecutorBenchRecords(rows []ExecutorSweepRow) []BenchRecord {
 				AutoBarrierNs: r.AutoCosts.BarrierNs,
 				AutoFlagNs:    r.AutoCosts.FlagCheckNs,
 			})
+		}
+		if r.TDynamic > 0 {
+			records = append(records, BenchRecord{
+				Experiment:  "executors",
+				Name:        fmt.Sprintf("trisolve %s", r.Problem),
+				Workers:     r.Workers,
+				NsPerOp:     float64(r.TDynamic.Nanoseconds()),
+				SeqNsPerOp:  float64(r.TSeq.Nanoseconds()),
+				Speedup:     r.DynamicSpeedup,
+				Executor:    "wavefront-dynamic",
+				Levels:      r.Levels,
+				AutoPicked:  r.AutoPicked,
+				AutoClaimNs: r.AutoCosts.ClaimNs,
+			})
+		}
+		if r.TAuto > 0 && r.TWavefront == 0 && r.TDynamic == 0 {
+			// With both wavefront executors excluded, no other record carries
+			// the auto pick and its calibrated coefficients; emit a dedicated
+			// one so a filtered sweep still leaves a trace of the decision.
+			records = append(records, BenchRecord{
+				Experiment:    "executors",
+				Name:          fmt.Sprintf("trisolve %s", r.Problem),
+				Workers:       r.Workers,
+				NsPerOp:       float64(r.TAuto.Nanoseconds()),
+				SeqNsPerOp:    float64(r.TSeq.Nanoseconds()),
+				Speedup:       r.AutoSpeedup,
+				Executor:      "auto",
+				Levels:        r.Levels,
+				AutoPicked:    r.AutoPicked,
+				AutoBarrierNs: r.AutoCosts.BarrierNs,
+				AutoFlagNs:    r.AutoCosts.FlagCheckNs,
+				AutoClaimNs:   r.AutoCosts.ClaimNs,
+			})
+		}
 	}
 	return records
 }

@@ -53,23 +53,30 @@ const (
 // fills), which puts one barrier at several iterations' worth of overhead —
 // expensive enough that deep, narrow level structures lose to the doacross
 // pipelining, cheap enough that wide levels amortize it easily.
+// The dynamic within-level executor's chunk claim is one shared-bus atomic
+// fetch-add — the same primitive as one flag operation, so the claim is
+// anchored to the flag-check cost of each calibration. The chunk size
+// matches the live runtime's sched.DefaultChunk.
 const (
 	fig6Barrier        = 8.0
 	fig6WfIterOverhead = 0.6
+	fig6Claim          = 0.7
 	triBarrier         = 4.0
 	triWfIterOverhead  = 0.35
+	triClaim           = 0.35
+	wfChunk            = 16
 )
 
 // Figure6WavefrontCosts returns the wavefront-executor costs calibrated
 // against the Figure 6 constants.
 func Figure6WavefrontCosts() machine.WavefrontCosts {
-	return machine.WavefrontCosts{Barrier: fig6Barrier, IterOverhead: fig6WfIterOverhead}
+	return machine.WavefrontCosts{Barrier: fig6Barrier, IterOverhead: fig6WfIterOverhead, Claim: fig6Claim, Chunk: wfChunk}
 }
 
 // TrisolveWavefrontCosts returns the wavefront-executor costs for the
 // Table 1 triangular solves.
 func TrisolveWavefrontCosts() machine.WavefrontCosts {
-	return machine.WavefrontCosts{Barrier: triBarrier, IterOverhead: triWfIterOverhead}
+	return machine.WavefrontCosts{Barrier: triBarrier, IterOverhead: triWfIterOverhead, Claim: triClaim, Chunk: wfChunk}
 }
 
 // Figure6AutoCosts maps the Figure 6 calibration onto the Auto selection's
@@ -81,6 +88,7 @@ func Figure6AutoCosts(m int) doacross.AutoCosts {
 	return doacross.AutoCosts{
 		BarrierNs:   fig6Barrier,
 		FlagCheckNs: fig6CheckPerRead,
+		ClaimNs:     fig6Claim,
 		IterNs:      fig6BaseWork + fig6TermWork*float64(m),
 	}
 }
@@ -96,6 +104,7 @@ func TrisolveAutoCosts(t *sparse.Triangular) doacross.AutoCosts {
 	return doacross.AutoCosts{
 		BarrierNs:   triBarrier,
 		FlagCheckNs: triCheckPerRead,
+		ClaimNs:     triClaim,
 		IterNs:      triBaseWork + triTermWork*meanReads,
 	}
 }

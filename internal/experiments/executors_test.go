@@ -34,14 +34,17 @@ func TestExecutorSweepAndBenchJSON(t *testing.T) {
 	}
 
 	records := ExecutorBenchRecords(rows)
-	if len(records) != 2 {
-		t.Fatalf("got %d records, want 2 (doacross + wavefront)", len(records))
+	if len(records) != 3 {
+		t.Fatalf("got %d records, want 3 (doacross + wavefront + wavefront-dynamic)", len(records))
 	}
 	if records[1].Executor != "wavefront" || records[1].WaitPolls != 0 {
 		t.Fatalf("wavefront record: %+v", records[1])
 	}
 	if records[1].ColdInspectNs <= 0 {
 		t.Fatalf("wavefront record missing cold inspect time: %+v", records[1])
+	}
+	if records[2].Executor != "wavefront-dynamic" || records[2].WaitPolls != 0 || records[2].NsPerOp <= 0 {
+		t.Fatalf("wavefront-dynamic record: %+v", records[2])
 	}
 
 	path := filepath.Join(t.TempDir(), "BENCH_results.json")
@@ -56,8 +59,66 @@ func TestExecutorSweepAndBenchJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		t.Fatalf("BENCH_results.json is not valid JSON: %v", err)
 	}
-	if f.Schema != 1 || len(f.Records) != 2 || f.Records[0].NsPerOp <= 0 {
+	if f.Schema != 1 || len(f.Records) != 3 || f.Records[0].NsPerOp <= 0 {
 		t.Fatalf("unexpected bench file: %+v", f)
+	}
+}
+
+// TestExecutorSweepSelection pins the executor-subset contract: a filtered
+// sweep measures only the named strategies (the others stay zero and their
+// checks are skipped), and an unknown executor name is rejected with the
+// valid set spelled out.
+func TestExecutorSweepSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live measurement skipped in -short mode")
+	}
+	rows, err := RunExecutorSweep([]stencil.Problem{stencil.SPE2}, []int{2}, 1, "doacross", "wavefront-dynamic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.TDoacross <= 0 || r.TDynamic <= 0 {
+		t.Fatalf("selected executors not measured: %+v", r)
+	}
+	if r.TWavefront != 0 || r.AutoPicked != "" {
+		t.Fatalf("excluded executors measured anyway: %+v", r)
+	}
+	if problems := CheckExecutorSweep(rows); len(problems) > 0 {
+		t.Fatalf("filtered sweep violations: %v", problems)
+	}
+	if recs := ExecutorBenchRecords(rows); len(recs) != 2 {
+		t.Fatalf("filtered sweep emitted %d records, want 2", len(recs))
+	}
+
+	// An auto-only sweep must still carry the decision: the level count is
+	// backfilled from the Auto run's report (so the consistency check can
+	// fire) and a dedicated bench record preserves the pick and calibrated
+	// coefficients.
+	autoRows, err := RunExecutorSweep([]stencil.Problem{stencil.SPE2}, []int{2}, 1, "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := autoRows[0]
+	if ar.AutoPicked == "" || ar.TAuto <= 0 {
+		t.Fatalf("auto-only sweep measured nothing: %+v", ar)
+	}
+	if ar.AutoPicked != "doacross" && ar.Levels == 0 {
+		t.Fatalf("auto-only sweep lost the level count: %+v", ar)
+	}
+	if problems := CheckExecutorSweep(autoRows); len(problems) > 0 {
+		t.Fatalf("auto-only sweep violations: %v", problems)
+	}
+	autoRecs := ExecutorBenchRecords(autoRows)
+	if len(autoRecs) != 1 || autoRecs[0].Executor != "auto" || autoRecs[0].AutoPicked != ar.AutoPicked {
+		t.Fatalf("auto-only sweep records: %+v", autoRecs)
+	}
+
+	_, err = RunExecutorSweep([]stencil.Problem{stencil.SPE2}, []int{2}, 1, "warpfront")
+	if err == nil || !strings.Contains(err.Error(), "valid: doacross, wavefront, wavefront-dynamic, auto") {
+		t.Fatalf("unknown executor name not rejected with the valid set: %v", err)
 	}
 }
 

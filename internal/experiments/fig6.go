@@ -49,8 +49,15 @@ type Figure6Point struct {
 	// it wins by shedding the flag protocol.
 	WavefrontEfficiency float64
 	WavefrontTPar       float64
-	// AutoPick is the executor the calibrated Auto cost model selects with
-	// the Figure 6 coefficients at this configuration.
+	// DynamicEfficiency and DynamicTPar are the dynamic within-level
+	// wavefront model (self-scheduled levels, per-chunk claim cost). The
+	// test loop's iterations all cost the same, so there is no imbalance to
+	// reclaim and the claim traffic makes the dynamic a strict loss here —
+	// the control case of the skewed workloads where it wins.
+	DynamicEfficiency float64
+	DynamicTPar       float64
+	// AutoPick is the executor the calibrated three-way Auto cost model
+	// selects with the Figure 6 coefficients at this configuration.
 	AutoPick string
 }
 
@@ -107,14 +114,15 @@ func RunFigure6(cfg Figure6Config) (Figure6Result, error) {
 			if err != nil {
 				return Figure6Result{}, err
 			}
+			dyn, err := machine.SimulateDynamicWavefront(g, machine.Config{
+				Processors: cfg.Processors,
+			}, cm, Figure6WavefrontCosts())
+			if err != nil {
+				return Figure6Result{}, err
+			}
 			_, byLevel := g.Levels()
 			st := inspectStatsFromLevels(g, byLevel, cfg.Processors)
-			autoPick := machine.ModelWavefront.String()
-			if st.Levels > 1 {
-				if tda, twf := Figure6AutoCosts(m).Predict(st, cfg.Processors); twf >= tda {
-					autoPick = machine.ModelDoacross.String()
-				}
-			}
+			autoPick := autoPickFromStats(st, Figure6AutoCosts(m), cfg.Processors)
 			res.Points = append(res.Points, Figure6Point{
 				M:                   m,
 				L:                   l,
@@ -127,6 +135,8 @@ func RunFigure6(cfg Figure6Config) (Figure6Result, error) {
 				TPar:                sim.TPar,
 				WavefrontEfficiency: wf.Efficiency,
 				WavefrontTPar:       wf.TPar,
+				DynamicEfficiency:   dyn.Efficiency,
+				DynamicTPar:         dyn.TPar,
 				AutoPick:            autoPick,
 			})
 		}
@@ -142,7 +152,7 @@ func (r Figure6Result) Format() string {
 		r.Config.N, r.Config.Processors)
 	fmt.Fprintf(&b, "%4s", "L")
 	for _, m := range r.Config.Ms {
-		fmt.Fprintf(&b, "  %10s  %10s  %8s", fmt.Sprintf("eff(M=%d)", m), fmt.Sprintf("effWf(M=%d)", m), "auto")
+		fmt.Fprintf(&b, "  %10s  %10s  %10s  %8s", fmt.Sprintf("eff(M=%d)", m), fmt.Sprintf("effWf(M=%d)", m), fmt.Sprintf("effDyn(M=%d)", m), "auto")
 	}
 	fmt.Fprintf(&b, "  %s\n", "dependencies")
 	for _, l := range r.Config.Ls {
@@ -151,7 +161,7 @@ func (r Figure6Result) Format() string {
 		for _, m := range r.Config.Ms {
 			for _, p := range r.Points {
 				if p.M == m && p.L == l {
-					fmt.Fprintf(&b, "  %10.3f  %10.3f  %8s", p.Efficiency, p.WavefrontEfficiency, p.AutoPick)
+					fmt.Fprintf(&b, "  %10.3f  %10.3f  %10.3f  %8s", p.Efficiency, p.WavefrontEfficiency, p.DynamicEfficiency, p.AutoPick)
 					if p.HasDependencies {
 						note = fmt.Sprintf("true deps, min distance %d", p.MinDepDistance)
 					} else if l%2 == 0 {
@@ -181,7 +191,11 @@ func (r Figure6Result) Format() string {
 //     on dependency-free configurations (a single barrier-free level, no
 //     flag protocol) it beats the doacross, while on the deep narrow level
 //     structures of dependent even L it loses to the doacross pipelining —
-//     and the calibrated Auto cost model agrees with both calls.
+//     and the calibrated Auto cost model agrees with both calls,
+//  6. the dynamic within-level wavefront never beats the static one on the
+//     test loop: its iterations all cost the same, so the claim traffic is
+//     pure loss (the Auto model must therefore never pick it here either —
+//     implied by claim 5's doacross/wavefront expectations).
 func (r Figure6Result) CheckShape() []string {
 	var problems []string
 	for _, m := range r.Config.Ms {
@@ -235,6 +249,9 @@ func (r Figure6Result) CheckShape() []string {
 			}
 		}
 		for _, p := range series {
+			if p.DynamicEfficiency > p.WavefrontEfficiency+1e-9 {
+				problems = append(problems, fmt.Sprintf("M=%d L=%d: dynamic wavefront efficiency %.3f beats static %.3f on a uniform-cost loop", m, p.L, p.DynamicEfficiency, p.WavefrontEfficiency))
+			}
 			switch {
 			case !p.HasDependencies:
 				if p.WavefrontEfficiency <= p.Efficiency {

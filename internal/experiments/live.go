@@ -127,6 +127,9 @@ const (
 	TrisolveWavefront
 	// TrisolveAuto lets the inspection pick the executor.
 	TrisolveAuto
+	// TrisolveWavefrontDynamic is the wavefront executor with dynamic
+	// within-level self-scheduling.
+	TrisolveWavefrontDynamic
 )
 
 // String returns the variant's short name as used in result rows.
@@ -140,6 +143,8 @@ func (v TrisolveVariant) String() string {
 		return "wavefront"
 	case TrisolveAuto:
 		return "auto"
+	case TrisolveWavefrontDynamic:
+		return "wavefront-dynamic"
 	default:
 		return "unknown"
 	}
@@ -147,7 +152,7 @@ func (v TrisolveVariant) String() string {
 
 // TrisolveVariants lists every live triangular-solve configuration, in
 // reporting order.
-var TrisolveVariants = []TrisolveVariant{TrisolvePlain, TrisolveReordered, TrisolveWavefront, TrisolveAuto}
+var TrisolveVariants = []TrisolveVariant{TrisolvePlain, TrisolveReordered, TrisolveWavefront, TrisolveWavefrontDynamic, TrisolveAuto}
 
 // RunLiveTrisolve measures one live triangular-solve variant on one of the
 // paper's test problems.
@@ -174,6 +179,8 @@ func RunLiveTrisolve(prob stencil.Problem, workers, repeat int, variant Trisolve
 		solver, err2 = doacross.NewReorderedSolver(l, doacross.ReorderLevel, opts...)
 	case TrisolveWavefront:
 		solver, err2 = doacross.NewSolver(l, append(opts, doacross.WithExecutor(doacross.Wavefront))...)
+	case TrisolveWavefrontDynamic:
+		solver, err2 = doacross.NewSolver(l, append(opts, doacross.WithExecutor(doacross.WavefrontDynamic))...)
 	case TrisolveAuto:
 		solver, err2 = doacross.NewSolver(l, append(opts, doacross.WithExecutor(doacross.Auto))...)
 	default:

@@ -45,7 +45,10 @@ func TestTable1RowsMatchProblemSizes(t *testing.T) {
 		if row.WavefrontMs <= 0 || row.WavefrontEff <= 0 {
 			t.Errorf("%v: wavefront executor column missing", row.Problem)
 		}
-		if row.AutoPick != "doacross" && row.AutoPick != "wavefront" {
+		if row.DynamicMs <= 0 || row.DynamicEff <= 0 {
+			t.Errorf("%v: dynamic wavefront executor column missing", row.Problem)
+		}
+		if row.AutoPick != "doacross" && row.AutoPick != "wavefront" && row.AutoPick != "wavefront-dynamic" {
 			t.Errorf("%v: implausible auto pick %q", row.Problem, row.AutoPick)
 		}
 	}

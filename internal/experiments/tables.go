@@ -17,6 +17,7 @@ func (r Figure6Result) AsTable() *report.Table {
 		t.Columns = append(t.Columns,
 			fmt.Sprintf("eff(M=%d)", m),
 			fmt.Sprintf("effWf(M=%d)", m),
+			fmt.Sprintf("effDyn(M=%d)", m),
 			fmt.Sprintf("auto(M=%d)", m))
 	}
 	t.Columns = append(t.Columns, "dependencies")
@@ -26,7 +27,7 @@ func (r Figure6Result) AsTable() *report.Table {
 		for _, m := range r.Config.Ms {
 			for _, p := range r.Points {
 				if p.M == m && p.L == l {
-					cells = append(cells, p.Efficiency, p.WavefrontEfficiency, p.AutoPick)
+					cells = append(cells, p.Efficiency, p.WavefrontEfficiency, p.DynamicEfficiency, p.AutoPick)
 					if p.HasDependencies {
 						note = fmt.Sprintf("true deps, min distance %d", p.MinDepDistance)
 					} else if l%2 == 0 {
@@ -48,14 +49,14 @@ func (r Table1Result) AsTable() *report.Table {
 		Title: fmt.Sprintf("Table 1: preprocessed doacross times for sparse triangular matrices (P=%d, simulated ms)", r.Config.Processors),
 		Columns: []string{
 			"Problem", "Equations", "NNZ", "Levels",
-			"Doacross (ms)", "Rearranged (ms)", "Wavefront (ms)", "Sequential (ms)",
-			"Eff", "Eff (rearranged)", "Eff (wavefront)", "Auto",
+			"Doacross (ms)", "Rearranged (ms)", "Wavefront (ms)", "Wf dynamic (ms)", "Sequential (ms)",
+			"Eff", "Eff (rearranged)", "Eff (wavefront)", "Eff (dynamic)", "Auto",
 		},
 	}
 	for _, row := range r.Rows {
 		t.AddRow(row.Problem.String(), row.Equations, row.NNZ, row.Levels,
-			row.DoacrossMs, row.ReorderedMs, row.WavefrontMs, row.SequentialMs,
-			row.DoacrossEff, row.ReorderedEff, row.WavefrontEff, row.AutoPick)
+			row.DoacrossMs, row.ReorderedMs, row.WavefrontMs, row.DynamicMs, row.SequentialMs,
+			row.DoacrossEff, row.ReorderedEff, row.WavefrontEff, row.DynamicEff, row.AutoPick)
 	}
 	pl, ph, rl, rh := r.SpeedupSummary()
 	t.AddNote("Efficiency bands: plain doacross %.2f..%.2f (paper 0.32..0.46), reordered %.2f..%.2f (paper 0.63..0.75)", pl, ph, rl, rh)

@@ -22,16 +22,16 @@ func TestFigure6AsTable(t *testing.T) {
 	if len(tab.Rows) != 3 {
 		t.Fatalf("got %d rows, want 3", len(tab.Rows))
 	}
-	// L, then eff/effWf/auto per M, then dependencies.
-	if len(tab.Columns) != 8 {
+	// L, then eff/effWf/effDyn/auto per M, then dependencies.
+	if len(tab.Columns) != 10 {
 		t.Fatalf("got %d columns: %v", len(tab.Columns), tab.Columns)
 	}
 	md := tab.Markdown()
-	if !strings.Contains(md, "| L | eff(M=1) | effWf(M=1) | auto(M=1) | eff(M=5) | effWf(M=5) | auto(M=5) | dependencies |") {
+	if !strings.Contains(md, "| L | eff(M=1) | effWf(M=1) | effDyn(M=1) | auto(M=1) | eff(M=5) | effWf(M=5) | effDyn(M=5) | auto(M=5) | dependencies |") {
 		t.Errorf("markdown header wrong:\n%s", md)
 	}
 	csv := tab.CSV()
-	if !strings.Contains(csv, "L,eff(M=1),effWf(M=1),auto(M=1),eff(M=5),effWf(M=5),auto(M=5),dependencies") {
+	if !strings.Contains(csv, "L,eff(M=1),effWf(M=1),effDyn(M=1),auto(M=1),eff(M=5),effWf(M=5),effDyn(M=5),auto(M=5),dependencies") {
 		t.Errorf("csv header wrong:\n%s", csv)
 	}
 }

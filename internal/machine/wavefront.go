@@ -26,6 +26,13 @@ const (
 	// ever waits on a predecessor; imbalance within a level shows up as idle
 	// time at the level barrier instead.
 	ModelWavefront
+	// ModelWavefrontDynamic is the dynamic within-level execution of
+	// SimulateDynamicWavefront: the same level decomposition, but inside
+	// each level the processors self-schedule chunks of the member list
+	// (greedy list scheduling — each chunk goes to the earliest-free
+	// processor) at a per-chunk claim cost. Cost variance within a level is
+	// absorbed up to the chunk granularity; the claim traffic is the price.
+	ModelWavefrontDynamic
 )
 
 // String returns the model's name as used in experiment tables.
@@ -35,14 +42,16 @@ func (m ExecModel) String() string {
 		return "doacross"
 	case ModelWavefront:
 		return "wavefront"
+	case ModelWavefrontDynamic:
+		return "wavefront-dynamic"
 	default:
 		return "unknown"
 	}
 }
 
-// WavefrontCosts extends a CostModel with the two costs specific to the
-// pre-scheduled wavefront executor. The doacross costs it replaces
-// (CheckPerRead, IterOverhead) are never charged by the wavefront model.
+// WavefrontCosts extends a CostModel with the costs specific to the two
+// wavefront executors. The doacross costs it replaces (CheckPerRead,
+// IterOverhead) are never charged by the wavefront models.
 type WavefrontCosts struct {
 	// Barrier is the cost of one level barrier: the rendezvous of all
 	// processors between two consecutive levels. It is charged once per
@@ -52,18 +61,32 @@ type WavefrontCosts struct {
 	// pre-scheduled execution: seeding ynew and loop bookkeeping, with no
 	// flags to check, set or reset.
 	IterOverhead float64
+	// Claim is the cost of one dynamic chunk claim — the contended atomic
+	// fetch-add of the self-scheduling loop. Charged only by
+	// ModelWavefrontDynamic: once per successful chunk claim, plus the one
+	// failed claim with which each processor discovers a level is exhausted.
+	Claim float64
+	// Chunk is the dynamic model's chunk size: how many member positions one
+	// claim hands out. Zero means sched.DefaultChunk, matching the live
+	// executor's default; like the live executor, the model clamps the chunk
+	// per level (sched.LevelChunk) so a narrow level is never serialized by
+	// one oversized claim.
+	Chunk int
 }
 
 // SimulateSchedule replays the dependency graph under the selected execution
 // model: ModelDoacross forwards to Simulate (wc is ignored), ModelWavefront
-// to SimulateWavefront. It exists so the experiment sweeps can produce both
-// executor columns from one call site.
+// to SimulateWavefront, ModelWavefrontDynamic to SimulateDynamicWavefront.
+// It exists so the experiment sweeps can produce every executor column from
+// one call site.
 func SimulateSchedule(g *depgraph.Graph, model ExecModel, cfg Config, cm CostModel, wc WavefrontCosts) (Result, error) {
 	switch model {
 	case ModelDoacross:
 		return Simulate(g, cfg, cm)
 	case ModelWavefront:
 		return SimulateWavefront(g, cfg, cm, wc)
+	case ModelWavefrontDynamic:
+		return SimulateDynamicWavefront(g, cfg, cm, wc)
 	default:
 		return Result{}, fmt.Errorf("machine: unknown execution model %d", int(model))
 	}
@@ -184,6 +207,128 @@ func SimulateLevelSchedule(s *sched.LevelSchedule, cfg Config, cm CostModel, wc 
 			res.ProcBusy[w] = procBusy[w] / exec
 		}
 	}
+	finishResult(&res)
+	return res, nil
+}
+
+// SimulateDynamicWavefront simulates the dynamic within-level wavefront
+// execution of the dependency graph: the graph is decomposed into wavefront
+// levels exactly as SimulateWavefront does (processors clamped to the widest
+// level), but inside each level the processors self-schedule chunks of the
+// level's member list by greedy list scheduling — each successive chunk is
+// claimed by the earliest-free processor, which first pays wc.Claim for the
+// claim itself and then executes the chunk's iterations (work plus
+// wc.IterOverhead each). When the list is exhausted every processor pays one
+// more wc.Claim, the failed claim with which the live executor's claim loop
+// discovers the level is empty; the level's elapsed time is the latest
+// processor finish, followed by one barrier.
+//
+// This replays the live dynamic executor's cost structure faithfully enough
+// to locate the static/dynamic crossover: with uniform per-iteration costs
+// the greedy assignment degenerates to the static one and the claim traffic
+// is pure loss, while heavy-tailed within-level costs leave the static
+// schedule waiting on whichever processor drew the hot member — idle time
+// the greedy claims reclaim. Preprocessing, postprocessing, Config
+// restrictions (Order must be nil) and Result conventions match
+// SimulateWavefront; WaitTime is zero by construction.
+func SimulateDynamicWavefront(g *depgraph.Graph, cfg Config, cm CostModel, wc WavefrontCosts) (Result, error) {
+	if cfg.Order != nil {
+		return Result{}, fmt.Errorf("machine: the wavefront model derives its own level order and cannot honor Config.Order")
+	}
+	p := cfg.Processors
+	if p < 1 {
+		return Result{}, fmt.Errorf("machine: need at least one processor, got %d", p)
+	}
+	if cm.BaseWork == nil && cm.TermWork == 0 {
+		return Result{}, fmt.Errorf("machine: cost model requires BaseWork or TermWork")
+	}
+	ls := g.LevelsInto(nil)
+	pEff := p
+	if w := ls.MaxWidth(); pEff > w {
+		// Processors beyond the widest level would only spin at the barriers.
+		pEff = w
+	}
+	if pEff < 1 {
+		pEff = 1
+	}
+	chunk := wc.Chunk
+	if chunk < 1 {
+		chunk = sched.DefaultChunk
+	}
+
+	n := g.N
+	res := Result{Processors: p, Iterations: n, Levels: ls.Count()}
+	for i := 0; i < n; i++ {
+		res.TSeq += cm.IterWork(i)
+	}
+
+	iterOverhead := wc.IterOverhead
+	barrier := wc.Barrier
+	claim := wc.Claim
+	prePerIter := cm.PrePerIter
+	postPerIter := cm.PostPerIter
+	if cfg.SkipOverheads {
+		iterOverhead, barrier, claim, prePerIter, postPerIter = 0, 0, 0, 0, 0
+	}
+
+	perProc := int(math.Ceil(float64(n) / float64(p)))
+	if !cfg.SkipInspector {
+		res.PreTime = float64(perProc) * prePerIter
+	}
+	if !cfg.SkipPostprocess {
+		res.PostTime = float64(perProc) * postPerIter
+	}
+
+	clocks := make([]float64, pEff)
+	procBusy := make([]float64, pEff)
+	exec := 0.0
+	claims := 0
+	for l := 0; l < ls.Count(); l++ {
+		members := ls.LevelMembers(l)
+		levelChunk := sched.LevelChunk(chunk, len(members), pEff)
+		for w := range clocks {
+			clocks[w] = 0
+		}
+		for idx := 0; idx < len(members); idx += levelChunk {
+			w := 0
+			for v := 1; v < pEff; v++ {
+				if clocks[v] < clocks[w] {
+					w = v
+				}
+			}
+			end := idx + levelChunk
+			if end > len(members) {
+				end = len(members)
+			}
+			clocks[w] += claim
+			claims++
+			for _, it := range members[idx:end] {
+				clocks[w] += cm.IterWork(int(it)) + iterOverhead
+			}
+		}
+		levelMax := 0.0
+		for w := range clocks {
+			// The failed claim that ends each processor's level.
+			clocks[w] += claim
+			claims++
+			procBusy[w] += clocks[w]
+			if clocks[w] > levelMax {
+				levelMax = clocks[w]
+			}
+		}
+		exec += levelMax + barrier
+	}
+	res.ExecTime = exec
+	res.BarrierTime = barrier * float64(ls.Count())
+	res.OverheadTime = float64(n)*iterOverhead + res.BarrierTime + claim*float64(claims)
+	res.TPar = res.PreTime + res.ExecTime + res.PostTime
+	res.ProcBusy = make([]float64, pEff)
+	if exec > 0 {
+		for w := 0; w < pEff; w++ {
+			res.ProcBusy[w] = procBusy[w] / exec
+		}
+	}
+	res.CriticalPath, _ = g.CriticalPath(func(i int) float64 { return cm.IterWork(i) + iterOverhead })
 	finishResult(&res)
 	return res, nil
 }

@@ -477,6 +477,128 @@ func DynamicLoop(next *atomic.Int64, n, chunk, w int, body func(worker, pos int)
 	}
 }
 
+// LevelChunk clamps a dynamic chunk size to the width of one level: claiming
+// chunk positions at once from a level with fewer than 2*p chunks' worth of
+// members would let a single claim serialize the level (fewer chunks than
+// workers), so the chunk shrinks until every worker can expect at least two
+// claims, bottoming out at 1. Wide levels keep the configured chunk and its
+// lower claim traffic. Both the live dynamic wavefront executor and the
+// machine model apply this clamp per level, so their claim counts agree.
+func LevelChunk(chunk, width, p int) int {
+	if p < 1 {
+		p = 1
+	}
+	if limit := width / (2 * p); chunk > limit {
+		chunk = limit
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
+// DynamicClaims returns the number of chunk claims a dynamic self-scheduled
+// execution of one level of the given width issues: one per successful claim
+// at the level-clamped chunk size (LevelChunk), plus each worker's final
+// failed claim. It is the claim-count formula shared by the live inspector's
+// statistics and the simulator-side mirrors, so the Auto cost model prices
+// the same traffic everywhere.
+func DynamicClaims(width, chunk, p int) int {
+	if p < 1 {
+		p = 1
+	}
+	if width <= 0 {
+		return p
+	}
+	c := LevelChunk(chunk, width, p)
+	return (width+c-1)/c + p
+}
+
+// LevelImbalance replays the static distribution of one level's width
+// members over p workers — Block gives each worker a contiguous chunk,
+// Cyclic (and Dynamic, which the static schedule degrades to Cyclic) deals
+// round robin, exactly as NewLevelSchedule builds it — and returns how much
+// load the slowest worker carries beyond a balanced ceil split, with load(k)
+// the cost of the level's k-th member. It is what a dynamic within-level
+// assignment of the same level reclaims; the inspector sums it over levels
+// with in-degree as the load.
+func LevelImbalance(width int, policy Policy, p int, load func(k int) int) int {
+	if p <= 1 || width <= 0 {
+		return 0
+	}
+	cyclic := policy == Cyclic || policy == Dynamic
+	total, maxLoad := 0, 0
+	for w := 0; w < p; w++ {
+		sum := 0
+		if cyclic {
+			for k := w; k < width; k += p {
+				sum += load(k)
+			}
+		} else {
+			lo, hi := BlockRange(width, p, w)
+			for k := lo; k < hi; k++ {
+				sum += load(k)
+			}
+		}
+		total += sum
+		if sum > maxLoad {
+			maxLoad = sum
+		}
+	}
+	if balanced := (total + p - 1) / p; maxLoad > balanced {
+		return maxLoad - balanced
+	}
+	return 0
+}
+
+// DynamicLoopOver is the member-list form of DynamicLoop: workers claim
+// chunks of positions into members and run body on the iteration index stored
+// at each claimed position. It is the within-level claim loop of the dynamic
+// wavefront executor — a level's member list is exactly such a slice — and
+// next must start at zero for each list (the executor resets it at the level
+// barrier). chunk must be positive; stop semantics match DynamicLoop.
+func DynamicLoopOver(next *atomic.Int64, members []int32, chunk, w int, body func(worker, iter int), stop func() bool) {
+	n := len(members)
+	for {
+		if stop != nil && stop() {
+			return
+		}
+		start := int(next.Add(int64(chunk))) - chunk
+		if start >= n {
+			return
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		for _, it := range members[start:end] {
+			body(w, int(it))
+		}
+	}
+}
+
+// RunDynamicOver executes body(worker, iter) for every iteration index in
+// members using self-scheduling over the pool's workers: the level-aware
+// dynamic doall. Unlike RunDynamic the position space is an explicit list, so
+// a caller can run one wavefront level (or any other subset) dynamically
+// without renumbering its iterations.
+func (pl *Pool) RunDynamicOver(members []int32, chunk int, body func(worker, iter int)) {
+	if len(members) == 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = DefaultChunk
+	}
+	k := pl.workers
+	if k > len(members) {
+		k = len(members)
+	}
+	var next atomic.Int64
+	pl.Submit(k, func(w int) {
+		DynamicLoopOver(&next, members, chunk, w, body, nil)
+	})
+}
+
 // ParallelFor runs body(i) for i in [0, n) across the pool's workers using a
 // block distribution. It is the building block for the paper's fully
 // parallelizable preprocessing and postprocessing phases (doall loops).

@@ -168,8 +168,8 @@ func NewSolver(t *sparse.Triangular, opts core.Options) (*Solver, error) {
 // combining it with a reordering is rejected here rather than failing on the
 // first Solve.
 func NewReorderedSolver(t *sparse.Triangular, strategy doconsider.Strategy, opts core.Options) (*Solver, error) {
-	if opts.Executor == core.ExecWavefront {
-		return nil, fmt.Errorf("trisolve: a reordered solver cannot use the wavefront executor (it derives its own level order)")
+	if opts.Executor == core.ExecWavefront || opts.Executor == core.ExecWavefrontDynamic {
+		return nil, fmt.Errorf("trisolve: a reordered solver cannot use the %v executor (it derives its own level order)", opts.Executor)
 	}
 	var g *depgraph.Graph
 	if t.Lower {
@@ -466,6 +466,12 @@ const (
 	// from LevelScheduled, which rebuilds the level sets on every call and
 	// exists as the naive baseline.
 	DoacrossWavefront
+	// DoacrossWavefrontDynamic runs the preprocessed runtime with its
+	// dynamic wavefront executor: the same cached decomposition as
+	// DoacrossWavefront, but each level is self-scheduled, so rows of very
+	// different occupancy inside one wavefront (the heavy-tailed factors)
+	// no longer serialize the level behind one statically unlucky worker.
+	DoacrossWavefrontDynamic
 )
 
 // String returns the executor's name as used in reports.
@@ -483,6 +489,8 @@ func (k SolverKind) String() string {
 		return "level-scheduled"
 	case DoacrossWavefront:
 		return "doacross-wavefront"
+	case DoacrossWavefrontDynamic:
+		return "doacross-wavefront-dynamic"
 	default:
 		return "unknown"
 	}
@@ -505,6 +513,9 @@ func Solve(kind SolverKind, t *sparse.Triangular, rhs []float64, opts core.Optio
 		return y, core.Report{Workers: opts.Workers, Iterations: t.N, Order: fmt.Sprintf("level-scheduled(%d levels)", levels)}, nil
 	case DoacrossWavefront:
 		opts.Executor = core.ExecWavefront
+		return SolveDoacross(t, rhs, opts)
+	case DoacrossWavefrontDynamic:
+		opts.Executor = core.ExecWavefrontDynamic
 		return SolveDoacross(t, rhs, opts)
 	default:
 		return nil, core.Report{}, fmt.Errorf("trisolve: unknown solver kind %d", int(kind))

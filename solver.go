@@ -46,6 +46,12 @@ const (
 	// static schedule cached across solves. Equivalent to SolverDoacross
 	// with WithExecutor(Wavefront).
 	SolverWavefront SolverKind = trisolve.DoacrossWavefront
+	// SolverWavefrontDynamic is the preprocessed runtime with its dynamic
+	// wavefront executor: the same cached level decomposition, with each
+	// level self-scheduled so heavy rows inside a wavefront no longer stall
+	// the level barrier behind one statically unlucky worker. Equivalent to
+	// SolverDoacross with WithExecutor(WavefrontDynamic).
+	SolverWavefrontDynamic SolverKind = trisolve.DoacrossWavefrontDynamic
 )
 
 // ReorderStrategy selects how the doconsider transformation derives a new
@@ -135,6 +141,9 @@ func SolveTriangular(kind SolverKind, t *Triangular, rhs []float64, opts ...Opti
 		return trisolve.SolveUpperDoacrossReordered(t, rhs, doconsider.Level, o)
 	case SolverWavefront:
 		o.Executor = Wavefront
+		return trisolve.SolveUpperDoacross(t, rhs, o)
+	case SolverWavefrontDynamic:
+		o.Executor = WavefrontDynamic
 		return trisolve.SolveUpperDoacross(t, rhs, o)
 	default:
 		return nil, Report{}, fmt.Errorf("doacross: executor %v is not supported for upper (backward-substitution) factors", kind)
