@@ -1,0 +1,323 @@
+// Tests of the declared-access sanitizer (WithAccessCheck): it must catch a
+// deliberately misdeclared access pattern under every executor, attribute the
+// failure to the exact iteration and element, and report nothing on the
+// correct loop shapes the rest of the suite exercises.
+package doacross_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"doacross"
+	"doacross/internal/stencil"
+	"doacross/internal/testloop"
+)
+
+// allExecutors is every execution strategy the sanitizer wraps.
+var allExecutors = []struct {
+	name string
+	kind doacross.ExecutorKind
+}{
+	{"doacross", doacross.Doacross},
+	{"wavefront", doacross.Wavefront},
+	{"wavefront-dynamic", doacross.WavefrontDynamic},
+	{"auto", doacross.Auto},
+}
+
+// checkedChainLoop builds the dependency chain y[i] = y[i-1] + 1 over data length
+// dataLen (>= n+1), with full Writes/Reads declarations so every executor can
+// run it. misdeclare, when non-nil, rewires the body of one iteration to
+// perform an undeclared access.
+func checkedChainLoop(n, dataLen int, misdeclare func(i int, v *doacross.Values) bool) *doacross.Loop {
+	return &doacross.Loop{
+		N:      n,
+		Data:   dataLen,
+		Writes: func(i int) []int { return []int{i} },
+		Reads: func(i int) []int {
+			if i == 0 {
+				return nil
+			}
+			return []int{i - 1}
+		},
+		Body: func(i int, v *doacross.Values) {
+			if misdeclare != nil && misdeclare(i, v) {
+				return
+			}
+			if i == 0 {
+				v.Store(0, 1)
+				return
+			}
+			v.Store(i, v.Load(i-1)+1)
+		},
+	}
+}
+
+// TestAccessCheckCatchesMisdeclaredWrite drives a loop whose iteration 7
+// declares element 7 but stores element n through every executor: the run
+// must fail with an AccessError naming iteration 7, element n and Store, and
+// the diagnostic string must carry both numbers.
+func TestAccessCheckCatchesMisdeclaredWrite(t *testing.T) {
+	const n, bad = 16, 7
+	l := checkedChainLoop(n, n+1, func(i int, v *doacross.Values) bool {
+		if i != bad {
+			return false
+		}
+		v.Store(n, 1) // declared write target is element 7
+		return true
+	})
+	for _, ex := range allExecutors {
+		t.Run(ex.name, func(t *testing.T) {
+			rt, err := doacross.New(n+1,
+				doacross.WithWorkers(4),
+				doacross.WithExecutor(ex.kind),
+				doacross.WithAccessCheck(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+			y := make([]float64, n+1)
+			_, err = rt.Run(context.Background(), l, y)
+			var ae *doacross.AccessError
+			if !errors.As(err, &ae) {
+				t.Fatalf("misdeclared write ran with err = %v, want *AccessError", err)
+			}
+			if ae.Iteration != bad || ae.Element != n || ae.Op != doacross.AccessWrite {
+				t.Fatalf("AccessError = %+v, want iteration %d, element %d, Store", ae, bad, n)
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, fmt.Sprint(bad)) || !strings.Contains(msg, fmt.Sprint(n)) {
+				t.Fatalf("diagnostic %q does not name the iteration and the element", msg)
+			}
+		})
+	}
+}
+
+// TestAccessCheckCatchesUndeclaredRead drives a loop whose iteration 5 Loads
+// an element outside its declared Reads — the exact under-declaration that
+// makes a wavefront schedule unsound — through every executor.
+func TestAccessCheckCatchesUndeclaredRead(t *testing.T) {
+	const n, bad = 16, 5
+	l := checkedChainLoop(n, n+1, func(i int, v *doacross.Values) bool {
+		if i != bad {
+			return false
+		}
+		v.Store(bad, v.Load(0)) // declared read is element 4
+		return true
+	})
+	for _, ex := range allExecutors {
+		t.Run(ex.name, func(t *testing.T) {
+			rt, err := doacross.New(n+1,
+				doacross.WithWorkers(4),
+				doacross.WithExecutor(ex.kind),
+				doacross.WithAccessCheck(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+			_, err = rt.Run(context.Background(), l, make([]float64, n+1))
+			var ae *doacross.AccessError
+			if !errors.As(err, &ae) {
+				t.Fatalf("undeclared read ran with err = %v, want *AccessError", err)
+			}
+			if ae.Iteration != bad || ae.Element != 0 || ae.Op != doacross.AccessRead {
+				t.Fatalf("AccessError = %+v, want iteration %d, element 0, Load", ae, bad)
+			}
+		})
+	}
+}
+
+// TestAccessCheckCatchesUndeclaredLoadNew: reading back another iteration's
+// in-flight value with LoadNew skips the dependency check, so the sanitizer
+// requires the element to be one of the iteration's own write targets.
+func TestAccessCheckCatchesUndeclaredLoadNew(t *testing.T) {
+	const n, bad = 16, 9
+	l := checkedChainLoop(n, n+1, func(i int, v *doacross.Values) bool {
+		if i != bad {
+			return false
+		}
+		v.Store(bad, v.LoadNew(0))
+		return true
+	})
+	rt, err := doacross.New(n+1, doacross.WithWorkers(4), doacross.WithAccessCheck(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	_, err = rt.Run(context.Background(), l, make([]float64, n+1))
+	var ae *doacross.AccessError
+	if !errors.As(err, &ae) {
+		t.Fatalf("undeclared LoadNew ran with err = %v, want *AccessError", err)
+	}
+	if ae.Iteration != bad || ae.Element != 0 || ae.Op != doacross.AccessReadNew {
+		t.Fatalf("AccessError = %+v, want iteration %d, element 0, LoadNew", ae, bad)
+	}
+}
+
+// randomDeclaredLoop builds a random Figure 1 loop (y[a(i)] = 2*y[b(i)] + i,
+// distinct write targets, arbitrary read sources) with full Writes/Reads
+// declarations, plus its initial data.
+func randomDeclaredLoop(rng *rand.Rand, n int) (*doacross.Loop, []float64) {
+	dataLen := 2 * n
+	a := rng.Perm(dataLen)[:n]
+	b := make([]int, n)
+	for i := range b {
+		b[i] = rng.Intn(dataLen)
+	}
+	y := make([]float64, dataLen)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	return &doacross.Loop{
+		N:      n,
+		Data:   dataLen,
+		Writes: func(i int) []int { return a[i : i+1] },
+		Reads:  func(i int) []int { return b[i : i+1] },
+		Body: func(i int, v *doacross.Values) {
+			v.Store(a[i], 2*v.Load(b[i])+float64(i))
+		},
+	}, y
+}
+
+// TestAccessCheckNoFalsePositivesRandomLoops is the sanitizer's soundness
+// property on random dependency DAGs: every correctly declared loop must run
+// to completion under every executor with the check on, producing the
+// sequential result.
+func TestAccessCheckNoFalsePositivesRandomLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		l, y := randomDeclaredLoop(rng, 120)
+		seq := append([]float64(nil), y...)
+		if err := doacross.RunSequential(l, seq); err != nil {
+			t.Fatal(err)
+		}
+		for _, ex := range allExecutors {
+			rt, err := doacross.New(l.Data,
+				doacross.WithWorkers(4),
+				doacross.WithExecutor(ex.kind),
+				doacross.WithAccessCheck(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := append([]float64(nil), y...)
+			if _, err := rt.Run(context.Background(), l, par); err != nil {
+				t.Fatalf("trial %d %s: false positive: %v", trial, ex.name, err)
+			}
+			for e := range seq {
+				if seq[e] != par[e] {
+					t.Fatalf("trial %d %s: element %d: %v != %v", trial, ex.name, e, par[e], seq[e])
+				}
+			}
+			rt.Close()
+		}
+	}
+}
+
+// TestAccessCheckNoFalsePositivesTrisolve runs the checked runtime over the
+// paper's triangular substitutions — the production loop shape — under every
+// executor, and through a checked Solver.
+func TestAccessCheckNoFalsePositivesTrisolve(t *testing.T) {
+	lf, _, err := stencil.LowerFactor(stencil.SPE2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := stencil.RHS(lf.N, 3)
+	want := doacross.SolveSequential(lf, rhs)
+
+	for _, ex := range allExecutors {
+		y, _, err := doacross.SolveTriangular(doacross.SolverDoacross, lf, rhs,
+			doacross.WithWorkers(4),
+			doacross.WithExecutor(ex.kind),
+			doacross.WithAccessCheck(true))
+		if err != nil {
+			t.Fatalf("%s: false positive on trisolve: %v", ex.name, err)
+		}
+		for i := range want {
+			if y[i] != want[i] {
+				t.Fatalf("%s: element %d: %v != %v", ex.name, i, y[i], want[i])
+			}
+		}
+	}
+
+	s, err := doacross.NewSolver(lf, doacross.WithWorkers(4), doacross.WithAccessCheck(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	y, _, err := s.Solve(rhs, make([]float64, lf.N))
+	if err != nil {
+		t.Fatalf("checked solver: false positive: %v", err)
+	}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("checked solver: element %d: %v != %v", i, y[i], want[i])
+		}
+	}
+}
+
+// TestAccessCheckNoFalsePositivesStencilLoops runs the generated test loops
+// (the paper's synthetic workload across dependence distances) checked.
+func TestAccessCheckNoFalsePositivesStencilLoops(t *testing.T) {
+	for _, L := range []int{1, 3, 8} {
+		c := testloop.Config{N: 300, M: 3, L: L}
+		l := c.Loop()
+		seq := c.InitialData()
+		if err := doacross.RunSequential(l, seq); err != nil {
+			t.Fatal(err)
+		}
+		for _, ex := range allExecutors {
+			rt, err := doacross.New(l.Data,
+				doacross.WithWorkers(4),
+				doacross.WithExecutor(ex.kind),
+				doacross.WithAccessCheck(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := c.InitialData()
+			if _, err := rt.Run(context.Background(), l, par); err != nil {
+				t.Fatalf("L=%d %s: false positive: %v", L, ex.name, err)
+			}
+			for e := range seq {
+				if seq[e] != par[e] {
+					t.Fatalf("L=%d %s: element %d: %v != %v", L, ex.name, e, par[e], seq[e])
+				}
+			}
+			rt.Close()
+		}
+	}
+}
+
+// BenchmarkAccessCheck measures the sanitizer's cost in the BenchmarkRunReuse
+// shape (one runtime, repeated runs of one loop): "off" is the production
+// configuration whose only cost is a nil test per accessor, "on" the checked
+// one. Compare "off" against BenchmarkRunReuse to confirm the zero-overhead
+// claim.
+func BenchmarkAccessCheck(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	l, y := randomDeclaredLoop(rng, 2000)
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			rt, err := doacross.New(l.Data,
+				doacross.WithWorkers(4),
+				doacross.WithAccessCheck(mode.on))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			buf := make([]float64, len(y))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, y)
+				if _, err := rt.Run(context.Background(), l, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,272 @@
+// Command doavet is the doacross contract checker: a multichecker over the
+// internal/analyze suite (bodycapture, staleplan, runtimeclose, reportcheck).
+// It runs in two modes.
+//
+// Direct mode loads, type-checks and analyzes packages itself:
+//
+//	doavet ./...
+//	doavet -tests -checks bodycapture,staleplan ./...
+//
+// Vet-tool mode speaks the protocol `go vet -vettool` expects (-V=full,
+// -flags, and a JSON .cfg describing one compilation unit), so the suite can
+// ride the go command's build graph and caching:
+//
+//	go vet -vettool=$(pwd)/doavet ./...
+//
+// Both modes exit 0 when the tree is clean, 1 when diagnostics were reported,
+// and 2 on a load or type-check failure. Findings print as
+// file:line:col: message [analyzer]; a finding is suppressed by a
+// //doavet:ignore [analyzer...] comment on the same or the preceding line.
+//
+// The tool is built only on the standard library: packages are listed and
+// compiled through the go command and type-checked from export data, so
+// doavet works in the same hermetic environment as the runtime it polices.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"doacross/internal/analyze"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("doavet", flag.ExitOnError)
+	version := fs.String("V", "", "print version and exit (-V=full, for the go vet protocol)")
+	printFlags := fs.Bool("flags", false, "print flag descriptions in JSON (for the go vet protocol)")
+	tests := fs.Bool("tests", false, "also analyze test files (direct mode)")
+	checks := fs.String("checks", "", "comma-separated analyzer names to run (default all: "+strings.Join(analyze.Names(), ",")+")")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: doavet [-tests] [-checks names] [packages]\n       go vet -vettool=doavet [packages]\n\nAnalyzers:\n")
+		for _, a := range analyze.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *version != "" {
+		return printVersion(*version)
+	}
+	if *printFlags {
+		// Tell go vet which flags the tool accepts.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		flags := []jsonFlag{
+			{"tests", true, "also analyze test files"},
+			{"checks", false, "comma-separated analyzer names to run"},
+		}
+		data, _ := json.MarshalIndent(flags, "", "\t")
+		os.Stdout.Write(data)
+		return 0
+	}
+
+	analyzers, err := analyze.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnit(rest[0], analyzers)
+	}
+	return runDirect(rest, *tests, analyzers)
+}
+
+// printVersion implements the -V=full handshake: go vet folds the line into
+// its build cache key, so it must identify this executable's exact contents.
+func printVersion(mode string) int {
+	if mode != "full" {
+		fmt.Fprintf(os.Stderr, "doavet: unsupported flag value: -V=%s (use -V=full)\n", mode)
+		return 2
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doavet:", err)
+		return 2
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doavet:", err)
+		return 2
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "doavet:", err)
+		return 2
+	}
+	fmt.Printf("%s version devel doavet buildID=%02x\n", exe, string(h.Sum(nil)))
+	return 0
+}
+
+// runDirect loads packages through the go command and analyzes them all.
+func runDirect(patterns []string, tests bool, analyzers []*analyze.Analyzer) int {
+	pkgs, err := analyze.Load("", tests, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doavet:", err)
+		return 2
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := analyze.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doavet:", err)
+			return 2
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the JSON compilation-unit description `go vet` hands a
+// -vettool (the unitchecker protocol): the file list, the import map and the
+// export data of every dependency, plus the facts plumbing.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes the single compilation unit described by a .cfg file, the
+// way go vet drives a vettool once per package.
+func runUnit(cfgFile string, analyzers []*analyze.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doavet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "doavet: cannot decode config file %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	// The go command always expects the facts file, even from a tool that
+	// records none; writing it first keeps every exit path below valid.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "doavet:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency passes exist only to propagate facts; doavet keeps none.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "doavet:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+	conf := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		FileVersions: make(map[*ast.File]string),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "doavet:", err)
+		return 2
+	}
+
+	pkg := &analyze.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := analyze.RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doavet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		// go vet's plain-diagnostic format: position, message, no analyzer
+		// suffix games it cannot parse.
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

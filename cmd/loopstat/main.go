@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,16 +26,26 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind a testable seam: flags in, report out,
+// process exit code returned.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loopstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kind    = flag.String("kind", "testloop", "testloop | trisolve")
-		n       = flag.Int("n", 10000, "test loop outer iteration count")
-		m       = flag.Int("m", 5, "test loop inner length M")
-		l       = flag.Int("l", 12, "test loop parameter L")
-		problem = flag.String("problem", "5-PT", "trisolve problem: SPE2, SPE5, 5-PT, 7-PT, 9-PT")
-		seed    = flag.Int64("seed", 1, "seed for synthetic SPE operators")
-		dot     = flag.Bool("dot", false, "emit the dependency graph in Graphviz DOT format (small graphs only)")
+		kind    = fs.String("kind", "testloop", "testloop | trisolve")
+		n       = fs.Int("n", 10000, "test loop outer iteration count")
+		m       = fs.Int("m", 5, "test loop inner length M")
+		l       = fs.Int("l", 12, "test loop parameter L")
+		problem = fs.String("problem", "5-PT", "trisolve problem: SPE2, SPE5, 5-PT, 7-PT, 9-PT")
+		seed    = fs.Int64("seed", 1, "seed for synthetic SPE operators")
+		dot     = fs.Bool("dot", false, "emit the dependency graph in Graphviz DOT format (small graphs only)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var g *doacross.DepGraph
 	var title string
@@ -42,8 +53,8 @@ func main() {
 	case "testloop":
 		tc := testloop.Config{N: *n, M: *m, L: *l}
 		if err := tc.Validate(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		g = tc.Graph()
 		title = fmt.Sprintf("Figure 4 test loop N=%d M=%d L=%d", *n, *m, *l)
@@ -56,61 +67,62 @@ func main() {
 			}
 		}
 		if !found {
-			fmt.Fprintf(os.Stderr, "unknown problem %q\n", *problem)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "unknown problem %q\n", *problem)
+			return 1
 		}
 		lower, _, err := stencil.LowerFactor(prob, *seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		g = doacross.TrisolveGraph(lower)
 		title = fmt.Sprintf("forward substitution for the ILU(0) factor of %v (%d equations)", prob, lower.N)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "unknown kind %q\n", *kind)
+		return 1
 	}
 
 	if *dot {
 		if g.N > 200 {
-			fmt.Fprintf(os.Stderr, "graph has %d nodes; DOT output is limited to 200\n", g.N)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "graph has %d nodes; DOT output is limited to 200\n", g.N)
+			return 1
 		}
-		fmt.Print(g.DOT(*kind))
-		return
+		fmt.Fprint(stdout, g.DOT(*kind))
+		return 0
 	}
 
 	st := g.Analyze()
-	fmt.Printf("Dependency structure of %s\n", title)
-	fmt.Printf("  iterations        %d\n", st.Iterations)
-	fmt.Printf("  dependency edges  %d\n", st.Edges)
-	fmt.Printf("  wavefront levels  %d\n", st.Levels)
-	fmt.Printf("  widest level      %d iterations\n", st.MaxLevelWidth)
-	fmt.Printf("  mean level width  %.1f iterations\n", st.MeanLevelWidth)
-	fmt.Printf("  critical path     %d iterations\n", st.CriticalPathLen)
-	fmt.Printf("  max speedup       %.1fx (unit cost, unbounded processors)\n", st.MaxSpeedup)
+	fmt.Fprintf(stdout, "Dependency structure of %s\n", title)
+	fmt.Fprintf(stdout, "  iterations        %d\n", st.Iterations)
+	fmt.Fprintf(stdout, "  dependency edges  %d\n", st.Edges)
+	fmt.Fprintf(stdout, "  wavefront levels  %d\n", st.Levels)
+	fmt.Fprintf(stdout, "  widest level      %d iterations\n", st.MaxLevelWidth)
+	fmt.Fprintf(stdout, "  mean level width  %.1f iterations\n", st.MeanLevelWidth)
+	fmt.Fprintf(stdout, "  critical path     %d iterations\n", st.CriticalPathLen)
+	fmt.Fprintf(stdout, "  max speedup       %.1fx (unit cost, unbounded processors)\n", st.MaxSpeedup)
 	if st.Independent {
-		fmt.Println("  the loop is fully independent: a doall would suffice")
+		fmt.Fprintln(stdout, "  the loop is fully independent: a doall would suffice")
 	}
 
-	fmt.Println("\nDoconsider orderings (mean positions between dependent iterations — larger is more slack):")
+	fmt.Fprintln(stdout, "\nDoconsider orderings (mean positions between dependent iterations — larger is more slack):")
 	for _, s := range doconsider.Strategies {
 		plan := doconsider.NewPlan(g, s)
-		fmt.Printf("  %-18s mean wait distance %8.1f\n", s.String(), plan.MeanWaitDistance)
+		fmt.Fprintf(stdout, "  %-18s mean wait distance %8.1f\n", s.String(), plan.MeanWaitDistance)
 	}
 
 	profile := g.ParallelismProfile()
 	if len(profile) > 0 {
-		fmt.Println("\nParallelism profile (iterations per wavefront level, first 20 levels):")
+		fmt.Fprintln(stdout, "\nParallelism profile (iterations per wavefront level, first 20 levels):")
 		limit := len(profile)
 		if limit > 20 {
 			limit = 20
 		}
 		for lvl := 0; lvl < limit; lvl++ {
-			fmt.Printf("  level %3d: %d\n", lvl, profile[lvl])
+			fmt.Fprintf(stdout, "  level %3d: %d\n", lvl, profile[lvl])
 		}
 		if len(profile) > limit {
-			fmt.Printf("  ... (%d more levels)\n", len(profile)-limit)
+			fmt.Fprintf(stdout, "  ... (%d more levels)\n", len(profile)-limit)
 		}
 	}
+	return 0
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// golden runs loopstat with args and compares its stdout against the golden
+// file, rewriting it under -update.
+func golden(t *testing.T, name string, args []string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr: %s", args, code, stderr.String())
+	}
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, stdout.Bytes(), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, stdout.Bytes(), want)
+	}
+}
+
+// TestGoldenTrisolve5PT pins the analysis report for the fixed 5-point
+// stencil substitution — a fully deterministic workload, so any output drift
+// is a real behaviour change in the graph analysis or the report format.
+func TestGoldenTrisolve5PT(t *testing.T) {
+	golden(t, "trisolve_5pt.golden", []string{"-kind", "trisolve", "-problem", "5-PT"})
+}
+
+// TestGoldenTestloop pins the report for a small Figure 4 test loop,
+// including the doconsider ordering table and the parallelism profile.
+func TestGoldenTestloop(t *testing.T) {
+	golden(t, "testloop_n200_m3_l6.golden", []string{"-kind", "testloop", "-n", "200", "-m", "3", "-l", "6"})
+}
+
+// TestBadFlags pins the error paths: unknown kind and unknown problem exit
+// nonzero without touching stdout.
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-kind", "nosuch"},
+		{"-kind", "trisolve", "-problem", "nosuch"},
+		{"-kind", "testloop", "-n", "-3"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code == 0 {
+			t.Errorf("run(%v) succeeded, want failure", args)
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("run(%v) wrote to stdout on failure: %q", args, stdout.String())
+		}
+	}
+}

@@ -25,6 +25,24 @@ type Values = core.Values
 // synchronization counters.
 type Report = core.Report
 
+// AccessError reports a shared-array access that an iteration's declared
+// Writes/Reads pattern does not cover, produced by runs under
+// WithAccessCheck. It names the iteration, the element and the accessor.
+type AccessError = core.AccessError
+
+// AccessOp identifies the accessor behind an AccessError.
+type AccessOp = core.AccessOp
+
+// Accessors an AccessError can attribute an undeclared access to.
+const (
+	// AccessRead is a Load outside the declared Reads/Writes sets.
+	AccessRead AccessOp = core.AccessRead
+	// AccessReadNew is a LoadNew of an element the iteration does not write.
+	AccessReadNew AccessOp = core.AccessReadNew
+	// AccessWrite is a Store outside the declared Writes set.
+	AccessWrite AccessOp = core.AccessWrite
+)
+
 // Trace is the per-iteration execution record collected under WithTrace.
 type Trace = core.Trace
 
@@ -259,6 +277,19 @@ func WithTrace() Option {
 // a design-choice ablation.
 func WithEpochTables() Option {
 	return func(c *config) { c.opts.UseEpochTables = true }
+}
+
+// WithAccessCheck enables the declared-access sanitizer: every iteration's
+// actual Values accesses (Load, LoadNew, Store) are shadow-checked against
+// the pattern the loop declares through Writes and Reads, and the first
+// undeclared access aborts the run with an *AccessError naming the iteration,
+// the element and the accessor. Use it in tests and while bringing up a new
+// loop: an under-declared pattern often runs correctly under the dynamic
+// doacross executor and only races once a pre-scheduled (wavefront) executor
+// trusts the declaration. The check costs a few membership probes per access
+// when on and a single nil test when off, so leave it off in production runs.
+func WithAccessCheck(on bool) Option {
+	return func(c *config) { c.opts.AccessCheck = on }
 }
 
 // WithSpawnPerCall replaces the persistent worker pool with the pre-pool

@@ -57,4 +57,33 @@
 // preconditioned Krylov methods — the package also exposes a reusable Solver
 // and UseDoacrossILU, which wire both preconditioner substitutions to
 // persistent doacross runtimes.
+//
+// # The doacross contract, and checking it
+//
+// Correctness rests on three conventions the compiler cannot enforce:
+//
+//   - All shared-array accesses inside a body go through Values. A body that
+//     writes a captured outer variable races under every parallel executor
+//     and is invisible to the inspector.
+//   - The declared pattern is truthful: Writes(i) covers every Store and
+//     Reads(i) every Load the body performs (over-declaring is safe — it only
+//     adds conservative edges). The dynamic doacross executor discovers reads
+//     itself, so an under-declared loop often works until a pre-scheduled
+//     (wavefront) executor trusts the declaration and races.
+//   - Lifetimes are explicit: a Runtime or Solver owns a persistent worker
+//     pool, so Close it when done (a GC finalizer is the only fallback); and
+//     a driver that mutates a loop's index arrays in place must call
+//     InvalidatePlans before the next run, or the schedule cache replays a
+//     plan built for the old pattern.
+//
+// Two tools enforce the contract. The static suite in cmd/doavet (run
+// directly as `doavet ./...`, or as `go vet -vettool=doavet ./...`) flags
+// captured-variable writes in bodies, index-slice mutations missing a
+// following InvalidatePlans, runtimes and solvers that neither get closed nor
+// escape, and discarded Run/Solve errors or nil Contexts. The run-time
+// sanitizer behind WithAccessCheck(true) shadow-records each iteration's
+// actual Values accesses, diffs them against the declaration and aborts the
+// run with an *AccessError naming the iteration and element on the first
+// mismatch — use it in tests and while bringing up a new loop; when off it
+// costs one nil test per accessor.
 package doacross

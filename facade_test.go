@@ -484,7 +484,7 @@ func TestSequentialBodyErr(t *testing.T) {
 			if i == 5 {
 				return sentinel
 			}
-			ran++
+			ran++ //doavet:ignore bodycapture -- only ever run sequentially
 			v.Store(i, 1)
 			return nil
 		}).

@@ -1,0 +1,207 @@
+// Package analyze is doavet's static-analysis layer: a small, stdlib-only
+// clone of the golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic) plus the package loader and runner that drive it. It exists
+// because the doacross contract — truthful Writes/Reads declarations, the
+// Close contract, the InvalidatePlans discipline, checked Run errors — is a
+// correctness contract the compiler cannot see: a loop body that writes a
+// captured variable, or an index slice mutated under a cached plan, silently
+// corrupts results under the pre-scheduled executors. The analyzers in this
+// package catch those misuses at vet time; the runtime access sanitizer
+// (core.Options.AccessCheck) catches the remainder at run time.
+//
+// The package deliberately depends only on the standard library (go/ast,
+// go/types, go/importer and the go command itself), so the tooling builds in
+// the same hermetic environment as the runtime. The API mirrors go/analysis
+// closely enough that the analyzers could be rehosted on x/tools unchanged in
+// spirit: an Analyzer owns a name, a doc string and a Run function over a
+// Pass; diagnostics are reported through the Pass and carry positions.
+//
+// Suppression: a diagnostic is dropped when the flagged line, or the line
+// directly above it, carries a comment of the form
+//
+//	//doavet:ignore            — suppress every analyzer on that line
+//	//doavet:ignore bodycapture staleplan — suppress only the named ones
+//	//doavet:ignore bodycapture -- reason — anything after "--" is commentary
+//
+// Tests that misuse the API on purpose (the sanitizer's own property tests)
+// use this to keep the dogfood gate green without weakening the analyzers.
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check: a name (as reported in diagnostics
+// and used by //doavet:ignore), a doc string, and the function that runs the
+// check over one package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// All returns doavet's analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{BodyCapture, StalePlan, RuntimeClose, ReportCheck}
+}
+
+// ByName resolves a comma- or space-separated list of analyzer names against
+// the suite; an empty list means all of them.
+func ByName(names string) ([]*Analyzer, error) {
+	fields := strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' })
+	if len(fields) == 0 {
+		return All(), nil
+	}
+	var out []*Analyzer
+	for _, f := range fields {
+		found := false
+		for _, a := range All() {
+			if a.Name == f {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("analyze: unknown analyzer %q (have %s)", f, strings.Join(Names(), ", "))
+		}
+	}
+	return out, nil
+}
+
+// Names lists the suite's analyzer names.
+func Names() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, with its position resolved so diagnostics from
+// different file sets can be merged and sorted.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the go vet style, with the analyzer name
+// appended so a finding can be traced to (or suppressed for) its check.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// RunPackage runs the analyzers over one loaded package and returns the
+// surviving (unsuppressed) diagnostics in position order.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyze: %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	diags = filterSuppressed(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// filterSuppressed drops diagnostics whose line (or the line directly above)
+// carries a //doavet:ignore comment naming the diagnostic's analyzer (or
+// naming none, which suppresses all).
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	// ignores maps filename -> line -> analyzer names ("" entry = all).
+	ignores := make(map[string]map[int][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimPrefix(c.Text, "//"), "doavet:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := ignores[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					ignores[pos.Filename] = m
+				}
+				// An optional " -- reason" suffix documents the suppression
+				// without being parsed as analyzer names.
+				rest, _, _ = strings.Cut(rest, "--")
+				names := strings.Fields(rest)
+				if len(names) == 0 {
+					names = []string{""}
+				}
+				m[pos.Line] = append(m[pos.Line], names...)
+			}
+		}
+	}
+	if len(ignores) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if suppressed(ignores, d, d.Pos.Line) || suppressed(ignores, d, d.Pos.Line-1) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func suppressed(ignores map[string]map[int][]string, d Diagnostic, line int) bool {
+	for _, name := range ignores[d.Pos.Filename][line] {
+		if name == "" || name == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}

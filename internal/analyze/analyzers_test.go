@@ -1,0 +1,41 @@
+package analyze_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"doacross/internal/analyze"
+	"doacross/internal/analyze/analyzetest"
+)
+
+func fixture(dir string) string { return filepath.Join("testdata", "src", dir) }
+
+func TestBodyCapture(t *testing.T) {
+	analyzetest.Run(t, analyze.BodyCapture, fixture("bodycapture"))
+}
+
+func TestStalePlan(t *testing.T) {
+	analyzetest.Run(t, analyze.StalePlan, fixture("staleplan"))
+}
+
+func TestRuntimeClose(t *testing.T) {
+	analyzetest.Run(t, analyze.RuntimeClose, fixture("runtimeclose"))
+}
+
+func TestReportCheck(t *testing.T) {
+	analyzetest.Run(t, analyze.ReportCheck, fixture("reportcheck"))
+}
+
+func TestByName(t *testing.T) {
+	all, err := analyze.ByName("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 4", len(all), err)
+	}
+	two, err := analyze.ByName("bodycapture,reportcheck")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("ByName(two) = %v, err %v", two, err)
+	}
+	if _, err := analyze.ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) should fail")
+	}
+}

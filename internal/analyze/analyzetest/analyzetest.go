@@ -1,0 +1,183 @@
+// Package analyzetest is the fixture harness for doavet's analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the standard
+// library: fixture files under testdata carry `// want "regexp"` comments on
+// the lines where a diagnostic is expected, the harness type-checks the
+// fixtures against the real doacross module (via compiled export data, so the
+// fixtures exercise exactly the types users build against), runs one
+// analyzer, and diffs reported diagnostics against the expectations in both
+// directions.
+package analyzetest
+
+import (
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"go/ast"
+
+	"doacross/internal/analyze"
+)
+
+// moduleRoot locates the doacross module root (the directory holding go.mod)
+// by walking up from the working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("analyzetest: no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+var (
+	importerOnce sync.Once
+	importerErr  error
+	sharedFset   *token.FileSet
+	sharedImp    types.Importer
+)
+
+// fixtureImporter returns the process-wide importer that resolves the
+// doacross module and the standard library from export data. It is built
+// once: one `go list -export -deps` over the module and the stdlib packages
+// fixtures may import.
+func fixtureImporter(t *testing.T) (*token.FileSet, types.Importer) {
+	t.Helper()
+	importerOnce.Do(func() {
+		sharedFset = token.NewFileSet()
+		sharedImp, importerErr = analyze.NewExportImporter(moduleRoot(t), sharedFset,
+			"doacross", "context", "errors", "fmt", "math/rand", "os", "sync", "time")
+	})
+	if importerErr != nil {
+		t.Fatalf("analyzetest: building fixture importer: %v", importerErr)
+	}
+	return sharedFset, sharedImp
+}
+
+// expectation is one `// want` entry: a position and a regexp the diagnostic
+// message must match.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// wantRe matches the quoted patterns of a `// want "..." "..."` comment.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run type-checks the fixture directory and checks the analyzer's
+// diagnostics against its `// want` comments.
+func Run(t *testing.T, a *analyze.Analyzer, dir string) {
+	t.Helper()
+	fset, imp := fixtureImporter(t)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analyzetest: %v", err)
+	}
+	var files []*ast.File
+	var expects []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("analyzetest: %v", err)
+		}
+		files = append(files, f)
+		expects = append(expects, extractWants(t, fset, f)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analyzetest: no fixture files in %s", dir)
+	}
+
+	pkgName := files[0].Name.Name
+	tpkg, info, err := analyze.CheckFiles(fset, pkgName, files, imp)
+	if err != nil {
+		t.Fatalf("analyzetest: type-checking fixtures in %s: %v", dir, err)
+	}
+	pkg := &analyze.Package{
+		ImportPath: pkgName,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := analyze.RunPackage(pkg, []*analyze.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analyzetest: %v", err)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range expects {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range expects {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// extractWants parses the `// want` comments of one fixture file.
+func extractWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, q := range wantRe.FindAllString(rest, -1) {
+				var pat string
+				if q[0] == '`' {
+					pat = q[1 : len(q)-1]
+				} else {
+					pat = q[1 : len(q)-1]
+					pat = strings.ReplaceAll(pat, `\"`, `"`)
+					pat = strings.ReplaceAll(pat, `\\`, `\`)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}

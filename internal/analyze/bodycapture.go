@@ -1,0 +1,153 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BodyCapture flags loop-body closures that write variables captured from
+// their enclosing scope. The doacross contract routes every access to shared
+// state through Values (Load performs the execution-time dependency check,
+// Store writes through the renaming buffer); a body that assigns to a
+// captured variable — an accumulator, an element of a captured slice, a field
+// of a captured struct — performs a side effect the inspector cannot see.
+// Under the flag-based doacross that is a data race between concurrently
+// running iterations; under the pre-scheduled wavefront executors it is a
+// silent wrong answer, because the level placement was derived only from the
+// declared Writes/Reads.
+var BodyCapture = &Analyzer{
+	Name: "bodycapture",
+	Doc: "flag loop-body closures passed to Body/BodyErr that write captured variables\n\n" +
+		"A doacross loop body must perform all shared-state accesses through its\n" +
+		"*Values parameter; writes to captured outer variables are invisible to the\n" +
+		"inspector and race (or silently corrupt results) under parallel execution.",
+	Run: runBodyCapture,
+}
+
+func runBodyCapture(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			for _, lit := range bodyClosures(pass.TypesInfo, n) {
+				checkCaptureWrites(pass, lit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// bodyClosures returns the function literals node hands to the doacross
+// runtime as loop bodies: arguments of LoopBuilder.Body/BodyErr calls, values
+// of Body/BodyErr keys in Loop composite literals, and right-hand sides of
+// assignments to a Loop's Body/BodyErr fields.
+func bodyClosures(info *types.Info, n ast.Node) []*ast.FuncLit {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if isDoacrossFunc(info, n, "Body", "BodyErr") && len(n.Args) == 1 {
+			if lit, ok := n.Args[0].(*ast.FuncLit); ok {
+				return []*ast.FuncLit{lit}
+			}
+		}
+	case *ast.CompositeLit:
+		tv, ok := info.Types[n]
+		if !ok || !isDoacrossNamed(tv.Type, "Loop") {
+			return nil
+		}
+		var lits []*ast.FuncLit
+		for _, elt := range n.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || (key.Name != "Body" && key.Name != "BodyErr") {
+				continue
+			}
+			if lit, ok := kv.Value.(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+			}
+		}
+		return lits
+	case *ast.AssignStmt:
+		var lits []*ast.FuncLit
+		for i, lhs := range n.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Body" && sel.Sel.Name != "BodyErr") || i >= len(n.Rhs) {
+				continue
+			}
+			if tv, ok := info.Types[sel.X]; !ok || !isDoacrossNamed(tv.Type, "Loop") {
+				continue
+			}
+			if lit, ok := n.Rhs[i].(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+			}
+		}
+		return lits
+	}
+	return nil
+}
+
+// checkCaptureWrites reports every write inside lit whose target roots at a
+// variable declared outside lit.
+func checkCaptureWrites(pass *Pass, lit *ast.FuncLit) {
+	report := func(pos token.Pos, obj types.Object, how string) {
+		pass.Reportf(pos, "loop body %s captured variable %q; shared-state accesses must go through Values (Load/Store) — side effects outside Values are invisible to the inspector and race under parallel executors", how, obj.Name())
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// A `:=` target always declares inside the literal (an outer
+			// variable on a := left-hand side shadows rather than assigns),
+			// so capturedTarget filters those out via Defs.
+			for _, lhs := range n.Lhs {
+				if obj := capturedTarget(pass.TypesInfo, lit, lhs); obj != nil {
+					how := "writes"
+					if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+						how = "updates"
+					}
+					report(lhs.Pos(), obj, how)
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := capturedTarget(pass.TypesInfo, lit, n.X); obj != nil {
+				report(n.X.Pos(), obj, "updates")
+			}
+		case *ast.RangeStmt:
+			for _, lhs := range []ast.Expr{n.Key, n.Value} {
+				if lhs == nil || n.Tok == token.DEFINE {
+					continue
+				}
+				if obj := capturedTarget(pass.TypesInfo, lit, lhs); obj != nil {
+					report(lhs.Pos(), obj, "writes")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// capturedTarget resolves an assignment target to the variable it roots at
+// and returns that variable when it is declared outside lit (a capture).
+// Targets rooted at variables declared inside the literal — locals and the
+// body's own parameters, including the *Values handle — return nil.
+func capturedTarget(info *types.Info, lit *ast.FuncLit, lhs ast.Expr) types.Object {
+	id := rootIdent(lhs)
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		// Defs: the identifier declares a new variable here (`:=`), so
+		// nothing outside is written.
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+		return nil // declared inside the literal
+	}
+	return v
+}

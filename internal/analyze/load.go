@@ -1,0 +1,254 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPackage mirrors the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+}
+
+// Load lists the packages matching patterns (relative to dir, or the current
+// directory when dir is empty), builds export data for their dependency
+// closure through the go command, and returns every non-dependency package
+// parsed and type-checked. With tests set, each package's test variant (its
+// _test.go files merged in, plus external _test packages) is analyzed instead
+// of the bare package.
+//
+// The loader is the stdlib-only stand-in for go/packages: `go list -export
+// -deps -json` supplies the file lists, the import maps and the compiled
+// export data of every dependency, and go/importer's gc importer consumes the
+// export files directly, so no network and no third-party module is ever
+// needed.
+func Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,Standard,DepOnly,ForTest,Name,GoFiles,CgoFiles,ImportMap"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analyze: go list failed: %v\n%s", err, stderr.String())
+	}
+
+	var all []*listPackage
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("analyze: decoding go list output: %v", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		all = append(all, lp)
+	}
+
+	// With -test, a package under test is listed twice: bare and as the
+	// "p [p.test]" variant whose GoFiles include the _test.go files. Analyze
+	// the variant only, plus external "p_test [p.test]" packages; skip the
+	// synthesized test-main packages.
+	hasVariant := make(map[string]bool)
+	for _, lp := range all {
+		if lp.ForTest != "" && !strings.HasSuffix(lp.ImportPath, ".test") {
+			hasVariant[lp.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	shared := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, lp := range all {
+		if lp.DepOnly || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		if tests && lp.ForTest == "" && hasVariant[lp.ImportPath] {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			// Cgo packages need the generated intermediate sources the
+			// compiler sees; skip them rather than misreport.
+			continue
+		}
+		pkg, err := typecheck(fset, lp, shared)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typecheck parses and type-checks one listed package against the shared
+// export-data importer.
+func typecheck(fset *token.FileSet, lp *listPackage, shared *exportImporter) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: %v", err)
+		}
+		files = append(files, f)
+	}
+	// The type-checked path must not carry go list's " [p.test]" suffix.
+	path := lp.ImportPath
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	pkg, info, err := CheckFiles(fset, path, files, shared.withImportMap(lp.ImportMap))
+	if err != nil {
+		return nil, fmt.Errorf("analyze: type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+	}, nil
+}
+
+// CheckFiles type-checks the parsed files of one package with the standard
+// configuration the analyzers expect (full use/def/selection maps). It is
+// shared by the loader and the fixture test harness.
+func CheckFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	conf := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		FileVersions: make(map[*ast.File]string),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// exportImporter resolves imports against compiled export-data files, the way
+// a vet unit checker does: a path is mapped through the package's import map
+// (vendoring, test variants), then its export file is opened and handed to
+// the gc importer. One instance is shared across all packages of a Load so
+// each dependency's export data is decoded once.
+type exportImporter struct {
+	compiler types.Importer
+	exports  map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	ei := &exportImporter{exports: exports}
+	ei.compiler = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := ei.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return ei
+}
+
+// withImportMap returns a types.Importer view of the shared importer that
+// first resolves import paths through one package's import map.
+func (ei *exportImporter) withImportMap(m map[string]string) types.Importer {
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path := importPath
+		if mapped, ok := m[importPath]; ok {
+			path = mapped
+		}
+		return ei.compiler.Import(path)
+	})
+}
+
+// NewExportImporter lists the given packages with `go list -export -deps`
+// (run from dir) and returns an importer resolving any of them — and their
+// whole dependency closure — from compiled export data. The fixture test
+// harness uses it to type-check testdata files that import the real doacross
+// module without those files being part of any listed package.
+func NewExportImporter(dir string, fset *token.FileSet, pkgs ...string) (types.Importer, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analyze: go list failed: %v\n%s", err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("analyze: decoding go list output: %v", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return newExportImporter(fset, exports).withImportMap(nil), nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

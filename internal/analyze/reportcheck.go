@@ -1,0 +1,113 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ReportCheck flags discarded results of the Run/Solve family and nil
+// contexts handed to context-aware entry points. Every Run variant reports
+// aborted, cancelled and failed executions through its error; a discarded
+// error turns a failed parallel run into silently-unspecified output (the
+// contract says the contents of y are unspecified after a failed run). A nil
+// Context panics inside the runtime's watcher; context.Background() is the
+// spelled-out way to opt out of cancellation.
+var ReportCheck = &Analyzer{
+	Name: "reportcheck",
+	Doc: "flag discarded Run/Solve errors and nil Contexts\n\n" +
+		"The error of Run, RunBlocked, RunLinear, RunDoall, Solve and friends is\n" +
+		"the only signal that a run aborted (cancellation, body failure, panic) and\n" +
+		"left the output unspecified; discarding it makes failures unobservable.\n" +
+		"Context-taking entry points require a non-nil Context.",
+	Run: runReportCheck,
+}
+
+func runReportCheck(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					if fn := errorReturningRun(info, call); fn != nil {
+						pass.Reportf(call.Pos(), "result of %s is discarded; its error is the only report of an aborted or failed run", fn.Name())
+					}
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					break
+				}
+				call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					break
+				}
+				fn := errorReturningRun(info, call)
+				if fn == nil {
+					break
+				}
+				// The error is the last result; flag a blank in that slot.
+				if last := n.Lhs[len(n.Lhs)-1]; isBlank(last) {
+					pass.Reportf(last.Pos(), "error of %s is assigned to the blank identifier; it is the only report of an aborted or failed run", fn.Name())
+				}
+			case *ast.CallExpr:
+				checkNilContext(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errorReturningRun returns the called doacross function when it belongs to
+// the Run/Solve family (Run*, Solve*, Use*, RunSequential, ...) and its last
+// result is an error; nil otherwise.
+func errorReturningRun(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn := callee(info, call)
+	if fn == nil || !isDoacrossPkg(fn.Pkg()) {
+		return nil
+	}
+	name := fn.Name()
+	if !strings.HasPrefix(name, "Run") && !strings.HasPrefix(name, "Solve") && !strings.HasPrefix(name, "Use") {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return nil
+	}
+	return fn
+}
+
+// checkNilContext reports a literal nil passed as the context.Context
+// parameter of a doacross entry point.
+func checkNilContext(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	fn := callee(info, call)
+	if fn == nil || !isDoacrossPkg(fn.Pkg()) || len(call.Args) == 0 {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return
+	}
+	first := sig.Params().At(0).Type()
+	named, ok := first.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "context" || named.Obj().Name() != "Context" {
+		return
+	}
+	if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && id.Name == "nil" {
+		if _, isNil := info.Uses[id].(*types.Nil); isNil {
+			pass.Reportf(call.Args[0].Pos(), "nil Context passed to %s; use context.Background() to opt out of cancellation", fn.Name())
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}

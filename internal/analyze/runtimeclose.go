@@ -1,0 +1,127 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RuntimeClose flags doacross.New / NewSolver / NewReorderedSolver results
+// that neither get closed nor escape the creating function — the lostcancel
+// shape for this API. A Runtime (and a Solver, which owns one) holds a
+// persistent worker pool; the contract is to Close it when done. A finalizer
+// eventually reclaims a forgotten pool, but a serving path that churns
+// runtimes without Close keeps goroutine count hostage to GC timing, so the
+// contract is enforced at vet time.
+var RuntimeClose = &Analyzer{
+	Name: "runtimeclose",
+	Doc: "flag runtimes and solvers that go out of scope without Close on any path\n\n" +
+		"doacross.New, NewSolver and NewReorderedSolver return handles owning a\n" +
+		"persistent worker pool; a handle that is neither closed in its creating\n" +
+		"function nor handed outward relies on GC finalizers for release.",
+	Run: runRuntimeClose,
+}
+
+func runRuntimeClose(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			checkRuntimeClose(pass, f, body)
+		})
+	}
+	return nil
+}
+
+// checkRuntimeClose analyzes one function body: for every variable bound to a
+// fresh runtime/solver, scan its uses — a .Close() selector anywhere (direct,
+// deferred, or inside a nested closure) satisfies the contract; a use that
+// lets the handle escape (argument, return, address, assignment, composite
+// literal, channel send) transfers ownership outward and also silences the
+// check; a handle with neither is reported at its creation site.
+func checkRuntimeClose(pass *Pass, f *ast.File, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// creations maps the variable object to the call that created it.
+	creations := make(map[*types.Var]*ast.CallExpr)
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isDoacrossFunc(info, call, "New", "NewSolver", "NewReorderedSolver") {
+			return true
+		}
+		if len(asg.Lhs) == 0 {
+			return true
+		}
+		id, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			// `_, err := New(...)` is the idiomatic construction-error probe;
+			// there is no handle to close when the caller asserts failure.
+			return true
+		}
+		var v *types.Var
+		if asg.Tok == token.DEFINE {
+			v, _ = info.Defs[id].(*types.Var)
+		} else {
+			v, _ = info.Uses[id].(*types.Var)
+		}
+		if v != nil {
+			creations[v] = call
+		}
+		return true
+	})
+	if len(creations) == 0 {
+		return
+	}
+
+	closed := make(map[*types.Var]bool)
+	escaped := make(map[*types.Var]bool)
+	withStack(f, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if _, tracked := creations[v]; !tracked {
+			return true
+		}
+		if len(stack) == 0 {
+			return true
+		}
+		parent := stack[len(stack)-1]
+		switch p := parent.(type) {
+		case *ast.SelectorExpr:
+			if p.X == id && p.Sel.Name == "Close" {
+				closed[v] = true
+			}
+		case *ast.CallExpr:
+			// The handle itself passed as an argument (not the callee).
+			if p.Fun != id {
+				escaped[v] = true
+			}
+		case *ast.ReturnStmt, *ast.UnaryExpr, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt, *ast.IndexExpr:
+			escaped[v] = true
+		case *ast.AssignStmt:
+			// Re-assignment of the handle to another variable (or field)
+			// aliases it; treat any right-hand-side appearance as escape.
+			for _, rhs := range p.Rhs {
+				if rhs == id {
+					escaped[v] = true
+				}
+			}
+		}
+		return true
+	})
+
+	for v, call := range creations {
+		if closed[v] || escaped[v] {
+			continue
+		}
+		fn := callee(info, call)
+		pass.Reportf(call.Pos(), "%s result %q is never closed and never escapes this function; its worker pool is only reclaimed by a GC finalizer — add defer %s.Close()", fn.Name(), v.Name(), v.Name())
+	}
+}

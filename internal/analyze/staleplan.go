@@ -1,0 +1,195 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StalePlan flags index slices that are captured by a loop's Writes/Reads
+// closures and then mutated in the same function without a following
+// InvalidatePlans() call. The runtime's schedule cache assumes a Loop value's
+// access pattern never changes: both cache tiers key on the Loop (by pointer
+// identity and by structural hash), so mutating a captured index array in
+// place makes the next Wavefront/Auto run silently replay a schedule that no
+// longer matches the loop's true dependencies. The supported discipline is to
+// call Runtime.InvalidatePlans() after the mutation (or build a fresh Loop).
+var StalePlan = &Analyzer{
+	Name: "staleplan",
+	Doc: "flag in-place mutation of index slices captured by Writes/Reads without InvalidatePlans\n\n" +
+		"The schedule cache assumes a Loop's access pattern is stable; mutating a\n" +
+		"captured index slice after the loop is built silently replays a stale\n" +
+		"wavefront schedule unless Runtime.InvalidatePlans() runs before the next Run.",
+	Run: runStalePlan,
+}
+
+func runStalePlan(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			checkStalePlan(pass, body)
+		})
+	}
+	return nil
+}
+
+// checkStalePlan analyzes one function body: it collects the integer slices
+// captured by Writes/Reads closures (with the position of the capture), the
+// positions of InvalidatePlans calls, and every later in-place mutation of a
+// captured slice, reporting mutations not followed by an invalidation. The
+// reasoning is statement-order (token position) based — flow-insensitive, but
+// exactly the shape of the real misuse: build the loop, run it, tweak the
+// index array for the next system, forget the invalidation.
+func checkStalePlan(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	captured := make(map[*types.Var]token.Pos) // index slice -> capture position
+	var invalidations []token.Pos
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isDoacrossFunc(info, call, "InvalidatePlans") {
+			invalidations = append(invalidations, call.Pos())
+			return true
+		}
+		if isDoacrossFunc(info, call, "Writes", "Reads") && len(call.Args) == 1 {
+			if lit, ok := call.Args[0].(*ast.FuncLit); ok {
+				collectCapturedIndexSlices(info, lit, captured)
+			}
+		}
+		return true
+	})
+	// Composite-literal loops: doacross.Loop{Writes: func...}.
+	ast.Inspect(body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[cl]; !ok || !isDoacrossNamed(tv.Type, "Loop") {
+			return true
+		}
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); !ok || (key.Name != "Writes" && key.Name != "Reads") {
+				continue
+			}
+			if lit, ok := kv.Value.(*ast.FuncLit); ok {
+				collectCapturedIndexSlices(info, lit, captured)
+			}
+		}
+		return true
+	})
+	if len(captured) == 0 {
+		return
+	}
+
+	invalidatedAfter := func(pos token.Pos) bool {
+		for _, p := range invalidations {
+			if p > pos {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(pos token.Pos, v *types.Var) {
+		if invalidatedAfter(pos) {
+			return
+		}
+		pass.Reportf(pos, "index slice %q is captured by a loop's Writes/Reads and mutated here; the schedule cache would replay the stale plan — call InvalidatePlans() on the runtime after the mutation, or build a fresh Loop", v.Name())
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				// s[i] = e — in-place element write.
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if v := capturedSlice(info, captured, idx.X, n.Pos()); v != nil {
+						report(lhs.Pos(), v)
+					}
+					continue
+				}
+				// s = append(s, ...) — may mutate in place when capacity allows.
+				if i < len(n.Rhs) {
+					if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok && isBuiltin(info, call, "append") {
+						if v := capturedSlice(info, captured, lhs, n.Pos()); v != nil {
+							report(lhs.Pos(), v)
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// copy(s, ...) — bulk in-place overwrite.
+			if isBuiltin(info, n, "copy") && len(n.Args) == 2 {
+				if v := capturedSlice(info, captured, n.Args[0], n.Pos()); v != nil {
+					report(n.Pos(), v)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectCapturedIndexSlices records every integer-slice variable that lit
+// references but does not declare.
+func collectCapturedIndexSlices(info *types.Info, lit *ast.FuncLit, out map[*types.Var]token.Pos) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || !isIntSlice(v.Type()) {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the closure
+		}
+		if _, seen := out[v]; !seen {
+			out[v] = lit.Pos()
+		}
+		return true
+	})
+}
+
+// capturedSlice resolves e to its root variable and returns it when it is one
+// of the captured index slices and the use is after the capture.
+func capturedSlice(info *types.Info, captured map[*types.Var]token.Pos, e ast.Expr, at token.Pos) *types.Var {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if pos, ok := captured[v]; ok && at > pos {
+		return v
+	}
+	return nil
+}
+
+// isIntSlice reports whether t is a slice of (any) integer type — the shape
+// of the index arrays Writes/Reads closures consult.
+func isIntSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

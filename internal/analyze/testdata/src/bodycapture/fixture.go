@@ -1,0 +1,115 @@
+// Fixtures for the bodycapture analyzer: loop bodies must route every
+// shared-state access through Values; writes to captured variables are
+// flagged wherever the body closure reaches the runtime (builder call,
+// composite literal, field assignment).
+package fixture
+
+import "doacross"
+
+// flaggedAccumulator: the classic misuse — a reduction into a captured
+// accumulator races between concurrent iterations.
+func flaggedAccumulator(n int) float64 {
+	sum := 0.0
+	l, _ := doacross.NewLoop(n, n).
+		Writes(func(i int) []int { return []int{i} }).
+		Body(func(i int, v *doacross.Values) {
+			sum += v.Load(i) // want `updates captured variable "sum"`
+			v.Store(i, 1)
+		}).
+		Build()
+	_ = l
+	return sum
+}
+
+// flaggedSliceWrite: writing a captured slice element bypasses the renaming
+// buffer entirely.
+func flaggedSliceWrite(n int, out []float64) {
+	l, _ := doacross.NewLoop(n, n).
+		Writes(func(i int) []int { return []int{i} }).
+		BodyErr(func(i int, v *doacross.Values) error {
+			out[i] = v.Load(i) // want `writes captured variable "out"`
+			return nil
+		}).
+		Build()
+	_ = l
+}
+
+type state struct{ hits int }
+
+// flaggedCompositeLit: Body supplied through a Loop literal, writing a field
+// of a captured struct pointer.
+func flaggedCompositeLit(n int, st *state) doacross.Loop {
+	return doacross.Loop{
+		N:      n,
+		Data:   n,
+		Writes: func(i int) []int { return []int{i} },
+		Body: func(i int, v *doacross.Values) {
+			st.hits++ // want `updates captured variable "st"`
+			v.Store(i, 0)
+		},
+	}
+}
+
+// flaggedFieldAssign: Body installed by assigning the Loop field directly.
+func flaggedFieldAssign(n int) doacross.Loop {
+	var l doacross.Loop
+	l.N = n
+	l.Data = n
+	l.Writes = func(i int) []int { return []int{i} }
+	count := 0
+	l.Body = func(i int, v *doacross.Values) {
+		count++ // want `updates captured variable "count"`
+		v.Store(i, float64(count))
+	}
+	return l
+}
+
+// cleanBody: all shared-state access goes through Values; locals and reads of
+// captured slices are fine.
+func cleanBody(n int, weights []float64) doacross.Loop {
+	return doacross.Loop{
+		N:      n,
+		Data:   n,
+		Writes: func(i int) []int { return []int{i} },
+		Body: func(i int, v *doacross.Values) {
+			acc := 0.0
+			for k := 0; k < 3; k++ {
+				acc += weights[k] * v.Load(i)
+			}
+			v.Store(i, acc)
+		},
+	}
+}
+
+// cleanNestedLocal: a nested closure writing a variable declared inside the
+// body is not a capture of the enclosing scope.
+func cleanNestedLocal(n int) doacross.Loop {
+	return doacross.Loop{
+		N:      n,
+		Data:   n,
+		Writes: func(i int) []int { return []int{i} },
+		Body: func(i int, v *doacross.Values) {
+			local := 0.0
+			add := func(x float64) { local += x }
+			add(v.Load(i))
+			v.Store(i, local)
+		},
+	}
+}
+
+// suppressed: deliberate misuse acknowledged with //doavet:ignore (the shape
+// the sanitizer's own negative tests use).
+func suppressed(n int) float64 {
+	total := 0.0
+	l := doacross.Loop{
+		N:      n,
+		Data:   n,
+		Writes: func(i int) []int { return []int{i} },
+		Body: func(i int, v *doacross.Values) {
+			total += v.Load(i) //doavet:ignore bodycapture -- sequential reduction by design
+			v.Store(i, 0)
+		},
+	}
+	_ = l
+	return total
+}

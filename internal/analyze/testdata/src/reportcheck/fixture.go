@@ -1,0 +1,57 @@
+// Fixtures for the reportcheck analyzer: the Run/Solve family's error is the
+// only report of an aborted or failed parallel run, and Contexts must be
+// non-nil.
+package fixture
+
+import (
+	"context"
+
+	"doacross"
+)
+
+// flaggedDiscards: results dropped on the floor.
+func flaggedDiscards(rt *doacross.Runtime, l *doacross.Loop, y []float64) {
+	rt.Run(context.Background(), l, y)           // want `result of Run is discarded`
+	rt.RunDoall(l, y)                            // want `result of RunDoall is discarded`
+	doacross.RunSequential(l, y)                 // want `result of RunSequential is discarded`
+	rep, _ := rt.Run(context.Background(), l, y) // want `error of Run is assigned to the blank identifier`
+	_ = rep
+}
+
+// flaggedBlockedAndLinear: every Run variant reports through its error.
+func flaggedBlockedAndLinear(rt *doacross.Runtime, l *doacross.Loop, y []float64) {
+	rt.RunBlocked(context.Background(), l, y, 8)              // want `result of RunBlocked is discarded`
+	_, _ = rt.RunLinear(l, y, doacross.LinearSubscript{C: 1}) // want `error of RunLinear is assigned to the blank identifier`
+}
+
+// flaggedSolve: the solver surface follows the same contract.
+func flaggedSolve(s *doacross.Solver, t *doacross.Triangular, rhs, y []float64) {
+	s.Solve(rhs, y)                                           // want `result of Solve is discarded`
+	doacross.SolveTriangular(doacross.SolverDoacross, t, rhs) // want `result of SolveTriangular is discarded`
+}
+
+// flaggedNilContext: a nil Context panics in the runtime's watcher.
+func flaggedNilContext(rt *doacross.Runtime, l *doacross.Loop, y []float64) error {
+	_, err := rt.Run(nil, l, y) // want `nil Context passed to Run`
+	return err
+}
+
+// cleanHandled: errors observed, context supplied.
+func cleanHandled(rt *doacross.Runtime, l *doacross.Loop, y []float64) error {
+	if _, err := rt.Run(context.Background(), l, y); err != nil {
+		return err
+	}
+	rep, err := rt.RunDoall(l, y)
+	_ = rep
+	if err != nil {
+		return err
+	}
+	// Discarding the Report while keeping the error is fine.
+	_, err = rt.RunBlocked(context.Background(), l, y, 16)
+	return err
+}
+
+// cleanSequentialChecked: the sequential reference's error matters too.
+func cleanSequentialChecked(l *doacross.Loop, y []float64) error {
+	return doacross.RunSequential(l, y)
+}

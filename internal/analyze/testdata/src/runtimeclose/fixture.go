@@ -1,0 +1,95 @@
+// Fixtures for the runtimeclose analyzer: runtimes and solvers own a
+// persistent worker pool and must be closed by whoever keeps them.
+package fixture
+
+import "doacross"
+
+// flaggedRuntime: created, used, never closed, never handed out.
+func flaggedRuntime(y []float64) int {
+	rt, err := doacross.New(len(y)) // want `result "rt" is never closed`
+	if err != nil {
+		return 0
+	}
+	return rt.Workers()
+}
+
+// flaggedSolver: solvers own a runtime too.
+func flaggedSolver(t *doacross.Triangular, rhs []float64) ([]float64, error) {
+	s, err := doacross.NewSolver(t) // want `result "s" is never closed`
+	if err != nil {
+		return nil, err
+	}
+	y, _, err := s.Solve(rhs, make([]float64, t.N))
+	return y, err
+}
+
+// cleanErrorProbe: discarding the handle into the blank identifier is the
+// idiomatic construction-error probe — there is nothing to close when the
+// caller asserts the constructor failed.
+func cleanErrorProbe() bool {
+	_, err := doacross.New(-1)
+	return err != nil
+}
+
+// cleanDefer: the canonical shape.
+func cleanDefer(y []float64) int {
+	rt, err := doacross.New(len(y))
+	if err != nil {
+		return 0
+	}
+	defer rt.Close()
+	return rt.Workers()
+}
+
+// cleanClosureClose: Close inside a deferred closure still counts.
+func cleanClosureClose(y []float64) int {
+	rt, err := doacross.New(len(y))
+	if err != nil {
+		return 0
+	}
+	defer func() { rt.Close() }()
+	return rt.Workers()
+}
+
+// cleanReturned: ownership moves to the caller.
+func cleanReturned(n int) (*doacross.Runtime, error) {
+	rt, err := doacross.New(n)
+	if err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// cleanPassed: ownership handed to another function.
+func cleanPassed(n int) {
+	rt, err := doacross.New(n)
+	if err != nil {
+		return
+	}
+	closeLater(rt)
+}
+
+func closeLater(rt *doacross.Runtime) { rt.Close() }
+
+type server struct{ rt *doacross.Runtime }
+
+// cleanStored: stashed in a struct; lifetime belongs to the struct.
+func cleanStored(n int) *server {
+	rt, err := doacross.New(n)
+	if err != nil {
+		return nil
+	}
+	return &server{rt: rt}
+}
+
+// cleanReorderedSolverClosed: the reordered constructor follows the same
+// contract.
+func cleanReorderedSolverClosed(t *doacross.Triangular, rhs []float64) ([]float64, error) {
+	s, err := doacross.NewReorderedSolver(t, doacross.ReorderLevel)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	y, _, err := s.Solve(rhs, make([]float64, t.N))
+	return y, err
+}

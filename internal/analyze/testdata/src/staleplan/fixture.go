@@ -1,0 +1,114 @@
+// Fixtures for the staleplan analyzer: index slices captured by Writes/Reads
+// feed the schedule cache's structural hash; mutating one in place without
+// InvalidatePlans replays a stale wavefront plan.
+package fixture
+
+import (
+	"context"
+
+	"doacross"
+)
+
+func buildLoop(col []int) (*doacross.Loop, error) {
+	n := len(col)
+	return doacross.NewLoop(n, n).
+		Writes(func(i int) []int { return []int{col[i]} }).
+		Reads(func(i int) []int { return nil }).
+		Body(func(i int, v *doacross.Values) { v.Store(col[i], 0) }).
+		Build()
+}
+
+// flaggedElementWrite: mutating the captured writer-index slice between runs
+// without invalidating the plan.
+func flaggedElementWrite(rt *doacross.Runtime, col []int, y []float64) error {
+	n := len(col)
+	l, err := doacross.NewLoop(n, n).
+		Writes(func(i int) []int { return []int{col[i]} }).
+		Body(func(i int, v *doacross.Values) { v.Store(col[i], 0) }).
+		Build()
+	if err != nil {
+		return err
+	}
+	if _, err := rt.Run(context.Background(), l, y); err != nil {
+		return err
+	}
+	col[0] = 3 // want `index slice "col" is captured by a loop's Writes/Reads and mutated here`
+	_, err = rt.Run(context.Background(), l, y)
+	return err
+}
+
+// flaggedCopy: bulk overwrite through copy is a mutation too.
+func flaggedCopy(rt *doacross.Runtime, col, next []int, y []float64) error {
+	n := len(col)
+	l, err := doacross.NewLoop(n, n).
+		Writes(func(i int) []int { return []int{col[i]} }).
+		Body(func(i int, v *doacross.Values) { v.Store(col[i], 0) }).
+		Build()
+	if err != nil {
+		return err
+	}
+	if _, err := rt.Run(context.Background(), l, y); err != nil {
+		return err
+	}
+	copy(col, next) // want `index slice "col"`
+	_, err = rt.Run(context.Background(), l, y)
+	return err
+}
+
+// flaggedAppend: growth through append can mutate in place when capacity
+// allows.
+func flaggedAppend(rt *doacross.Runtime, reads []int, y []float64) {
+	l := doacross.Loop{
+		N:      len(y),
+		Data:   len(y),
+		Writes: func(i int) []int { return []int{i} },
+		Reads:  func(i int) []int { return reads },
+		Body:   func(i int, v *doacross.Values) { v.Store(i, 0) },
+	}
+	_, _ = rt.Run(context.Background(), &l, y)
+	reads = append(reads, 7) // want `index slice "reads"`
+	_, _ = rt.Run(context.Background(), &l, y)
+}
+
+// cleanInvalidated: the mutation is followed by InvalidatePlans, the
+// documented discipline.
+func cleanInvalidated(rt *doacross.Runtime, col []int, y []float64) error {
+	l, err := buildLoop(col)
+	if err != nil {
+		return err
+	}
+	if _, err := rt.Run(context.Background(), l, y); err != nil {
+		return err
+	}
+	col[0] = 3
+	rt.InvalidatePlans()
+	_, err = rt.Run(context.Background(), l, y)
+	return err
+}
+
+// cleanLocalMutation: mutating a slice the closures never captured is fine.
+func cleanLocalMutation(rt *doacross.Runtime, col []int, y []float64) error {
+	l, err := buildLoop(col)
+	if err != nil {
+		return err
+	}
+	scratch := make([]int, len(col))
+	scratch[0] = 1
+	_, err = rt.Run(context.Background(), l, y)
+	return err
+}
+
+// cleanMutationBeforeBuild: the slice is prepared before the closures
+// capture it; only later mutations are stale.
+func cleanMutationBeforeBuild(rt *doacross.Runtime, y []float64) error {
+	col := make([]int, len(y))
+	for i := range col {
+		col[i] = i
+	}
+	l, err := buildLoop(col)
+	if err != nil {
+		return err
+	}
+	_, err = rt.Run(context.Background(), l, y)
+	return err
+}

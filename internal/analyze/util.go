@@ -1,0 +1,118 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// isDoacrossPkg reports whether pkg is the doacross module's facade or one of
+// its internal packages — the API surface whose contract the analyzers
+// enforce. A nil package (builtins, universe scope) is not.
+func isDoacrossPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == "doacross" || strings.HasPrefix(p, "doacross/")
+}
+
+// callee returns the *types.Func a call statically resolves to (package
+// functions and methods), or nil for indirect calls, conversions and
+// builtins.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isDoacrossFunc reports whether a call statically resolves to a doacross
+// function or method with the given name.
+func isDoacrossFunc(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	fn := callee(info, call)
+	if fn == nil || !isDoacrossPkg(fn.Pkg()) {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isDoacrossNamed reports whether t (after pointer indirection) is a named
+// doacross type with the given name — matching through aliases, so the
+// facade's `type Loop = core.Loop` and core.Loop itself both match "Loop".
+func isDoacrossNamed(t types.Type, name string) bool {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && isDoacrossPkg(obj.Pkg())
+}
+
+// rootIdent returns the identifier at the base of an lvalue expression chain:
+// x, x[i], *x, x.f, x.f[i].g all root at x. It returns nil when the chain
+// roots at something other than an identifier (a call result, a literal).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// withStack walks every node of f, handing each visited node the stack of
+// its ancestors (outermost first, not including the node itself).
+func withStack(f *ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := visit(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// funcBodies visits every declared function body in the file. Function
+// literals are visited as part of their enclosing declaration (their
+// positions nest inside it), which is exactly what the statement-order
+// reasoning of staleplan and runtimeclose wants.
+func funcBodies(f *ast.File, visit func(name string, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		if d, ok := n.(*ast.FuncDecl); ok && d.Body != nil {
+			visit(d.Name.Name, d.Body)
+		}
+		return true
+	})
+}

@@ -48,11 +48,20 @@ func randomFigure1(rng *rand.Rand, n int) (*Loop, []float64) {
 	return figure1Loop(a, b, dataLen), y
 }
 
+// mustRunSequential computes the sequential reference and fails the test on
+// the error a reference loop is never expected to produce.
+func mustRunSequential(tb testing.TB, l *Loop, y []float64) {
+	tb.Helper()
+	if err := RunSequential(l, y); err != nil {
+		tb.Fatal(err)
+	}
+}
+
 func runBoth(t *testing.T, l *Loop, y []float64, opts Options) (seq, par []float64) {
 	t.Helper()
 	seq = append([]float64(nil), y...)
 	par = append([]float64(nil), y...)
-	RunSequential(l, seq)
+	mustRunSequential(t, l, seq)
 	rt := NewRuntime(l.Data, opts)
 	if _, err := rt.Run(l, par); err != nil {
 		t.Fatal(err)
@@ -144,7 +153,7 @@ func TestDoacrossPoliciesAndStrategiesAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	l, y := randomFigure1(rng, 120)
 	seq := append([]float64(nil), y...)
-	RunSequential(l, seq)
+	mustRunSequential(t, l, seq)
 	for _, policy := range []sched.Policy{sched.Block, sched.Cyclic, sched.Dynamic} {
 		for _, strategy := range []flags.WaitStrategy{flags.WaitSpinYield, flags.WaitNotify} {
 			par := append([]float64(nil), y...)
@@ -163,7 +172,7 @@ func TestDoacrossEpochTablesAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	l, y := randomFigure1(rng, 100)
 	seq := append([]float64(nil), y...)
-	RunSequential(l, seq)
+	mustRunSequential(t, l, seq)
 	par := append([]float64(nil), y...)
 	rt := NewRuntime(l.Data, Options{Workers: 4, UseEpochTables: true, WaitStrategy: flags.WaitSpinYield})
 	if _, err := rt.Run(l, par); err != nil {
@@ -185,7 +194,7 @@ func TestRuntimeScratchReuseAcrossLoops(t *testing.T) {
 	for round := 0; round < 5; round++ {
 		l, y := randomFigure1(rng, 200)
 		seq := append([]float64(nil), y...)
-		RunSequential(l, seq)
+		mustRunSequential(t, l, seq)
 		par := append([]float64(nil), y...)
 		if _, err := rt.Run(l, par); err != nil {
 			t.Fatal(err)
@@ -208,7 +217,7 @@ func TestRuntimeReuseAcrossDifferentSizes(t *testing.T) {
 	for _, n := range []int{150, 60, 150, 199, 1} {
 		l, y := randomFigure1(rng, n)
 		seq := append([]float64(nil), y...)
-		RunSequential(l, seq)
+		mustRunSequential(t, l, seq)
 		par := append([]float64(nil), y...)
 		if _, err := rt.Run(l, par); err != nil {
 			t.Fatal(err)
@@ -228,7 +237,7 @@ func TestSpawnPerCallMatchesPooled(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
 	l, y := randomFigure1(rng, 120)
 	seq := append([]float64(nil), y...)
-	RunSequential(l, seq)
+	mustRunSequential(t, l, seq)
 	for _, spawn := range []bool{false, true} {
 		par := append([]float64(nil), y...)
 		rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield, SpawnPerCall: spawn})
@@ -249,7 +258,7 @@ func TestEpochTablesAllWaitStrategies(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	l, y := randomFigure1(rng, 120)
 	seq := append([]float64(nil), y...)
-	RunSequential(l, seq)
+	mustRunSequential(t, l, seq)
 	for _, strategy := range []flags.WaitStrategy{flags.WaitSpin, flags.WaitSpinYield, flags.WaitNotify} {
 		par := append([]float64(nil), y...)
 		rt := NewRuntime(l.Data, Options{Workers: 4, UseEpochTables: true, WaitStrategy: strategy})
@@ -269,7 +278,7 @@ func TestRuntimeRunAfterClose(t *testing.T) {
 	rng := rand.New(rand.NewSource(37))
 	l, y := randomFigure1(rng, 80)
 	seq := append([]float64(nil), y...)
-	RunSequential(l, seq)
+	mustRunSequential(t, l, seq)
 	rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
 	rt.Close()
 	rt.Close()
@@ -445,7 +454,7 @@ func TestReorderedExecutionMatchesSequential(t *testing.T) {
 		y[i] = rng.NormFloat64()
 	}
 	seq := append([]float64(nil), y...)
-	RunSequential(l, seq)
+	mustRunSequential(t, l, seq)
 	par := append([]float64(nil), y...)
 	rt := NewRuntime(l.Data, Options{Workers: 4, Order: order, WaitStrategy: flags.WaitSpinYield})
 	rep, err := rt.Run(l, par)

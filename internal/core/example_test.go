@@ -32,7 +32,9 @@ func ExampleRuntime_Run() {
 	}
 
 	seq := append([]float64(nil), y...)
-	core.RunSequential(loop, seq)
+	if err := core.RunSequential(loop, seq); err != nil {
+		panic(err)
+	}
 
 	rt := core.NewRuntime(len(y), core.Options{Workers: 2, WaitStrategy: flags.WaitSpinYield})
 	par := append([]float64(nil), y...)

@@ -195,6 +195,11 @@ type Values struct {
 	// failErr records a failure reported through Fail (or a cancelled wait);
 	// the runtime aborts the run when the body returns with it set.
 	failErr error
+	// rec, when non-nil, is the declared-access sanitizer's shadow recorder
+	// (Options.AccessCheck): every accessor reports the touched element to it
+	// for diffing against the iteration's declared pattern. It is nil on
+	// unchecked runs, so the accessors pay one predictable nil test.
+	rec *accessRecorder
 	// counters for tracing
 	waits      int
 	truedeps   int
@@ -240,6 +245,9 @@ func (v *Values) Iteration() int { return v.i }
 // the run's result is discarded in that case, so the stale value is never
 // observed by the caller.
 func (v *Values) Load(e int) float64 {
+	if v.rec != nil {
+		v.rec.noteLoad(e)
+	}
 	dep, _ := v.iter.Classify(e, v.i)
 	switch dep {
 	case flags.TrueDep:
@@ -261,18 +269,31 @@ func (v *Values) Load(e int) float64 {
 
 // LoadOld returns the value element e had before the loop started, without
 // any dependency check. Bodies use it for elements that are known never to be
-// written by the loop.
+// written by the loop. Because the old array is immutable for the duration of
+// the executor phase, LoadOld can never race and the declared-access
+// sanitizer does not require it to be declared.
 func (v *Values) LoadOld(e int) float64 { return v.old[e] }
 
 // LoadNew returns the in-progress new value of element e without any
 // dependency check or wait. It is intended for a body reading back an element
 // it has itself written during this iteration (the paper's ynew(a(i))
-// accumulation in Figure 5).
-func (v *Values) LoadNew(e int) float64 { return v.new[e] }
+// accumulation in Figure 5); the declared-access sanitizer therefore requires
+// e to be one of the iteration's declared write targets.
+func (v *Values) LoadNew(e int) float64 {
+	if v.rec != nil {
+		v.rec.noteLoadNew(e)
+	}
+	return v.new[e]
+}
 
 // Store writes the new value of element e. The element only becomes visible
 // to other iterations once the runtime marks it ready after the body returns.
-func (v *Values) Store(e int, x float64) { v.new[e] = x }
+func (v *Values) Store(e int, x float64) {
+	if v.rec != nil {
+		v.rec.noteStore(e)
+	}
+	v.new[e] = x
+}
 
 // Waits reports how many polling steps this iteration spent waiting on
 // unsatisfied true dependencies.
@@ -338,6 +359,7 @@ func (v *Values) reset(t writerTable, r readyWaiter, old, new []float64, i int, 
 	v.strategy = s
 	v.cancel = nil
 	v.failErr = nil
+	v.rec = nil
 	v.waits = 0
 	v.truedeps = 0
 	v.selfdeps = 0

@@ -27,7 +27,7 @@ func TestPropertyDoacrossEquivalentToSequential(t *testing.T) {
 		n := 30 + rng.Intn(120)
 		l, y := randomFigure1(rng, n)
 		seq := append([]float64(nil), y...)
-		RunSequential(l, seq)
+		mustRunSequential(t, l, seq)
 
 		workers := int(workerBits)%7 + 1
 		policy := sched.Policy(int(policyBits) % 3)
@@ -59,7 +59,7 @@ func TestPropertyBlockedEquivalentToSequential(t *testing.T) {
 		n := 30 + rng.Intn(100)
 		l, y := randomFigure1(rng, n)
 		seq := append([]float64(nil), y...)
-		RunSequential(l, seq)
+		mustRunSequential(t, l, seq)
 		block := int(blockBits)%n + 1
 		par := append([]float64(nil), y...)
 		rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
@@ -88,7 +88,7 @@ func TestPropertyReorderedEquivalentToSequential(t *testing.T) {
 			return false
 		}
 		seq := append([]float64(nil), y...)
-		RunSequential(l, seq)
+		mustRunSequential(t, l, seq)
 		par := append([]float64(nil), y...)
 		rt := NewRuntime(l.Data, Options{Workers: 5, Order: order, WaitStrategy: flags.WaitSpinYield})
 		if _, err := rt.Run(l, par); err != nil {
@@ -126,7 +126,7 @@ func TestManyWorkersFewIterations(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	l, y := randomFigure1(rng, 5)
 	seq := append([]float64(nil), y...)
-	RunSequential(l, seq)
+	mustRunSequential(t, l, seq)
 	for _, workers := range []int{8, 64, 200} {
 		par := append([]float64(nil), y...)
 		rt := NewRuntime(l.Data, Options{Workers: workers, WaitStrategy: flags.WaitSpinYield})
@@ -183,7 +183,7 @@ func TestLongDependencyChainManyWorkers(t *testing.T) {
 	y := make([]float64, n)
 	y[0] = 1
 	seq := append([]float64(nil), y...)
-	RunSequential(l, seq)
+	mustRunSequential(t, l, seq)
 	for _, policy := range []sched.Policy{sched.Block, sched.Cyclic, sched.Dynamic} {
 		par := append([]float64(nil), y...)
 		rt := NewRuntime(n, Options{Workers: 8, Policy: policy, Chunk: 4, WaitStrategy: flags.WaitSpinYield})
@@ -229,7 +229,7 @@ func TestMultipleWritesPerIteration(t *testing.T) {
 	}
 	y := make([]float64, dataLen)
 	seq := append([]float64(nil), y...)
-	RunSequential(l, seq)
+	mustRunSequential(t, l, seq)
 	par := append([]float64(nil), y...)
 	rt := NewRuntime(dataLen, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
 	if _, err := rt.Run(l, par); err != nil {
@@ -295,7 +295,7 @@ func TestPropertyExecutorsEquivalentToSequential(t *testing.T) {
 			return false
 		}
 		seq := append([]float64(nil), y...)
-		RunSequential(l, seq)
+		mustRunSequential(t, l, seq)
 
 		exec := ExecutorKind(int(execBits) % 4)
 		opts := Options{
@@ -347,7 +347,7 @@ func TestWavefrontMatchesDoacrossOnFigure1(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		l, y := randomFigure1(rng, 80+rng.Intn(80))
 		seq := append([]float64(nil), y...)
-		RunSequential(l, seq)
+		mustRunSequential(t, l, seq)
 		for _, exec := range []ExecutorKind{ExecDoacross, ExecWavefront, ExecWavefrontDynamic, ExecAuto} {
 			par := append([]float64(nil), y...)
 			rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield, Executor: exec})
@@ -490,7 +490,7 @@ func TestWavefrontCancellationMidLevel(t *testing.T) {
 		n := 120 + rng.Intn(120)
 		l, y := randomDAGLoop(rng, n)
 		seq := append([]float64(nil), y...)
-		RunSequential(l, seq)
+		mustRunSequential(t, l, seq)
 		trigger := rng.Intn(n)
 
 		for _, exec := range []ExecutorKind{ExecWavefront, ExecWavefrontDynamic, ExecDoacross} {
@@ -626,7 +626,7 @@ func TestSkewedCostExecutorsEquivalentToSequential(t *testing.T) {
 			t.Fatal(err)
 		}
 		seq := append([]float64(nil), y...)
-		RunSequential(l, seq)
+		mustRunSequential(t, l, seq)
 		for _, workers := range []int{1, 3, 7} {
 			for _, policy := range []sched.Policy{sched.Block, sched.Cyclic, sched.Dynamic} {
 				for _, exec := range execs {
@@ -672,7 +672,7 @@ func TestDynamicWavefrontAbortsAtHotIteration(t *testing.T) {
 		depth := 3 + rng.Intn(5)
 		l, y := skewedLevelLoop(rng, width, depth)
 		seq := append([]float64(nil), y...)
-		RunSequential(l, seq)
+		mustRunSequential(t, l, seq)
 		trigger := (depth / 2) * width // the hot iteration of a middle level
 
 		rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield, Executor: ExecWavefrontDynamic})

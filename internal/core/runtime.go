@@ -46,6 +46,14 @@ type Options struct {
 	// all true dependencies (see doconsider.Validate). Nil means natural
 	// order.
 	Order []int
+	// AccessCheck enables the declared-access sanitizer: each iteration's
+	// actual Values accesses are diffed against its declared Writes/Reads
+	// pattern, and the first mismatch aborts the run with an *AccessError
+	// naming the iteration and the offending element. It exists to catch
+	// under-declared loops before a pre-scheduled executor silently races on
+	// them; leave it off in production runs (checked accessors cost a few
+	// membership probes per access, unchecked ones a single nil test).
+	AccessCheck bool
 	// CollectTrace records a per-iteration execution trace (start/end time,
 	// worker, wait polls) retrievable through Runtime.Trace after Run. It
 	// adds two clock readings per iteration, so leave it off for
@@ -130,6 +138,10 @@ type Runtime struct {
 	// nothing per Run beyond the schedule memoized below.
 	counters []execCounters
 	vals     []Values
+	// recs holds the per-worker declared-access recorders; nil unless
+	// Options.AccessCheck is set, which is what keeps the sanitizer off the
+	// unchecked hot path entirely.
+	recs []accessRecorder
 	// memoized static schedule: rebuilding the position lists is O(N) per
 	// Run, which dominates repeated small-N runs.
 	memoSched *sched.Schedule
@@ -242,6 +254,9 @@ func NewRuntime(dataLen int, opts Options) *Runtime {
 		ynew:     make([]float64, dataLen),
 		counters: make([]execCounters, opts.Workers),
 		vals:     make([]Values, opts.Workers),
+	}
+	if opts.AccessCheck {
+		rt.recs = make([]accessRecorder, opts.Workers)
 	}
 	if opts.UseEpochTables {
 		rt.eIter = flags.NewEpochIterTable(dataLen)
@@ -632,7 +647,14 @@ func (rt *Runtime) execBody(l *Loop, y []float64, tab writerTable, ready readyWa
 		v := &rt.vals[worker]
 		v.reset(tab, ready, y, rt.ynew, i, rt.opts.WaitStrategy)
 		v.cancel = &ab.triggered
+		rt.armAccessCheck(v, l, worker, i, writes)
 		if err := l.run(i, v); err != nil {
+			ab.abort(err)
+			return
+		}
+		if err := v.accessViolation(); err != nil {
+			// An undeclared access aborts like a body error: the iteration's
+			// elements stay unpublished and the first violation wins.
 			ab.abort(err)
 			return
 		}

@@ -178,7 +178,12 @@ func (rt *Runtime) RunLinear(l *Loop, y []float64, sub LinearSubscript) (Report,
 		v := &vals[worker]
 		v.reset(tab, ready, y, rt.ynew, i, rt.opts.WaitStrategy)
 		v.cancel = &ab.triggered
+		rt.armAccessCheck(v, l, worker, i, writes)
 		if err := l.run(i, v); err != nil {
+			ab.abort(err)
+			return
+		}
+		if err := v.accessViolation(); err != nil {
 			ab.abort(err)
 			return
 		}
@@ -259,7 +264,16 @@ func (rt *Runtime) RunDoall(l *Loop, y []float64) (Report, error) {
 		}
 		vv := &v[worker]
 		vv.reset(seqTable{}, seqReady{}, y, y, pos, rt.opts.WaitStrategy)
+		if rt.recs != nil {
+			// The doall baseline never consults Writes; fetch it only when
+			// the sanitizer needs the declared pattern.
+			rt.armAccessCheck(vv, l, worker, pos, l.Writes(pos))
+		}
 		if err := l.run(pos, vv); err != nil {
+			ab.abort(err)
+			return
+		}
+		if err := vv.accessViolation(); err != nil {
 			ab.abort(err)
 		}
 	}
@@ -346,7 +360,12 @@ func (rt *Runtime) RunOracle(l *Loop, y []float64, preds [][]int32) (Report, err
 		v := &vals[worker]
 		v.reset(tab, ready, y, rt.ynew, i, rt.opts.WaitStrategy)
 		v.cancel = &ab.triggered
+		rt.armAccessCheck(v, l, worker, i, writes)
 		if err := l.run(i, v); err != nil {
+			ab.abort(err)
+			return
+		}
+		if err := v.accessViolation(); err != nil {
 			ab.abort(err)
 			return
 		}

@@ -14,7 +14,7 @@ func TestBlockedMatchesSequential(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		l, y := randomFigure1(rng, 150)
 		seq := append([]float64(nil), y...)
-		RunSequential(l, seq)
+		mustRunSequential(t, l, seq)
 		for _, block := range []int{1, 7, 32, 150, 500} {
 			par := append([]float64(nil), y...)
 			rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
@@ -95,7 +95,7 @@ func TestLinearVariantMatchesSequential(t *testing.T) {
 		y[i] = rng.NormFloat64()
 	}
 	seq := append([]float64(nil), y...)
-	RunSequential(l, seq)
+	mustRunSequential(t, l, seq)
 
 	parInspector := append([]float64(nil), y...)
 	rt1 := NewRuntime(dataLen, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
@@ -150,7 +150,7 @@ func TestLinearVariantEpochTables(t *testing.T) {
 	}
 	y := make([]float64, n)
 	seq := append([]float64(nil), y...)
-	RunSequential(l, seq)
+	mustRunSequential(t, l, seq)
 	par := append([]float64(nil), y...)
 	rt := NewRuntime(n, Options{Workers: 3, UseEpochTables: true, WaitStrategy: flags.WaitSpinYield})
 	if _, err := rt.RunLinear(l, par, sub); err != nil {
@@ -192,7 +192,7 @@ func TestOracleMatchesSequential(t *testing.T) {
 		l, y := randomFigure1(rng, 150)
 		g := depgraph.Build(depgraph.Access{N: l.N, Writes: l.Writes, Reads: l.Reads})
 		seq := append([]float64(nil), y...)
-		RunSequential(l, seq)
+		mustRunSequential(t, l, seq)
 		par := append([]float64(nil), y...)
 		rt := NewRuntime(l.Data, Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
 		rep, err := rt.RunOracle(l, par, g.Preds)

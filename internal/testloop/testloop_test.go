@@ -122,7 +122,9 @@ func TestDoacrossMatchesSequentialAllL(t *testing.T) {
 			c := Config{N: 400, M: M, L: L}
 			l := c.Loop()
 			seq := c.InitialData()
-			core.RunSequential(l, seq)
+			if err := core.RunSequential(l, seq); err != nil {
+				t.Fatalf("L=%d M=%d: sequential reference: %v", L, M, err)
+			}
 			par := c.InitialData()
 			rt := core.NewRuntime(l.Data, core.Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
 			if _, err := rt.Run(l, par); err != nil {
@@ -146,7 +148,9 @@ func TestLinearSubscriptVariantMatches(t *testing.T) {
 		}
 	}
 	seq := c.InitialData()
-	core.RunSequential(l, seq)
+	if err := core.RunSequential(l, seq); err != nil {
+		t.Fatalf("sequential reference: %v", err)
+	}
 	par := c.InitialData()
 	rt := core.NewRuntime(l.Data, core.Options{Workers: 4, WaitStrategy: flags.WaitSpinYield})
 	if _, err := rt.RunLinear(l, par, sub); err != nil {
