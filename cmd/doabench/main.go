@@ -13,7 +13,12 @@
 //	doabench -experiment sweep       # Ablation F: processor-count sweep (extension)
 //	doabench -experiment executors   # live executor sweep: doacross vs wavefront vs wavefront-dynamic
 //	doabench -experiment live        # live goroutine measurements on this host
+//	doabench -experiment serving     # serving throughput: K concurrent callers through the coalescing SolveService
 //	doabench -experiment all         # everything above
+//
+// The -experiment flag also accepts a comma-separated subset
+// (e.g. -experiment executors,serving), useful when one invocation should
+// emit a single machine-readable file covering several experiments.
 //
 // Flags -procs, -n and -seed override the simulated processor count, the
 // Figure 6 iteration count and the SPE perturbation seed. The -check flag
@@ -39,7 +44,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig6 | table1 | overhead | blocked | linear | ordering | sweep | executors | live | all")
+		experiment = flag.String("experiment", "all", "comma-separated subset of fig6 | table1 | overhead | blocked | linear | ordering | sweep | executors | live | serving | all")
 		procs      = flag.Int("procs", experiments.PaperProcessors, "simulated processor count")
 		n          = flag.Int("n", 10000, "Figure 6 outer iteration count")
 		seed       = flag.Int64("seed", 1, "seed for the synthetic SPE operators")
@@ -50,28 +55,34 @@ func main() {
 		// (BENCH_results.json) so a partial experiment run cannot silently
 		// clobber it; regenerating the baseline is an explicit -json.
 		jsonPath    = flag.String("json", "BENCH_results.new.json", "write machine-readable results of the live/executors experiments here (empty disables)")
-		liveWorkers = flag.String("workers", "", "comma-separated worker counts for the executors sweep (default: derived from GOMAXPROCS)")
+		liveWorkers = flag.String("workers", "", "comma-separated worker counts for the executors sweep (first entry also pins the serving solver; default: derived from GOMAXPROCS)")
 		executors   = flag.String("executors", "", "comma-separated executors for the executors sweep: doacross | wavefront | wavefront-dynamic | auto (default: all)")
+		callers     = flag.String("callers", "4,16", "comma-separated concurrent caller counts for the serving experiment")
 	)
 	flag.Parse()
 
-	validExperiments := []string{"fig6", "table1", "overhead", "blocked", "linear", "ordering", "sweep", "executors", "live", "all"}
-	known := false
-	for _, name := range validExperiments {
-		if *experiment == name {
-			known = true
-			break
+	validExperiments := []string{"fig6", "table1", "overhead", "blocked", "linear", "ordering", "sweep", "executors", "live", "serving", "all"}
+	selected := make(map[string]bool)
+	for _, raw := range strings.Split(*experiment, ",") {
+		name := strings.TrimSpace(raw)
+		known := false
+		for _, valid := range validExperiments {
+			if name == valid {
+				known = true
+				break
+			}
 		}
-	}
-	if !known {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s)\n", *experiment, strings.Join(validExperiments, ", "))
-		os.Exit(1)
+		if !known {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s)\n", name, strings.Join(validExperiments, ", "))
+			os.Exit(1)
+		}
+		selected[name] = true
 	}
 
 	failures := 0
 	var benchRecords []experiments.BenchRecord
 	run := func(name string, f func() (string, []string, error)) {
-		if *experiment != "all" && *experiment != name {
+		if !selected["all"] && !selected[name] {
 			return
 		}
 		out, problems, err := f()
@@ -255,6 +266,38 @@ func main() {
 		results = append(results, r)
 		benchRecords = append(benchRecords, experiments.LiveBenchRecords(results)...)
 		return experiments.FormatLive(results), nil, nil
+	})
+
+	run("serving", func() (string, []string, error) {
+		workers := experiments.DefaultLiveWorkers()
+		if *liveWorkers != "" {
+			first := strings.Split(*liveWorkers, ",")[0]
+			w, err := strconv.Atoi(strings.TrimSpace(first))
+			if err != nil || w < 1 {
+				return "", nil, fmt.Errorf("invalid -workers entry %q", first)
+			}
+			workers = w
+		}
+		var ks []int
+		for _, s := range strings.Split(*callers, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || k < 1 {
+				return "", nil, fmt.Errorf("invalid -callers entry %q", s)
+			}
+			ks = append(ks, k)
+		}
+		var results []experiments.ServingResult
+		for _, k := range ks {
+			cfg := experiments.DefaultServingConfig(stencil.FivePoint, workers, k)
+			cfg.Repeat = *liveReps
+			rows, err := experiments.RunServing(cfg)
+			if err != nil {
+				return "", nil, err
+			}
+			results = append(results, rows...)
+		}
+		benchRecords = append(benchRecords, experiments.ServingBenchRecords(results)...)
+		return experiments.FormatServing(results), experiments.CheckServing(results), nil
 	})
 
 	if *jsonPath != "" && len(benchRecords) > 0 {

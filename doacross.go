@@ -21,6 +21,16 @@ type Loop = core.Loop
 // wait), Store writes through the renaming buffer, Fail aborts the run.
 type Values = core.Values
 
+// MultiValues gives a multi-RHS loop body (see LoopBuilder.BodyMulti and
+// Runtime.RunMulti) access to a column block of the shared array: LoadRow
+// performs one dependency check for a whole row of columns, Row exposes the
+// iteration's writable output row.
+type MultiValues = core.MultiValues
+
+// MaxRHSBlock is the widest column block one traversal carries; RunMulti and
+// Solver.SolveMulti split wider requests into blocks of this size.
+const MaxRHSBlock = core.MaxRHSBlock
+
 // Report describes one doacross execution: per-phase times and aggregate
 // synchronization counters.
 type Report = core.Report
@@ -362,6 +372,18 @@ func (r *Runtime) RunBlocked(ctx context.Context, l *Loop, y []float64, blockSiz
 	return r.rt.RunBlockedContext(ctx, l, y, blockSize)
 }
 
+// RunMulti executes the loop once per column block of ys — each ys[c] an
+// independent copy of the shared array — with a single wavefront traversal
+// per block applying the loop's BodyMulti to every column. The traversal's
+// fixed overheads (inspector, level barriers, claim traffic) are paid once
+// per block instead of once per column, which is the batched-solve speedup
+// the serving front end builds on. Blocks are MaxRHSBlock columns wide; the
+// Auto executor sees the block width, so its pick may differ from the
+// scalar run's. Cancellation and failure behave as in Run.
+func (r *Runtime) RunMulti(ctx context.Context, l *Loop, ys [][]float64) (Report, error) {
+	return r.rt.RunMulti(ctx, l, ys)
+}
+
 // RunLinear executes the loop with the linear-subscript variant of Section
 // 2.3: when the left-hand-side subscript is a(i) = C*i + D, the inspector
 // phase is eliminated entirely and the dependency check uses the closed
@@ -468,8 +490,20 @@ func (b *LoopBuilder) BodyErr(f func(i int, v *Values) error) *LoopBuilder {
 	return b
 }
 
-// Build validates the loop description (sizes, exactly one body variant, no
-// output dependencies) and returns it.
+// BodyMulti sets the column-blocked iteration body executed by
+// Runtime.RunMulti: the same iteration applied to every column of a block of
+// independent data arrays in one traversal. It coexists with Body/BodyErr —
+// a loop carrying both runs scalar under Run and blocked under RunMulti. The
+// body must perform the same element accesses in every column; reads that
+// may hit the iteration's own written element must go through per-column
+// LoadRow calls (see MultiValues).
+func (b *LoopBuilder) BodyMulti(f func(i int, v *MultiValues)) *LoopBuilder {
+	b.l.BodyMulti = f
+	return b
+}
+
+// Build validates the loop description (sizes, at most one of Body/BodyErr
+// and at least one body variant, no output dependencies) and returns it.
 func (b *LoopBuilder) Build() (*Loop, error) {
 	l := b.l
 	if err := l.Validate(); err != nil {

@@ -58,6 +58,33 @@
 // and UseDoacrossILU, which wire both preconditioner substitutions to
 // persistent doacross runtimes.
 //
+// # Serving many right-hand sides
+//
+// A solver reused across many independent right-hand sides pays the
+// traversal's fixed costs — level barriers above all — once per solve. Two
+// layers remove that overhead. Solver.SolveMulti (and Runtime.RunMulti under
+// it, driving a Loop's BodyMulti) carries a block of up to MaxRHSBlock
+// right-hand sides through one traversal, classifying each dependency once
+// per element row rather than once per column. NewSolveService builds the
+// request-side counterpart: a coalescing front end whose concurrent
+// single-RHS Solve calls are collected by a bounded intake queue for a
+// configurable window, submitted as one SolveMulti, and demultiplexed back
+// to their callers — request batching in the inference-server sense.
+//
+// Cancellation at the service is per request, never per batch. A request's
+// context is checked at three points: at enqueue (a dead request is rejected
+// before queueing), when its batch is assembled (a dead request is dropped
+// without being solved), and at delivery (a request cancelled while its
+// batch was being solved has its answer discarded). In the last case the
+// batch itself always runs to completion under a background context, so one
+// caller's cancellation never aborts the solves its neighbors are riding
+// in; the cancelled caller unblocks immediately with ctx.Err() and, because
+// the service copied its right-hand side at enqueue, may reuse its buffers
+// at once. A solver error, by contrast, fails every request of the batch.
+// Close answers still-queued requests with ErrServiceClosed, and a full
+// intake queue rejects new requests with ErrServiceQueueFull rather than
+// blocking the caller.
+//
 // # The doacross contract, and checking it
 //
 // Correctness rests on three conventions the compiler cannot enforce:
@@ -79,8 +106,9 @@
 // Two tools enforce the contract. The static suite in cmd/doavet (run
 // directly as `doavet ./...`, or as `go vet -vettool=doavet ./...`) flags
 // captured-variable writes in bodies, index-slice mutations missing a
-// following InvalidatePlans, runtimes and solvers that neither get closed nor
-// escape, and discarded Run/Solve errors or nil Contexts. The run-time
+// following InvalidatePlans, runtimes, solvers and solve services that
+// neither get closed nor escape, and discarded Run/Solve errors or nil
+// Contexts. The run-time
 // sanitizer behind WithAccessCheck(true) shadow-records each iteration's
 // actual Values accesses, diffs them against the declaration and aborts the
 // run with an *AccessError naming the iteration and element on the first

@@ -6,19 +6,22 @@ import (
 	"go/types"
 )
 
-// RuntimeClose flags doacross.New / NewSolver / NewReorderedSolver results
-// that neither get closed nor escape the creating function — the lostcancel
-// shape for this API. A Runtime (and a Solver, which owns one) holds a
-// persistent worker pool; the contract is to Close it when done. A finalizer
-// eventually reclaims a forgotten pool, but a serving path that churns
-// runtimes without Close keeps goroutine count hostage to GC timing, so the
+// RuntimeClose flags doacross.New / NewSolver / NewReorderedSolver /
+// NewSolveService results that neither get closed nor escape the creating
+// function — the lostcancel shape for this API. A Runtime (and a Solver,
+// which owns one) holds a persistent worker pool, and a SolveService owns a
+// dispatcher goroutine besides; the contract is to Close them when done. A
+// finalizer eventually reclaims a forgotten pool, but a forgotten service's
+// dispatcher has no finalizer at all, and a serving path that churns
+// handles without Close keeps goroutine count hostage to GC timing, so the
 // contract is enforced at vet time.
 var RuntimeClose = &Analyzer{
 	Name: "runtimeclose",
-	Doc: "flag runtimes and solvers that go out of scope without Close on any path\n\n" +
-		"doacross.New, NewSolver and NewReorderedSolver return handles owning a\n" +
-		"persistent worker pool; a handle that is neither closed in its creating\n" +
-		"function nor handed outward relies on GC finalizers for release.",
+	Doc: "flag runtimes, solvers and solve services that go out of scope without Close on any path\n\n" +
+		"doacross.New, NewSolver, NewReorderedSolver and NewSolveService return\n" +
+		"handles owning a persistent worker pool or dispatcher goroutine; a handle\n" +
+		"that is neither closed in its creating function nor handed outward relies\n" +
+		"on GC finalizers (or nothing at all) for release.",
 	Run: runRuntimeClose,
 }
 
@@ -48,7 +51,7 @@ func checkRuntimeClose(pass *Pass, f *ast.File, body *ast.BlockStmt) {
 			return true
 		}
 		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
-		if !ok || !isDoacrossFunc(info, call, "New", "NewSolver", "NewReorderedSolver") {
+		if !ok || !isDoacrossFunc(info, call, "New", "NewSolver", "NewReorderedSolver", "NewSolveService") {
 			return true
 		}
 		if len(asg.Lhs) == 0 {
@@ -122,6 +125,6 @@ func checkRuntimeClose(pass *Pass, f *ast.File, body *ast.BlockStmt) {
 			continue
 		}
 		fn := callee(info, call)
-		pass.Reportf(call.Pos(), "%s result %q is never closed and never escapes this function; its worker pool is only reclaimed by a GC finalizer — add defer %s.Close()", fn.Name(), v.Name(), v.Name())
+		pass.Reportf(call.Pos(), "%s result %q is never closed and never escapes this function; its worker pool is only reclaimed by a GC finalizer (a solve service's dispatcher not even then) — add defer %s.Close()", fn.Name(), v.Name(), v.Name())
 	}
 }

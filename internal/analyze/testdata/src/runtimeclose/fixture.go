@@ -2,7 +2,12 @@
 // persistent worker pool and must be closed by whoever keeps them.
 package fixture
 
-import "doacross"
+import (
+	"context"
+	"time"
+
+	"doacross"
+)
 
 // flaggedRuntime: created, used, never closed, never handed out.
 func flaggedRuntime(y []float64) int {
@@ -92,4 +97,33 @@ func cleanReorderedSolverClosed(t *doacross.Triangular, rhs []float64) ([]float6
 	defer s.Close()
 	y, _, err := s.Solve(rhs, make([]float64, t.N))
 	return y, err
+}
+
+// flaggedService: a solve service owns a dispatcher goroutine on top of the
+// solver's pool; leaking it is worse than leaking a runtime (no finalizer).
+func flaggedService(s *doacross.Solver, rhs []float64) ([]float64, error) {
+	svc, err := doacross.NewSolveService(s, doacross.ServeOptions{}) // want `result "svc" is never closed`
+	if err != nil {
+		return nil, err
+	}
+	return svc.Solve(context.Background(), rhs)
+}
+
+// cleanServiceDefer: the canonical serving shape.
+func cleanServiceDefer(s *doacross.Solver, rhs []float64) ([]float64, error) {
+	svc, err := doacross.NewSolveService(s, doacross.ServeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	return svc.Solve(context.Background(), rhs)
+}
+
+// cleanServiceReturned: ownership of the front end moves to the caller.
+func cleanServiceReturned(s *doacross.Solver) (*doacross.SolveService, error) {
+	svc, err := doacross.NewSolveService(s, doacross.ServeOptions{Window: time.Millisecond})
+	if err != nil {
+		return nil, err
+	}
+	return svc, nil
 }

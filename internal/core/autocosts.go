@@ -96,14 +96,34 @@ func (c AutoCosts) valid() bool { return c.BarrierNs > 0 && c.FlagCheckNs > 0 }
 //
 //	(rounds_da*(r+3) - rounds_wf*r) / L
 func (c AutoCosts) Predict(st InspectStats, workers int) (tDoacross, tWavefront, tDynamic float64) {
+	return c.PredictN(st, workers, 1)
+}
+
+// PredictN is Predict for a blocked multi-RHS traversal carrying nrhs
+// right-hand-side columns (Runtime.RunMulti): the useful work of every
+// iteration scales by the column count — IterNs becomes nrhs*IterNs
+// throughout — while the traversal's overheads (flag maintenance, level
+// barriers, chunk claims) are paid once per block regardless of width, since
+// one classification covers a whole element row and the dependency structure
+// is unchanged. That asymmetry is what can flip the pick as nrhs grows: the
+// doacross's stall rounds (the critical-path and StallWeight terms) each cost
+// a full column-scaled iteration, while the wavefront's L*BarrierNs stays
+// fixed and is amortized across the block — so barrier-dominated wavefronts
+// that lose at nrhs = 1 win at moderate block widths. nrhs below 1 is treated
+// as 1; Predict(st, p) == PredictN(st, p, 1).
+func (c AutoCosts) PredictN(st InspectStats, workers, nrhs int) (tDoacross, tWavefront, tDynamic float64) {
 	p := workers
 	if p < 1 {
 		p = 1
+	}
+	if nrhs < 1 {
+		nrhs = 1
 	}
 	n := st.Iterations
 	if n == 0 {
 		return 0, 0, 0
 	}
+	workNs := float64(nrhs) * c.IterNs
 	workRounds := (n + p - 1) / p
 	bound := workRounds
 	if st.CriticalPathLen > bound {
@@ -121,10 +141,10 @@ func (c AutoCosts) Predict(st InspectStats, workers int) (tDoacross, tWavefront,
 		wfRounds = minWfRounds
 	}
 	r := float64(st.Edges) / float64(n)
-	perIter := c.IterNs + r*c.FlagCheckNs
-	tDoacross = daRounds * (c.IterNs + (r+3)*c.FlagCheckNs)
+	perIter := workNs + r*c.FlagCheckNs
+	tDoacross = daRounds * (workNs + (r+3)*c.FlagCheckNs)
 	wfBase := float64(wfRounds)*perIter + float64(st.Levels)*c.BarrierNs
-	readTermNs := c.FlagCheckNs + c.IterNs/(r+1)
+	readTermNs := c.FlagCheckNs + workNs/(r+1)
 	tWavefront = wfBase + st.ReadImbalance*readTermNs
 	if c.ClaimNs > 0 {
 		claims := float64(st.DynamicClaims)
@@ -139,14 +159,15 @@ func (c AutoCosts) Predict(st InspectStats, workers int) (tDoacross, tWavefront,
 // autoChoose is the Auto selection: a single barrier-free level (a doall, or
 // an empty loop) always pre-schedules statically (a dynamic run of one level
 // would only add claim traffic); otherwise the calibrated cost model picks
-// the cheapest of the three strategies, with the dynamic considered only
-// when a claim coefficient is available (Predict returns zero for it
+// the cheapest of the three strategies for a traversal carrying nrhs
+// right-hand-side columns (1 for scalar runs), with the dynamic considered
+// only when a claim coefficient is available (PredictN returns zero for it
 // otherwise).
-func autoChoose(st InspectStats, workers int, costs AutoCosts) ExecutorKind {
+func autoChoose(st InspectStats, workers, nrhs int, costs AutoCosts) ExecutorKind {
 	if st.Levels <= 1 {
 		return ExecWavefront
 	}
-	tda, twf, tdyn := costs.Predict(st, workers)
+	tda, twf, tdyn := costs.PredictN(st, workers, nrhs)
 	pick, best := ExecDoacross, tda
 	if twf < best {
 		pick, best = ExecWavefront, twf

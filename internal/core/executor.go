@@ -91,8 +91,12 @@ type executor interface {
 // where ExecAuto inspects and decides, and where a strategy's structural
 // requirements (Reads for the wavefront, natural order) are enforced. For an
 // ExecAuto decision the report's AutoCosts and predicted times are filled so
-// the caller can see what the selection compared.
-func (rt *Runtime) executorFor(l *Loop, rep *Report) (executor, error) {
+// the caller can see what the selection compared. nrhs is the number of
+// right-hand-side columns the traversal will carry (1 for scalar runs,
+// the block width for RunMulti): an Auto decision prices the per-iteration
+// work by it, so the pick can flip between a scalar run and a wide block of
+// the same loop (see AutoCosts.PredictN).
+func (rt *Runtime) executorFor(l *Loop, rep *Report, nrhs int) (executor, error) {
 	switch rt.opts.Executor {
 	case ExecDoacross:
 		return doacrossExecutor{rt}, nil
@@ -124,9 +128,9 @@ func (rt *Runtime) executorFor(l *Loop, rep *Report) (executor, error) {
 		if rep != nil {
 			rep.AutoCosts = costs
 			rep.PredictedDoacrossNs, rep.PredictedWavefrontNs, rep.PredictedDynamicNs =
-				costs.Predict(plan.stats, rt.opts.Workers)
+				costs.PredictN(plan.stats, rt.opts.Workers, nrhs)
 		}
-		switch autoChoose(plan.stats, rt.opts.Workers, costs) {
+		switch autoChoose(plan.stats, rt.opts.Workers, nrhs, costs) {
 		case ExecWavefrontDynamic:
 			return dynamicWavefrontExecutor{rt: rt, plan: plan, cached: cached}, nil
 		case ExecWavefront:

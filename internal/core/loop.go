@@ -69,10 +69,19 @@ type Loop struct {
 	Body func(i int, v *Values)
 	// BodyErr is the error-returning variant of Body. A non-nil return aborts
 	// the run: no further iterations start, waiting iterations are released,
-	// and Runtime.Run returns the error (the first one reported). Exactly one
-	// of Body and BodyErr must be set. A body that cannot change its
+	// and Runtime.Run returns the error (the first one reported). At most one
+	// of Body and BodyErr may be set, and a loop must define at least one body
+	// variant (Body, BodyErr or BodyMulti). A body that cannot change its
 	// signature may call v.Fail(err) instead, which has the same effect.
 	BodyErr func(i int, v *Values) error
+	// BodyMulti executes iteration i against a block of right-hand-side
+	// columns at once: v gives row-at-a-time access to the block (one
+	// dependency check per element covers all columns), and Runtime.RunMulti
+	// is the entry point that arms it. A loop may define BodyMulti alongside
+	// Body/BodyErr — scalar runs use the scalar body, RunMulti uses this one
+	// — or define only BodyMulti for loops that are exclusively run blocked.
+	// Failures are reported through v.Fail.
+	BodyMulti func(i int, v *MultiValues)
 }
 
 // run dispatches to whichever body variant the loop defines and returns the
@@ -105,8 +114,11 @@ func (l *Loop) Validate() error {
 	if l.Writes == nil {
 		return fmt.Errorf("core: Loop requires Writes")
 	}
-	if (l.Body == nil) == (l.BodyErr == nil) {
-		return fmt.Errorf("core: Loop requires exactly one of Body and BodyErr")
+	if l.Body != nil && l.BodyErr != nil {
+		return fmt.Errorf("core: Loop defines both Body and BodyErr; set at most one")
+	}
+	if l.Body == nil && l.BodyErr == nil && l.BodyMulti == nil {
+		return fmt.Errorf("core: Loop requires a body (Body, BodyErr or BodyMulti)")
 	}
 	// The duplicate-writer check uses a scratch slice indexed by element
 	// (value = writing iteration + 1, zero = unwritten) instead of a

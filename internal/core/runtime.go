@@ -106,6 +106,10 @@ type Report struct {
 	PredictedDoacrossNs  float64
 	PredictedWavefrontNs float64
 	PredictedDynamicNs   float64
+	// NRHS is the number of right-hand-side columns a RunMulti call carried
+	// through the traversal; zero for scalar runs. Phase times and counters
+	// of a multi-column report aggregate all of the call's column blocks.
+	NRHS int
 }
 
 // String renders the report in a compact human-readable form.
@@ -187,6 +191,17 @@ type Runtime struct {
 	// consulted by the executor before each position and inside cancellable
 	// waits.
 	ab runAbort
+
+	// Multi-RHS block state (see multi.go). mold/mnew are the element-major
+	// column-block buffers (value of element e, block column c at
+	// [e*nc + c]), mvals the per-worker MultiValues scratch, and mc the armed
+	// block descriptor: a non-zero mc.nc makes execBody hand executors the
+	// multi body instead of the scalar one. All are sized lazily on the first
+	// RunMulti and reused across blocks and runs.
+	mold  []float64
+	mnew  []float64
+	mvals []MultiValues
+	mc    multiRun
 }
 
 // runAbort coordinates early termination of a run: the first failure
@@ -495,7 +510,7 @@ func (rt *Runtime) RunContext(ctx context.Context, l *Loop, y []float64) (Report
 	// inspector shard, a cold inspection is not interruptible mid-flight;
 	// ctx is re-checked as soon as it completes.
 	selStart := time.Now()
-	ex, err := rt.executorFor(l, &rep)
+	ex, err := rt.executorFor(l, &rep, 1)
 	if err != nil {
 		return Report{}, err
 	}
@@ -623,6 +638,11 @@ func (rt *Runtime) runPhased(ctx context.Context, l *Loop, y []float64, rep Repo
 // run and leaves its elements unpublished (waiters are released through the
 // cancellable wait instead).
 func (rt *Runtime) execBody(l *Loop, y []float64, tab writerTable, ready readyWaiter, traceBase time.Time) func(worker, pos int) {
+	if rt.mc.nc > 0 {
+		// A RunMulti block is armed: every executor transparently runs the
+		// multi-RHS body against the block buffers instead (see multi.go).
+		return rt.execBodyMulti(l, tab, ready, traceBase)
+	}
 	order := rt.opts.Order
 	ab := &rt.ab
 	return func(worker, pos int) {

@@ -145,6 +145,11 @@ func (rt *Runtime) RunLinear(l *Loop, y []float64, sub LinearSubscript) (Report,
 	if sub.C == 0 {
 		return Report{}, fmt.Errorf("core: linear subscript requires C != 0")
 	}
+	if rt.opts.Order != nil {
+		// The variant executes positions in natural order; silently dropping a
+		// configured doconsider order would misattribute its results.
+		return Report{}, fmt.Errorf("core: RunLinear does not support a reordered execution order")
+	}
 	if err := rt.checkRunArgs(l, y); err != nil {
 		return Report{}, err
 	}
@@ -300,6 +305,12 @@ func (rt *Runtime) RunDoall(l *Loop, y []float64) (Report, error) {
 func (rt *Runtime) RunOracle(l *Loop, y []float64, preds [][]int32) (Report, error) {
 	if len(preds) != l.N {
 		return Report{}, fmt.Errorf("core: oracle dependency list has %d entries for %d iterations", len(preds), l.N)
+	}
+	if rt.opts.Order != nil {
+		// preds is indexed by natural iteration and the executor runs
+		// positions in natural order; a configured order would be silently
+		// ignored rather than honored.
+		return Report{}, fmt.Errorf("core: RunOracle does not support a reordered execution order")
 	}
 	if err := rt.checkRunArgs(l, y); err != nil {
 		return Report{}, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -231,5 +232,34 @@ func TestOptionsAccessors(t *testing.T) {
 	zero := NewRuntime(8, Options{})
 	if zero.Workers() != 1 {
 		t.Error("zero workers should clamp to 1")
+	}
+}
+
+// TestVariantsRejectReorderedRuntime is the Run* validation audit: every
+// variant whose executor walks positions in natural order must reject a
+// runtime configured with a doconsider execution order up front, instead of
+// silently running the natural order and misattributing the results.
+// (RunBlocked already did; RunLinear and RunOracle used to fall through.)
+func TestVariantsRejectReorderedRuntime(t *testing.T) {
+	sub := LinearSubscript{C: 1, D: 0}
+	l := &Loop{N: 4, Data: 4, Writes: sub.WritesFunc(), Body: func(i int, v *Values) { v.Store(i, 1) }}
+	rt := NewRuntime(4, Options{Workers: 2, Order: []int{3, 2, 1, 0}})
+	defer rt.Close()
+	y := make([]float64, 4)
+	if _, err := rt.RunBlocked(l, y, -1); err == nil {
+		t.Error("negative block size accepted")
+	}
+	if _, err := rt.RunLinear(l, y, sub); err == nil {
+		t.Error("RunLinear on a reordered runtime accepted")
+	}
+	if _, err := rt.RunOracle(l, y, make([][]int32, 4)); err == nil {
+		t.Error("RunOracle on a reordered runtime accepted")
+	}
+	if _, err := rt.RunMulti(context.Background(), l, [][]float64{y}); err == nil {
+		// The multi path validates the order length like RunContext does; a
+		// wrong-length order is caught in TestRunMultiValidation, and a
+		// correct-length one is honored, so no rejection here — just make
+		// sure the BodyMulti requirement fires first.
+		t.Error("RunMulti without BodyMulti accepted")
 	}
 }

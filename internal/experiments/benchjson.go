@@ -42,6 +42,12 @@ type BenchRecord struct {
 	AutoBarrierNs float64 `json:"auto_barrier_ns,omitempty"`
 	AutoFlagNs    float64 `json:"auto_flag_check_ns,omitempty"`
 	AutoClaimNs   float64 `json:"auto_claim_ns,omitempty"`
+	// The serving experiment's fields: the concurrent caller count, the
+	// measured throughput, and the mean coalesced batch size (1.0 for the
+	// unbatched baseline).
+	Callers      int     `json:"callers,omitempty"`
+	SolvesPerSec float64 `json:"solves_per_sec,omitempty"`
+	MeanBatch    float64 `json:"mean_batch,omitempty"`
 }
 
 // BenchFile is the envelope of BENCH_results.json.

@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"doacross"
+	"doacross/internal/sparse"
+	"doacross/internal/stencil"
+)
+
+// ServingConfig describes one serving-throughput measurement: K concurrent
+// callers hammering one solver through the coalescing SolveService.
+type ServingConfig struct {
+	// Problem selects the triangular factor served.
+	Problem stencil.Problem
+	// Workers is the solver's worker count.
+	Workers int
+	// Callers is K, the number of concurrent requesters.
+	Callers int
+	// SolvesPerCaller is how many solves each caller performs back to back.
+	SolvesPerCaller int
+	// Window is the coalescing window of the batched configuration; the
+	// unbatched baseline always runs Window 0 with MaxBatch 1.
+	Window time.Duration
+	// Repeat reports the best of this many runs per configuration.
+	Repeat int
+}
+
+// DefaultServingConfig returns the serving sweep's standard configuration:
+// a 200µs window, enough solves per caller to outlast warmup, best of 2.
+func DefaultServingConfig(prob stencil.Problem, workers, callers int) ServingConfig {
+	return ServingConfig{
+		Problem:         prob,
+		Workers:         workers,
+		Callers:         callers,
+		SolvesPerCaller: 60,
+		Window:          200 * time.Microsecond,
+		Repeat:          2,
+	}
+}
+
+// ServingResult is one measured serving configuration.
+type ServingResult struct {
+	Name    string
+	Workers int
+	Callers int
+	// Batched distinguishes the coalescing configuration from the
+	// Window=0/MaxBatch=1 baseline.
+	Batched bool
+	// Solves is the total request count of one run; Elapsed its wall clock.
+	Solves  int
+	Elapsed time.Duration
+	// SolvesPerSec is the throughput (Solves / Elapsed).
+	SolvesPerSec float64
+	// NsPerSolve is the per-request wall clock (Elapsed / Solves), the ns/op
+	// the regression gate tracks.
+	NsPerSolve float64
+	// MeanBatch, WindowFlushes and SizeFlushes summarize the batch-size
+	// distribution of the run; BatchSizes is the full histogram
+	// (BatchSizes[k] counts batches of k+1 requests).
+	MeanBatch     float64
+	WindowFlushes uint64
+	SizeFlushes   uint64
+	MaxQueueDepth int
+	BatchSizes    []uint64
+	// Checks is the result-correctness note ("results match" or a mismatch).
+	Checks string
+}
+
+// String renders the measurement.
+func (r ServingResult) String() string {
+	mode := "unbatched"
+	if r.Batched {
+		mode = "batched  "
+	}
+	return fmt.Sprintf("%-26s P=%-2d K=%-3d %s %9.0f solves/s  %10.0f ns/solve  mean batch %5.1f  flushes %d window / %d size  depth<=%d  %s",
+		r.Name, r.Workers, r.Callers, mode, r.SolvesPerSec, r.NsPerSolve,
+		r.MeanBatch, r.WindowFlushes, r.SizeFlushes, r.MaxQueueDepth, r.Checks)
+}
+
+// RunServing measures one serving configuration in both modes — coalescing
+// off (Window 0, MaxBatch 1: every request pays a full traversal) and on —
+// over the same solver kind, and returns the two results, unbatched first.
+// Correctness is checked on every caller's final answer against the
+// sequential substitution.
+func RunServing(cfg ServingConfig) ([]ServingResult, error) {
+	if cfg.Callers < 1 || cfg.SolvesPerCaller < 1 {
+		return nil, fmt.Errorf("experiments: serving needs at least one caller and one solve, got K=%d S=%d", cfg.Callers, cfg.SolvesPerCaller)
+	}
+	repeat := cfg.Repeat
+	if repeat < 1 {
+		repeat = 1
+	}
+	l, _, err := stencil.LowerFactor(cfg.Problem, 1)
+	if err != nil {
+		return nil, err
+	}
+	// Distinct per-caller right-hand sides with precomputed references keep
+	// the correctness check out of the timed region.
+	rhs := make([][]float64, cfg.Callers)
+	want := make([][]float64, cfg.Callers)
+	for c := range rhs {
+		rhs[c] = stencil.RHS(l.N, int64(13+c))
+		want[c] = doacross.SolveSequential(l, rhs[c])
+	}
+
+	name := fmt.Sprintf("trisolve %v serving", cfg.Problem)
+	out := make([]ServingResult, 0, 2)
+	for _, batched := range []bool{false, true} {
+		opts := doacross.ServeOptions{MaxBatch: 1}
+		if batched {
+			opts = doacross.ServeOptions{Window: cfg.Window, MaxBatch: doacross.MaxRHSBlock}
+		}
+		// The queue must absorb a full burst of callers in either mode.
+		opts.QueueBound = 2 * cfg.Callers
+		if opts.QueueBound < 256 {
+			opts.QueueBound = 256
+		}
+		res := ServingResult{
+			Name:    name,
+			Workers: cfg.Workers,
+			Callers: cfg.Callers,
+			Batched: batched,
+			Solves:  cfg.Callers * cfg.SolvesPerCaller,
+		}
+		for rep := 0; rep < repeat; rep++ {
+			// A fresh solver and service per run: the schedule cache warms
+			// during the first solves, which the repeat's best-of absorbs.
+			solver, err := doacross.NewSolver(l, liveSolverOptions(cfg.Workers, 32)...)
+			if err != nil {
+				return nil, err
+			}
+			svc, err := doacross.NewSolveService(solver, opts)
+			if err != nil {
+				solver.Close()
+				return nil, err
+			}
+			elapsed, last, err := serveOnce(svc, rhs, cfg.SolvesPerCaller)
+			if err != nil {
+				svc.Close()
+				solver.Close()
+				return nil, err
+			}
+			st := svc.Stats()
+			svc.Close()
+			solver.Close()
+			if rep == 0 || elapsed < res.Elapsed {
+				res.Elapsed = elapsed
+				res.MeanBatch = st.MeanBatch()
+				res.WindowFlushes = st.WindowFlushes
+				res.SizeFlushes = st.SizeFlushes
+				res.MaxQueueDepth = st.MaxQueueDepth
+				res.BatchSizes = st.BatchSizes
+				res.Checks = checkServing(last, want)
+			}
+		}
+		res.SolvesPerSec = float64(res.Solves) / res.Elapsed.Seconds()
+		res.NsPerSolve = float64(res.Elapsed.Nanoseconds()) / float64(res.Solves)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// serveOnce drives one timed run: every caller performs its solves back to
+// back, and the wall clock covers first enqueue to last delivery. Each
+// caller's final answer is returned for the correctness check.
+func serveOnce(svc *doacross.SolveService, rhs [][]float64, solves int) (time.Duration, [][]float64, error) {
+	callers := len(rhs)
+	last := make([][]float64, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < solves; k++ {
+				y, err := svc.Solve(context.Background(), rhs[c])
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				last[c] = y
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	return elapsed, last, nil
+}
+
+// checkServing verifies every caller's final answer against its sequential
+// reference.
+func checkServing(got, want [][]float64) string {
+	for c := range want {
+		if got[c] == nil {
+			return fmt.Sprintf("MISSING ANSWER (caller %d)", c)
+		}
+		if d := sparse.VecMaxDiff(got[c], want[c]); d > 1e-9 {
+			return fmt.Sprintf("RESULT MISMATCH (caller %d, max diff %.2e)", c, d)
+		}
+	}
+	return "results match"
+}
+
+// ServingBenchRecords converts serving measurements into bench records, one
+// per mode, keyed so the regression gate matches batched against batched and
+// unbatched against unbatched across runs.
+func ServingBenchRecords(results []ServingResult) []BenchRecord {
+	records := make([]BenchRecord, 0, len(results))
+	for _, r := range results {
+		mode := "unbatched"
+		if r.Batched {
+			mode = "batched"
+		}
+		records = append(records, BenchRecord{
+			Experiment:   "serving",
+			Name:         fmt.Sprintf("%s %s K=%d", r.Name, mode, r.Callers),
+			Workers:      r.Workers,
+			NsPerOp:      r.NsPerSolve,
+			Callers:      r.Callers,
+			SolvesPerSec: r.SolvesPerSec,
+			MeanBatch:    r.MeanBatch,
+		})
+	}
+	return records
+}
+
+// FormatServing renders a set of serving measurements, including the
+// batch-size distribution of each batched row.
+func FormatServing(results []ServingResult) string {
+	var b strings.Builder
+	b.WriteString("Serving throughput — K concurrent callers through the coalescing SolveService\n")
+	for _, r := range results {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+		if r.Batched {
+			b.WriteString("  batch sizes: ")
+			b.WriteString(formatBatchHistogram(r.BatchSizes))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// formatBatchHistogram renders the non-empty buckets of a batch-size
+// histogram as "size×count" pairs.
+func formatBatchHistogram(sizes []uint64) string {
+	var parts []string
+	for k, c := range sizes {
+		if c > 0 {
+			parts = append(parts, fmt.Sprintf("%d×%d", k+1, c))
+		}
+	}
+	if len(parts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// CheckServing verifies the serving experiment's qualitative claims: all
+// results correct, and with enough concurrency (K >= 16) the coalescing
+// configuration beats the unbatched baseline — the whole point of paying
+// one traversal per batch instead of one per request.
+func CheckServing(results []ServingResult) []string {
+	var problems []string
+	byKey := make(map[string]*ServingResult)
+	for i := range results {
+		r := &results[i]
+		if r.Checks != "results match" {
+			problems = append(problems, fmt.Sprintf("%s K=%d: %s", r.Name, r.Callers, r.Checks))
+		}
+		mode := "unbatched"
+		if r.Batched {
+			mode = "batched"
+		}
+		byKey[fmt.Sprintf("%s/K=%d/%s", r.Name, r.Callers, mode)] = r
+	}
+	for i := range results {
+		r := &results[i]
+		if !r.Batched || r.Callers < 16 {
+			continue
+		}
+		base, ok := byKey[fmt.Sprintf("%s/K=%d/unbatched", r.Name, r.Callers)]
+		if !ok {
+			continue
+		}
+		if r.SolvesPerSec <= base.SolvesPerSec {
+			problems = append(problems, fmt.Sprintf(
+				"%s K=%d: batched %.0f solves/s did not beat unbatched %.0f",
+				r.Name, r.Callers, r.SolvesPerSec, base.SolvesPerSec))
+		}
+		if r.MeanBatch <= 1 {
+			problems = append(problems, fmt.Sprintf(
+				"%s K=%d: coalescing produced no multi-request batches (mean %.2f)",
+				r.Name, r.Callers, r.MeanBatch))
+		}
+	}
+	return problems
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"doacross/internal/stencil"
+)
+
+func TestServingExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live measurement skipped in -short mode")
+	}
+	cfg := DefaultServingConfig(stencil.FivePoint, 2, 8)
+	cfg.SolvesPerCaller = 10
+	cfg.Repeat = 1
+	results, err := RunServing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Batched || !results[1].Batched {
+		t.Fatalf("want [unbatched batched], got %+v", results)
+	}
+	for _, r := range results {
+		if r.Checks != "results match" {
+			t.Fatalf("%s K=%d: %s", r.Name, r.Callers, r.Checks)
+		}
+		if r.Solves != 80 || r.SolvesPerSec <= 0 || r.NsPerSolve <= 0 {
+			t.Fatalf("implausible result: %+v", r)
+		}
+	}
+	if results[0].MeanBatch != 1 {
+		t.Errorf("unbatched mean batch = %v, want exactly 1", results[0].MeanBatch)
+	}
+	if results[1].MeanBatch <= 1 {
+		t.Errorf("batched mean batch = %v, want > 1 at 8 concurrent callers", results[1].MeanBatch)
+	}
+	if results[1].WindowFlushes+results[1].SizeFlushes == 0 {
+		t.Error("batched run recorded no flushes")
+	}
+
+	records := ServingBenchRecords(results)
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2", len(records))
+	}
+	if records[0].Experiment != "serving" || !strings.Contains(records[0].Name, "unbatched") {
+		t.Errorf("unbatched record: %+v", records[0])
+	}
+	if !strings.Contains(records[1].Name, " batched") || records[1].SolvesPerSec <= 0 || records[1].Callers != 8 {
+		t.Errorf("batched record: %+v", records[1])
+	}
+	// The two modes must land on distinct benchdiff keys, or the gate would
+	// compare batched runs against unbatched baselines.
+	if records[0].Name == records[1].Name {
+		t.Error("batched and unbatched records share a workload key")
+	}
+
+	out := FormatServing(results)
+	if !strings.Contains(out, "solves/s") || !strings.Contains(out, "batch sizes:") {
+		t.Errorf("format output missing fields:\n%s", out)
+	}
+	if problems := CheckServing(results); len(problems) > 0 {
+		// K=8 is below the >=16 throughput-claim threshold, so only
+		// correctness problems can appear here.
+		t.Fatalf("serving violations: %v", problems)
+	}
+}
+
+func TestServingValidationAndChecks(t *testing.T) {
+	if _, err := RunServing(ServingConfig{Problem: stencil.FivePoint, Workers: 1}); err == nil {
+		t.Error("zero callers accepted")
+	}
+	// CheckServing flags a batched row at K>=16 that loses to its baseline
+	// and a coalescer that never batches.
+	rows := []ServingResult{
+		{Name: "trisolve 5-PT serving", Callers: 16, Batched: false, SolvesPerSec: 100, Checks: "results match"},
+		{Name: "trisolve 5-PT serving", Callers: 16, Batched: true, SolvesPerSec: 50, MeanBatch: 1, Checks: "results match"},
+	}
+	problems := CheckServing(rows)
+	if len(problems) != 2 {
+		t.Fatalf("want 2 violations (slower + no batches), got %v", problems)
+	}
+	rows[1].SolvesPerSec = 200
+	rows[1].MeanBatch = 8
+	if problems := CheckServing(rows); len(problems) != 0 {
+		t.Fatalf("healthy rows flagged: %v", problems)
+	}
+	rows[0].Checks = "RESULT MISMATCH (caller 0, max diff 1.0e-3)"
+	if problems := CheckServing(rows); len(problems) != 1 {
+		t.Fatalf("mismatch not flagged: %v", problems)
+	}
+	if got := formatBatchHistogram(nil); got != "(none)" {
+		t.Errorf("empty histogram rendered %q", got)
+	}
+	if got := formatBatchHistogram([]uint64{2, 0, 1}); got != "1×2 3×1" {
+		t.Errorf("histogram rendered %q", got)
+	}
+}

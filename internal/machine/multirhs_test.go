@@ -1,0 +1,72 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"doacross/internal/sched"
+)
+
+// TestSimulateMultiRHSAmortizesFixedOverheads is the headline property of
+// the blocked traversal: per-solve cost (TPar/nrhs) strictly decreases with
+// the block width, because the barriers, checks and per-iteration
+// bookkeeping are paid once per traversal while only the useful work scales.
+func TestSimulateMultiRHSAmortizesFixedOverheads(t *testing.T) {
+	cm, wc := uniformWavefrontCost()
+	cfg := Config{Processors: 8, Policy: sched.Cyclic}
+	g := layeredGraph(16, 32)
+	for _, model := range []ExecModel{ModelDoacross, ModelWavefront, ModelWavefrontDynamic} {
+		prev := math.Inf(1)
+		for _, nrhs := range []int{1, 4, 16, 64} {
+			res, err := SimulateMultiRHS(g, nrhs, model, cfg, cm, wc)
+			if err != nil {
+				t.Fatalf("%v nrhs=%d: %v", model, nrhs, err)
+			}
+			perSolve := res.TPar / float64(nrhs)
+			if perSolve >= prev {
+				t.Errorf("%v: per-solve cost did not amortize at nrhs=%d: %v >= %v", model, nrhs, perSolve, prev)
+			}
+			prev = perSolve
+		}
+	}
+}
+
+// TestSimulateMultiRHSScalesOnlyWork checks the cost split directly: at any
+// block width the wavefront's barrier bill is that of a single traversal,
+// while TSeq counts nrhs sequential column solves.
+func TestSimulateMultiRHSScalesOnlyWork(t *testing.T) {
+	cm, wc := uniformWavefrontCost()
+	cfg := Config{Processors: 8, Policy: sched.Cyclic}
+	g := layeredGraph(16, 32)
+	one, err := SimulateMultiRHS(g, 1, ModelWavefront, cfg, cm, wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := SimulateMultiRHS(g, 32, ModelWavefront, cfg, cm, wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.BarrierTime != one.BarrierTime {
+		t.Errorf("barrier bill scaled with the block: %v vs %v", many.BarrierTime, one.BarrierTime)
+	}
+	if want := 32 * one.TSeq; math.Abs(many.TSeq-want) > 1e-9*want {
+		t.Errorf("TSeq = %v, want %v (32 column solves)", many.TSeq, want)
+	}
+	if many.PostTime != 32*one.PostTime {
+		t.Errorf("scatter did not scale with the block: %v vs %v", many.PostTime, one.PostTime)
+	}
+	if many.PreTime != one.PreTime {
+		t.Errorf("inspector scaled with the block: %v vs %v", many.PreTime, one.PreTime)
+	}
+	// nrhs=1 must be exactly the single-RHS model.
+	base, err := SimulateSchedule(g, ModelWavefront, cfg, cm, wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.TPar != base.TPar {
+		t.Errorf("nrhs=1 differs from the single-RHS model: %v vs %v", one.TPar, base.TPar)
+	}
+	if _, err := SimulateMultiRHS(g, 0, ModelWavefront, cfg, cm, wc); err == nil {
+		t.Error("nrhs=0 accepted")
+	}
+}

@@ -1,0 +1,429 @@
+// Package serve provides the request-coalescing front end over the blocked
+// multi-RHS solver: concurrent single-RHS Solve calls are collected by a
+// bounded intake queue, batched within a configurable window (or until a
+// maximum batch size), submitted as one SolveMulti traversal, and
+// demultiplexed back to their callers.
+//
+// The shape is the same as request batching in an inference server. The
+// dominant production workload is many independent solves against one fixed
+// factor: the wavefront plan is cached, so what bounds throughput is the
+// fixed per-traversal overhead — level barriers above all. One traversal
+// carrying a block of right-hand sides pays that overhead once for the whole
+// block (see core.MaxRHSBlock), so under concurrent load, waiting a few
+// microseconds to let requests pile up buys a super-linear throughput win.
+// Under no load the window only adds latency, which is why it is
+// configurable and why Window = 0 (solo batches) is the unbatched baseline
+// the serving experiment compares against.
+//
+// Cancellation is per request, not per batch: each request carries its own
+// context, checked when the batch is assembled and again when results are
+// delivered. A request cancelled mid-solve has its answer discarded — the
+// batch it rode in completes for the other requests. Only a request that is
+// still queued (its batch not yet submitted) is dropped without being
+// solved.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"doacross/internal/core"
+)
+
+// BatchSolver is the solving backend a SolveService batches onto — what
+// trisolve.Solver provides. N is the system size a right-hand side must
+// match; SolveMultiContext solves one column per right-hand side of B into Y
+// (allocating when nil).
+type BatchSolver interface {
+	N() int
+	SolveMultiContext(ctx context.Context, B, Y [][]float64) ([][]float64, core.Report, error)
+}
+
+// Options configures a SolveService.
+type Options struct {
+	// Window is how long the dispatcher holds an open batch after its first
+	// request, waiting for more to coalesce, before flushing it. Zero (the
+	// default) disables coalescing entirely: every request is solved in a
+	// batch of its own — the unbatched baseline. A few tens of microseconds
+	// already captures concurrent bursts; the window only delays the first
+	// request of a batch, never adds to a full one (a batch reaching MaxBatch
+	// flushes immediately).
+	Window time.Duration
+	// MaxBatch is the batch size that triggers an immediate flush. It
+	// defaults to core.MaxRHSBlock — one full column block per traversal —
+	// and larger values are allowed (the solver splits them into blocks).
+	MaxBatch int
+	// QueueBound is the intake queue's capacity. An enqueue finding the
+	// queue full fails fast with ErrQueueFull instead of blocking the
+	// caller — backpressure surfaces at the edge, where the caller can shed
+	// or retry, rather than as unbounded memory growth. Defaults to 256.
+	QueueBound int
+}
+
+// Errors returned by the service's entry points.
+var (
+	// ErrClosed reports a Solve on (or queued in) a service that has been
+	// closed.
+	ErrClosed = errors.New("serve: service closed")
+	// ErrQueueFull reports an enqueue rejected because the intake queue was
+	// at its bound.
+	ErrQueueFull = errors.New("serve: intake queue full")
+)
+
+// request is one caller's solve waiting in the intake queue: its own context,
+// its copied right-hand side, and the channel the dispatcher closes when y
+// and err are filled.
+type request struct {
+	ctx  context.Context
+	rhs  []float64
+	y    []float64
+	err  error
+	done chan struct{}
+}
+
+// Stats is a snapshot of the service's instrumentation.
+type Stats struct {
+	// Solves counts requests answered successfully.
+	Solves uint64
+	// Errors counts requests answered with a solver error.
+	Errors uint64
+	// Cancelled counts requests whose context was cancelled before their
+	// answer was delivered (dropped from an unsubmitted batch, or solved
+	// with the answer discarded).
+	Cancelled uint64
+	// Batches counts SolveMulti submissions.
+	Batches uint64
+	// WindowFlushes counts batches flushed because the coalescing window
+	// expired; SizeFlushes counts batches flushed because they reached
+	// MaxBatch (with Window = 0 every batch is a size flush). Their sum is
+	// Batches.
+	WindowFlushes uint64
+	SizeFlushes   uint64
+	// QueueDepth is the number of requests waiting in the intake queue at
+	// snapshot time; MaxQueueDepth the deepest the queue has been.
+	QueueDepth    int
+	MaxQueueDepth int
+	// BatchSizes is the batch-size histogram: BatchSizes[k] counts batches
+	// of size k+1, with sizes beyond MaxBatch clamped into the last bucket.
+	BatchSizes []uint64
+}
+
+// MeanBatch returns the mean batch size, zero before the first batch.
+func (s Stats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	var total uint64
+	for k, c := range s.BatchSizes {
+		total += uint64(k+1) * c
+	}
+	return float64(total) / float64(s.Batches)
+}
+
+// SolveService coalesces concurrent single-RHS solve requests into blocked
+// multi-RHS submissions. Construct with NewSolveService, submit with Solve
+// (safe for concurrent use), release with Close. The service owns one
+// dispatcher goroutine; the underlying solver is only ever called from it, so
+// a solver that is not safe for concurrent use (trisolve.Solver) is safe
+// behind the service.
+type SolveService struct {
+	solver BatchSolver
+	opts   Options
+
+	reqs chan *request
+
+	mu      sync.Mutex // guards closed and the enqueue-vs-Close race
+	closed  bool
+	closing chan struct{}
+
+	loopDone chan struct{}
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	// batch is the dispatcher's reusable assembly scratch.
+	batch []*request
+	bs    [][]float64
+	ys    [][]float64
+}
+
+// NewSolveService starts the coalescing front end over solver. Defaults:
+// MaxBatch core.MaxRHSBlock, QueueBound 256, Window 0 (no coalescing — see
+// Options.Window). Close the service when done; closing the service does not
+// close the underlying solver.
+func NewSolveService(solver BatchSolver, opts Options) (*SolveService, error) {
+	if solver == nil {
+		return nil, fmt.Errorf("serve: nil solver")
+	}
+	if opts.Window < 0 {
+		return nil, fmt.Errorf("serve: negative window %v", opts.Window)
+	}
+	if opts.MaxBatch < 0 || opts.QueueBound < 0 {
+		return nil, fmt.Errorf("serve: negative batch size or queue bound")
+	}
+	if opts.MaxBatch == 0 {
+		opts.MaxBatch = core.MaxRHSBlock
+	}
+	if opts.QueueBound == 0 {
+		opts.QueueBound = 256
+	}
+	s := &SolveService{
+		solver:   solver,
+		opts:     opts,
+		reqs:     make(chan *request, opts.QueueBound),
+		closing:  make(chan struct{}),
+		loopDone: make(chan struct{}),
+		batch:    make([]*request, 0, opts.MaxBatch),
+		bs:       make([][]float64, 0, opts.MaxBatch),
+		ys:       make([][]float64, 0, opts.MaxBatch),
+	}
+	s.stats.BatchSizes = make([]uint64, opts.MaxBatch)
+	go s.loop()
+	return s, nil
+}
+
+// Solve solves T*y = rhs through the batching queue, blocking until the
+// answer (or a failure) is delivered. rhs is copied at enqueue, so the caller
+// may reuse its slice immediately after Solve returns, even on cancellation.
+// The returned slice is owned by the caller.
+//
+// ctx cancels this request only: before its batch is submitted the request
+// is dropped unsolved; after submission the batch runs to completion for the
+// other requests and this request's answer is discarded. Solve returns
+// ctx.Err() in both cases. ErrQueueFull reports the intake queue at its
+// bound, ErrClosed a closed service.
+func (s *SolveService) Solve(ctx context.Context, rhs []float64) ([]float64, error) {
+	if len(rhs) < s.solver.N() {
+		return nil, fmt.Errorf("serve: rhs has %d entries for %d unknowns", len(rhs), s.solver.N())
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := &request{
+		ctx:  ctx,
+		rhs:  append([]float64(nil), rhs[:s.solver.N()]...),
+		done: make(chan struct{}),
+	}
+	// The closed check and the send are one critical section shared with
+	// Close, so a request is either observably rejected or safely in the
+	// queue before the channel can be drained for shutdown — never sent to a
+	// service that already stopped reading. The send itself is non-blocking:
+	// the channel's buffer is the queue bound, and a full buffer is the
+	// fail-fast backpressure signal, so the lock is never held for longer
+	// than a buffered send.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.reqs <- r:
+	default:
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.mu.Unlock()
+	s.noteDepth(len(s.reqs))
+
+	select {
+	case <-r.done:
+		return r.y, r.err
+	case <-ctx.Done():
+		// The dispatcher owns the request now; it will observe the
+		// cancellation and close done without an answer. Waiting for done
+		// here would re-couple the caller to the batch it wanted to leave,
+		// so return immediately — the copied rhs makes that safe.
+		return nil, ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the service's instrumentation counters.
+func (s *SolveService) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	st := s.stats
+	st.BatchSizes = append([]uint64(nil), s.stats.BatchSizes...)
+	st.QueueDepth = len(s.reqs)
+	return st
+}
+
+// Close stops the service: subsequent Solve calls fail with ErrClosed, the
+// batch in flight (if any) completes and is delivered, and requests still
+// queued fail with ErrClosed. Close blocks until the dispatcher has drained
+// and is idempotent. The underlying solver is not closed.
+func (s *SolveService) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.loopDone
+		return
+	}
+	s.closed = true
+	close(s.closing)
+	s.mu.Unlock()
+	<-s.loopDone
+}
+
+// noteDepth records a queue-depth observation.
+func (s *SolveService) noteDepth(depth int) {
+	s.statsMu.Lock()
+	if depth > s.stats.MaxQueueDepth {
+		s.stats.MaxQueueDepth = depth
+	}
+	s.statsMu.Unlock()
+}
+
+// loop is the dispatcher: collect a batch, solve it, deliver, repeat. It is
+// the only goroutine that touches the underlying solver.
+func (s *SolveService) loop() {
+	defer close(s.loopDone)
+	for {
+		first, ok := s.next()
+		if !ok {
+			s.drainClosed()
+			return
+		}
+		windowFlush := s.collect(first)
+		s.dispatch(windowFlush)
+	}
+}
+
+// next blocks for the first request of the next batch; ok is false when the
+// service is closing and the queue is empty.
+func (s *SolveService) next() (*request, bool) {
+	select {
+	case r := <-s.reqs:
+		return r, true
+	case <-s.closing:
+		// Drain what was enqueued before Close flipped the flag; those
+		// requests still get answers.
+		select {
+		case r := <-s.reqs:
+			return r, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// collect assembles the batch starting at first: requests are taken until
+// the batch reaches MaxBatch (a size flush) or the coalescing window expires
+// (a window flush, reported true). Window 0 means no coalescing — the batch
+// is whatever is already queued, capped at MaxBatch, counted as a size flush.
+// Requests already cancelled at assembly are dropped here, before the solver
+// sees them.
+func (s *SolveService) collect(first *request) (windowFlush bool) {
+	s.batch = s.batch[:0]
+	s.add(first)
+	if s.opts.Window <= 0 {
+		for len(s.batch) < s.opts.MaxBatch {
+			select {
+			case r := <-s.reqs:
+				s.add(r)
+			default:
+				return false
+			}
+		}
+		return false
+	}
+	timer := time.NewTimer(s.opts.Window)
+	defer timer.Stop()
+	for len(s.batch) < s.opts.MaxBatch {
+		select {
+		case r := <-s.reqs:
+			s.add(r)
+		case <-timer.C:
+			return true
+		case <-s.closing:
+			// Shutdown flushes the open batch immediately; it is counted
+			// as a window flush (the window was cut short, not filled).
+			return true
+		}
+	}
+	return false
+}
+
+// add appends r to the batch unless its context is already cancelled, in
+// which case it is answered with the cancellation right away.
+func (s *SolveService) add(r *request) {
+	if err := r.ctx.Err(); err != nil {
+		r.err = err
+		close(r.done)
+		s.statsMu.Lock()
+		s.stats.Cancelled++
+		s.statsMu.Unlock()
+		return
+	}
+	s.batch = append(s.batch, r)
+}
+
+// dispatch solves the assembled batch as one SolveMulti and demultiplexes
+// the answers. The solve runs under a background context: a single request's
+// cancellation must not abort the batch its neighbors are riding in, so
+// per-request contexts are consulted only at delivery, where a cancelled
+// request's answer is discarded. A solver error fails every request in the
+// batch.
+func (s *SolveService) dispatch(windowFlush bool) {
+	if len(s.batch) == 0 {
+		return
+	}
+	s.bs = s.bs[:0]
+	s.ys = s.ys[:0]
+	for _, r := range s.batch {
+		s.bs = append(s.bs, r.rhs)
+		s.ys = append(s.ys, nil)
+	}
+	out, _, err := s.solver.SolveMultiContext(context.Background(), s.bs, s.ys)
+
+	var solved, failed, cancelled uint64
+	for k, r := range s.batch {
+		switch {
+		case err != nil:
+			r.err = err
+			failed++
+		case r.ctx.Err() != nil:
+			// Solved, but the caller is gone: discard the answer, deliver
+			// the cancellation.
+			r.err = r.ctx.Err()
+			cancelled++
+		default:
+			r.y = out[k]
+			solved++
+		}
+		close(r.done)
+		s.batch[k] = nil // no liveness past delivery
+	}
+
+	s.statsMu.Lock()
+	s.stats.Batches++
+	if windowFlush {
+		s.stats.WindowFlushes++
+	} else {
+		s.stats.SizeFlushes++
+	}
+	bucket := len(s.bs) - 1
+	if bucket >= len(s.stats.BatchSizes) {
+		bucket = len(s.stats.BatchSizes) - 1
+	}
+	s.stats.BatchSizes[bucket]++
+	s.stats.Solves += solved
+	s.stats.Errors += failed
+	s.stats.Cancelled += cancelled
+	s.statsMu.Unlock()
+}
+
+// drainClosed answers every request still queued at shutdown with ErrClosed.
+func (s *SolveService) drainClosed() {
+	for {
+		select {
+		case r := <-s.reqs:
+			r.err = ErrClosed
+			close(r.done)
+		default:
+			return
+		}
+	}
+}

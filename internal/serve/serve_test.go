@@ -1,0 +1,489 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"doacross/internal/core"
+)
+
+// fakeSolver is a controllable BatchSolver: it records every batch size,
+// optionally blocks each SolveMultiContext on a gate so tests can pile
+// requests up behind an in-flight batch, and optionally fails. The "solve"
+// doubles the right-hand side.
+type fakeSolver struct {
+	n       int
+	gate    chan struct{} // when non-nil, each solve blocks until a send (or close)
+	entered chan struct{} // buffered; one send per gated solve, before blocking
+	fail    error
+
+	mu      sync.Mutex
+	batches []int
+}
+
+// gatedSolver returns a fakeSolver whose every solve announces itself on
+// entered and then blocks until the test sends on (or closes) gate. Receiving
+// from entered is how a test knows a batch is fully assembled and in flight.
+func gatedSolver(n int) *fakeSolver {
+	return &fakeSolver{n: n, gate: make(chan struct{}), entered: make(chan struct{}, 16)}
+}
+
+func (f *fakeSolver) N() int { return f.n }
+
+func (f *fakeSolver) SolveMultiContext(ctx context.Context, B, Y [][]float64) ([][]float64, core.Report, error) {
+	if f.gate != nil {
+		f.entered <- struct{}{}
+		<-f.gate
+	}
+	f.mu.Lock()
+	f.batches = append(f.batches, len(B))
+	f.mu.Unlock()
+	if f.fail != nil {
+		return nil, core.Report{}, f.fail
+	}
+	if Y == nil {
+		Y = make([][]float64, len(B))
+	}
+	for k := range B {
+		if Y[k] == nil {
+			Y[k] = make([]float64, f.n)
+		}
+		for i := 0; i < f.n; i++ {
+			Y[k][i] = 2 * B[k][i]
+		}
+	}
+	return Y, core.Report{NRHS: len(B)}, nil
+}
+
+func (f *fakeSolver) batchSizes() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int(nil), f.batches...)
+}
+
+func rhsFor(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return b
+}
+
+// TestServiceAnswersConcurrentCallers drives many concurrent callers through
+// a coalescing window and checks every caller gets its own doubled answer
+// back — the demultiplexing property — and that the stats add up.
+func TestServiceAnswersConcurrentCallers(t *testing.T) {
+	const n, callers, perCaller = 16, 8, 25
+	fs := &fakeSolver{n: n}
+	s, err := NewSolveService(fs, Options{Window: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, callers*perCaller)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < perCaller; k++ {
+				b := rhsFor(n, int64(1000*c+k))
+				y, err := s.Solve(context.Background(), b)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range b {
+					if y[i] != 2*b[i] {
+						t.Errorf("caller %d solve %d: y[%d] = %v, want %v", c, k, i, y[i], 2*b[i])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.Solves != callers*perCaller {
+		t.Errorf("Solves = %d, want %d", st.Solves, callers*perCaller)
+	}
+	if st.Errors != 0 || st.Cancelled != 0 {
+		t.Errorf("unexpected failures: %+v", st)
+	}
+	if st.Batches == 0 || st.WindowFlushes+st.SizeFlushes != st.Batches {
+		t.Errorf("flush counts don't add up to batches: %+v", st)
+	}
+	var hist uint64
+	for _, c := range st.BatchSizes {
+		hist += c
+	}
+	if hist != st.Batches {
+		t.Errorf("batch-size histogram covers %d batches, want %d", hist, st.Batches)
+	}
+	if mean := st.MeanBatch(); mean < 1 {
+		t.Errorf("mean batch %v < 1", mean)
+	}
+}
+
+// TestServiceCoalescesBehindInFlightBatch blocks the solver on a gate,
+// enqueues a pile of requests behind the in-flight batch, and checks the
+// whole pile rides the next traversal as one batch.
+func TestServiceCoalescesBehindInFlightBatch(t *testing.T) {
+	const n, waiting = 8, 6
+	fs := gatedSolver(n)
+	s, err := NewSolveService(fs, Options{Window: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	results := make(chan error, waiting+1)
+	solve := func(seed int64) {
+		_, err := s.Solve(context.Background(), rhsFor(n, seed))
+		results <- err
+	}
+	go solve(0)
+	<-fs.entered // first batch is inside the solver, blocked on the gate
+	for k := 1; k <= waiting; k++ {
+		go solve(int64(k))
+	}
+	waitForDepth(t, s, waiting) // the pile is queued behind the in-flight batch
+	fs.gate <- struct{}{}       // release the first batch
+	<-fs.entered                // the whole pile rode the next traversal...
+	fs.gate <- struct{}{}       // ...release it too
+	for k := 0; k < waiting+1; k++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizes := fs.batchSizes()
+	if len(sizes) != 2 || sizes[0] != 1 || sizes[1] != waiting {
+		t.Fatalf("batch sizes = %v, want [1 %d]", sizes, waiting)
+	}
+}
+
+// waitForDepth spins until the intake queue holds want requests.
+func waitForDepth(t *testing.T, s *SolveService, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().QueueDepth < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached depth %d (at %d)", want, s.Stats().QueueDepth)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// TestServiceCancelledRequestDoesNotAbortBatch is the ISSUE's cancellation
+// property: one request in a coalesced batch is cancelled mid-solve; it gets
+// its context error, the batch completes, and every neighbor still gets a
+// correct answer.
+func TestServiceCancelledRequestDoesNotAbortBatch(t *testing.T) {
+	const n, batch = 8, 3
+	fs := gatedSolver(n)
+	// MaxBatch = batch makes assembly deterministic: the batch flushes the
+	// moment all three requests are in, regardless of timing.
+	s, err := NewSolveService(fs, Options{Window: 10 * time.Second, MaxBatch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	type answer struct {
+		y   []float64
+		err error
+	}
+	ctxs := make([]context.Context, batch)
+	cancels := make([]context.CancelFunc, batch)
+	for k := range ctxs {
+		ctxs[k], cancels[k] = context.WithCancel(context.Background())
+		defer cancels[k]()
+	}
+	answers := make([]chan answer, batch)
+	bs := make([][]float64, batch)
+	for k := 0; k < batch; k++ {
+		answers[k] = make(chan answer, 1)
+		bs[k] = rhsFor(n, int64(k))
+		go func(k int) {
+			y, err := s.Solve(ctxs[k], bs[k])
+			answers[k] <- answer{y, err}
+		}(k)
+	}
+	// Wait until all three are assembled (size flush at MaxBatch) and the
+	// solver is blocked on the gate: the batch is in flight. Cancel the
+	// middle request while its batch is being solved.
+	<-fs.entered
+	cancels[1]()
+	a1 := <-answers[1]
+	if !errors.Is(a1.err, context.Canceled) {
+		t.Fatalf("cancelled request returned %v, want context.Canceled", a1.err)
+	}
+	fs.gate <- struct{}{}
+	for _, k := range []int{0, 2} {
+		a := <-answers[k]
+		if a.err != nil {
+			t.Fatalf("neighbor %d of a cancelled request failed: %v", k, a.err)
+		}
+		for i := range bs[k] {
+			if a.y[i] != 2*bs[k][i] {
+				t.Fatalf("neighbor %d got a wrong answer at %d", k, i)
+			}
+		}
+	}
+	if sizes := fs.batchSizes(); len(sizes) != 1 || sizes[0] != batch {
+		t.Fatalf("batch sizes = %v, want [%d] — the cancelled request must not shrink or abort the batch", fs.batchSizes(), batch)
+	}
+	st := s.Stats()
+	if st.Cancelled != 1 || st.Solves != 2 {
+		t.Errorf("stats after in-batch cancellation: %+v", st)
+	}
+	if st.SizeFlushes != 1 || st.WindowFlushes != 0 {
+		t.Errorf("expected one size flush: %+v", st)
+	}
+}
+
+// TestServiceDropsRequestsCancelledBeforeAssembly checks the other
+// cancellation path: a request whose context is already dead when the batch
+// is assembled is dropped without ever reaching the solver.
+func TestServiceDropsRequestsCancelledBeforeAssembly(t *testing.T) {
+	const n = 8
+	fs := gatedSolver(n)
+	s, err := NewSolveService(fs, Options{Window: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Occupy the dispatcher.
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := s.Solve(context.Background(), rhsFor(n, 1))
+		firstDone <- err
+	}()
+	<-fs.entered // first batch in the solver, blocked on the gate
+
+	// Enqueue behind the in-flight batch, then cancel before release.
+	ctx, cancel := context.WithCancel(context.Background())
+	queuedDone := make(chan error, 1)
+	go func() {
+		_, err := s.Solve(ctx, rhsFor(n, 2))
+		queuedDone <- err
+	}()
+	waitForDepth(t, s, 1)
+	cancel()
+	if err := <-queuedDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued-then-cancelled request returned %v", err)
+	}
+	fs.gate <- struct{}{} // release the first batch
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// A live request keeps the service moving; the dead one must never reach
+	// the solver, alone or batched.
+	thirdDone := make(chan error, 1)
+	go func() {
+		_, err := s.Solve(context.Background(), rhsFor(n, 3))
+		thirdDone <- err
+	}()
+	<-fs.entered
+	fs.gate <- struct{}{}
+	if err := <-thirdDone; err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range fs.batchSizes() {
+		if size != 1 {
+			t.Errorf("dead request reached the solver: batch sizes %v", fs.batchSizes())
+		}
+	}
+	if st := s.Stats(); st.Cancelled != 1 {
+		t.Errorf("Cancelled = %d, want 1", st.Cancelled)
+	}
+}
+
+// TestServiceQueueBoundRejectsOverflow fills the intake queue behind a
+// blocked solver and checks the overflowing enqueue fails fast with
+// ErrQueueFull instead of blocking.
+func TestServiceQueueBoundRejectsOverflow(t *testing.T) {
+	const n = 8
+	fs := gatedSolver(n)
+	s, err := NewSolveService(fs, Options{QueueBound: 2, Window: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	results := make(chan error, 3)
+	go func() {
+		_, err := s.Solve(context.Background(), rhsFor(n, 0))
+		results <- err
+	}()
+	<-fs.entered // dispatcher blocked inside the solver
+	for k := 1; k <= 2; k++ {
+		go func(k int) {
+			_, err := s.Solve(context.Background(), rhsFor(n, int64(k)))
+			results <- err
+		}(k)
+	}
+	waitForDepth(t, s, 2)
+	if _, err := s.Solve(context.Background(), rhsFor(n, 9)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflowing enqueue returned %v, want ErrQueueFull", err)
+	}
+	close(fs.gate) // release the first batch and everything after it
+	for k := 0; k < 3; k++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.MaxQueueDepth < 2 {
+		t.Errorf("MaxQueueDepth = %d, want >= 2", st.MaxQueueDepth)
+	}
+}
+
+// TestServiceSolverErrorFailsWholeBatch checks a backend failure is
+// delivered to every request that rode the failing batch.
+func TestServiceSolverErrorFailsWholeBatch(t *testing.T) {
+	const n, batch = 8, 3
+	boom := errors.New("boom")
+	fs := &fakeSolver{n: n, fail: boom}
+	s, err := NewSolveService(fs, Options{Window: time.Second, MaxBatch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	errs := make(chan error, batch)
+	for k := 0; k < batch; k++ {
+		go func(k int) {
+			_, err := s.Solve(context.Background(), rhsFor(n, int64(k)))
+			errs <- err
+		}(k)
+	}
+	for k := 0; k < batch; k++ {
+		if err := <-errs; !errors.Is(err, boom) {
+			t.Fatalf("batched request returned %v, want the solver error", err)
+		}
+	}
+	if st := s.Stats(); st.Errors != batch || st.Solves != 0 {
+		t.Errorf("stats after failed batch: %+v", st)
+	}
+}
+
+// TestServiceCloseSemantics: Solve after Close fails with ErrClosed, queued
+// requests are answered with ErrClosed, and Close is idempotent and
+// concurrency-safe.
+func TestServiceCloseSemantics(t *testing.T) {
+	const n = 8
+	fs := gatedSolver(n)
+	s, err := NewSolveService(fs, Options{Window: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inFlight := make(chan error, 1)
+	go func() {
+		_, err := s.Solve(context.Background(), rhsFor(n, 0))
+		inFlight <- err
+	}()
+	<-fs.entered // dispatcher inside the solver, blocked on the gate
+	queued := make(chan error, 1)
+	go func() {
+		_, err := s.Solve(context.Background(), rhsFor(n, 1))
+		queued <- err
+	}()
+	waitForDepth(t, s, 1)
+
+	var wg sync.WaitGroup
+	for k := 0; k < 3; k++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); s.Close() }()
+	}
+	// Close blocks on the dispatcher, which is blocked in the solver, which
+	// waits for the gate; the queued request behind it is either drained to
+	// ErrClosed or solved as a final batch, depending on which arm of the
+	// shutdown select wins.
+	close(fs.gate)
+	wg.Wait()
+	if err := <-inFlight; err != nil {
+		t.Errorf("in-flight request at Close failed: %v", err)
+	}
+	if err := <-queued; !errors.Is(err, ErrClosed) {
+		// The queued request may instead have been picked up as the next
+		// batch before Close won the race; either a clean answer or
+		// ErrClosed is acceptable — but nothing else.
+		if err != nil {
+			t.Errorf("queued request at Close returned %v", err)
+		}
+	}
+	if _, err := s.Solve(context.Background(), rhsFor(n, 2)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Solve after Close returned %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+// TestServiceSoloBatchesWithoutWindow: Window = 0 disables coalescing in the
+// sense that the dispatcher never waits — whatever is queued rides together,
+// and a lone caller always gets a batch of one, counted as a size flush.
+func TestServiceSoloBatchesWithoutWindow(t *testing.T) {
+	const n = 8
+	fs := &fakeSolver{n: n}
+	s, err := NewSolveService(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for k := 0; k < 5; k++ {
+		if _, err := s.Solve(context.Background(), rhsFor(n, int64(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Batches != 5 || st.SizeFlushes != 5 || st.WindowFlushes != 0 {
+		t.Errorf("sequential no-window stats: %+v", st)
+	}
+	if st.BatchSizes[0] != 5 {
+		t.Errorf("batch-size histogram: %v", st.BatchSizes)
+	}
+	if mean := st.MeanBatch(); mean != 1 {
+		t.Errorf("mean batch = %v, want 1", mean)
+	}
+}
+
+// TestServiceArgumentValidation covers constructor and Solve input checks.
+func TestServiceArgumentValidation(t *testing.T) {
+	if _, err := NewSolveService(nil, Options{}); err == nil {
+		t.Error("nil solver accepted")
+	}
+	if _, err := NewSolveService(&fakeSolver{n: 4}, Options{Window: -time.Second}); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := NewSolveService(&fakeSolver{n: 4}, Options{MaxBatch: -1}); err == nil {
+		t.Error("negative batch size accepted")
+	}
+	s, err := NewSolveService(&fakeSolver{n: 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Solve(context.Background(), make([]float64, 3)); err == nil {
+		t.Error("short rhs accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Solve(ctx, make([]float64, 4)); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled Solve returned %v", err)
+	}
+	if st := s.Stats(); st.Batches != 0 {
+		t.Errorf("rejected requests reached the dispatcher: %+v", st)
+	}
+}

@@ -1,0 +1,154 @@
+package trisolve
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"doacross/internal/core"
+	"doacross/internal/flags"
+	"doacross/internal/sparse"
+	"doacross/internal/stencil"
+)
+
+// multiOpts returns solver options for the given executor kind.
+func multiOpts(workers int, exec core.ExecutorKind) core.Options {
+	return core.Options{Workers: workers, WaitStrategy: flags.WaitSpinYield, Executor: exec}
+}
+
+var allExecutors = []core.ExecutorKind{
+	core.ExecDoacross,
+	core.ExecWavefront,
+	core.ExecWavefrontDynamic,
+	core.ExecAuto,
+}
+
+// TestSolveMultiEquivalentToIndependentSolves is the ISSUE's acceptance
+// property for the solver layer: SolveMulti over a block of random right-hand
+// sides equals nrhs independent Solve calls on the same solver, under all
+// four executors, for lower and upper systems, unit and non-unit diagonals,
+// and block widths straddling the MaxRHSBlock split.
+func TestSolveMultiEquivalentToIndependentSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 4; trial++ {
+		var tr *sparse.Triangular
+		if trial%2 == 0 {
+			tr = randomLower(rng, 240, 3, trial == 2)
+		} else {
+			tr = randomUpper(rng, 240, 3)
+		}
+		nrhs := []int{1, 7, core.MaxRHSBlock + 5}[trial%3]
+		B := make([][]float64, nrhs)
+		for c := range B {
+			B[c] = stencil.RHS(tr.N, int64(100*trial+c))
+		}
+		for _, exec := range allExecutors {
+			s, err := NewSolver(tr, multiOpts(4, exec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Independent scalar solves on the same solver are the reference.
+			want := make([][]float64, nrhs)
+			for c := range B {
+				want[c], _, err = s.Solve(B[c], nil)
+				if err != nil {
+					t.Fatalf("executor %v: scalar solve %d: %v", exec, c, err)
+				}
+			}
+			Y, rep, err := s.SolveMulti(B, nil)
+			if err != nil {
+				t.Fatalf("executor %v: SolveMulti: %v", exec, err)
+			}
+			if rep.NRHS != nrhs {
+				t.Errorf("executor %v: NRHS=%d, want %d", exec, rep.NRHS, nrhs)
+			}
+			for c := range B {
+				if d := sparse.VecMaxDiff(Y[c], want[c]); d > 1e-12 {
+					t.Fatalf("executor %v trial %d: column %d differs by %v", exec, trial, c, d)
+				}
+			}
+			// A second multi solve reuses the plan cache and block buffers;
+			// scalar solves still work afterwards on the same solver.
+			Y2, _, err := s.SolveMulti(B, Y)
+			if err != nil {
+				t.Fatalf("executor %v: second SolveMulti: %v", exec, err)
+			}
+			for c := range B {
+				if d := sparse.VecMaxDiff(Y2[c], want[c]); d > 1e-12 {
+					t.Fatalf("executor %v: second SolveMulti column %d differs by %v", exec, c, d)
+				}
+			}
+			if got, _, err := s.Solve(B[0], nil); err != nil {
+				t.Fatalf("executor %v: scalar solve after multi: %v", exec, err)
+			} else if d := sparse.VecMaxDiff(got, want[0]); d > 1e-12 {
+				t.Fatalf("executor %v: scalar solve after multi differs by %v", exec, d)
+			}
+			s.Close()
+		}
+	}
+}
+
+// TestSolveMultiValidation covers the argument checks of the multi solve:
+// no columns, short right-hand sides, mismatched or short solution columns.
+func TestSolveMultiValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := randomLower(rng, 32, 2, false)
+	s, err := NewSolver(tr, multiOpts(2, core.ExecDoacross))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.N() != tr.N {
+		t.Errorf("N() = %d, want %d", s.N(), tr.N)
+	}
+	good := make([]float64, tr.N)
+	if _, _, err := s.SolveMulti(nil, nil); err == nil {
+		t.Error("SolveMulti with no columns accepted")
+	}
+	if _, _, err := s.SolveMulti([][]float64{good, make([]float64, tr.N-1)}, nil); err == nil {
+		t.Error("short rhs column accepted")
+	}
+	if _, _, err := s.SolveMulti([][]float64{good}, [][]float64{nil, nil}); err == nil {
+		t.Error("mismatched solution column count accepted")
+	}
+	if _, _, err := s.SolveMulti([][]float64{good}, [][]float64{make([]float64, tr.N-1)}); err == nil {
+		t.Error("short solution column accepted")
+	}
+	// nil entries inside Y are allocated per column.
+	Y, _, err := s.SolveMulti([][]float64{good, good}, [][]float64{nil, make([]float64, tr.N)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Y) != 2 || len(Y[0]) != tr.N {
+		t.Error("SolveMulti did not allocate nil solution columns")
+	}
+}
+
+// TestSolveMultiCancellation checks a cancelled context aborts a multi solve
+// and leaves the solver reusable.
+func TestSolveMultiCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := randomLower(rng, 200, 3, false)
+	s, err := NewSolver(tr, multiOpts(4, core.ExecWavefront))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	B := make([][]float64, 4)
+	for c := range B {
+		B[c] = stencil.RHS(tr.N, int64(c))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.SolveMultiContext(ctx, B, nil); err == nil {
+		t.Error("cancelled multi solve returned no error")
+	}
+	Y, _, err := s.SolveMulti(B, nil)
+	if err != nil {
+		t.Fatalf("solver unusable after cancelled multi solve: %v", err)
+	}
+	want := SolveSequential(tr, B[0])
+	if d := sparse.VecMaxDiff(Y[0], want); d > 1e-12 {
+		t.Errorf("post-cancel solve differs by %v", d)
+	}
+}

@@ -154,6 +154,11 @@ type Solver struct {
 	rt   *core.Runtime
 	loop *core.Loop
 	rhs  []float64 // owned buffer the loop reads; refilled per Solve
+	// mrhs is the owned element-major right-hand-side block of a SolveMulti
+	// call: the value of (row i, block column c) at [i*nc + c], matching the
+	// layout MultiValues hands the loop body. Sized lazily and reused across
+	// blocks and calls.
+	mrhs []float64
 }
 
 // NewSolver builds a reusable doacross solver for the triangular matrix t,
@@ -196,6 +201,7 @@ func newSolver(t *sparse.Triangular, opts core.Options) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.attachMultiBody()
 	// Validation is cheap here: the forward solve hits Loop.Validate's
 	// identity fast path, and the backward solve reuses the pooled writer
 	// scratch, so building solvers in a loop stays allocation-light.
@@ -205,6 +211,62 @@ func newSolver(t *sparse.Triangular, opts core.Options) (*Solver, error) {
 	s.rt = core.NewRuntime(t.N, opts)
 	return s, nil
 }
+
+// attachMultiBody wires the blocked multi-RHS body onto the solver's loop —
+// the same Loop value the scalar solves run, so both paths share one cached
+// wavefront plan. The body is the substitution of Loop/UpperLoop applied to a
+// whole row of columns per element: one dependency classification (and at
+// most one wait) covers the row, then nc multiply-adds run over contiguous
+// memory, which is what multiplies arithmetic intensity per level barrier.
+func (s *Solver) attachMultiBody() {
+	t := s.t
+	if t.Lower {
+		s.loop.BodyMulti = func(i int, v *core.MultiValues) {
+			nc := v.Cols()
+			out := v.Row(i)
+			copy(out, s.mrhs[i*nc:(i+1)*nc])
+			for k := t.RowPtr[i]; k < t.RowPtr[i+1]; k++ {
+				a := t.Val[k]
+				row := v.LoadRow(t.Col[k])
+				for c := range out {
+					out[c] -= a * row[c]
+				}
+			}
+			if !t.UnitDiag {
+				d := t.Diag[i]
+				for c := range out {
+					out[c] /= d
+				}
+			}
+		}
+		return
+	}
+	n := t.N
+	s.loop.BodyMulti = func(k int, v *core.MultiValues) {
+		i := n - 1 - k
+		nc := v.Cols()
+		out := v.Row(i)
+		copy(out, s.mrhs[i*nc:(i+1)*nc])
+		for kk := t.RowPtr[i]; kk < t.RowPtr[i+1]; kk++ {
+			a := t.Val[kk]
+			row := v.LoadRow(t.Col[kk])
+			for c := range out {
+				out[c] -= a * row[c]
+			}
+		}
+		if !t.UnitDiag {
+			d := t.Diag[i]
+			for c := range out {
+				out[c] /= d
+			}
+		}
+	}
+}
+
+// N reports the number of unknowns of the solver's triangular system — the
+// length a right-hand side must have. The serving front end (internal/serve)
+// uses it to validate requests before they join a batch.
+func (s *Solver) N() int { return s.t.N }
 
 // Solve solves T*y = rhs with the preprocessed doacross, writing the
 // solution into y (allocated when nil) and returning it with the execution
@@ -229,6 +291,95 @@ func (s *Solver) SolveContext(ctx context.Context, rhs, y []float64) ([]float64,
 		return nil, core.Report{}, err
 	}
 	return y, rep, nil
+}
+
+// SolveMulti solves T*Y[c] = B[c] for every column of B in blocked multi-RHS
+// traversals: the dependency structure is walked once per block of up to
+// core.MaxRHSBlock columns, so the per-solve fixed costs (level barriers,
+// flag maintenance, classification) amortize across the block — the batching
+// primitive the serving front end coalesces concurrent requests onto. Y is
+// the solution columns, allocated (column-wise or entirely) when nil, and is
+// returned with an execution report aggregating all blocks. Every B column is
+// copied into the solver's owned block buffer, so the callers' slices are
+// never retained — concurrent enqueuers can reuse their buffers as soon as
+// their request completes.
+func (s *Solver) SolveMulti(B, Y [][]float64) ([][]float64, core.Report, error) {
+	return s.SolveMultiContext(context.Background(), B, Y)
+}
+
+// SolveMultiContext is SolveMulti with cancellation: the underlying run is
+// aborted (and the solver left reusable) as soon as ctx is cancelled. The
+// contents of Y are unspecified after a failed solve.
+func (s *Solver) SolveMultiContext(ctx context.Context, B, Y [][]float64) ([][]float64, core.Report, error) {
+	n := s.t.N
+	if len(B) == 0 {
+		return nil, core.Report{}, fmt.Errorf("trisolve: SolveMulti requires at least one right-hand side")
+	}
+	for c, b := range B {
+		if len(b) < n {
+			return nil, core.Report{}, fmt.Errorf("trisolve: rhs column %d has %d entries for %d unknowns", c, len(b), n)
+		}
+	}
+	if Y == nil {
+		Y = make([][]float64, len(B))
+	}
+	if len(Y) != len(B) {
+		return nil, core.Report{}, fmt.Errorf("trisolve: %d solution columns for %d right-hand sides", len(Y), len(B))
+	}
+	for c := range Y {
+		if Y[c] == nil {
+			Y[c] = make([]float64, n)
+		} else if len(Y[c]) < n {
+			return nil, core.Report{}, fmt.Errorf("trisolve: solution column %d has %d entries for %d unknowns", c, len(Y[c]), n)
+		}
+	}
+	var rep core.Report
+	for base := 0; base < len(B); base += core.MaxRHSBlock {
+		end := base + core.MaxRHSBlock
+		if end > len(B) {
+			end = len(B)
+		}
+		// Gather the block's right-hand sides element-major, matching the
+		// row layout the multi body reads (blocking here keeps the solver's
+		// block width equal to the traversal's, so v.Cols() indexes mrhs).
+		nc := end - base
+		if cap(s.mrhs) < n*nc {
+			s.mrhs = make([]float64, n*nc)
+		}
+		s.mrhs = s.mrhs[:n*nc]
+		for i := 0; i < n; i++ {
+			row := s.mrhs[i*nc : (i+1)*nc]
+			for c := range row {
+				row[c] = B[base+c][i]
+			}
+		}
+		blockRep, err := s.rt.RunMulti(ctx, s.loop, Y[base:end])
+		if err != nil {
+			return nil, core.Report{}, err
+		}
+		rep.PreTime += blockRep.PreTime
+		rep.ExecTime += blockRep.ExecTime
+		rep.PostTime += blockRep.PostTime
+		rep.TotalTime += blockRep.TotalTime
+		rep.TrueDeps += blockRep.TrueDeps
+		rep.SelfDeps += blockRep.SelfDeps
+		rep.AntiOrNone += blockRep.AntiOrNone
+		rep.WaitPolls += blockRep.WaitPolls
+		rep.Workers = blockRep.Workers
+		rep.Iterations = blockRep.Iterations
+		rep.Order = blockRep.Order
+		rep.WaitPolicy = blockRep.WaitPolicy
+		rep.SchedPolicy = blockRep.SchedPolicy
+		rep.Executor = blockRep.Executor
+		rep.Levels = blockRep.Levels
+		rep.InspectCached = blockRep.InspectCached
+		rep.AutoCosts = blockRep.AutoCosts
+		rep.PredictedDoacrossNs = blockRep.PredictedDoacrossNs
+		rep.PredictedWavefrontNs = blockRep.PredictedWavefrontNs
+		rep.PredictedDynamicNs = blockRep.PredictedDynamicNs
+	}
+	rep.NRHS = len(B)
+	return Y, rep, nil
 }
 
 // Trace returns the per-iteration trace of the most recent Solve when the

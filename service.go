@@ -1,0 +1,39 @@
+package doacross
+
+import "doacross/internal/serve"
+
+// SolveService is the request-coalescing serving front end over a Solver:
+// concurrent single-RHS Solve calls are collected by a bounded intake queue,
+// batched within a configurable window (or until a maximum batch size),
+// submitted as one blocked multi-RHS traversal, and demultiplexed back to
+// their callers. Cancellation is per request — a cancelled request's answer
+// is discarded without aborting the batch its neighbors ride in. Construct
+// with NewSolveService; Close releases the dispatcher (but not the solver).
+type SolveService = serve.SolveService
+
+// ServeOptions configures a SolveService: the coalescing window, the batch
+// size that triggers an immediate flush, and the intake queue bound.
+type ServeOptions = serve.Options
+
+// ServiceStats is a snapshot of a SolveService's instrumentation: request
+// outcomes, batch counts by flush cause, queue depths and the batch-size
+// histogram.
+type ServiceStats = serve.Stats
+
+// Errors a SolveService's Solve can return (beyond the solver's own and the
+// request context's).
+var (
+	// ErrServiceClosed reports a Solve on a closed service.
+	ErrServiceClosed = serve.ErrClosed
+	// ErrServiceQueueFull reports an enqueue rejected at the queue bound.
+	ErrServiceQueueFull = serve.ErrQueueFull
+)
+
+// NewSolveService starts the coalescing front end over s. The solver is only
+// ever called from the service's single dispatcher goroutine, so one
+// (non-concurrency-safe) Solver safely serves any number of concurrent
+// callers through the service. Close the service when done; the solver
+// remains open and owned by the caller.
+func NewSolveService(s *Solver, opts ServeOptions) (*SolveService, error) {
+	return serve.NewSolveService(s, opts)
+}

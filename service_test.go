@@ -1,0 +1,134 @@
+// Facade tests for the batched-serving surface: Runtime.RunMulti with a
+// builder-assembled BodyMulti, Solver.SolveMulti, and the coalescing
+// SolveService end to end over a real triangular factor. CI runs this file
+// under -race.
+package doacross_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"doacross"
+	"doacross/internal/sparse"
+	"doacross/internal/stencil"
+)
+
+// TestFacadeRunMulti drives a chain loop with both scalar and column-blocked
+// bodies through the public builder and runtime: one traversal must produce
+// the per-column sequential result for every column.
+func TestFacadeRunMulti(t *testing.T) {
+	const n, nrhs = 300, 9
+	loop, err := doacross.NewLoop(n, n).
+		Writes(func(i int) []int { return []int{i} }).
+		Reads(func(i int) []int {
+			if i == 0 {
+				return nil
+			}
+			return []int{i - 1}
+		}).
+		Body(func(i int, v *doacross.Values) {
+			if i == 0 {
+				v.Store(0, v.Load(0)+1)
+				return
+			}
+			v.Store(i, v.Load(i-1)+1)
+		}).
+		BodyMulti(func(i int, v *doacross.MultiValues) {
+			out := v.Row(i)
+			if i == 0 {
+				for c, x := range v.LoadRow(0) {
+					out[c] = x + 1
+				}
+				return
+			}
+			for c, x := range v.LoadRow(i - 1) {
+				out[c] = x + 1
+			}
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := doacross.New(n, doacross.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ys := make([][]float64, nrhs)
+	for c := range ys {
+		ys[c] = make([]float64, n)
+		ys[c][0] = float64(c) // distinct seeds keep the columns distinguishable
+	}
+	rep, err := rt.RunMulti(context.Background(), loop, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NRHS != nrhs {
+		t.Errorf("NRHS = %d, want %d", rep.NRHS, nrhs)
+	}
+	for c := range ys {
+		for i := range ys[c] {
+			if want := float64(c + i + 1); ys[c][i] != want {
+				t.Fatalf("column %d: y[%d] = %v, want %v", c, i, ys[c][i], want)
+			}
+		}
+	}
+}
+
+// TestFacadeSolveService solves many concurrent right-hand sides through the
+// coalescing service over one shared solver and checks every caller gets the
+// sequential answer for its own rhs.
+func TestFacadeSolveService(t *testing.T) {
+	l, _, err := stencil.LowerFactor(stencil.Problems[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := doacross.NewSolver(l, solverOptions(4)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	svc, err := doacross.NewSolveService(s, doacross.ServeOptions{Window: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	const callers, perCaller = 8, 6
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < perCaller; k++ {
+				rhs := stencil.RHS(l.N, int64(100*c+k))
+				want := doacross.SolveSequential(l, rhs)
+				y, err := svc.Solve(context.Background(), rhs)
+				if err != nil {
+					t.Errorf("caller %d: %v", c, err)
+					return
+				}
+				if d := sparse.VecMaxDiff(y, want); d > 1e-10 {
+					t.Errorf("caller %d solve %d: differs from sequential by %v", c, k, d)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st := svc.Stats()
+	if st.Solves != callers*perCaller || st.Errors != 0 {
+		t.Errorf("service stats: %+v", st)
+	}
+	if st.Batches == 0 || st.MeanBatch() < 1 {
+		t.Errorf("no batches recorded: %+v", st)
+	}
+	svc.Close()
+	if _, err := svc.Solve(context.Background(), stencil.RHS(l.N, 1)); !errors.Is(err, doacross.ErrServiceClosed) {
+		t.Errorf("Solve after Close returned %v, want ErrServiceClosed", err)
+	}
+}
