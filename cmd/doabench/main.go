@@ -14,6 +14,7 @@
 //	doabench -experiment executors   # live executor sweep: doacross vs wavefront vs wavefront-dynamic
 //	doabench -experiment live        # live goroutine measurements on this host
 //	doabench -experiment serving     # serving throughput: K concurrent callers through the coalescing SolveService
+//	doabench -experiment repair      # incremental plan repair vs cold re-inspection across edit-cone sizes
 //	doabench -experiment all         # everything above
 //
 // The -experiment flag also accepts a comma-separated subset
@@ -44,7 +45,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "comma-separated subset of fig6 | table1 | overhead | blocked | linear | ordering | sweep | executors | live | serving | all")
+		experiment = flag.String("experiment", "all", "comma-separated subset of fig6 | table1 | overhead | blocked | linear | ordering | sweep | executors | live | serving | repair | all")
 		procs      = flag.Int("procs", experiments.PaperProcessors, "simulated processor count")
 		n          = flag.Int("n", 10000, "Figure 6 outer iteration count")
 		seed       = flag.Int64("seed", 1, "seed for the synthetic SPE operators")
@@ -61,7 +62,7 @@ func main() {
 	)
 	flag.Parse()
 
-	validExperiments := []string{"fig6", "table1", "overhead", "blocked", "linear", "ordering", "sweep", "executors", "live", "serving", "all"}
+	validExperiments := []string{"fig6", "table1", "overhead", "blocked", "linear", "ordering", "sweep", "executors", "live", "serving", "repair", "all"}
 	selected := make(map[string]bool)
 	for _, raw := range strings.Split(*experiment, ",") {
 		name := strings.TrimSpace(raw)
@@ -298,6 +299,31 @@ func main() {
 		}
 		benchRecords = append(benchRecords, experiments.ServingBenchRecords(results)...)
 		return experiments.FormatServing(results), experiments.CheckServing(results), nil
+	})
+
+	run("repair", func() (string, []string, error) {
+		workers := experiments.DefaultLiveWorkers()
+		sweep := []int{workers}
+		if workers > 1 {
+			sweep = []int{1, workers}
+		}
+		if *liveWorkers != "" {
+			sweep = nil
+			for _, s := range strings.Split(*liveWorkers, ",") {
+				w, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || w < 1 {
+					return "", nil, fmt.Errorf("invalid -workers entry %q", s)
+				}
+				sweep = append(sweep, w)
+			}
+		}
+		rows, err := experiments.RunRepairExperiment(
+			[]stencil.Problem{stencil.SPE2, stencil.FivePoint}, sweep, []int{1, 4, 16}, *liveReps)
+		if err != nil {
+			return "", nil, err
+		}
+		benchRecords = append(benchRecords, experiments.RepairBenchRecords(rows)...)
+		return experiments.FormatRepair(rows), experiments.CheckRepair(rows), nil
 	})
 
 	if *jsonPath != "" && len(benchRecords) > 0 {

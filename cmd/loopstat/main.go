@@ -1,9 +1,10 @@
 // Command loopstat analyses the execution-time dependency structure of the
 // workloads used in the paper: the Figure 4 test loop for a given (N, M, L)
 // and the triangular solves of Table 1. It reports the dependency graph's
-// levels, critical path and maximum achievable speedup, and the effect of the
-// doconsider orderings — the information a user needs to predict whether a
-// preprocessed doacross will pay off.
+// levels, critical path and maximum achievable speedup, the incremental
+// plan-repair break-even point, and the effect of the doconsider orderings —
+// the information a user needs to predict whether a preprocessed doacross
+// will pay off.
 //
 // Usage:
 //
@@ -21,6 +22,7 @@ import (
 
 	"doacross"
 	"doacross/internal/doconsider"
+	"doacross/internal/machine"
 	"doacross/internal/stencil"
 	"doacross/internal/testloop"
 )
@@ -102,6 +104,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "  max speedup       %.1fx (unit cost, unbounded processors)\n", st.MaxSpeedup)
 	if st.Independent {
 		fmt.Fprintln(stdout, "  the loop is fully independent: a doall would suffice")
+	}
+
+	// The repair break-even report is purely a function of the graph's size
+	// and the default cost-model ratios, so it is deterministic across hosts:
+	// it tells the user how large an edit's dirty cone may grow before
+	// RepairPlans' gate falls back to a cold re-inspection.
+	rc := machine.DefaultRepairCosts
+	breakEven := rc.BreakEvenCone(st.Iterations, st.Edges)
+	fmt.Fprintln(stdout, "\nIncremental plan repair (cost-model units):")
+	fmt.Fprintf(stdout, "  cold inspection   %.0f units\n", rc.ColdInspect(st.Iterations, st.Edges))
+	if breakEven >= st.Iterations {
+		// A dense enough graph makes the cold inspection so expensive that
+		// even a whole-loop dirty cone repairs cheaper.
+		fmt.Fprintln(stdout, "  break-even cone   whole loop (every edit repairs, none falls back cold)")
+	} else {
+		fmt.Fprintf(stdout, "  break-even cone   %d iterations (%.1f%% of the loop)\n",
+			breakEven, 100*float64(breakEven)/float64(st.Iterations))
 	}
 
 	fmt.Fprintln(stdout, "\nDoconsider orderings (mean positions between dependent iterations — larger is more slack):")

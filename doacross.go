@@ -122,6 +122,22 @@ const (
 // of the model.
 type AutoCosts = core.AutoCosts
 
+// EditSet describes an in-place mutation of a loop's access pattern for
+// Runtime.RepairPlans: the iterations whose Writes/Reads results changed,
+// plus any data elements no longer written by anyone. See WithEdits for the
+// common read-pattern-only case.
+type EditSet = core.EditSet
+
+// RepairReport describes what a RepairPlans call did: whether the cached
+// plan was patched in place or the runtime fell back to a full invalidation,
+// the dirty-cone size, the earliest perturbed level, and the repair time.
+type RepairReport = core.RepairReport
+
+// WithEdits builds the EditSet for the common case where only the read
+// patterns of the listed iterations changed (a triangular-solve row update:
+// writes are the identity and never move).
+func WithEdits(iters ...int) EditSet { return EditSet{Iters: iters} }
+
 // InspectStats describes what the inspector learned about a loop's
 // dependency structure: level count, widths, critical path, and whether the
 // decomposition came from the runtime's schedule cache.
@@ -418,6 +434,23 @@ func (r *Runtime) Inspect(l *Loop) (InspectStats, error) { return r.rt.Inspect(l
 // and would silently replay the stale schedule. Safe to call concurrently
 // with Run.
 func (r *Runtime) InvalidatePlans() { r.rt.InvalidatePlans() }
+
+// RepairPlans patches the cached wavefront plan of l after an in-place edit
+// of its access pattern, instead of evicting everything: only the dirty cone
+// — the edited iterations plus the transitive successors whose wavefront
+// level moves — is recomputed, and untouched prefix levels keep their exact
+// schedule. For a few edited rows of a large loop this is orders of
+// magnitude cheaper than the cold re-inspect InvalidatePlans forces, which
+// is what makes per-step sparsity changes (mesh refinement, ILU fill-in)
+// affordable. It falls back to a full invalidation (Repaired == false, nil
+// error) when no repairable plan is cached for l or when the dirty cone
+// exceeds the cost model's break-even budget; either way the cache ends up
+// consistent, so RepairPlans never needs to be paired with InvalidatePlans.
+// The loop's next run stamps Report.PlanRepaired and Report.RepairNs. Safe
+// to call concurrently with Run.
+func (r *Runtime) RepairPlans(l *Loop, edits EditSet) (RepairReport, error) {
+	return r.rt.RepairPlans(l, edits)
+}
 
 // Trace returns the per-iteration trace of the most recent run when the
 // runtime was built with WithTrace, or nil otherwise. The trace is owned by

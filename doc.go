@@ -100,13 +100,15 @@
 //   - Lifetimes are explicit: a Runtime or Solver owns a persistent worker
 //     pool, so Close it when done (a GC finalizer is the only fallback); and
 //     a driver that mutates a loop's index arrays in place must call
-//     InvalidatePlans before the next run, or the schedule cache replays a
-//     plan built for the old pattern.
+//     RepairPlans with the edited iterations (incremental: only the dirty
+//     cone of the cached plan is recomputed) or InvalidatePlans (wholesale
+//     eviction) before the next run, or the schedule cache replays a plan
+//     built for the old pattern.
 //
 // Two tools enforce the contract. The static suite in cmd/doavet (run
 // directly as `doavet ./...`, or as `go vet -vettool=doavet ./...`) flags
 // captured-variable writes in bodies, index-slice mutations missing a
-// following InvalidatePlans, runtimes, solvers and solve services that
+// following RepairPlans/InvalidatePlans, runtimes, solvers and solve services that
 // neither get closed nor escape, and discarded Run/Solve errors or nil
 // Contexts. The run-time
 // sanitizer behind WithAccessCheck(true) shadow-records each iteration's

@@ -8,18 +8,21 @@ import (
 
 // StalePlan flags index slices that are captured by a loop's Writes/Reads
 // closures and then mutated in the same function without a following
-// InvalidatePlans() call. The runtime's schedule cache assumes a Loop value's
-// access pattern never changes: both cache tiers key on the Loop (by pointer
-// identity and by structural hash), so mutating a captured index array in
-// place makes the next Wavefront/Auto run silently replay a schedule that no
-// longer matches the loop's true dependencies. The supported discipline is to
-// call Runtime.InvalidatePlans() after the mutation (or build a fresh Loop).
+// InvalidatePlans() or RepairPlans() call. The runtime's schedule cache
+// assumes a Loop value's access pattern never changes: both cache tiers key
+// on the Loop (by pointer identity and by structural hash), so mutating a
+// captured index array in place makes the next Wavefront/Auto run silently
+// replay a schedule that no longer matches the loop's true dependencies. The
+// supported discipline is to call Runtime.RepairPlans(l, edits) (incremental,
+// for a few changed iterations) or Runtime.InvalidatePlans() (wholesale)
+// after the mutation, or build a fresh Loop.
 var StalePlan = &Analyzer{
 	Name: "staleplan",
-	Doc: "flag in-place mutation of index slices captured by Writes/Reads without InvalidatePlans\n\n" +
+	Doc: "flag in-place mutation of index slices captured by Writes/Reads without InvalidatePlans/RepairPlans\n\n" +
 		"The schedule cache assumes a Loop's access pattern is stable; mutating a\n" +
 		"captured index slice after the loop is built silently replays a stale\n" +
-		"wavefront schedule unless Runtime.InvalidatePlans() runs before the next Run.",
+		"wavefront schedule unless Runtime.RepairPlans (incremental) or\n" +
+		"Runtime.InvalidatePlans (wholesale) runs before the next Run.",
 	Run: runStalePlan,
 }
 
@@ -34,8 +37,9 @@ func runStalePlan(pass *Pass) error {
 
 // checkStalePlan analyzes one function body: it collects the integer slices
 // captured by Writes/Reads closures (with the position of the capture), the
-// positions of InvalidatePlans calls, and every later in-place mutation of a
-// captured slice, reporting mutations not followed by an invalidation. The
+// positions of InvalidatePlans and RepairPlans calls, and every later
+// in-place mutation of a captured slice, reporting mutations not followed by
+// an invalidation or repair. The
 // reasoning is statement-order (token position) based — flow-insensitive, but
 // exactly the shape of the real misuse: build the loop, run it, tweak the
 // index array for the next system, forget the invalidation.
@@ -49,7 +53,10 @@ func checkStalePlan(pass *Pass, body *ast.BlockStmt) {
 		if !ok {
 			return true
 		}
-		if isDoacrossFunc(info, call, "InvalidatePlans") {
+		// RepairPlans is the incremental counterpart of InvalidatePlans:
+		// either brings the cache in line with the mutated pattern (the
+		// repair itself falls back to an invalidation when it cannot patch).
+		if isDoacrossFunc(info, call, "InvalidatePlans", "RepairPlans") {
 			invalidations = append(invalidations, call.Pos())
 			return true
 		}
@@ -99,7 +106,7 @@ func checkStalePlan(pass *Pass, body *ast.BlockStmt) {
 		if invalidatedAfter(pos) {
 			return
 		}
-		pass.Reportf(pos, "index slice %q is captured by a loop's Writes/Reads and mutated here; the schedule cache would replay the stale plan — call InvalidatePlans() on the runtime after the mutation, or build a fresh Loop", v.Name())
+		pass.Reportf(pos, "index slice %q is captured by a loop's Writes/Reads and mutated here; the schedule cache would replay the stale plan — call RepairPlans (incremental) or InvalidatePlans on the runtime after the mutation, or build a fresh Loop", v.Name())
 	}
 
 	ast.Inspect(body, func(n ast.Node) bool {

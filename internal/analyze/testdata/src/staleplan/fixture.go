@@ -1,6 +1,6 @@
 // Fixtures for the staleplan analyzer: index slices captured by Writes/Reads
 // feed the schedule cache's structural hash; mutating one in place without
-// InvalidatePlans replays a stale wavefront plan.
+// InvalidatePlans or RepairPlans replays a stale wavefront plan.
 package fixture
 
 import (
@@ -82,6 +82,50 @@ func cleanInvalidated(rt *doacross.Runtime, col []int, y []float64) error {
 	}
 	col[0] = 3
 	rt.InvalidatePlans()
+	_, err = rt.Run(context.Background(), l, y)
+	return err
+}
+
+// cleanRepaired: the mutation is followed by RepairPlans, the incremental
+// discipline — the cache is patched in place, no diagnostic.
+func cleanRepaired(rt *doacross.Runtime, col []int, y []float64) error {
+	n := len(col)
+	l, err := doacross.NewLoop(n, n).
+		Writes(func(i int) []int { return []int{col[i]} }).
+		Body(func(i int, v *doacross.Values) { v.Store(col[i], 0) }).
+		Build()
+	if err != nil {
+		return err
+	}
+	if _, err := rt.Run(context.Background(), l, y); err != nil {
+		return err
+	}
+	col[0] = 3
+	if _, err := rt.RepairPlans(l, doacross.WithEdits(0)); err != nil {
+		return err
+	}
+	_, err = rt.Run(context.Background(), l, y)
+	return err
+}
+
+// flaggedRepairBeforeMutation: a RepairPlans call that precedes the mutation
+// repairs against the old pattern and leaves the later edit unaccounted for.
+func flaggedRepairBeforeMutation(rt *doacross.Runtime, col []int, y []float64) error {
+	n := len(col)
+	l, err := doacross.NewLoop(n, n).
+		Writes(func(i int) []int { return []int{col[i]} }).
+		Body(func(i int, v *doacross.Values) { v.Store(col[i], 0) }).
+		Build()
+	if err != nil {
+		return err
+	}
+	if _, err := rt.Run(context.Background(), l, y); err != nil {
+		return err
+	}
+	if _, err := rt.RepairPlans(l, doacross.WithEdits(0)); err != nil {
+		return err
+	}
+	col[0] = 3 // want `index slice "col"`
 	_, err = rt.Run(context.Background(), l, y)
 	return err
 }

@@ -213,11 +213,16 @@ func (s InspectStats) String() string {
 type wavefrontPlan struct {
 	n, data int
 	writer  []int32 // writer[e] = iteration writing element e, -1 if none
+	// graph is the retained dependency DAG the decomposition was derived
+	// from. RepairPlans edits it in place (ApplyEdits + RepairLevelsInto) so
+	// a few changed rows never force a cold rebuild; it costs O(edges) memory
+	// per cached plan, the price of repairability.
+	graph *depgraph.Graph
 	// levels is the plan's owned copy of the wavefront decomposition in CSR
 	// form (the inspector's scratch LevelSet is reused across builds, so the
 	// plan cannot alias it). The dynamic executor claims chunks straight out
 	// of its per-level member lists; the static schedule below is derived
-	// from it on first static use.
+	// from it on first static use. RepairPlans patches it in place.
 	levels depgraph.LevelSet
 	// workers is the schedule worker count: the runtime's workers clamped to
 	// the widest level (extra workers would only spin at the barriers).
@@ -227,20 +232,38 @@ type wavefrontPlan struct {
 	// dynamic executor never materializes it — the dynamic run consumes the
 	// cached LevelSet directly.
 	static *sched.LevelSchedule
-	stats  InspectStats
+	// staticFrom, when >= 0, marks the materialized static schedule stale
+	// from that level on: a repair moved members at or above it, and the next
+	// staticSchedule call patches just the suffix. -1 means in sync.
+	staticFrom int
+	// imb caches the per-level read imbalance behind stats.ReadImbalance so a
+	// repair can recompute only the perturbed levels; nil when the schedule
+	// worker count is 1 (imbalance is identically zero).
+	imb   []float64
+	stats InspectStats
+	// hash is the structural-hash cache key the plan is stored under, zero
+	// when it is not in the hash tier. A repair zeroes it after evicting the
+	// stale entry: the mutated pattern no longer matches the stored digest,
+	// and rehashing would cost the closure sweep repair exists to avoid — so
+	// a repaired plan stays reachable only through the pointer memo.
+	hash uint64
 	// gen is the runtime's plan generation at build time; InvalidatePlans
 	// advances the generation, making every earlier plan stale.
 	gen uint64
 }
 
 // staticSchedule returns the plan's level-sorted static schedule, deriving it
-// from the decomposition on first use. Callers hold the runtime's run mutex
-// (plans are only touched by the serialized entry points), so the lazy build
-// needs no further synchronization.
+// from the decomposition on first use and re-syncing a repair-dirtied suffix
+// lazily. Callers hold the runtime's run mutex (plans are only touched by the
+// serialized entry points), so neither lazy step needs further
+// synchronization.
 func (p *wavefrontPlan) staticSchedule(policy sched.Policy) *sched.LevelSchedule {
 	if p.static == nil {
 		p.static = sched.NewLevelSchedule(p.levels.Members, p.levels.Off, policy, p.workers)
+	} else if p.staticFrom >= 0 {
+		p.static.PatchSuffix(p.levels.Members, p.levels.Off, p.staticFrom)
 	}
+	p.staticFrom = -1
 	return p.static
 }
 
@@ -328,6 +351,7 @@ func (rt *Runtime) wavefrontPlan(l *Loop) (p *wavefrontPlan, cached bool, err er
 	} else if len(rt.planCache) >= maxCachedPlans {
 		clear(rt.planCache)
 	}
+	p.hash = h
 	rt.planCache[h] = p
 	rt.planMemoLoop, rt.planMemo = l, p
 	return p, false, nil
@@ -410,39 +434,52 @@ func (rt *Runtime) buildPlan(l *Loop) (*wavefrontPlan, error) {
 		stats.DynamicClaims += sched.DynamicClaims(w, chunk, p)
 	}
 	stats.StallWeight = g.StallWeight(rt.opts.Workers)
-	stats.ReadImbalance = levelReadImbalance(g, ls, rt.opts.Policy, p)
+	imb := levelImbalances(g, ls, rt.opts.Policy, p)
+	for _, v := range imb {
+		stats.ReadImbalance += v
+	}
 	return &wavefrontPlan{
 		n:      l.N,
 		data:   l.Data,
 		writer: writer,
+		graph:  g,
 		levels: depgraph.LevelSet{
+			Level:   append([]int32(nil), ls.Level[:l.N]...),
 			Members: append([]int32(nil), ls.Members...),
 			Off:     append([]int32(nil), ls.Off...),
 		},
-		workers: p,
-		stats:   stats,
-		gen:     rt.planGen,
+		workers:    p,
+		staticFrom: -1,
+		imb:        imb,
+		stats:      stats,
+		gen:        rt.planGen,
 	}, nil
 }
 
-// levelReadImbalance computes InspectStats.ReadImbalance: how many extra
-// true-dependency read terms the static level schedule's slowest worker
-// executes beyond a perfectly balanced within-level split, summed over
-// levels (sched.LevelImbalance per level, replaying the exact
+// levelImbalances computes the per-level values behind
+// InspectStats.ReadImbalance: how many extra true-dependency read terms the
+// static level schedule's slowest worker executes beyond a perfectly balanced
+// within-level split (sched.LevelImbalance per level, replaying the exact
 // NewLevelSchedule assignment). In-degree stands in for an iteration's read
-// count, the work proxy the inspector can see without pricing the body.
-func levelReadImbalance(g *depgraph.Graph, ls *depgraph.LevelSet, policy sched.Policy, p int) float64 {
+// count, the work proxy the inspector can see without pricing the body. Nil
+// when p <= 1 — a single worker has nothing to imbalance.
+func levelImbalances(g *depgraph.Graph, ls *depgraph.LevelSet, policy sched.Policy, p int) []float64 {
 	if p <= 1 {
-		return 0
+		return nil
 	}
-	imbalance := 0.0
-	for l := 0; l < ls.Count(); l++ {
-		lvl := ls.LevelMembers(l)
-		imbalance += float64(sched.LevelImbalance(len(lvl), policy, p, func(k int) int {
-			return len(g.Preds[int(lvl[k])])
-		}))
+	imb := make([]float64, ls.Count())
+	for l := range imb {
+		imb[l] = levelImbalanceAt(g, ls, policy, p, l)
 	}
-	return imbalance
+	return imb
+}
+
+// levelImbalanceAt computes one level's read imbalance (see levelImbalances).
+func levelImbalanceAt(g *depgraph.Graph, ls *depgraph.LevelSet, policy sched.Policy, p, l int) float64 {
+	lvl := ls.LevelMembers(l)
+	return float64(sched.LevelImbalance(len(lvl), policy, p, func(k int) int {
+		return len(g.Preds[int(lvl[k])])
+	}))
 }
 
 // accessHash computes a structural 64-bit FNV-1a-style hash of the loop's

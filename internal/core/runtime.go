@@ -93,6 +93,14 @@ type Report struct {
 	// schedule came from the runtime's schedule cache instead of a fresh
 	// inspection — the repeated-solve case the cache exists for.
 	InspectCached bool
+	// PlanRepaired reports that the plan this run consumed was incrementally
+	// patched by RepairPlans since the previous run, rather than rebuilt by a
+	// cold inspection or replayed unchanged; RepairNs is the total time those
+	// repairs took, in nanoseconds. Both are stamped on the first run after
+	// the repair and zero otherwise, so a dynamic-sparsity driver can see
+	// which inspection path each edit took.
+	PlanRepaired bool
+	RepairNs     int64
 	// AutoCosts are the cost-model coefficients an ExecAuto selection used
 	// (configured or self-calibrated); zero when no cost-model decision was
 	// made (fixed executor, or the Auto fallback for loops without Reads).
@@ -174,6 +182,12 @@ type Runtime struct {
 	planCache    map[uint64]*wavefrontPlan
 	planGen      uint64
 	levelScratch depgraph.LevelSet
+
+	// pendingRepairLoop/pendingRepairNs carry a successful RepairPlans over
+	// to the loop's next run, which stamps Report.PlanRepaired/RepairNs and
+	// clears them. Repairs between runs accumulate.
+	pendingRepairLoop *Loop
+	pendingRepairNs   int64
 
 	// autoCosts memoizes the Auto selection's coefficients (configured or
 	// probed) for the lifetime of the runtime.
@@ -307,13 +321,22 @@ func (rt *Runtime) Close() { rt.pool.Close() }
 // for drivers that mutate a loop's index arrays in place — the cache
 // otherwise assumes a Loop value's access pattern is stable for the Loop's
 // lifetime, and a mutated pattern would silently replay a stale schedule.
-// Safe to call concurrently with Run.
+// Drivers that change only a few iterations per step should prefer
+// RepairPlans, which patches the cached plan instead of discarding it. Safe
+// to call concurrently with Run.
 func (rt *Runtime) InvalidatePlans() {
 	rt.runMu.Lock()
 	defer rt.runMu.Unlock()
+	rt.invalidateLocked()
+}
+
+// invalidateLocked is InvalidatePlans under an already-held run mutex — the
+// shared eviction path of InvalidatePlans and RepairPlans' fallbacks.
+func (rt *Runtime) invalidateLocked() {
 	rt.planGen++
 	rt.planMemoLoop, rt.planMemo = nil, nil
 	clear(rt.planCache)
+	rt.pendingRepairLoop, rt.pendingRepairNs = nil, 0
 }
 
 // schedule returns the static schedule for n positions, rebuilding it only
@@ -516,6 +539,11 @@ func (rt *Runtime) RunContext(ctx context.Context, l *Loop, y []float64) (Report
 	}
 	selTime := time.Since(selStart)
 	rep.Executor = ex.name()
+	if rt.pendingRepairLoop == l {
+		rep.PlanRepaired = true
+		rep.RepairNs = rt.pendingRepairNs
+		rt.pendingRepairLoop, rt.pendingRepairNs = nil, 0
+	}
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}

@@ -1,0 +1,286 @@
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edit replaces iteration Iter's predecessor list with Preds. It is the unit
+// of an incremental graph update: when a loop's subscripts change for a few
+// iterations (a mesh refinement step, ILU fill-in), the caller recomputes just
+// those iterations' dependencies and applies them as edits instead of
+// rebuilding the whole graph.
+//
+// ApplyEdits takes ownership of Preds (it may sort and deduplicate it in
+// place and installs it into the graph); pass a fresh slice.
+type Edit struct {
+	Iter  int
+	Preds []int32
+}
+
+// ApplyEdits applies the edits to the graph in order, updating Preds, the
+// reverse adjacency and the edge count. Every predecessor must be an earlier
+// iteration (the forward-edge invariant every Graph satisfies). The edits are
+// validated before any mutation, so on error the graph is unchanged.
+//
+// Cost is O(Σ degree of the touched nodes), independent of N — the point of
+// the incremental path.
+func (g *Graph) ApplyEdits(edits []Edit) error {
+	for k := range edits {
+		e := &edits[k]
+		if e.Iter < 0 || e.Iter >= g.N {
+			return fmt.Errorf("depgraph: edit %d: iteration %d out of range [0, %d)", k, e.Iter, g.N)
+		}
+		e.Preds = dedupSorted(e.Preds)
+		for _, p := range e.Preds {
+			if p < 0 || int(p) >= e.Iter {
+				return fmt.Errorf("depgraph: edit %d: predecessor %d of iteration %d is not an earlier iteration", k, p, e.Iter)
+			}
+		}
+	}
+	for _, e := range edits {
+		i := int32(e.Iter)
+		old := g.Preds[e.Iter]
+		// Merge-walk the sorted old and new lists: predecessors only in the
+		// old list lose i as a successor, ones only in the new list gain it.
+		a, b := 0, 0
+		for a < len(old) || b < len(e.Preds) {
+			switch {
+			case b == len(e.Preds) || (a < len(old) && old[a] < e.Preds[b]):
+				g.Succs[old[a]] = removeSorted(g.Succs[old[a]], i)
+				a++
+			case a == len(old) || old[a] > e.Preds[b]:
+				g.Succs[e.Preds[b]] = insertSorted(g.Succs[e.Preds[b]], i)
+				b++
+			default:
+				a++
+				b++
+			}
+		}
+		g.Edges += len(e.Preds) - len(old)
+		g.Preds[e.Iter] = e.Preds
+	}
+	return nil
+}
+
+// removeSorted deletes v from the ascending slice xs, preserving order. A
+// missing v is a no-op.
+func removeSorted(xs []int32, v int32) []int32 {
+	k := sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+	if k == len(xs) || xs[k] != v {
+		return xs
+	}
+	return append(xs[:k], xs[k+1:]...)
+}
+
+// insertSorted inserts v into the ascending slice xs, preserving order. A
+// present v is a no-op.
+func insertSorted(xs []int32, v int32) []int32 {
+	k := sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+	if k < len(xs) && xs[k] == v {
+		return xs
+	}
+	xs = append(xs, 0)
+	copy(xs[k+1:], xs[k:])
+	xs[k] = v
+	return xs
+}
+
+// RepairResult describes what RepairLevelsInto did.
+type RepairResult struct {
+	// Ok is false when the dirty cone exceeded maxCone; the level set is
+	// rolled back to its pre-call state and the caller should fall back to a
+	// full LevelsInto.
+	Ok bool
+	// Cone is the number of iterations whose level was recomputed (the dirty
+	// iterations plus the transitive successors the changes reached).
+	Cone int
+	// Changed is how many of those actually moved to a different level.
+	Changed int
+	// FromLevel is the earliest level whose membership changed; every level
+	// below it kept its exact member list. When nothing moved it equals the
+	// (unchanged) level count.
+	FromLevel int
+	// ChangedLevels lists the levels (in the repaired numbering) whose member
+	// list differs from before, ascending. Levels ≥ FromLevel that are absent
+	// kept their members (though their Members offsets may have shifted).
+	ChangedLevels []int32
+}
+
+// RepairLevelsInto incrementally repairs the wavefront decomposition ls after
+// the graph was changed with ApplyEdits. dirty lists the iterations whose
+// predecessor lists were edited; ls must hold the decomposition of the graph
+// as it was before those edits. The repair recomputes levels only for the
+// dirty cone — the dirty iterations plus the transitive successors whose
+// level actually changes — then rebuilds the Members/Off suffix from the
+// earliest dirtied level, leaving the prefix untouched.
+//
+// maxCone bounds the cone: when more than maxCone iterations need
+// recomputation the repair aborts, restores ls, and returns Ok=false so the
+// caller can take the cold O(N + edges) path instead. maxCone <= 0 means
+// unbounded.
+//
+// Cost is O(cone · degree) for the sweep plus O(N) for the suffix scatter —
+// no closure calls, no graph construction, which is what makes single-row
+// repairs orders of magnitude cheaper than a cold inspection.
+func (g *Graph) RepairLevelsInto(ls *LevelSet, dirty []int32, maxCone int) RepairResult {
+	res := RepairResult{Ok: true, FromLevel: ls.Count()}
+	if len(dirty) == 0 {
+		return res
+	}
+	// The worklist pops in ascending iteration order — a valid topological
+	// order, because every edge points forward — so each popped iteration's
+	// predecessors already hold final levels. Pushed successors are always
+	// greater than the popped index, so nothing is ever popped twice.
+	seen := make(map[int32]bool, 2*len(dirty))
+	var h []int32
+	for _, i := range dirty {
+		if !seen[i] {
+			seen[i] = true
+			heapPush(&h, i)
+		}
+	}
+	var changedIter, changedOld []int32
+	for len(h) > 0 {
+		i := heapPop(&h)
+		res.Cone++
+		if maxCone > 0 && res.Cone > maxCone {
+			for k, it := range changedIter {
+				ls.Level[it] = changedOld[k]
+			}
+			return RepairResult{Ok: false, Cone: res.Cone}
+		}
+		l := int32(0)
+		for _, p := range g.Preds[i] {
+			if lp := ls.Level[p] + 1; lp > l {
+				l = lp
+			}
+		}
+		if l == ls.Level[i] {
+			continue
+		}
+		changedIter = append(changedIter, i)
+		changedOld = append(changedOld, ls.Level[i])
+		ls.Level[i] = l
+		for _, s := range g.Succs[i] {
+			if !seen[s] {
+				seen[s] = true
+				heapPush(&h, s)
+			}
+		}
+	}
+	res.Changed = len(changedIter)
+	if res.Changed == 0 {
+		return res
+	}
+
+	// Earliest level whose membership changed: an iteration moving between
+	// levels a and b perturbs exactly those two, so the prefix below the
+	// minimum over all moves is intact in both the old and new numbering.
+	from := ls.Level[changedIter[0]]
+	var touched []int32
+	for k, it := range changedIter {
+		oldL, newL := changedOld[k], ls.Level[it]
+		if oldL < from {
+			from = oldL
+		}
+		if newL < from {
+			from = newL
+		}
+		touched = append(touched, oldL, newL)
+	}
+	res.FromLevel = int(from)
+
+	// Rebuild the suffix [from, …] of the CSR grouping by rescanning Level —
+	// a filtered counting sort over iteration order, which keeps each level's
+	// members ascending without consulting (or sorting) the stale suffix.
+	maxL := from
+	for i := 0; i < g.N; i++ {
+		if l := ls.Level[i]; l > maxL {
+			maxL = l
+		}
+	}
+	base := ls.Off[from]
+	need := int(maxL) + 2
+	if cap(ls.Off) < need {
+		off := make([]int32, need)
+		copy(off, ls.Off[:from+1])
+		ls.Off = off
+	} else {
+		ls.Off = ls.Off[:need]
+	}
+	for l := int(from) + 1; l < need; l++ {
+		ls.Off[l] = 0
+	}
+	for i := 0; i < g.N; i++ {
+		if l := ls.Level[i]; l >= from {
+			ls.Off[l+1]++
+		}
+	}
+	ls.Off[from+1] += base
+	for l := int(from) + 1; l <= int(maxL); l++ {
+		ls.Off[l+1] += ls.Off[l]
+	}
+	// Scatter with Off[l] as the cursor of level l, then shift right to
+	// restore the start offsets (the LevelsInto idiom, suffix-only).
+	for i := 0; i < g.N; i++ {
+		if l := ls.Level[i]; l >= from {
+			ls.Members[ls.Off[l]] = int32(i)
+			ls.Off[l]++
+		}
+	}
+	for l := int(maxL) + 1; l > int(from); l-- {
+		ls.Off[l] = ls.Off[l-1]
+	}
+	ls.Off[from] = base
+
+	touched = dedupSorted(touched)
+	for _, l := range touched {
+		if int(l) <= int(maxL) {
+			res.ChangedLevels = append(res.ChangedLevels, l)
+		}
+	}
+	return res
+}
+
+// heapPush and heapPop maintain h as a binary min-heap of iteration indices —
+// the repair worklist. Hand-rolled over []int32 to keep the repair path free
+// of interface dispatch.
+func heapPush(h *[]int32, x int32) {
+	hs := append(*h, x)
+	*h = hs
+	c := len(hs) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if hs[p] <= hs[c] {
+			break
+		}
+		hs[p], hs[c] = hs[c], hs[p]
+		c = p
+	}
+}
+
+func heapPop(h *[]int32) int32 {
+	hs := *h
+	top := hs[0]
+	n := len(hs) - 1
+	hs[0] = hs[n]
+	hs = hs[:n]
+	*h = hs
+	p := 0
+	for {
+		c := 2*p + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && hs[c+1] < hs[c] {
+			c++
+		}
+		if hs[p] <= hs[c] {
+			break
+		}
+		hs[p], hs[c] = hs[c], hs[p]
+		p = c
+	}
+	return top
+}

@@ -1,0 +1,310 @@
+package depgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// chainGraph builds the N-iteration chain 0 → 1 → … → N-1.
+func chainGraph(n int) *Graph {
+	return Build(Access{
+		N:      n,
+		Writes: func(i int) []int { return []int{i} },
+		Reads: func(i int) []int {
+			if i == 0 {
+				return nil
+			}
+			return []int{i - 1}
+		},
+	})
+}
+
+func TestApplyEditsUpdatesAdjacency(t *testing.T) {
+	g := chainGraph(5)
+	if g.Edges != 4 {
+		t.Fatalf("chain edges = %d, want 4", g.Edges)
+	}
+	// Cut 3's dependence on 2, hang it off 0 and 1 instead.
+	if err := g.ApplyEdits([]Edit{{Iter: 3, Preds: []int32{1, 0, 1}}}); err != nil {
+		t.Fatalf("ApplyEdits: %v", err)
+	}
+	if want := []int32{0, 1}; !reflect.DeepEqual(g.Preds[3], want) {
+		t.Fatalf("Preds[3] = %v, want %v", g.Preds[3], want)
+	}
+	if want := []int32{3}; !reflect.DeepEqual(g.Succs[0], append([]int32{1}, want...)) {
+		t.Fatalf("Succs[0] = %v, want [1 3]", g.Succs[0])
+	}
+	if want := []int32{2, 3}; !reflect.DeepEqual(g.Succs[1], want) {
+		t.Fatalf("Succs[1] = %v, want %v", g.Succs[1], want)
+	}
+	if len(g.Succs[2]) != 0 {
+		t.Fatalf("Succs[2] = %v, want empty", g.Succs[2])
+	}
+	if g.Edges != 5 {
+		t.Fatalf("edges = %d, want 5", g.Edges)
+	}
+}
+
+func TestApplyEditsRejectsBadEditsAtomically(t *testing.T) {
+	g := chainGraph(4)
+	before := snapshotGraph(g)
+	cases := [][]Edit{
+		{{Iter: -1}},
+		{{Iter: 4}},
+		{{Iter: 2, Preds: []int32{2}}},            // self dependence
+		{{Iter: 2, Preds: []int32{3}}},            // backward edge
+		{{Iter: 2, Preds: []int32{-1}}},           // negative predecessor
+		{{Iter: 1, Preds: []int32{0}}, {Iter: 9}}, // valid then invalid
+	}
+	for k, edits := range cases {
+		if err := g.ApplyEdits(edits); err == nil {
+			t.Fatalf("case %d: ApplyEdits accepted invalid edits %v", k, edits)
+		}
+		if got := snapshotGraph(g); !reflect.DeepEqual(got, before) {
+			t.Fatalf("case %d: graph mutated by rejected edits", k)
+		}
+	}
+}
+
+type graphSnapshot struct {
+	Preds, Succs [][]int32
+	Edges        int
+}
+
+func snapshotGraph(g *Graph) graphSnapshot {
+	cp := func(xs [][]int32) [][]int32 {
+		out := make([][]int32, len(xs))
+		for i, x := range xs {
+			out[i] = append([]int32(nil), x...)
+		}
+		return out
+	}
+	return graphSnapshot{Preds: cp(g.Preds), Succs: cp(g.Succs), Edges: g.Edges}
+}
+
+func TestRepairLevelsMatchesColdOnChain(t *testing.T) {
+	g := chainGraph(6)
+	ls := g.LevelsInto(nil)
+	// Cut the chain in the middle: 3 becomes a root, levels 3.. collapse.
+	if err := g.ApplyEdits([]Edit{{Iter: 3, Preds: nil}}); err != nil {
+		t.Fatalf("ApplyEdits: %v", err)
+	}
+	res := g.RepairLevelsInto(ls, []int32{3}, 0)
+	if !res.Ok {
+		t.Fatalf("repair hit the cone bound unexpectedly: %+v", res)
+	}
+	checkLevelSetMatchesCold(t, g, ls)
+	if res.FromLevel != 0 {
+		t.Fatalf("FromLevel = %d, want 0 (iteration 3 moved from level 3 to 0)", res.FromLevel)
+	}
+	if res.Cone != 3 || res.Changed != 3 {
+		t.Fatalf("cone = %d changed = %d, want 3 and 3", res.Cone, res.Changed)
+	}
+}
+
+func TestRepairLevelsNoChangeIsCheap(t *testing.T) {
+	g := chainGraph(5)
+	ls := g.LevelsInto(nil)
+	// Re-applying the same predecessors changes no level.
+	if err := g.ApplyEdits([]Edit{{Iter: 2, Preds: []int32{1}}}); err != nil {
+		t.Fatalf("ApplyEdits: %v", err)
+	}
+	res := g.RepairLevelsInto(ls, []int32{2}, 0)
+	if !res.Ok || res.Changed != 0 || res.Cone != 1 {
+		t.Fatalf("unexpected result %+v, want Ok with cone 1 and no change", res)
+	}
+	if res.FromLevel != ls.Count() {
+		t.Fatalf("FromLevel = %d, want level count %d on a no-op repair", res.FromLevel, ls.Count())
+	}
+	checkLevelSetMatchesCold(t, g, ls)
+}
+
+func TestRepairLevelsConeBudgetRollsBack(t *testing.T) {
+	g := chainGraph(64)
+	ls := g.LevelsInto(nil)
+	want := append([]int32(nil), ls.Level[:g.N]...)
+	wantOff := append([]int32(nil), ls.Off...)
+	if err := g.ApplyEdits([]Edit{{Iter: 1, Preds: nil}}); err != nil {
+		t.Fatalf("ApplyEdits: %v", err)
+	}
+	res := g.RepairLevelsInto(ls, []int32{1}, 4)
+	if res.Ok {
+		t.Fatalf("repair of a 63-iteration cone fit in budget 4: %+v", res)
+	}
+	if res.Cone != 5 {
+		t.Fatalf("aborted cone = %d, want 5 (first pop past the budget)", res.Cone)
+	}
+	if !reflect.DeepEqual(ls.Level[:g.N], want) || !reflect.DeepEqual(ls.Off, wantOff) {
+		t.Fatalf("level set not rolled back after budget abort")
+	}
+	// The caller's contract after Ok=false: run the cold path.
+	ls = g.LevelsInto(ls)
+	checkLevelSetMatchesCold(t, g, ls)
+}
+
+// checkLevelSetMatchesCold asserts ls is exactly the decomposition a cold
+// LevelsInto of g would produce: same levels, same CSR grouping.
+func checkLevelSetMatchesCold(t *testing.T, g *Graph, ls *LevelSet) {
+	t.Helper()
+	cold := g.LevelsInto(nil)
+	if ls.Count() != cold.Count() {
+		t.Fatalf("level count %d, want %d", ls.Count(), cold.Count())
+	}
+	if !reflect.DeepEqual(ls.Level[:g.N], cold.Level[:g.N]) {
+		t.Fatalf("levels diverge from cold decomposition\n got %v\nwant %v", ls.Level[:g.N], cold.Level[:g.N])
+	}
+	if !reflect.DeepEqual(ls.Off[:ls.Count()+1], cold.Off[:cold.Count()+1]) {
+		t.Fatalf("offsets diverge from cold decomposition\n got %v\nwant %v", ls.Off, cold.Off)
+	}
+	n := int(cold.Off[cold.Count()])
+	if !reflect.DeepEqual(ls.Members[:n], cold.Members[:n]) {
+		t.Fatalf("members diverge from cold decomposition\n got %v\nwant %v", ls.Members[:n], cold.Members[:n])
+	}
+}
+
+// editableGraph pairs a graph with the per-iteration read sets that built it,
+// so tests can mutate reads, apply the matching edits, and rebuild a fresh
+// reference graph for comparison.
+type editableGraph struct {
+	n     int
+	reads [][]int
+}
+
+func (e *editableGraph) build() *Graph {
+	return Build(Access{
+		N:      e.n,
+		Writes: func(i int) []int { return []int{i} },
+		Reads:  func(i int) []int { return e.reads[i] },
+	})
+}
+
+func randomEditable(rng *rand.Rand, n int) *editableGraph {
+	e := &editableGraph{n: n, reads: make([][]int, n)}
+	for i := 1; i < n; i++ {
+		for d := 0; d < rng.Intn(4); d++ {
+			e.reads[i] = append(e.reads[i], rng.Intn(i))
+		}
+	}
+	return e
+}
+
+// randomEdit rewrites one iteration's read set in place and returns the
+// matching graph edit (iteration i writes element i, so predecessors are the
+// read targets below i, deduped).
+func (e *editableGraph) randomEdit(rng *rand.Rand) Edit {
+	i := 1 + rng.Intn(e.n-1)
+	e.reads[i] = nil
+	for d := 0; d < rng.Intn(5); d++ {
+		e.reads[i] = append(e.reads[i], rng.Intn(i))
+	}
+	var preds []int32
+	for _, r := range e.reads[i] {
+		preds = append(preds, int32(r))
+	}
+	return Edit{Iter: i, Preds: preds}
+}
+
+// TestRepairLevelsProperty drives long random edit sequences over random DAGs
+// and checks after every step that the incrementally repaired decomposition is
+// identical to a cold one of the same (edited) graph.
+func TestRepairLevelsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(120)
+		e := randomEditable(rng, n)
+		g := e.build()
+		ls := g.LevelsInto(nil)
+		for step := 0; step < 12; step++ {
+			// Edit one to three iterations per step: multi-iteration edits
+			// exercise the dirty-list dedup and the min-over-moves FromLevel.
+			k := 1 + rng.Intn(3)
+			var edits []Edit
+			var dirty []int32
+			for ; k > 0; k-- {
+				ed := e.randomEdit(rng)
+				edits = append(edits, ed)
+				dirty = append(dirty, int32(ed.Iter))
+			}
+			if err := g.ApplyEdits(edits); err != nil {
+				t.Fatalf("trial %d step %d: ApplyEdits: %v", trial, step, err)
+			}
+			res := g.RepairLevelsInto(ls, dirty, 0)
+			if !res.Ok {
+				t.Fatalf("trial %d step %d: unbounded repair reported a cone overflow", trial, step)
+			}
+			if res.Cone > n {
+				t.Fatalf("trial %d step %d: cone %d exceeds %d iterations", trial, step, res.Cone, n)
+			}
+			checkLevelSetMatchesCold(t, g, ls)
+			// The edited graph must equal a from-scratch build of the edited
+			// access pattern (adjacency, reverse adjacency and edge count).
+			if want := snapshotGraph(e.build()); !reflect.DeepEqual(snapshotGraph(g), want) {
+				t.Fatalf("trial %d step %d: edited graph diverges from a fresh build", trial, step)
+			}
+			// Levels strictly below FromLevel kept their exact member lists.
+			cold := g.LevelsInto(nil)
+			for l := 0; l < res.FromLevel && l < cold.Count(); l++ {
+				if !reflect.DeepEqual(ls.LevelMembers(l), cold.LevelMembers(l)) {
+					t.Fatalf("trial %d step %d: level %d below FromLevel %d changed", trial, step, l, res.FromLevel)
+				}
+			}
+		}
+	}
+}
+
+// FuzzRepair decodes a base graph and an edit script from the fuzz input and
+// cross-checks the incremental repair against a cold decomposition of the
+// identically edited graph. The input is split by a 0xFF byte: the prefix
+// builds the base graph (graphFromFuzzInput's encoding), the suffix is a
+// sequence of (iteration, preds…) groups, each group terminated by 0xFE.
+func FuzzRepair(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 2, 2, 3, 0xFF, 3, 0xFE})
+	f.Add([]byte{8, 0, 4, 1, 4, 2, 5, 0xFF, 5, 2, 4, 0xFE, 4, 0, 0xFE})
+	f.Add([]byte{16, 0, 8, 8, 12, 0xFF, 12, 0, 1, 2, 0xFE})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		split := len(data)
+		for k, b := range data {
+			if b == 0xFF {
+				split = k
+				break
+			}
+		}
+		g := graphFromFuzzInput(data[:split])
+		ls := g.LevelsInto(nil)
+
+		var edits []Edit
+		var dirty []int32
+		script := data[split:]
+		if len(script) > 0 {
+			script = script[1:] // drop the 0xFF separator
+		}
+		for len(script) > 0 {
+			iter := int(script[0]) % g.N
+			script = script[1:]
+			var preds []int32
+			for len(script) > 0 && script[0] != 0xFE {
+				if iter > 0 {
+					preds = append(preds, int32(int(script[0])%iter))
+				}
+				script = script[1:]
+			}
+			if len(script) > 0 {
+				script = script[1:] // drop the 0xFE terminator
+			}
+			edits = append(edits, Edit{Iter: iter, Preds: preds})
+			dirty = append(dirty, int32(iter))
+		}
+		if len(edits) == 0 {
+			return
+		}
+		if err := g.ApplyEdits(edits); err != nil {
+			t.Fatalf("ApplyEdits rejected in-range forward edits: %v", err)
+		}
+		res := g.RepairLevelsInto(ls, dirty, 0)
+		if !res.Ok {
+			t.Fatalf("unbounded repair reported a cone overflow: %+v", res)
+		}
+		checkLevelSetMatchesCold(t, g, ls)
+	})
+}

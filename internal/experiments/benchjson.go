@@ -48,6 +48,14 @@ type BenchRecord struct {
 	Callers      int     `json:"callers,omitempty"`
 	SolvesPerSec float64 `json:"solves_per_sec,omitempty"`
 	MeanBatch    float64 `json:"mean_batch,omitempty"`
+	// The repair experiment's fields: how many rows each edit step updated,
+	// the largest dirty cone a repair recomputed, and the fraction of
+	// updates the incremental path served (the rest fell back to a cold
+	// re-inspect). Its NsPerOp is the best per-step repair time and
+	// ColdInspectNs the cold inspection it replaces.
+	RowsPerStep  int     `json:"rows_per_step,omitempty"`
+	ConeSize     int     `json:"cone_size,omitempty"`
+	RepairedFrac float64 `json:"repaired_frac,omitempty"`
 }
 
 // BenchFile is the envelope of BENCH_results.json.

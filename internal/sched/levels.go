@@ -50,11 +50,21 @@ func NewLevelSchedule(members, off []int32, policy Policy, p int) *LevelSchedule
 		n:          len(members),
 		PolicyUsed: used,
 	}
-	pos := 0
-	for l := 0; l < levels; l++ {
+	s.fillLevels(members, off, 0)
+	return s
+}
+
+// fillLevels distributes levels [from, s.levels) of the decomposition over
+// the workers, writing items and offsets from the position recorded at
+// s.off[from*workers] onward. It is the shared core of NewLevelSchedule
+// (from = 0) and PatchSuffix.
+func (s *LevelSchedule) fillLevels(members, off []int32, from int) {
+	p := s.workers
+	pos := int(s.off[from*p])
+	for l := from; l < s.levels; l++ {
 		lvl := members[off[l]:off[l+1]]
 		base := l * p
-		switch used {
+		switch s.PolicyUsed {
 		case Cyclic:
 			for w := 0; w < p; w++ {
 				s.off[base+w] = int32(pos)
@@ -71,8 +81,51 @@ func NewLevelSchedule(members, off []int32, policy Policy, p int) *LevelSchedule
 			}
 		}
 	}
-	s.off[levels*p] = int32(pos)
-	return s
+	s.off[s.levels*p] = int32(pos)
+}
+
+// PatchSuffix rebuilds the schedule's assignments for levels >= from against
+// an updated decomposition (members/off, the depgraph.LevelSet layout),
+// leaving the assignments of levels below from untouched. The decomposition
+// must agree with the one the schedule was built from on every level below
+// from — the contract an incremental plan repair satisfies, since it only
+// perturbs levels at or above the earliest dirtied one. The level count (and
+// with it the total member count) may differ from the original build.
+//
+// Cost is O(members at levels >= from), independent of the untouched prefix.
+func (s *LevelSchedule) PatchSuffix(members, off []int32, from int) {
+	levels := len(off) - 1
+	if levels < 0 {
+		levels = 0
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from > levels {
+		from = levels
+	}
+	if from > s.levels {
+		from = s.levels
+	}
+	p := s.workers
+	s.levels = levels
+	s.n = len(members)
+	prefixItems := int(s.off[from*p])
+	s.items = growPreserve(s.items, len(members), prefixItems)
+	s.off = growPreserve(s.off, levels*p+1, from*p+1)
+	s.fillLevels(members, off, from)
+}
+
+// growPreserve resizes buf to length n, keeping its first keep elements —
+// unlike a plain make-and-forget grow, the preserved prefix is what makes
+// suffix patching cheap.
+func growPreserve(buf []int32, n, keep int) []int32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	nb := make([]int32, n)
+	copy(nb, buf[:keep])
+	return nb
 }
 
 // Levels returns the number of wavefront levels.

@@ -73,6 +73,74 @@ func TestLevelScheduleEmpty(t *testing.T) {
 	}
 }
 
+// TestLevelSchedulePatchSuffix rebuilds random suffixes of random schedules
+// in place and checks the result is indistinguishable from a schedule built
+// cold from the new decomposition — the invariant the plan repair's lazy
+// static-schedule patch relies on.
+func TestLevelSchedulePatchSuffix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	randLevels := func(n int) [][]int32 {
+		var byLevel [][]int32
+		next := int32(0)
+		for int(next) < n {
+			w := 1 + rng.Intn(9)
+			var lvl []int32
+			for k := 0; k < w && int(next) < n; k++ {
+				lvl = append(lvl, next)
+				next++
+			}
+			byLevel = append(byLevel, lvl)
+		}
+		return byLevel
+	}
+	for trial := 0; trial < 100; trial++ {
+		p := 1 + rng.Intn(6)
+		policy := Policy(rng.Intn(3))
+		oldLevels := randLevels(1 + rng.Intn(150))
+		members, off := csrLevels(oldLevels)
+		s := NewLevelSchedule(members, off, policy, p)
+
+		// New decomposition: keep a shared prefix, regroup everything after
+		// it (the level count may grow or shrink).
+		from := rng.Intn(len(oldLevels) + 1)
+		newLevels := append([][]int32(nil), oldLevels[:from]...)
+		var tail []int32
+		for _, lvl := range oldLevels[from:] {
+			tail = append(tail, lvl...)
+		}
+		for len(tail) > 0 {
+			w := 1 + rng.Intn(9)
+			if w > len(tail) {
+				w = len(tail)
+			}
+			newLevels = append(newLevels, tail[:w])
+			tail = tail[w:]
+		}
+		nm, noff := csrLevels(newLevels)
+		s.PatchSuffix(nm, noff, from)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d (p=%d policy=%v from=%d): %v", trial, p, policy, from, err)
+		}
+		want := NewLevelSchedule(nm, noff, policy, p)
+		if s.Levels() != want.Levels() || s.N() != want.N() {
+			t.Fatalf("trial %d: levels=%d n=%d, want %d and %d", trial, s.Levels(), s.N(), want.Levels(), want.N())
+		}
+		for l := 0; l < want.Levels(); l++ {
+			for w := 0; w < p; w++ {
+				got, exp := s.Items(l, w), want.Items(l, w)
+				if len(got) != len(exp) {
+					t.Fatalf("trial %d level %d worker %d: %v, want %v", trial, l, w, got, exp)
+				}
+				for k := range got {
+					if got[k] != exp[k] {
+						t.Fatalf("trial %d level %d worker %d: %v, want %v", trial, l, w, got, exp)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestLevelScheduleRandomCoverage fuzzes random decompositions over random
 // worker counts: the schedule must always cover every iteration exactly once
 // and keep iterations inside their level.

@@ -61,6 +61,72 @@ func UpperTriangle(a *CSR) *Triangular {
 	return t
 }
 
+// SetRow replaces row i's off-diagonal entries with the given column/value
+// pairs and its diagonal with diag, splicing the CSR arrays in place. The
+// columns must be strictly below the diagonal for a lower triangular matrix
+// (strictly above for upper), in range, and free of duplicates; diag must be
+// non-zero unless the matrix is unit-diagonal (then it is ignored). On error
+// the matrix is unchanged. cols and vals are copied, never retained.
+//
+// SetRow is the mutation half of a dynamic-sparsity update (mesh refinement,
+// ILU fill-in): after it, any cached doacross plan for a loop reading this
+// matrix is stale for row i — pair it with Solver.UpdateRow (or
+// Runtime.RepairPlans directly) to patch the plan instead of rebuilding it.
+func (t *Triangular) SetRow(i int, cols []int, vals []float64, diag float64) error {
+	if i < 0 || i >= t.N {
+		return fmt.Errorf("sparse: SetRow row %d out of range [0, %d)", i, t.N)
+	}
+	if len(cols) != len(vals) {
+		return fmt.Errorf("sparse: SetRow row %d has %d columns for %d values", i, len(cols), len(vals))
+	}
+	seen := make(map[int]bool, len(cols))
+	for _, j := range cols {
+		if j < 0 || j >= t.N {
+			return fmt.Errorf("sparse: SetRow row %d column %d out of range [0, %d)", i, j, t.N)
+		}
+		if t.Lower && j >= i {
+			return fmt.Errorf("sparse: SetRow lower triangular row %d cannot hold column %d", i, j)
+		}
+		if !t.Lower && j <= i {
+			return fmt.Errorf("sparse: SetRow upper triangular row %d cannot hold column %d", i, j)
+		}
+		if seen[j] {
+			return fmt.Errorf("sparse: SetRow row %d lists column %d twice", i, j)
+		}
+		seen[j] = true
+	}
+	if !t.UnitDiag && diag == 0 {
+		return fmt.Errorf("sparse: SetRow row %d of a non-unit triangular matrix needs a non-zero diagonal", i)
+	}
+
+	lo, hi := t.RowPtr[i], t.RowPtr[i+1]
+	old := hi - lo
+	delta := len(cols) - old
+	switch {
+	case delta > 0:
+		t.Col = append(t.Col, make([]int, delta)...)
+		t.Val = append(t.Val, make([]float64, delta)...)
+		copy(t.Col[hi+delta:], t.Col[hi:len(t.Col)-delta])
+		copy(t.Val[hi+delta:], t.Val[hi:len(t.Val)-delta])
+	case delta < 0:
+		copy(t.Col[hi+delta:], t.Col[hi:])
+		copy(t.Val[hi+delta:], t.Val[hi:])
+		t.Col = t.Col[:len(t.Col)+delta]
+		t.Val = t.Val[:len(t.Val)+delta]
+	}
+	copy(t.Col[lo:lo+len(cols)], cols)
+	copy(t.Val[lo:lo+len(vals)], vals)
+	if delta != 0 {
+		for k := i + 1; k <= t.N; k++ {
+			t.RowPtr[k] += delta
+		}
+	}
+	if !t.UnitDiag {
+		t.Diag[i] = diag
+	}
+	return nil
+}
+
 // NNZ returns the number of stored off-diagonal nonzeros.
 func (t *Triangular) NNZ() int { return len(t.Col) }
 

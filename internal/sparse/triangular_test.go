@@ -1,0 +1,165 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func lower3() *Triangular {
+	// [2 . .; 1 3 .; . 4 5]
+	return &Triangular{
+		N:      3,
+		Lower:  true,
+		RowPtr: []int{0, 0, 1, 2},
+		Col:    []int{0, 1},
+		Val:    []float64{1, 4},
+		Diag:   []float64{2, 3, 5},
+	}
+}
+
+func TestSetRowGrowShrink(t *testing.T) {
+	tr := lower3()
+	// Grow row 2 from one off-diagonal to two.
+	if err := tr.SetRow(2, []int{0, 1}, []float64{7, 8}, 9); err != nil {
+		t.Fatalf("SetRow grow: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after grow: %v", err)
+	}
+	if !reflect.DeepEqual(tr.Col, []int{0, 0, 1}) || !reflect.DeepEqual(tr.RowPtr, []int{0, 0, 1, 3}) {
+		t.Fatalf("grow splice wrong: Col=%v RowPtr=%v", tr.Col, tr.RowPtr)
+	}
+	if tr.Val[1] != 7 || tr.Val[2] != 8 || tr.Diag[2] != 9 {
+		t.Fatalf("grow values wrong: Val=%v Diag=%v", tr.Val, tr.Diag)
+	}
+	// Shrink row 1 to empty; row 2's entries must shift down intact.
+	if err := tr.SetRow(1, nil, nil, 3); err != nil {
+		t.Fatalf("SetRow shrink: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after shrink: %v", err)
+	}
+	if !reflect.DeepEqual(tr.Col, []int{0, 1}) || !reflect.DeepEqual(tr.RowPtr, []int{0, 0, 0, 2}) {
+		t.Fatalf("shrink splice wrong: Col=%v RowPtr=%v", tr.Col, tr.RowPtr)
+	}
+	if tr.Val[0] != 7 || tr.Val[1] != 8 {
+		t.Fatalf("shrink dropped row 2's values: %v", tr.Val)
+	}
+}
+
+func TestSetRowRejectsInvalid(t *testing.T) {
+	tr := lower3()
+	before := &Triangular{
+		N: tr.N, Lower: tr.Lower, UnitDiag: tr.UnitDiag,
+		RowPtr: append([]int(nil), tr.RowPtr...),
+		Col:    append([]int(nil), tr.Col...),
+		Val:    append([]float64(nil), tr.Val...),
+		Diag:   append([]float64(nil), tr.Diag...),
+	}
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"row out of range", func() error { return tr.SetRow(3, nil, nil, 1) }},
+		{"negative row", func() error { return tr.SetRow(-1, nil, nil, 1) }},
+		{"length mismatch", func() error { return tr.SetRow(2, []int{0}, nil, 1) }},
+		{"column out of range", func() error { return tr.SetRow(2, []int{5}, []float64{1}, 1) }},
+		{"diagonal column", func() error { return tr.SetRow(2, []int{2}, []float64{1}, 1) }},
+		{"upper column in lower", func() error { return tr.SetRow(1, []int{2}, []float64{1}, 1) }},
+		{"duplicate column", func() error { return tr.SetRow(2, []int{0, 0}, []float64{1, 2}, 1) }},
+		{"zero diagonal", func() error { return tr.SetRow(2, []int{0}, []float64{1}, 0) }},
+	}
+	for _, c := range cases {
+		if err := c.call(); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+		if !reflect.DeepEqual(tr, before) {
+			t.Fatalf("%s: matrix mutated by rejected SetRow", c.name)
+		}
+	}
+}
+
+func TestSetRowUpperAndUnitDiag(t *testing.T) {
+	u := &Triangular{
+		N:      3,
+		Lower:  false,
+		RowPtr: []int{0, 1, 2, 2},
+		Col:    []int{1, 2},
+		Val:    []float64{1, 2},
+		Diag:   []float64{1, 1, 1},
+	}
+	if err := u.SetRow(0, []int{2, 1}, []float64{5, 6}, 7); err != nil {
+		t.Fatalf("SetRow upper: %v", err)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if u.Diag[0] != 7 {
+		t.Fatalf("upper diagonal not updated: %v", u.Diag)
+	}
+	if err := u.SetRow(2, []int{1}, []float64{1}, 1); err == nil {
+		t.Fatal("lower column accepted in upper matrix")
+	}
+	u.UnitDiag = true
+	if err := u.SetRow(0, nil, nil, 0); err != nil {
+		t.Fatalf("unit-diagonal SetRow rejected a zero diag: %v", err)
+	}
+	if u.Diag[0] != 7 {
+		t.Fatal("unit-diagonal SetRow overwrote the stored diagonal")
+	}
+}
+
+// TestSetRowMatchesRebuild splices random row updates and checks the result
+// is identical to a matrix rebuilt from scratch with the same rows.
+func TestSetRowMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 40
+	cols := make([][]int, n)
+	vals := make([][]float64, n)
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = 1 + rng.Float64()
+		seen := map[int]bool{}
+		for k := 0; k < rng.Intn(4) && i > 0; k++ {
+			j := rng.Intn(i)
+			if !seen[j] {
+				seen[j] = true
+				cols[i] = append(cols[i], j)
+				vals[i] = append(vals[i], rng.NormFloat64())
+			}
+		}
+	}
+	build := func() *Triangular {
+		tr := &Triangular{N: n, Lower: true, RowPtr: make([]int, n+1), Diag: append([]float64(nil), diag...)}
+		for i := 0; i < n; i++ {
+			tr.Col = append(tr.Col, cols[i]...)
+			tr.Val = append(tr.Val, vals[i]...)
+			tr.RowPtr[i+1] = len(tr.Col)
+		}
+		return tr
+	}
+	tr := build()
+	for step := 0; step < 60; step++ {
+		i := 1 + rng.Intn(n-1)
+		cols[i], vals[i] = nil, nil
+		seen := map[int]bool{}
+		for k := 0; k < rng.Intn(5); k++ {
+			j := rng.Intn(i)
+			if !seen[j] {
+				seen[j] = true
+				cols[i] = append(cols[i], j)
+				vals[i] = append(vals[i], rng.NormFloat64())
+			}
+		}
+		diag[i] = 1 + rng.Float64()
+		if err := tr.SetRow(i, cols[i], vals[i], diag[i]); err != nil {
+			t.Fatalf("step %d: SetRow: %v", step, err)
+		}
+		want := build()
+		if !reflect.DeepEqual(tr.RowPtr, want.RowPtr) || !reflect.DeepEqual(tr.Col, want.Col) ||
+			!reflect.DeepEqual(tr.Val, want.Val) || !reflect.DeepEqual(tr.Diag, want.Diag) {
+			t.Fatalf("step %d: spliced matrix diverges from rebuild", step)
+		}
+	}
+}

@@ -382,6 +382,37 @@ func (s *Solver) SolveMultiContext(ctx context.Context, B, Y [][]float64) ([][]f
 	return Y, rep, nil
 }
 
+// UpdateRow replaces row i of the solver's triangular matrix (see
+// sparse.Triangular.SetRow) and repairs the cached wavefront plan in place
+// instead of discarding it: only the edited row's dependencies are
+// re-inspected and only the levels its dirty cone actually perturbs are
+// rebuilt, so a per-step sparsity change (mesh refinement, ILU fill-in)
+// costs orders of magnitude less than the cold re-inspect a full
+// invalidation would force. The loop's Reads closure slices the matrix's CSR
+// arrays directly, so the splice is all the data change needed; the repair
+// brings the cached dependency graph, level decomposition and schedule in
+// line with it.
+//
+// The returned report says whether the plan was patched (Repaired) or the
+// runtime fell back to a cold re-inspect on the next solve — both leave the
+// solver consistent. On a SetRow error the matrix and plan are unchanged.
+func (s *Solver) UpdateRow(i int, cols []int, vals []float64, diag float64) (core.RepairReport, error) {
+	if err := s.t.SetRow(i, cols, vals, diag); err != nil {
+		return core.RepairReport{}, err
+	}
+	k := i
+	if !s.t.Lower {
+		k = s.t.N - 1 - i
+	}
+	return s.rt.RepairPlans(s.loop, core.EditSet{Iters: []int{k}})
+}
+
+// InvalidatePlans evicts the solver's cached wavefront plans, forcing the
+// next solve to re-inspect cold. It is the blunt alternative to UpdateRow's
+// incremental repair, needed when the matrix was mutated directly (not
+// through UpdateRow) or to measure the cold inspection cost.
+func (s *Solver) InvalidatePlans() { s.rt.InvalidatePlans() }
+
 // Trace returns the per-iteration trace of the most recent Solve when the
 // solver was built with Options.CollectTrace, or nil otherwise.
 func (s *Solver) Trace() *core.Trace { return s.rt.Trace() }
