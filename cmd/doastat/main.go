@@ -1,0 +1,29 @@
+// Command doastat diagnoses the execution-time dependency structure of a
+// workload the way the runtime's inspector sees it: given the Figure 4 test
+// loop, one of the Table 1 triangular solves, a MatrixMarket matrix, or a
+// previously exported plan document, it reports wavefront levels, widths,
+// critical path, stall weight, read imbalance, the incremental-repair
+// break-even cone, the cost model's three per-executor predictions and
+// Auto's pick — the information needed to predict whether (and how) a
+// preprocessed doacross will pay off. Plans can also be exported as a
+// versioned JSON document or rendered as Graphviz DOT.
+//
+// Usage:
+//
+//	doastat -kind testloop -n 10000 -m 5 -l 12
+//	doastat -kind trisolve -problem 7-PT
+//	doastat -kind matrix -matrix system.mtx -tri lower
+//	doastat -kind trisolve -problem 5-PT -format json > plan.json
+//	doastat -kind plan -plan plan.json
+//	doastat -kind testloop -n 20 -m 1 -l 4 -format dot
+package main
+
+import (
+	"os"
+
+	"doacross/internal/doastat"
+)
+
+func main() {
+	os.Exit(doastat.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

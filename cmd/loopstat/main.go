@@ -1,147 +1,15 @@
-// Command loopstat analyses the execution-time dependency structure of the
-// workloads used in the paper: the Figure 4 test loop for a given (N, M, L)
-// and the triangular solves of Table 1. It reports the dependency graph's
-// levels, critical path and maximum achievable speedup, the incremental
-// plan-repair break-even point, and the effect of the doconsider orderings —
-// the information a user needs to predict whether a preprocessed doacross
-// will pay off.
-//
-// Usage:
-//
-//	loopstat -kind testloop -n 10000 -m 5 -l 12
-//	loopstat -kind trisolve -problem 7-PT
-//	loopstat -kind testloop -n 20 -m 1 -l 4 -dot    # emit Graphviz DOT
+// Command loopstat is the deprecated name of doastat, kept as an alias so
+// existing scripts keep working: it accepts exactly the same flags (the old
+// -dot flag maps to -format dot) and produces the same report. New scripts
+// should invoke doastat; see that command for documentation.
 package main
 
 import (
-	"flag"
-	"fmt"
-	"io"
 	"os"
-	"strings"
 
-	"doacross"
-	"doacross/internal/doconsider"
-	"doacross/internal/machine"
-	"doacross/internal/stencil"
-	"doacross/internal/testloop"
+	"doacross/internal/doastat"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
-}
-
-// run is the whole program behind a testable seam: flags in, report out,
-// process exit code returned.
-func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("loopstat", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	var (
-		kind    = fs.String("kind", "testloop", "testloop | trisolve")
-		n       = fs.Int("n", 10000, "test loop outer iteration count")
-		m       = fs.Int("m", 5, "test loop inner length M")
-		l       = fs.Int("l", 12, "test loop parameter L")
-		problem = fs.String("problem", "5-PT", "trisolve problem: SPE2, SPE5, 5-PT, 7-PT, 9-PT")
-		seed    = fs.Int64("seed", 1, "seed for synthetic SPE operators")
-		dot     = fs.Bool("dot", false, "emit the dependency graph in Graphviz DOT format (small graphs only)")
-	)
-	if err := fs.Parse(args); err != nil {
-		return 2
-	}
-
-	var g *doacross.DepGraph
-	var title string
-	switch *kind {
-	case "testloop":
-		tc := testloop.Config{N: *n, M: *m, L: *l}
-		if err := tc.Validate(); err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
-		g = tc.Graph()
-		title = fmt.Sprintf("Figure 4 test loop N=%d M=%d L=%d", *n, *m, *l)
-	case "trisolve":
-		var prob stencil.Problem
-		found := false
-		for _, p := range stencil.Problems {
-			if strings.EqualFold(p.String(), *problem) {
-				prob, found = p, true
-			}
-		}
-		if !found {
-			fmt.Fprintf(stderr, "unknown problem %q\n", *problem)
-			return 1
-		}
-		lower, _, err := stencil.LowerFactor(prob, *seed)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
-		g = doacross.TrisolveGraph(lower)
-		title = fmt.Sprintf("forward substitution for the ILU(0) factor of %v (%d equations)", prob, lower.N)
-	default:
-		fmt.Fprintf(stderr, "unknown kind %q\n", *kind)
-		return 1
-	}
-
-	if *dot {
-		if g.N > 200 {
-			fmt.Fprintf(stderr, "graph has %d nodes; DOT output is limited to 200\n", g.N)
-			return 1
-		}
-		fmt.Fprint(stdout, g.DOT(*kind))
-		return 0
-	}
-
-	st := g.Analyze()
-	fmt.Fprintf(stdout, "Dependency structure of %s\n", title)
-	fmt.Fprintf(stdout, "  iterations        %d\n", st.Iterations)
-	fmt.Fprintf(stdout, "  dependency edges  %d\n", st.Edges)
-	fmt.Fprintf(stdout, "  wavefront levels  %d\n", st.Levels)
-	fmt.Fprintf(stdout, "  widest level      %d iterations\n", st.MaxLevelWidth)
-	fmt.Fprintf(stdout, "  mean level width  %.1f iterations\n", st.MeanLevelWidth)
-	fmt.Fprintf(stdout, "  critical path     %d iterations\n", st.CriticalPathLen)
-	fmt.Fprintf(stdout, "  max speedup       %.1fx (unit cost, unbounded processors)\n", st.MaxSpeedup)
-	if st.Independent {
-		fmt.Fprintln(stdout, "  the loop is fully independent: a doall would suffice")
-	}
-
-	// The repair break-even report is purely a function of the graph's size
-	// and the default cost-model ratios, so it is deterministic across hosts:
-	// it tells the user how large an edit's dirty cone may grow before
-	// RepairPlans' gate falls back to a cold re-inspection.
-	rc := machine.DefaultRepairCosts
-	breakEven := rc.BreakEvenCone(st.Iterations, st.Edges)
-	fmt.Fprintln(stdout, "\nIncremental plan repair (cost-model units):")
-	fmt.Fprintf(stdout, "  cold inspection   %.0f units\n", rc.ColdInspect(st.Iterations, st.Edges))
-	if breakEven >= st.Iterations {
-		// A dense enough graph makes the cold inspection so expensive that
-		// even a whole-loop dirty cone repairs cheaper.
-		fmt.Fprintln(stdout, "  break-even cone   whole loop (every edit repairs, none falls back cold)")
-	} else {
-		fmt.Fprintf(stdout, "  break-even cone   %d iterations (%.1f%% of the loop)\n",
-			breakEven, 100*float64(breakEven)/float64(st.Iterations))
-	}
-
-	fmt.Fprintln(stdout, "\nDoconsider orderings (mean positions between dependent iterations — larger is more slack):")
-	for _, s := range doconsider.Strategies {
-		plan := doconsider.NewPlan(g, s)
-		fmt.Fprintf(stdout, "  %-18s mean wait distance %8.1f\n", s.String(), plan.MeanWaitDistance)
-	}
-
-	profile := g.ParallelismProfile()
-	if len(profile) > 0 {
-		fmt.Fprintln(stdout, "\nParallelism profile (iterations per wavefront level, first 20 levels):")
-		limit := len(profile)
-		if limit > 20 {
-			limit = 20
-		}
-		for lvl := 0; lvl < limit; lvl++ {
-			fmt.Fprintf(stdout, "  level %3d: %d\n", lvl, profile[lvl])
-		}
-		if len(profile) > limit {
-			fmt.Fprintf(stdout, "  ... (%d more levels)\n", len(profile)-limit)
-		}
-	}
-	return 0
+	os.Exit(doastat.Main(os.Args[1:], os.Stdout, os.Stderr))
 }

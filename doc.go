@@ -116,4 +116,30 @@
 // run with an *AccessError naming the iteration and element on the first
 // mismatch — use it in tests and while bringing up a new loop; when off it
 // costs one nil test per accessor.
+//
+// # Observability
+//
+// What the inspector built, and what the runtime does with it, is exposed at
+// three layers. Runtime.PlanSnapshot deep-copies a loop's cached wavefront
+// plan; ExportPlan and EncodePlan serialize it to the versioned JSON plan
+// document (PlanDoc, schema PlanSchemaVersion — DecodePlan rejects any other
+// schema number rather than guessing, so the format can evolve without
+// silently misreading old files), and PlanDoc.DOT renders the DAG as
+// Graphviz DOT. Both encoders are byte-deterministic: the same plan always
+// yields the same bytes, so exported plans can be diffed and committed as
+// golden files. The decoder is self-checking — a document whose recorded
+// schedule disagrees with one rebuilt from its own level decomposition is
+// rejected, never replayed. cmd/doastat is the command-line face of this
+// layer.
+//
+// WithMetrics(sink) installs the in-process hook. The sink sees one
+// RecordRun per completed Run/RunMulti call — after the executor drained,
+// with the resolved executor name, wall time and error; calls rejected
+// before an executor resolved (argument validation, pre-run cancellation)
+// are not counted — one RecordPlan per schedule-cache transition (hit, miss,
+// invalidation, in-place repair, or repair fallback, the last also counting
+// an invalidation), and one RecordAccessAbort per run aborted by the access
+// sanitizer. Sinks must be safe for concurrent use and must not call back
+// into the runtime. NewMetricsCollector is the ready-made sink; with no sink
+// installed each recording site costs a single nil test.
 package doacross

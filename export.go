@@ -1,0 +1,58 @@
+package doacross
+
+import (
+	"io"
+
+	"doacross/internal/core"
+	"doacross/internal/export"
+)
+
+// PlanSnapshot is a deep copy of one loop's cached wavefront plan — writer
+// index, predecessor lists, level decomposition, static schedule and
+// inspection statistics — decoupled from the runtime that built it. Obtain
+// one with Runtime.PlanSnapshot, serialize it with ExportPlan.
+type PlanSnapshot = core.PlanSnapshot
+
+// PlanDoc is the versioned, self-describing wire form of a PlanSnapshot: the
+// JSON document ExportPlan produces and DecodePlan reads back. Its Snapshot
+// method reconstructs the PlanSnapshot (revalidating the document), and its
+// DOT method renders the dependency DAG as Graphviz DOT. Encoding is
+// byte-deterministic: the same plan always serializes to the same bytes.
+type PlanDoc = export.Doc
+
+// PlanSchemaVersion is the schema number stamped into every exported plan
+// document; DecodePlan rejects documents with any other value.
+const PlanSchemaVersion = export.SchemaVersion
+
+// PlanSnapshot captures the wavefront plan the runtime holds (or would
+// build) for l: the plan is resolved through the same two-tier schedule
+// cache the Wavefront executor uses — reusing a cached plan when one
+// matches, inspecting cold otherwise — and returned as a deep copy that
+// stays valid after further runs, repairs or invalidations. The loop must
+// declare Reads, and the runtime must not carry WithOrder. Safe to call
+// concurrently with Run (it serializes on the runtime's mutex).
+func (r *Runtime) PlanSnapshot(l *Loop) (*PlanSnapshot, error) {
+	return r.rt.PlanSnapshot(l)
+}
+
+// ExportPlan converts a snapshot into its wire document under the given name
+// (a free-form label recorded in the document, useful to identify the plan
+// later). Encode it with EncodePlan.
+func ExportPlan(name string, s *PlanSnapshot) *PlanDoc {
+	return export.FromSnapshot(name, s)
+}
+
+// EncodePlan writes d to w as indented JSON. The bytes are deterministic:
+// field order is fixed by the schema and equal plans encode identically, so
+// encoded plans can be diffed, cached and committed as golden files.
+func EncodePlan(w io.Writer, d *PlanDoc) error {
+	return export.EncodeJSON(w, d)
+}
+
+// DecodePlan reads a plan document from r, verifying the schema version and
+// the document's internal consistency (index bounds, level structure, and
+// that the recorded schedule matches one rebuilt from the decomposition), so
+// a hand-edited or corrupt document is rejected rather than replayed.
+func DecodePlan(r io.Reader) (*PlanDoc, error) {
+	return export.DecodeJSON(r)
+}

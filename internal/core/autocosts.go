@@ -179,6 +179,15 @@ func autoChoose(st InspectStats, workers, nrhs int, costs AutoCosts) ExecutorKin
 	return pick
 }
 
+// Choose replays the Auto selection offline: the executor an ExecAuto runtime
+// with these coefficients would pick for a loop with the given inspection
+// statistics, worker count and right-hand-side block width. It exists for
+// diagnosis tools (doastat) that want to report the pick next to the three
+// PredictN estimates without building a runtime.
+func (c AutoCosts) Choose(st InspectStats, workers, nrhs int) ExecutorKind {
+	return autoChoose(st, workers, nrhs, c)
+}
+
 // PredictRepair prices the two ways of absorbing an in-place access-pattern
 // edit: incrementally repairing the cached plan (a dirty cone of the given
 // size plus a suffix rescatter, bounded by the iteration count) versus a cold

@@ -335,11 +335,13 @@ func (rt *Runtime) wavefrontPlan(l *Loop) (p *wavefrontPlan, cached bool, err er
 		}
 	}()
 	if rt.planMemoLoop == l && rt.planMemo != nil && rt.planMemo.gen == rt.planGen {
+		rt.recordPlan(PlanHit)
 		return rt.planMemo, true, nil
 	}
 	h := accessHash(l)
 	if p, ok := rt.planCache[h]; ok && p.n == l.N && p.data == l.Data && p.gen == rt.planGen {
 		rt.planMemoLoop, rt.planMemo = l, p
+		rt.recordPlan(PlanHit)
 		return p, true, nil
 	}
 	p, err = rt.buildPlan(l)
@@ -354,6 +356,7 @@ func (rt *Runtime) wavefrontPlan(l *Loop) (p *wavefrontPlan, cached bool, err er
 	p.hash = h
 	rt.planCache[h] = p
 	rt.planMemoLoop, rt.planMemo = l, p
+	rt.recordPlan(PlanMiss)
 	return p, false, nil
 }
 

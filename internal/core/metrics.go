@@ -1,0 +1,260 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// MetricsSink receives the runtime's observability events. It is the
+// in-process hook a serving layer installs (Options.Metrics, or
+// doacross.WithMetrics at the facade) to scrape run counts, plan-cache
+// behaviour and per-executor latency without touching the hot path: when no
+// sink is installed every instrumentation site is a single nil test, and no
+// event is ever constructed.
+//
+// The contract — what is counted, and when each callback fires:
+//
+//   - RecordRun fires once per Run/RunContext call and once per RunMulti call
+//     (not per column block), after the executor has drained, with the
+//     executor that ran ("doacross", "wavefront", "wavefront-dynamic" — the
+//     resolved name, even under ExecAuto), the call's total wall time in
+//     nanoseconds, and the error the call is about to return (nil on
+//     success). Calls rejected before an executor was resolved (argument
+//     validation, pre-run context cancellation, a failed inspection) are not
+//     counted as runs.
+//   - RecordPlan fires once per plan-cache transition: PlanHit/PlanMiss on
+//     every wavefront-plan lookup (each Wavefront/Auto run, each standalone
+//     Inspect or PlanSnapshot, and each column block of a RunMulti performs
+//     one lookup),
+//     PlanInvalidated on every generation bump (an explicit InvalidatePlans,
+//     or the invalidation a RepairPlans fallback degrades to), PlanRepaired
+//     on every successful in-place repair, and PlanRepairFallback when
+//     RepairPlans found no repairable plan or the dirty cone exceeded the
+//     break-even budget (a fallback therefore records both a
+//     PlanRepairFallback and a PlanInvalidated).
+//   - RecordAccessAbort fires, in addition to the failed run's RecordRun,
+//     when a run under Options.AccessCheck aborted on an undeclared access
+//     (the returned error wraps *AccessError).
+//
+// All callbacks are invoked on the goroutine driving the runtime's
+// serialized entry points, never from worker goroutines — but distinct
+// runtimes may share one sink, so implementations must be safe for
+// concurrent use. Implementations must not call back into the runtime (the
+// run mutex is held) and should return quickly; MetricsCollector is the
+// ready-made implementation.
+type MetricsSink interface {
+	RecordRun(executor string, ns int64, err error)
+	RecordPlan(event PlanEvent)
+	RecordAccessAbort()
+}
+
+// PlanEvent identifies one plan-cache transition reported to a MetricsSink.
+type PlanEvent int
+
+const (
+	// PlanHit is a plan lookup answered by the schedule cache (either tier).
+	PlanHit PlanEvent = iota
+	// PlanMiss is a plan lookup that built (and cached) a plan cold.
+	PlanMiss
+	// PlanInvalidated is a generation bump evicting every cached plan.
+	PlanInvalidated
+	// PlanRepaired is a successful in-place RepairPlans patch.
+	PlanRepaired
+	// PlanRepairFallback is a RepairPlans call that fell back to a full
+	// invalidation (no repairable plan, or an over-budget dirty cone).
+	PlanRepairFallback
+)
+
+// String returns the event's name as used in reports.
+func (e PlanEvent) String() string {
+	switch e {
+	case PlanHit:
+		return "hit"
+	case PlanMiss:
+		return "miss"
+	case PlanInvalidated:
+		return "invalidated"
+	case PlanRepaired:
+		return "repaired"
+	case PlanRepairFallback:
+		return "repair-fallback"
+	default:
+		return "unknown"
+	}
+}
+
+// MetricsNsBuckets is the number of power-of-two latency buckets an
+// ExecutorMetrics histogram carries: bucket k counts runs whose wall time lay
+// in [2^k, 2^(k+1)) nanoseconds (bucket 0 absorbs sub-nanosecond readings),
+// covering every duration a run can realistically take.
+const MetricsNsBuckets = 48
+
+// ExecutorMetrics aggregates the recorded runs of one executor.
+type ExecutorMetrics struct {
+	// Runs counts recorded runs (successful and failed); Errors the failed
+	// subset.
+	Runs   uint64
+	Errors uint64
+	// TotalNs and MaxNs summarize the recorded wall times.
+	TotalNs int64
+	MaxNs   int64
+	// BucketNs is the log2 latency histogram; see MetricsNsBuckets.
+	BucketNs [MetricsNsBuckets]uint64
+}
+
+// MeanNs returns the mean recorded wall time, zero before the first run.
+func (m ExecutorMetrics) MeanNs() float64 {
+	if m.Runs == 0 {
+		return 0
+	}
+	return float64(m.TotalNs) / float64(m.Runs)
+}
+
+// nsBucket maps a duration to its histogram bucket.
+func nsBucket(ns int64) int {
+	b := 0
+	for ns > 1 && b < MetricsNsBuckets-1 {
+		ns >>= 1
+		b++
+	}
+	return b
+}
+
+// MetricsSnapshot is a point-in-time copy of a MetricsCollector's counters.
+type MetricsSnapshot struct {
+	// Runs counts recorded runs across all executors; Errors the failed
+	// subset; AccessAborts the runs aborted by the declared-access sanitizer.
+	Runs         uint64
+	Errors       uint64
+	AccessAborts uint64
+	// Plan-cache transitions, keyed as in PlanEvent: lookups answered warm
+	// (PlanHits) or built cold (PlanMisses), generation bumps
+	// (PlanInvalidations), in-place repairs (PlanRepairs) and repair
+	// fallbacks (PlanRepairFallbacks).
+	PlanHits            uint64
+	PlanMisses          uint64
+	PlanInvalidations   uint64
+	PlanRepairs         uint64
+	PlanRepairFallbacks uint64
+	// Executors holds the per-executor run counts and latency histograms,
+	// keyed by executor name.
+	Executors map[string]ExecutorMetrics
+}
+
+// String renders the snapshot's headline counters in a compact single-line
+// form.
+func (s MetricsSnapshot) String() string {
+	return fmt.Sprintf("runs=%d errors=%d planHits=%d planMisses=%d invalidations=%d repairs=%d repairFallbacks=%d accessAborts=%d",
+		s.Runs, s.Errors, s.PlanHits, s.PlanMisses, s.PlanInvalidations, s.PlanRepairs, s.PlanRepairFallbacks, s.AccessAborts)
+}
+
+// MetricsCollector is the ready-made MetricsSink: a mutex-guarded set of
+// counters and per-executor log2 latency histograms, safe for concurrent use
+// and for sharing across runtimes (a serving layer typically installs one
+// collector in every solver runtime it owns and scrapes them all through one
+// Snapshot). The zero value is ready to use; NewMetricsCollector exists for
+// symmetry with the rest of the API.
+type MetricsCollector struct {
+	mu        sync.Mutex
+	runs      uint64
+	errors    uint64
+	aborts    uint64
+	plan      [5]uint64 // indexed by PlanEvent
+	executors map[string]*ExecutorMetrics
+}
+
+// NewMetricsCollector returns an empty collector.
+func NewMetricsCollector() *MetricsCollector { return &MetricsCollector{} }
+
+// RecordRun implements MetricsSink.
+func (c *MetricsCollector) RecordRun(executor string, ns int64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runs++
+	if err != nil {
+		c.errors++
+	}
+	if c.executors == nil {
+		c.executors = make(map[string]*ExecutorMetrics)
+	}
+	m := c.executors[executor]
+	if m == nil {
+		m = &ExecutorMetrics{}
+		c.executors[executor] = m
+	}
+	m.Runs++
+	if err != nil {
+		m.Errors++
+	}
+	m.TotalNs += ns
+	if ns > m.MaxNs {
+		m.MaxNs = ns
+	}
+	m.BucketNs[nsBucket(ns)]++
+}
+
+// RecordPlan implements MetricsSink.
+func (c *MetricsCollector) RecordPlan(event PlanEvent) {
+	if event < 0 || int(event) >= len(c.plan) {
+		return
+	}
+	c.mu.Lock()
+	c.plan[event]++
+	c.mu.Unlock()
+}
+
+// RecordAccessAbort implements MetricsSink.
+func (c *MetricsCollector) RecordAccessAbort() {
+	c.mu.Lock()
+	c.aborts++
+	c.mu.Unlock()
+}
+
+// Snapshot returns a copy of the collector's current counters. The snapshot
+// is owned by the caller; the collector keeps accumulating.
+func (c *MetricsCollector) Snapshot() MetricsSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := MetricsSnapshot{
+		Runs:                c.runs,
+		Errors:              c.errors,
+		AccessAborts:        c.aborts,
+		PlanHits:            c.plan[PlanHit],
+		PlanMisses:          c.plan[PlanMiss],
+		PlanInvalidations:   c.plan[PlanInvalidated],
+		PlanRepairs:         c.plan[PlanRepaired],
+		PlanRepairFallbacks: c.plan[PlanRepairFallback],
+		Executors:           make(map[string]ExecutorMetrics, len(c.executors)),
+	}
+	for name, m := range c.executors {
+		s.Executors[name] = *m
+	}
+	return s
+}
+
+// recordRun reports one completed run to the installed sink; a single nil
+// test when no sink is installed. An error wrapping *AccessError additionally
+// records an access abort.
+func (rt *Runtime) recordRun(executor string, d time.Duration, err error) {
+	m := rt.opts.Metrics
+	if m == nil {
+		return
+	}
+	m.RecordRun(executor, d.Nanoseconds(), err)
+	if err != nil {
+		var ae *AccessError
+		if errors.As(err, &ae) {
+			m.RecordAccessAbort()
+		}
+	}
+}
+
+// recordPlan reports one plan-cache transition to the installed sink; a
+// single nil test when no sink is installed.
+func (rt *Runtime) recordPlan(event PlanEvent) {
+	if m := rt.opts.Metrics; m != nil {
+		m.RecordPlan(event)
+	}
+}

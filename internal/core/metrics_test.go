@@ -1,0 +1,286 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// chainLoop builds the canonical dependency chain: iteration i writes element
+// i and reads element i-1.
+func chainLoop(n int) *Loop {
+	return &Loop{
+		N:      n,
+		Data:   n,
+		Writes: func(i int) []int { return []int{i} },
+		Reads: func(i int) []int {
+			if i == 0 {
+				return nil
+			}
+			return []int{i - 1}
+		},
+		Body: func(i int, v *Values) {
+			x := 1.0
+			if i > 0 {
+				x = v.Load(i-1) + 1
+			}
+			v.Store(i, x)
+		},
+	}
+}
+
+// TestMetricsReconciliation drives every executor kind from several
+// goroutines sharing one collector and reconciles the collector's counters
+// against the reports the runs returned: total runs, per-executor runs,
+// error-free totals, and cache hit/miss counts. Run it under -race to also
+// prove the collector and the recording sites are data-race free.
+func TestMetricsReconciliation(t *testing.T) {
+	for _, kind := range []ExecutorKind{ExecDoacross, ExecWavefront, ExecWavefrontDynamic, ExecAuto} {
+		t.Run(fmt.Sprint(kind), func(t *testing.T) {
+			const goroutines, runsEach = 4, 8
+			c := NewMetricsCollector()
+			rt := NewRuntime(64, Options{
+				Workers:  3,
+				Executor: kind,
+				Metrics:  c,
+				// Fixed coefficients keep Auto off the self-calibration probe.
+				AutoCosts: AutoCosts{BarrierNs: 1000, FlagCheckNs: 5, ClaimNs: 25},
+			})
+			defer rt.Close()
+			l := chainLoop(64)
+
+			var mu sync.Mutex
+			byExecutor := map[string]uint64{}
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					y := make([]float64, 64)
+					for r := 0; r < runsEach; r++ {
+						rep, err := rt.Run(l, y)
+						if err != nil {
+							t.Errorf("run failed: %v", err)
+							return
+						}
+						mu.Lock()
+						byExecutor[rep.Executor]++
+						mu.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+
+			snap := c.Snapshot()
+			const total = goroutines * runsEach
+			if snap.Runs != total {
+				t.Errorf("collector saw %d runs, reports say %d", snap.Runs, total)
+			}
+			if snap.Errors != 0 || snap.AccessAborts != 0 {
+				t.Errorf("unexpected errors/aborts: %d/%d", snap.Errors, snap.AccessAborts)
+			}
+			var histRuns uint64
+			for name, want := range byExecutor {
+				em, ok := snap.Executors[name]
+				if !ok {
+					t.Errorf("executor %q missing from snapshot", name)
+					continue
+				}
+				if em.Runs != want {
+					t.Errorf("executor %q: collector saw %d runs, reports say %d", name, em.Runs, want)
+				}
+				if em.TotalNs <= 0 || em.MaxNs <= 0 {
+					t.Errorf("executor %q: non-positive timings %d/%d", name, em.TotalNs, em.MaxNs)
+				}
+				var bucketed uint64
+				for _, b := range em.BucketNs {
+					bucketed += b
+				}
+				if bucketed != em.Runs {
+					t.Errorf("executor %q: histogram holds %d of %d runs", name, bucketed, em.Runs)
+				}
+				histRuns += em.Runs
+			}
+			if histRuns != total {
+				t.Errorf("per-executor runs sum to %d, want %d", histRuns, total)
+			}
+			// The wavefront-plan executors resolve through the schedule cache:
+			// exactly one cold miss, every other run a hit. The plain doacross
+			// executor never consults it.
+			if kind != ExecDoacross {
+				if snap.PlanMisses != 1 {
+					t.Errorf("plan misses = %d, want 1", snap.PlanMisses)
+				}
+				if snap.PlanHits != total-1 {
+					t.Errorf("plan hits = %d, want %d", snap.PlanHits, total-1)
+				}
+			} else if snap.PlanMisses != 0 || snap.PlanHits != 0 {
+				t.Errorf("doacross touched the plan cache: %d misses, %d hits", snap.PlanMisses, snap.PlanHits)
+			}
+		})
+	}
+}
+
+// TestMetricsPlanLifecycle walks one plan through its cache lifecycle —
+// miss, hit, invalidation, re-miss, in-place repair, fallback — and checks
+// each transition lands in the collector exactly once.
+func TestMetricsPlanLifecycle(t *testing.T) {
+	c := NewMetricsCollector()
+	rt := NewRuntime(32, Options{Workers: 2, Executor: ExecWavefront, Metrics: c})
+	defer rt.Close()
+	l := chainLoop(32)
+	y := make([]float64, 32)
+
+	mustRun := func() {
+		t.Helper()
+		if _, err := rt.Run(l, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRun() // miss
+	mustRun() // hit
+	rt.InvalidatePlans()
+	mustRun() // miss again
+
+	rep, err := rt.RepairPlans(l, EditSet{Iters: []int{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repaired {
+		t.Fatalf("expected an in-place repair, got fallback: %+v", rep)
+	}
+
+	rt.InvalidatePlans()
+	// With no cached plan, RepairPlans must fall back (and the fallback
+	// includes an invalidation, keeping the cache consistent).
+	rep, err = rt.RepairPlans(l, EditSet{Iters: []int{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired {
+		t.Fatalf("expected a fallback with a cold cache, got repair: %+v", rep)
+	}
+
+	snap := c.Snapshot()
+	if snap.PlanMisses != 2 || snap.PlanHits != 1 {
+		t.Errorf("misses/hits = %d/%d, want 2/1", snap.PlanMisses, snap.PlanHits)
+	}
+	if snap.PlanRepairs != 1 {
+		t.Errorf("repairs = %d, want 1", snap.PlanRepairs)
+	}
+	if snap.PlanRepairFallbacks != 1 {
+		t.Errorf("repair fallbacks = %d, want 1", snap.PlanRepairFallbacks)
+	}
+	// Two explicit InvalidatePlans calls plus the fallback's internal one.
+	if snap.PlanInvalidations != 3 {
+		t.Errorf("invalidations = %d, want 3", snap.PlanInvalidations)
+	}
+}
+
+// TestMetricsErrorsAndAborts checks the failure-side contract: a body error
+// counts as an errored run of its executor; an access-check abort addition-
+// ally bumps AccessAborts; and an argument-validation failure (rejected
+// before any executor resolves) is not counted at all.
+func TestMetricsErrorsAndAborts(t *testing.T) {
+	c := NewMetricsCollector()
+	rt := NewRuntime(16, Options{Workers: 2, Metrics: c, AccessCheck: true})
+	defer rt.Close()
+	y := make([]float64, 16)
+
+	failing := chainLoop(16)
+	failing.Body = nil
+	failing.BodyErr = func(i int, v *Values) error {
+		if i == 7 {
+			return errors.New("boom")
+		}
+		v.Store(i, 1)
+		return nil
+	}
+	if _, err := rt.Run(failing, y); err == nil {
+		t.Fatal("expected the body error to surface")
+	}
+
+	undeclared := chainLoop(16)
+	undeclared.Body = func(i int, v *Values) {
+		if i == 3 {
+			v.Load(9) // not in Reads(3)
+		}
+		v.Store(i, 1)
+	}
+	var ae *AccessError
+	if _, err := rt.Run(undeclared, y); !errors.As(err, &ae) {
+		t.Fatalf("expected an *AccessError, got %v", err)
+	}
+
+	// Rejected before an executor resolves: y too short.
+	if _, err := rt.Run(chainLoop(16), make([]float64, 4)); err == nil {
+		t.Fatal("expected the short-y validation error")
+	}
+
+	snap := c.Snapshot()
+	if snap.Runs != 2 {
+		t.Errorf("runs = %d, want 2 (validation failures are not runs)", snap.Runs)
+	}
+	if snap.Errors != 2 {
+		t.Errorf("errors = %d, want 2", snap.Errors)
+	}
+	if snap.AccessAborts != 1 {
+		t.Errorf("access aborts = %d, want 1", snap.AccessAborts)
+	}
+}
+
+// TestMetricsMulti checks RunMulti records one run per call, not one per
+// column block, under every multi-capable executor.
+func TestMetricsMulti(t *testing.T) {
+	const n, cols = 24, MaxRHSBlock + 3 // forces two blocks
+	c := NewMetricsCollector()
+	rt := NewRuntime(n, Options{Workers: 2, Executor: ExecWavefront, Metrics: c})
+	defer rt.Close()
+
+	l := chainLoop(n)
+	l.BodyMulti = func(i int, v *MultiValues) {
+		row := v.Row(i)
+		if i == 0 {
+			for k := range row {
+				row[k] = 1
+			}
+			return
+		}
+		prev := v.LoadRow(i - 1)
+		for k := range row {
+			row[k] = prev[k] + 1
+		}
+	}
+	ys := make([][]float64, cols)
+	for k := range ys {
+		ys[k] = make([]float64, n)
+	}
+	if _, err := rt.RunMulti(context.Background(), l, ys); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if snap.Runs != 1 {
+		t.Errorf("one RunMulti call recorded %d runs, want 1", snap.Runs)
+	}
+}
+
+// BenchmarkMetricsOff and BenchmarkMetricsOn bound the hook's cost: with no
+// sink the per-run overhead is a nil test, so the two must be within noise of
+// each other. Compare with benchstat, or eyeball the ns/op in CI logs.
+func BenchmarkMetricsOff(b *testing.B) { benchMetrics(b, nil) }
+func BenchmarkMetricsOn(b *testing.B)  { benchMetrics(b, NewMetricsCollector()) }
+
+func benchMetrics(b *testing.B, sink MetricsSink) {
+	rt := NewRuntime(256, Options{Workers: 2, Executor: ExecWavefront, Metrics: sink})
+	defer rt.Close()
+	l := chainLoop(256)
+	y := make([]float64, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Run(l, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -260,6 +260,7 @@ func (rt *Runtime) RunMulti(ctx context.Context, l *Loop, ys [][]float64) (Repor
 	} else {
 		rep.Order = "natural"
 	}
+	callStart := time.Now()
 	for base := 0; base < len(ys); base += MaxRHSBlock {
 		end := base + MaxRHSBlock
 		if end > len(ys) {
@@ -267,6 +268,12 @@ func (rt *Runtime) RunMulti(ctx context.Context, l *Loop, ys [][]float64) (Repor
 		}
 		blockRep, err := rt.runMultiBlock(ctx, l, ys[base:end], base)
 		if err != nil {
+			// A block that failed after resolving its executor counts as one
+			// failed run of that executor; a failure during resolution itself
+			// (blockRep.Executor empty) is not counted, matching RunContext.
+			if blockRep.Executor != "" {
+				rt.recordRun(blockRep.Executor, time.Since(callStart), err)
+			}
 			return Report{}, err
 		}
 		rep.PreTime += blockRep.PreTime
@@ -285,6 +292,7 @@ func (rt *Runtime) RunMulti(ctx context.Context, l *Loop, ys [][]float64) (Repor
 		rep.PredictedWavefrontNs = blockRep.PredictedWavefrontNs
 		rep.PredictedDynamicNs = blockRep.PredictedDynamicNs
 	}
+	rt.recordRun(rep.Executor, time.Since(callStart), nil)
 	return rep, nil
 }
 
@@ -303,6 +311,8 @@ func (rt *Runtime) runMultiBlock(ctx context.Context, l *Loop, ys [][]float64, c
 	selTime := time.Since(selStart)
 	rep.Executor = ex.name()
 	if err := ctx.Err(); err != nil {
+		// Cancelled before anything executed: like RunContext's pre-execution
+		// check, not counted as a run (Executor stays empty in the report).
 		return Report{}, err
 	}
 
@@ -327,7 +337,9 @@ func (rt *Runtime) runMultiBlock(ctx context.Context, l *Loop, ys [][]float64, c
 	}
 	rt.mc = multiRun{}
 	if runErr != nil {
-		return Report{}, runErr
+		// The empty report still names the resolved executor so RunMulti can
+		// attribute the failed call to it in the metrics sink.
+		return Report{Executor: rep.Executor}, runErr
 	}
 	rep.PreTime += selTime + gatherTime
 	rep.TotalTime += selTime + gatherTime

@@ -95,10 +95,12 @@ func (rt *Runtime) RepairPlans(l *Loop, edits EditSet) (RepairReport, error) {
 		// Nothing repairable is cached for this loop; evict everything so no
 		// stale plan (reachable through the hash tier from an equal-pattern
 		// Loop) survives the mutation.
+		rt.recordPlan(PlanRepairFallback)
 		rt.invalidateLocked()
 		return RepairReport{RepairTime: time.Since(start)}, nil
 	}
 	if len(edits.Iters) == 0 && len(edits.RetiredElems) == 0 {
+		rt.recordPlan(PlanRepaired)
 		return RepairReport{Repaired: true, FromLevel: plan.stats.Levels, Levels: plan.stats.Levels, RepairTime: time.Since(start)}, nil
 	}
 
@@ -174,6 +176,7 @@ func (rt *Runtime) RepairPlans(l *Loop, edits EditSet) (RepairReport, error) {
 		gedits[k] = depgraph.Edit{Iter: i, Preds: preds}
 	}
 	if err := g.ApplyEdits(gedits); err != nil {
+		rt.recordPlan(PlanRepairFallback)
 		rt.invalidateLocked()
 		return RepairReport{RepairTime: time.Since(start)}, err
 	}
@@ -194,6 +197,7 @@ func (rt *Runtime) RepairPlans(l *Loop, edits EditSet) (RepairReport, error) {
 	if !res.Ok {
 		// The cone outgrew the cost model's break-even point: a cold
 		// re-inspect is predicted cheaper than continuing, so take it.
+		rt.recordPlan(PlanRepairFallback)
 		rt.invalidateLocked()
 		return RepairReport{ConeSize: res.Cone, RepairTime: time.Since(start)}, nil
 	}
@@ -214,6 +218,7 @@ func (rt *Runtime) RepairPlans(l *Loop, edits EditSet) (RepairReport, error) {
 	elapsed := time.Since(start)
 	rt.pendingRepairLoop = l
 	rt.pendingRepairNs += elapsed.Nanoseconds()
+	rt.recordPlan(PlanRepaired)
 	return RepairReport{
 		Repaired:   true,
 		ConeSize:   res.Cone,

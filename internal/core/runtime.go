@@ -64,6 +64,12 @@ type Options struct {
 	// It exists as the measurement baseline for the pooled path (see
 	// BenchmarkRunReuse); leave it off in real use.
 	SpawnPerCall bool
+	// Metrics, when non-nil, receives the runtime's observability events:
+	// completed runs with their executor and wall time, plan-cache
+	// transitions, and access-check aborts. See MetricsSink for the exact
+	// contract. Nil (the default) keeps every instrumentation site down to a
+	// single nil test.
+	Metrics MetricsSink
 }
 
 // Report describes one doacross execution: the time spent in each of the
@@ -337,6 +343,7 @@ func (rt *Runtime) invalidateLocked() {
 	rt.planMemoLoop, rt.planMemo = nil, nil
 	clear(rt.planCache)
 	rt.pendingRepairLoop, rt.pendingRepairNs = nil, 0
+	rt.recordPlan(PlanInvalidated)
 }
 
 // schedule returns the static schedule for n positions, rebuilding it only
@@ -552,11 +559,13 @@ func (rt *Runtime) RunContext(ctx context.Context, l *Loop, y []float64) (Report
 	ex.execute(l, y, &rep)
 	stopWatch()
 	if err := rt.ab.firstErr(); err != nil {
+		rt.recordRun(rep.Executor, time.Since(selStart), err)
 		return Report{}, err
 	}
 	rep.PreTime += selTime
 	rep.TotalTime += selTime
 	rep.setCounters(sumCounters(rt.counters))
+	rt.recordRun(rep.Executor, time.Since(selStart), nil)
 	return rep, nil
 }
 
@@ -649,6 +658,7 @@ func (rt *Runtime) runPhased(ctx context.Context, l *Loop, y []float64, rep Repo
 	rt.Postprocess(l, y)
 	rep.PostTime = time.Since(postStart)
 	rep.TotalTime = time.Since(start)
+	rt.recordRun(rep.Executor, time.Since(start), runErr)
 	if runErr != nil {
 		return Report{}, runErr
 	}

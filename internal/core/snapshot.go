@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"doacross/internal/depgraph"
+	"doacross/internal/sched"
+)
+
+// PlanSnapshot is a self-contained copy of one wavefront plan — the artifact
+// the inspector builds and the schedule cache retains, frozen for export,
+// diffing or offline diagnosis. Every slice is owned by the snapshot: the
+// runtime may keep running, repairing and invalidating the live plan without
+// disturbing it. The export package serializes snapshots to the versioned
+// JSON plan document and to DOT.
+type PlanSnapshot struct {
+	// Iterations and Data are the loop's dimensions.
+	Iterations int
+	// Data is the loop's data-array length (the writer index's domain).
+	Data int
+	// Workers is the schedule worker count: the runtime's workers clamped to
+	// the widest level.
+	Workers int
+	// Writer is the dense writer index: Writer[e] is the iteration writing
+	// element e, -1 if none.
+	Writer []int32
+	// Preds is the true-dependency graph's predecessor lists: Preds[i] are
+	// the iterations that must complete before iteration i (ascending).
+	Preds [][]int32
+	// Levels is the wavefront decomposition in CSR form.
+	Levels depgraph.LevelSet
+	// Schedule is the level-sorted static schedule the static wavefront
+	// executor would run, materialized under the runtime's policy.
+	Schedule *sched.LevelSchedule
+	// Policy is the scheduling policy the runtime distributes levels with
+	// (the schedule itself records the policy actually used — Dynamic
+	// degrades to Cyclic there).
+	Policy sched.Policy
+	// Stats are the plan's inspection statistics, CacheHit reporting whether
+	// this snapshot's lookup was answered by the schedule cache.
+	Stats InspectStats
+}
+
+// PlanSnapshot resolves the loop's wavefront plan through the schedule cache
+// (building it cold on a miss, exactly as a wavefront run would) and returns
+// a deep copy of it. The loop must declare Reads — without them no dependency
+// graph exists to snapshot — and the runtime must run in natural order
+// (Options.Order unset), the same structural requirements the wavefront
+// executors enforce. Like every stateful entry point it serializes with runs
+// on the runtime's mutex.
+func (rt *Runtime) PlanSnapshot(l *Loop) (*PlanSnapshot, error) {
+	if l == nil {
+		return nil, fmt.Errorf("core: PlanSnapshot requires a loop")
+	}
+	if l.Reads == nil {
+		return nil, fmt.Errorf("core: PlanSnapshot requires Loop.Reads to build the dependency graph")
+	}
+	if rt.opts.Order != nil {
+		return nil, fmt.Errorf("core: PlanSnapshot reflects natural-order plans and cannot honor Options.Order")
+	}
+	rt.runMu.Lock()
+	defer rt.runMu.Unlock()
+	plan, cached, err := rt.wavefrontPlan(l)
+	if err != nil {
+		return nil, err
+	}
+	preds := make([][]int32, len(plan.graph.Preds))
+	for i, ps := range plan.graph.Preds {
+		if len(ps) > 0 {
+			preds[i] = append([]int32(nil), ps...)
+		}
+	}
+	stats := plan.stats
+	stats.CacheHit = cached
+	return &PlanSnapshot{
+		Iterations: plan.n,
+		Data:       plan.data,
+		Workers:    plan.workers,
+		Writer:     append([]int32(nil), plan.writer...),
+		Preds:      preds,
+		Levels: depgraph.LevelSet{
+			Level:   append([]int32(nil), plan.levels.Level...),
+			Members: append([]int32(nil), plan.levels.Members...),
+			Off:     append([]int32(nil), plan.levels.Off...),
+		},
+		Schedule: plan.staticSchedule(rt.opts.Policy).Clone(),
+		Policy:   rt.opts.Policy,
+		Stats:    stats,
+	}, nil
+}

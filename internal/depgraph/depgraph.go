@@ -80,6 +80,25 @@ func Build(a Access) *Graph {
 	return g
 }
 
+// FromPreds reconstructs a graph from per-iteration predecessor lists (the
+// form an exported plan document records): successor lists and the edge count
+// are derived, the predecessor slices are retained as given. Every
+// predecessor must lie in [0, i) for iteration i.
+func FromPreds(preds [][]int32) *Graph {
+	g := &Graph{
+		N:     len(preds),
+		Preds: preds,
+		Succs: make([][]int32, len(preds)),
+	}
+	for i, ps := range preds {
+		g.Edges += len(ps)
+		for _, j := range ps {
+			g.Succs[j] = append(g.Succs[j], int32(i))
+		}
+	}
+	return g
+}
+
 // BuildFromWriterIndex constructs the graph for the common single-write case
 // where iteration i writes exactly element write[i] and reads the elements
 // reads(i). It avoids the closure allocation of Build for large loops.

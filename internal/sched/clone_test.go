@@ -1,0 +1,48 @@
+package sched
+
+import "testing"
+
+// TestCloneIndependence checks Clone is a full deep copy: the clone validates,
+// matches the original item for item, and keeps its contents when the original
+// is patched in place afterwards (the plan-snapshot use case).
+func TestCloneIndependence(t *testing.T) {
+	members := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	off := []int32{0, 3, 5, 8}
+	orig := NewLevelSchedule(members, off, Block, 2)
+	clone := orig.Clone()
+
+	if err := clone.Validate(); err != nil {
+		t.Fatalf("clone does not validate: %v", err)
+	}
+	if clone.Levels() != orig.Levels() || clone.Workers() != orig.Workers() || clone.N() != orig.N() || clone.PolicyUsed != orig.PolicyUsed {
+		t.Fatalf("clone shape differs: %d/%d/%d/%v vs %d/%d/%d/%v",
+			clone.Levels(), clone.Workers(), clone.N(), clone.PolicyUsed,
+			orig.Levels(), orig.Workers(), orig.N(), orig.PolicyUsed)
+	}
+	snapshot := make([][]int32, 0)
+	for l := 0; l < clone.Levels(); l++ {
+		for w := 0; w < clone.Workers(); w++ {
+			snapshot = append(snapshot, append([]int32(nil), clone.Items(l, w)...))
+		}
+	}
+
+	// Rearrange the original's suffix; the clone must not move.
+	orig.PatchSuffix([]int32{0, 1, 2, 3, 4, 7, 6, 5}, []int32{0, 3, 5, 8}, 1)
+
+	k := 0
+	for l := 0; l < clone.Levels(); l++ {
+		for w := 0; w < clone.Workers(); w++ {
+			got := clone.Items(l, w)
+			want := snapshot[k]
+			k++
+			if len(got) != len(want) {
+				t.Fatalf("level %d worker %d: clone changed length after patching the original", l, w)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("level %d worker %d item %d: clone changed from %d to %d after patching the original", l, w, i, want[i], got[i])
+				}
+			}
+		}
+	}
+}

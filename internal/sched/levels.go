@@ -128,6 +128,20 @@ func growPreserve(buf []int32, n, keep int) []int32 {
 	return nb
 }
 
+// Clone returns an independent deep copy of the schedule: the copy shares no
+// storage with the original, so a plan snapshot can hand it out while the
+// runtime keeps patching the live schedule.
+func (s *LevelSchedule) Clone() *LevelSchedule {
+	return &LevelSchedule{
+		items:      append([]int32(nil), s.items...),
+		off:        append([]int32(nil), s.off...),
+		levels:     s.levels,
+		workers:    s.workers,
+		n:          s.n,
+		PolicyUsed: s.PolicyUsed,
+	}
+}
+
 // Levels returns the number of wavefront levels.
 func (s *LevelSchedule) Levels() int { return s.levels }
 

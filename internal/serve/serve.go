@@ -61,6 +61,13 @@ type Options struct {
 	// caller — backpressure surfaces at the edge, where the caller can shed
 	// or retry, rather than as unbounded memory growth. Defaults to 256.
 	QueueBound int
+	// Metrics, when set, is the collector whose runtime-level counters the
+	// service surfaces in Stats.Runtime. The service does not install it
+	// anywhere: build the underlying solver with the same collector (the
+	// facade's WithMetrics) and pass it here, and Stats then reports the
+	// batching counters and the runtime's plan-cache and executor metrics
+	// in one snapshot. Optional; nil leaves Stats.Runtime nil.
+	Metrics *core.MetricsCollector
 }
 
 // Errors returned by the service's entry points.
@@ -109,6 +116,10 @@ type Stats struct {
 	// BatchSizes is the batch-size histogram: BatchSizes[k] counts batches
 	// of size k+1, with sizes beyond MaxBatch clamped into the last bucket.
 	BatchSizes []uint64
+	// Runtime is a snapshot of the runtime-level metrics (run counts,
+	// plan-cache transitions, per-executor latency histograms) when the
+	// service was built with Options.Metrics, nil otherwise.
+	Runtime *core.MetricsSnapshot
 }
 
 // MeanBatch returns the mean batch size, zero before the first batch.
@@ -240,13 +251,20 @@ func (s *SolveService) Solve(ctx context.Context, rhs []float64) ([]float64, err
 	}
 }
 
-// Stats returns a snapshot of the service's instrumentation counters.
+// Stats returns a snapshot of the service's instrumentation counters,
+// including the runtime-level metrics when Options.Metrics was set.
 func (s *SolveService) Stats() Stats {
 	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
 	st := s.stats
 	st.BatchSizes = append([]uint64(nil), s.stats.BatchSizes...)
 	st.QueueDepth = len(s.reqs)
+	s.statsMu.Unlock()
+	// The collector has its own lock; snapshot it outside statsMu so the two
+	// locks never nest.
+	if s.opts.Metrics != nil {
+		snap := s.opts.Metrics.Snapshot()
+		st.Runtime = &snap
+	}
 	return st
 }
 

@@ -1,0 +1,74 @@
+package doacross
+
+import (
+	"fmt"
+
+	"doacross/internal/core"
+)
+
+// MetricsSink receives the runtime's in-process metrics when a Runtime (or
+// Solver) is built with WithMetrics: one RecordRun per completed run with the
+// resolved executor name and wall time, one RecordPlan per schedule-cache
+// transition, and one RecordAccessAbort per run aborted by the declared-access
+// sanitizer. See the internal core documentation for the exact counting
+// contract. Implementations must be safe for concurrent use (one sink may be
+// shared across runtimes) and must not call back into the runtime that is
+// invoking them. MetricsCollector is the ready-made implementation.
+type MetricsSink = core.MetricsSink
+
+// MetricsCollector is the ready-made MetricsSink: lock-protected counters,
+// per-executor latency histograms and plan-cache event counts, snapshotted
+// with Snapshot. Construct with NewMetricsCollector; the zero value is not
+// usable.
+type MetricsCollector = core.MetricsCollector
+
+// NewMetricsCollector returns an empty collector ready to be passed to
+// WithMetrics (and shared across any number of runtimes).
+func NewMetricsCollector() *MetricsCollector { return core.NewMetricsCollector() }
+
+// MetricsSnapshot is a point-in-time copy of a MetricsCollector's counters.
+type MetricsSnapshot = core.MetricsSnapshot
+
+// ExecutorMetrics is one executor's slice of a MetricsSnapshot: run and error
+// counts, total/max wall time, and a log2 latency histogram.
+type ExecutorMetrics = core.ExecutorMetrics
+
+// MetricsNsBuckets is the number of log2 buckets in an ExecutorMetrics
+// latency histogram.
+const MetricsNsBuckets = core.MetricsNsBuckets
+
+// PlanEvent identifies one schedule-cache transition reported through
+// MetricsSink.RecordPlan.
+type PlanEvent = core.PlanEvent
+
+// Schedule-cache transitions.
+const (
+	// PlanHit is a run served from the cached wavefront plan (either tier).
+	PlanHit PlanEvent = core.PlanHit
+	// PlanMiss is a cold inspection: no cached plan matched, one was built.
+	PlanMiss PlanEvent = core.PlanMiss
+	// PlanInvalidated is a cache eviction (InvalidatePlans, or the fallback
+	// path of RepairPlans, which also reports PlanRepairFallback).
+	PlanInvalidated PlanEvent = core.PlanInvalidated
+	// PlanRepaired is a RepairPlans call that patched the plan in place.
+	PlanRepaired PlanEvent = core.PlanRepaired
+	// PlanRepairFallback is a RepairPlans call that fell back to a full
+	// invalidation instead of patching.
+	PlanRepairFallback PlanEvent = core.PlanRepairFallback
+)
+
+// WithMetrics installs a metrics sink on the runtime: every completed run,
+// schedule-cache transition and access-check abort is reported to sink (see
+// MetricsSink for the contract). The sink may be shared across runtimes — a
+// MetricsCollector aggregates them all. When no sink is installed the
+// instrumentation costs a single nil test per event site; runs themselves are
+// never slowed beyond the two clock readings Run already takes.
+func WithMetrics(sink MetricsSink) Option {
+	return func(c *config) {
+		if sink == nil {
+			c.fail(fmt.Errorf("doacross: WithMetrics requires a non-nil sink"))
+			return
+		}
+		c.opts.Metrics = sink
+	}
+}

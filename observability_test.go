@@ -1,0 +1,199 @@
+// Tests for the observability surface of the facade: the WithMetrics hook,
+// the plan snapshot/export round trip, and the serving front end's combined
+// stats. CI runs this file under -race.
+package doacross_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"doacross"
+)
+
+// readsChain declares the chain loop's read pattern so the wavefront
+// executors (and plan snapshots) can build the dependency graph.
+func chainLoopWithReads(n int) *doacross.Loop {
+	l, err := doacross.NewLoop(n, n).
+		Writes(func(i int) []int { return []int{i} }).
+		Reads(func(i int) []int {
+			if i == 0 {
+				return nil
+			}
+			return []int{i - 1}
+		}).
+		Body(func(i int, v *doacross.Values) {
+			x := 1.0
+			if i > 0 {
+				x = v.Load(i-1) + 1
+			}
+			v.Store(i, x)
+		}).
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// TestWithMetricsNil pins the option's validation: a nil sink is a
+// construction error, not a latent panic.
+func TestWithMetricsNil(t *testing.T) {
+	if _, err := doacross.New(8, doacross.WithMetrics(nil)); err == nil {
+		t.Error("New accepted a nil metrics sink")
+	}
+}
+
+// TestWithMetricsFacade drives a runtime built through the facade and checks
+// the collector sees the runs and the plan-cache transitions.
+func TestWithMetricsFacade(t *testing.T) {
+	c := doacross.NewMetricsCollector()
+	rt, err := doacross.New(32,
+		doacross.WithWorkers(2),
+		doacross.WithExecutor(doacross.Wavefront),
+		doacross.WithMetrics(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	l := chainLoopWithReads(32)
+	y := make([]float64, 32)
+	for r := 0; r < 3; r++ {
+		if _, err := rt.Run(context.Background(), l, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Snapshot()
+	if snap.Runs != 3 || snap.Errors != 0 {
+		t.Errorf("runs/errors = %d/%d, want 3/0", snap.Runs, snap.Errors)
+	}
+	if snap.PlanMisses != 1 || snap.PlanHits != 2 {
+		t.Errorf("misses/hits = %d/%d, want 1/2", snap.PlanMisses, snap.PlanHits)
+	}
+	em, ok := snap.Executors["wavefront"]
+	if !ok || em.Runs != 3 {
+		t.Errorf("wavefront executor metrics missing or wrong: %+v", snap.Executors)
+	}
+	if snap.String() == "" {
+		t.Error("snapshot String() is empty")
+	}
+}
+
+// TestPlanExportFacade round-trips a plan through the facade surface:
+// Runtime.PlanSnapshot → ExportPlan → EncodePlan → DecodePlan →
+// PlanDoc.Snapshot, with byte-identical re-encoding.
+func TestPlanExportFacade(t *testing.T) {
+	rt, err := doacross.New(16,
+		doacross.WithWorkers(2),
+		doacross.WithExecutor(doacross.Wavefront))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	snap, err := rt.PlanSnapshot(chainLoopWithReads(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := doacross.ExportPlan("chain16", snap)
+	if doc.Schema != doacross.PlanSchemaVersion {
+		t.Errorf("schema = %d, want %d", doc.Schema, doacross.PlanSchemaVersion)
+	}
+
+	var buf bytes.Buffer
+	if err := doacross.EncodePlan(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := doacross.DecodePlan(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decoded.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Iterations != snap.Iterations || back.Workers != snap.Workers {
+		t.Errorf("rebuilt snapshot differs: %d/%d vs %d/%d", back.Iterations, back.Workers, snap.Iterations, snap.Workers)
+	}
+	var again bytes.Buffer
+	if err := doacross.EncodePlan(&again, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("re-encoding the decoded document changed the bytes")
+	}
+	if decoded.DOT() == "" {
+		t.Error("DOT render is empty")
+	}
+}
+
+// TestServiceRuntimeStats checks the serving front end surfaces the
+// runtime-level metrics: a solver built with WithMetrics and a service given
+// the same collector report the runs and cache hits behind the batches.
+func TestServiceRuntimeStats(t *testing.T) {
+	const n = 12
+	tri := &doacross.Triangular{
+		N:      n,
+		Lower:  true,
+		RowPtr: make([]int, n+1),
+		Diag:   make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			tri.Col = append(tri.Col, i-1)
+			tri.Val = append(tri.Val, -1)
+		}
+		tri.RowPtr[i+1] = len(tri.Col)
+		tri.Diag[i] = 2
+	}
+
+	c := doacross.NewMetricsCollector()
+	solver, err := doacross.NewSolver(tri,
+		doacross.WithWorkers(2),
+		doacross.WithExecutor(doacross.Wavefront),
+		doacross.WithMetrics(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solver.Close()
+	svc, err := doacross.NewSolveService(solver, doacross.ServeOptions{Metrics: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	for r := 0; r < 4; r++ {
+		if _, err := svc.Solve(context.Background(), rhs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := svc.Stats()
+	if st.Solves != 4 {
+		t.Errorf("service answered %d solves, want 4", st.Solves)
+	}
+	if st.Runtime == nil {
+		t.Fatal("Stats.Runtime is nil with ServeOptions.Metrics set")
+	}
+	if st.Runtime.Runs != 4 {
+		t.Errorf("runtime recorded %d runs behind 4 solo batches, want 4", st.Runtime.Runs)
+	}
+	if st.Runtime.PlanMisses != 1 || st.Runtime.PlanHits != 3 {
+		t.Errorf("misses/hits = %d/%d, want 1/3", st.Runtime.PlanMisses, st.Runtime.PlanHits)
+	}
+
+	// Without a collector the runtime slice of the stats stays nil.
+	bare, err := doacross.NewSolveService(solver, doacross.ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if bare.Stats().Runtime != nil {
+		t.Error("Stats.Runtime non-nil without ServeOptions.Metrics")
+	}
+}

@@ -12,12 +12,16 @@ import "doacross/internal/serve"
 type SolveService = serve.SolveService
 
 // ServeOptions configures a SolveService: the coalescing window, the batch
-// size that triggers an immediate flush, and the intake queue bound.
+// size that triggers an immediate flush, the intake queue bound, and an
+// optional MetricsCollector whose runtime-level counters the service
+// surfaces in its Stats (build the solver with WithMetrics on the same
+// collector).
 type ServeOptions = serve.Options
 
 // ServiceStats is a snapshot of a SolveService's instrumentation: request
-// outcomes, batch counts by flush cause, queue depths and the batch-size
-// histogram.
+// outcomes, batch counts by flush cause, queue depths, the batch-size
+// histogram, and — when ServeOptions.Metrics is set — the runtime-level
+// metrics snapshot.
 type ServiceStats = serve.Stats
 
 // Errors a SolveService's Solve can return (beyond the solver's own and the
