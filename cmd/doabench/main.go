@@ -15,6 +15,7 @@
 //	doabench -experiment live        # live goroutine measurements on this host
 //	doabench -experiment serving     # serving throughput: K concurrent callers through the coalescing SolveService
 //	doabench -experiment repair      # incremental plan repair vs cold re-inspection across edit-cone sizes
+//	doabench -experiment tuning      # online self-tuning Auto: mis-seeded recovery by measured feedback
 //	doabench -experiment all         # everything above
 //
 // The -experiment flag also accepts a comma-separated subset
@@ -45,7 +46,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "comma-separated subset of fig6 | table1 | overhead | blocked | linear | ordering | sweep | executors | live | serving | repair | all")
+		experiment = flag.String("experiment", "all", "comma-separated subset of fig6 | table1 | overhead | blocked | linear | ordering | sweep | executors | live | serving | repair | tuning | all")
 		procs      = flag.Int("procs", experiments.PaperProcessors, "simulated processor count")
 		n          = flag.Int("n", 10000, "Figure 6 outer iteration count")
 		seed       = flag.Int64("seed", 1, "seed for the synthetic SPE operators")
@@ -62,7 +63,7 @@ func main() {
 	)
 	flag.Parse()
 
-	validExperiments := []string{"fig6", "table1", "overhead", "blocked", "linear", "ordering", "sweep", "executors", "live", "serving", "repair", "all"}
+	validExperiments := []string{"fig6", "table1", "overhead", "blocked", "linear", "ordering", "sweep", "executors", "live", "serving", "repair", "tuning", "all"}
 	selected := make(map[string]bool)
 	for _, raw := range strings.Split(*experiment, ",") {
 		name := strings.TrimSpace(raw)
@@ -324,6 +325,34 @@ func main() {
 		}
 		benchRecords = append(benchRecords, experiments.RepairBenchRecords(rows)...)
 		return experiments.FormatRepair(rows), experiments.CheckRepair(rows), nil
+	})
+
+	run("tuning", func() (string, []string, error) {
+		workers := experiments.DefaultLiveWorkers()
+		if workers > 4 {
+			// A chain run under the busy-wait doacross spins every worker; past
+			// a few the oversubscription noise drowns the comparison without
+			// changing its direction.
+			workers = 4
+		}
+		if *liveWorkers != "" {
+			first := strings.Split(*liveWorkers, ",")[0]
+			w, err := strconv.Atoi(strings.TrimSpace(first))
+			if err != nil || w < 1 {
+				return "", nil, fmt.Errorf("invalid -workers entry %q", first)
+			}
+			workers = w
+		}
+		truthReps := *liveReps
+		if truthReps < 3 {
+			truthReps = 3
+		}
+		rows, err := experiments.RunTuningExperiment(workers, 30, truthReps)
+		if err != nil {
+			return "", nil, err
+		}
+		benchRecords = append(benchRecords, experiments.TuningBenchRecords(rows)...)
+		return experiments.FormatTuning(rows), experiments.CheckTuning(rows), nil
 	})
 
 	if *jsonPath != "" && len(benchRecords) > 0 {

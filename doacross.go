@@ -122,6 +122,20 @@ const (
 // of the model.
 type AutoCosts = core.AutoCosts
 
+// TuningOptions configures the online self-tuning Auto selection; see
+// WithOnlineTuning. The zero value of every field means its default.
+type TuningOptions = core.TuningOptions
+
+// TuningSnapshot is a point-in-time copy of a runtime's online-tuning state;
+// see Runtime.TuningSnapshot.
+type TuningSnapshot = core.TuningSnapshot
+
+// TuningPlan is one plan's calibration in a TuningSnapshot.
+type TuningPlan = core.TuningPlan
+
+// TuningArm is one executor's observation summary in a TuningPlan.
+type TuningArm = core.TuningArm
+
 // EditSet describes an in-place mutation of a loop's access pattern for
 // Runtime.RepairPlans: the iterations whose Writes/Reads results changed,
 // plus any data elements no longer written by anyone. See WithEdits for the
@@ -262,6 +276,47 @@ func WithAutoCosts(c AutoCosts) Option {
 			return
 		}
 		cf.opts.AutoCosts = c
+	}
+}
+
+// WithOnlineTuning enables measured-feedback calibration of the Auto
+// selection: every completed Auto run feeds its measured executor-phase time
+// back into a per-plan-fingerprint calibration that smooths the observations
+// (EMA at o.Alpha), back-solves the cost-model coefficients toward what the
+// measurements imply (folding at o.Blend, the per-iteration work term first),
+// and decides subsequent runs epsilon-greedily (o.Epsilon) — preferring the
+// measured-fastest executor but occasionally re-sampling a less-observed one,
+// so a wrong initial pick cannot lock in. The exploration RNG is seeded
+// (o.Seed), making decision sequences reproducible run for run.
+//
+// o.InitialCosts seeds the calibration instead of the self-calibration probe;
+// unlike WithAutoCosts it is a starting point the feedback corrects, not a
+// pin. Combining WithOnlineTuning with WithAutoCosts is allowed and freezes
+// the tuner: pinned coefficients declare the model known, so no feedback is
+// recorded and the tuner state never changes. Off by default; when off, the
+// only per-run cost of the machinery is a nil test. Reports of tuned runs
+// stamp Report.TunedCosts and Report.Explored, and the accumulated state is
+// observable through Runtime.TuningSnapshot and a metrics sink implementing
+// TuningSink.
+func WithOnlineTuning(o TuningOptions) Option {
+	return func(c *config) {
+		if o.Alpha < 0 || o.Alpha > 1 {
+			c.fail(fmt.Errorf("doacross: WithOnlineTuning requires Alpha in [0, 1], got %v", o.Alpha))
+			return
+		}
+		if o.Blend < 0 || o.Blend > 1 {
+			c.fail(fmt.Errorf("doacross: WithOnlineTuning requires Blend in [0, 1], got %v", o.Blend))
+			return
+		}
+		if o.Epsilon > 1 {
+			c.fail(fmt.Errorf("doacross: WithOnlineTuning requires Epsilon at most 1 (negative disables exploration), got %v", o.Epsilon))
+			return
+		}
+		if ic := o.InitialCosts; ic != (AutoCosts{}) && (ic.BarrierNs <= 0 || ic.FlagCheckNs <= 0 || ic.ClaimNs < 0 || ic.IterNs < 0) {
+			c.fail(fmt.Errorf("doacross: WithOnlineTuning InitialCosts require positive BarrierNs and FlagCheckNs (and non-negative ClaimNs and IterNs), got %+v", ic))
+			return
+		}
+		c.opts.Tuning = &o
 	}
 }
 
@@ -451,6 +506,13 @@ func (r *Runtime) InvalidatePlans() { r.rt.InvalidatePlans() }
 func (r *Runtime) RepairPlans(l *Loop, edits EditSet) (RepairReport, error) {
 	return r.rt.RepairPlans(l, edits)
 }
+
+// TuningSnapshot returns a copy of the runtime's online-tuning state
+// (WithOnlineTuning): aggregate observation counts and each tuned plan's
+// calibrated coefficients and per-executor observation summaries, sorted by
+// plan fingerprint. Runtimes without tuning report the zero snapshot. It
+// serializes with the runtime's runs; the snapshot is owned by the caller.
+func (r *Runtime) TuningSnapshot() TuningSnapshot { return r.rt.TuningSnapshot() }
 
 // Trace returns the per-iteration trace of the most recent run when the
 // runtime was built with WithTrace, or nil otherwise. The trace is owned by

@@ -48,7 +48,15 @@
 // WavefrontDynamic runs the same levels with dynamic within-level
 // self-scheduling, absorbing heavy-tailed per-iteration costs at a claim
 // per chunk; Auto inspects once and picks from the graph's shape with a
-// calibrated three-way cost model. See the README's "Choosing an executor".
+// calibrated three-way cost model. WithOnlineTuning closes Auto's loop with
+// measured feedback: each completed run's executor-phase time updates a
+// per-plan moving average keyed by the plan's structural fingerprint,
+// back-solves the one coefficient the calibration probe cannot measure (the
+// per-iteration body weight), and — with a seeded, deterministic
+// epsilon-greedy exploration — escapes the lock-in where a mispriced model
+// never tries the arm that would refute it. Tuning is off by default,
+// freezes under explicit WithAutoCosts coefficients, and costs nothing when
+// off. See the README's "Choosing an executor" and "Self-tuning Auto".
 //
 // The runtime is the paper's Section 2.1 design: one Runtime (scratch arrays
 // plus a persistent worker pool) is meant to be built once and reused across
@@ -141,5 +149,11 @@
 // an invalidation), and one RecordAccessAbort per run aborted by the access
 // sanitizer. Sinks must be safe for concurrent use and must not call back
 // into the runtime. NewMetricsCollector is the ready-made sink; with no sink
-// installed each recording site costs a single nil test.
+// installed each recording site costs a single nil test. A sink that also
+// implements TuningSink additionally receives one RecordTuning per run whose
+// measurement was folded into a plan's online-tuning state — the count
+// always reconciles with Runtime.TuningSnapshot, whose per-plan view (arm
+// observation counts, moving averages, calibrated coefficients) is the
+// tuner's third observability surface alongside the Report stamps
+// (TunedCosts, Explored, re-stamped predictions).
 package doacross

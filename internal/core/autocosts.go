@@ -7,6 +7,7 @@ import (
 	"doacross/internal/flags"
 	"doacross/internal/machine"
 	"doacross/internal/sched"
+	"doacross/internal/tune"
 )
 
 // AutoCosts are the coefficients of the Auto executor's calibrated cost
@@ -113,48 +114,26 @@ func (c AutoCosts) Predict(st InspectStats, workers int) (tDoacross, tWavefront,
 // that lose at nrhs = 1 win at moderate block widths. nrhs below 1 is treated
 // as 1; Predict(st, p) == PredictN(st, p, 1).
 func (c AutoCosts) PredictN(st InspectStats, workers, nrhs int) (tDoacross, tWavefront, tDynamic float64) {
-	p := workers
-	if p < 1 {
-		p = 1
+	// The formula itself lives in the leaf tune package: the online tuner
+	// back-solves it and machine.SimulateTuning replays it, so keeping a
+	// single definition is what guarantees the live selection, the
+	// calibration and the simulated trajectories can never disagree.
+	return tune.Predict(tune.Coeffs(c), st.tuneStats(), workers, nrhs)
+}
+
+// tuneStats projects the inspection statistics onto the cost model's inputs
+// (tune.Stats) — the subset Predict and the tuner's back-solver consume.
+func (st InspectStats) tuneStats() tune.Stats {
+	return tune.Stats{
+		Iterations:      st.Iterations,
+		Edges:           st.Edges,
+		StallWeight:     st.StallWeight,
+		Levels:          st.Levels,
+		CriticalPathLen: st.CriticalPathLen,
+		ScheduleRounds:  st.ScheduleRounds,
+		ReadImbalance:   st.ReadImbalance,
+		DynamicClaims:   st.DynamicClaims,
 	}
-	if nrhs < 1 {
-		nrhs = 1
-	}
-	n := st.Iterations
-	if n == 0 {
-		return 0, 0, 0
-	}
-	workNs := float64(nrhs) * c.IterNs
-	workRounds := (n + p - 1) / p
-	bound := workRounds
-	if st.CriticalPathLen > bound {
-		bound = st.CriticalPathLen
-	}
-	daRounds := float64(bound) + st.StallWeight/float64(p)
-	minWfRounds := workRounds
-	if st.Levels > minWfRounds {
-		minWfRounds = st.Levels
-	}
-	wfRounds := st.ScheduleRounds
-	if wfRounds < minWfRounds {
-		// Stats from a source that did not fill ScheduleRounds: the level
-		// schedule can never be shallower than either bound.
-		wfRounds = minWfRounds
-	}
-	r := float64(st.Edges) / float64(n)
-	perIter := workNs + r*c.FlagCheckNs
-	tDoacross = daRounds * (workNs + (r+3)*c.FlagCheckNs)
-	wfBase := float64(wfRounds)*perIter + float64(st.Levels)*c.BarrierNs
-	readTermNs := c.FlagCheckNs + workNs/(r+1)
-	tWavefront = wfBase + st.ReadImbalance*readTermNs
-	if c.ClaimNs > 0 {
-		claims := float64(st.DynamicClaims)
-		if claims <= 0 {
-			claims = float64((n+sched.DefaultChunk-1)/sched.DefaultChunk + st.Levels*p)
-		}
-		tDynamic = wfBase + claims*c.ClaimNs
-	}
-	return tDoacross, tWavefront, tDynamic
 }
 
 // autoChoose is the Auto selection: a single barrier-free level (a doall, or

@@ -97,6 +97,13 @@ type executor interface {
 // work by it, so the pick can flip between a scalar run and a wide block of
 // the same loop (see AutoCosts.PredictN).
 func (rt *Runtime) executorFor(l *Loop, rep *Report, nrhs int) (executor, error) {
+	if rt.tuneObs.ps != nil {
+		// A previous run resolved a tuned decision but never completed (an
+		// abort, a cancellation): its observation is stale, not a
+		// measurement. Discarding it here keeps the off-path cost at one nil
+		// test.
+		rt.tuneObs = pendingObservation{}
+	}
 	switch rt.opts.Executor {
 	case ExecDoacross:
 		return doacrossExecutor{rt}, nil
@@ -124,13 +131,35 @@ func (rt *Runtime) executorFor(l *Loop, rep *Report, nrhs int) (executor, error)
 		if err != nil {
 			return nil, err
 		}
-		costs := rt.autoCostsFor()
-		if rep != nil {
-			rep.AutoCosts = costs
-			rep.PredictedDoacrossNs, rep.PredictedWavefrontNs, rep.PredictedDynamicNs =
-				costs.PredictN(plan.stats, rt.opts.Workers, nrhs)
+		var pick ExecutorKind
+		if rt.tuningActive() && plan.stats.Levels > 1 {
+			// The tuned path: the plan's bandit decides from measured
+			// moving averages where it has them and the tuned model where
+			// it does not, and the decision is armed for post-run feedback.
+			// Single-level loops keep the static pre-schedule below — there
+			// is no decision to learn.
+			base := rt.tunerBase()
+			ps := rt.tuner.planState(plan.fp, base)
+			arm, explored := ps.Decide(plan.stats.tuneStats(), rt.opts.Workers, nrhs, rt.tuner.opts, rt.tuner.rng)
+			pick = kindOfTuneExec(arm)
+			rt.tuneObs = pendingObservation{ps: ps, stats: plan.stats, exec: arm, nrhs: nrhs, explored: explored}
+			if rep != nil {
+				rep.AutoCosts = base
+				rep.TunedCosts = AutoCosts(ps.Coeffs)
+				rep.Explored = explored
+				rep.PredictedDoacrossNs, rep.PredictedWavefrontNs, rep.PredictedDynamicNs =
+					rep.TunedCosts.PredictN(plan.stats, rt.opts.Workers, nrhs)
+			}
+		} else {
+			costs := rt.autoCostsFor()
+			if rep != nil {
+				rep.AutoCosts = costs
+				rep.PredictedDoacrossNs, rep.PredictedWavefrontNs, rep.PredictedDynamicNs =
+					costs.PredictN(plan.stats, rt.opts.Workers, nrhs)
+			}
+			pick = autoChoose(plan.stats, rt.opts.Workers, nrhs, costs)
 		}
-		switch autoChoose(plan.stats, rt.opts.Workers, nrhs, costs) {
+		switch pick {
 		case ExecWavefrontDynamic:
 			return dynamicWavefrontExecutor{rt: rt, plan: plan, cached: cached}, nil
 		case ExecWavefront:
@@ -247,6 +276,12 @@ type wavefrontPlan struct {
 	// and rehashing would cost the closure sweep repair exists to avoid — so
 	// a repaired plan stays reachable only through the pointer memo.
 	hash uint64
+	// fp is the plan's tuning fingerprint: the structural hash it was built
+	// under, never zeroed — unlike hash it survives RepairPlans, so the
+	// online tuner's per-plan calibration follows a repaired plan across
+	// edits (the measured feedback then absorbs whatever the edit changed,
+	// which is exactly the drift the tuner exists to correct).
+	fp uint64
 	// gen is the runtime's plan generation at build time; InvalidatePlans
 	// advances the generation, making every earlier plan stale.
 	gen uint64
@@ -354,6 +389,7 @@ func (rt *Runtime) wavefrontPlan(l *Loop) (p *wavefrontPlan, cached bool, err er
 		clear(rt.planCache)
 	}
 	p.hash = h
+	p.fp = h
 	rt.planCache[h] = p
 	rt.planMemoLoop, rt.planMemo = l, p
 	rt.recordPlan(PlanMiss)
@@ -765,6 +801,15 @@ func (e dynamicWavefrontExecutor) execute(l *Loop, y []float64, rep *Report) {
 	if chunk < 1 {
 		chunk = sched.DefaultChunk
 	}
+	// Under online tuning, chunk claims are rounded down to whole cache
+	// lines: the tuner's measured feedback prices real memory behaviour, and
+	// line-aligned claims keep neighbouring workers off shared lines. The
+	// untuned executor keeps the exact LevelChunk clamp its committed
+	// baselines were measured with (align 1 is the identity).
+	align := 1
+	if rt.tuningActive() {
+		align = sched.CacheLineElems
+	}
 	k := plan.workers
 	ab := &rt.ab
 	stop := func() bool { return ab.triggered.Load() }
@@ -782,7 +827,7 @@ func (e dynamicWavefrontExecutor) execute(l *Loop, y []float64, rep *Report) {
 				members := plan.levels.LevelMembers(lvl)
 				// Every worker derives the same per-level chunk clamp, so no
 				// coordination is needed (see sched.LevelChunk).
-				c := sched.LevelChunk(chunk, len(members), k)
+				c := sched.LevelChunkAligned(chunk, len(members), k, align)
 				rt.guard("loop body", func() {
 					sched.DynamicLoopOver(&next, members, c, w, body, stop)
 				})

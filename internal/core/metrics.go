@@ -50,6 +50,17 @@ type MetricsSink interface {
 	RecordAccessAbort()
 }
 
+// TuningSink is the optional extension a MetricsSink implements to receive
+// online-tuning feedback events: RecordTuning fires once per tuned Auto run
+// whose measurement was fed back into the plan's calibration (so its count
+// matches TuningSnapshot.Observations), with explored reporting whether the
+// decision deliberately ran a non-best executor. Discovered by type
+// assertion, so existing MetricsSink implementations keep compiling; the same
+// threading contract as MetricsSink applies. MetricsCollector implements it.
+type TuningSink interface {
+	RecordTuning(explored bool)
+}
+
 // PlanEvent identifies one plan-cache transition reported to a MetricsSink.
 type PlanEvent int
 
@@ -138,6 +149,10 @@ type MetricsSnapshot struct {
 	PlanInvalidations   uint64
 	PlanRepairs         uint64
 	PlanRepairFallbacks uint64
+	// Online-tuning feedback events (TuningSink): measured runs fed back into
+	// a plan's calibration, and the subset that were deliberate explorations.
+	TuningObservations uint64
+	TuningExplorations uint64
 	// Executors holds the per-executor run counts and latency histograms,
 	// keyed by executor name.
 	Executors map[string]ExecutorMetrics
@@ -157,12 +172,14 @@ func (s MetricsSnapshot) String() string {
 // Snapshot). The zero value is ready to use; NewMetricsCollector exists for
 // symmetry with the rest of the API.
 type MetricsCollector struct {
-	mu        sync.Mutex
-	runs      uint64
-	errors    uint64
-	aborts    uint64
-	plan      [5]uint64 // indexed by PlanEvent
-	executors map[string]*ExecutorMetrics
+	mu         sync.Mutex
+	runs       uint64
+	errors     uint64
+	aborts     uint64
+	plan       [5]uint64 // indexed by PlanEvent
+	tuningObs  uint64
+	tuningExpl uint64
+	executors  map[string]*ExecutorMetrics
 }
 
 // NewMetricsCollector returns an empty collector.
@@ -205,6 +222,16 @@ func (c *MetricsCollector) RecordPlan(event PlanEvent) {
 	c.mu.Unlock()
 }
 
+// RecordTuning implements TuningSink.
+func (c *MetricsCollector) RecordTuning(explored bool) {
+	c.mu.Lock()
+	c.tuningObs++
+	if explored {
+		c.tuningExpl++
+	}
+	c.mu.Unlock()
+}
+
 // RecordAccessAbort implements MetricsSink.
 func (c *MetricsCollector) RecordAccessAbort() {
 	c.mu.Lock()
@@ -226,6 +253,8 @@ func (c *MetricsCollector) Snapshot() MetricsSnapshot {
 		PlanInvalidations:   c.plan[PlanInvalidated],
 		PlanRepairs:         c.plan[PlanRepaired],
 		PlanRepairFallbacks: c.plan[PlanRepairFallback],
+		TuningObservations:  c.tuningObs,
+		TuningExplorations:  c.tuningExpl,
 		Executors:           make(map[string]ExecutorMetrics, len(c.executors)),
 	}
 	for name, m := range c.executors {

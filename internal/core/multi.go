@@ -291,6 +291,8 @@ func (rt *Runtime) RunMulti(ctx context.Context, l *Loop, ys [][]float64) (Repor
 		rep.PredictedDoacrossNs = blockRep.PredictedDoacrossNs
 		rep.PredictedWavefrontNs = blockRep.PredictedWavefrontNs
 		rep.PredictedDynamicNs = blockRep.PredictedDynamicNs
+		rep.TunedCosts = blockRep.TunedCosts
+		rep.Explored = rep.Explored || blockRep.Explored
 	}
 	rt.recordRun(rep.Executor, time.Since(callStart), nil)
 	return rep, nil
@@ -344,6 +346,7 @@ func (rt *Runtime) runMultiBlock(ctx context.Context, l *Loop, ys [][]float64, c
 	rep.PreTime += selTime + gatherTime
 	rep.TotalTime += selTime + gatherTime
 	rep.setCounters(sumCounters(rt.counters))
+	rt.observeTuning(&rep)
 	return rep, nil
 }
 

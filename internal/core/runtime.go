@@ -70,6 +70,16 @@ type Options struct {
 	// contract. Nil (the default) keeps every instrumentation site down to a
 	// single nil test.
 	Metrics MetricsSink
+	// Tuning, when non-nil, enables the online self-tuning Auto selection:
+	// every completed Auto run's measured executor-phase time is fed back
+	// into a per-plan calibration (keyed by the plan's structural
+	// fingerprint), the cost-model coefficients are blended toward
+	// back-solved observations, and decisions become a small epsilon-greedy
+	// bandit over the three executors. Only Auto decisions consult it; a
+	// valid Options.AutoCosts freezes tuning entirely (the coefficients are
+	// declared known). Nil (the default) keeps the tuning hook down to a
+	// single nil test per run.
+	Tuning *TuningOptions
 }
 
 // Report describes one doacross execution: the time spent in each of the
@@ -120,6 +130,18 @@ type Report struct {
 	PredictedDoacrossNs  float64
 	PredictedWavefrontNs float64
 	PredictedDynamicNs   float64
+	// TunedCosts are the online tuner's coefficients for this loop's plan
+	// when the runtime runs with Options.Tuning: stamped after the run's
+	// observation was absorbed, so they (and the predicted times above,
+	// which are re-stamped with them) reflect what this run taught the
+	// model, not just what the decision knew going in. Zero when tuning is
+	// off or frozen.
+	TunedCosts AutoCosts
+	// Explored reports that the online tuner deliberately ran a non-best
+	// executor this run to keep its measurements honest (the epsilon-greedy
+	// bandit's exploration); convergence tests filter these runs out when
+	// asserting the steady-state pick.
+	Explored bool
 	// NRHS is the number of right-hand-side columns a RunMulti call carried
 	// through the traversal; zero for scalar runs. Phase times and counters
 	// of a multi-column report aggregate all of the call's column blocks.
@@ -198,6 +220,12 @@ type Runtime struct {
 	// autoCosts memoizes the Auto selection's coefficients (configured or
 	// probed) for the lifetime of the runtime.
 	autoCosts AutoCosts
+
+	// tuner is the online self-tuning state behind Options.Tuning (nil when
+	// tuning is off), and tuneObs the decision armed by the current run for
+	// post-run feedback. Both are guarded by runMu.
+	tuner   *tuner
+	tuneObs pendingObservation
 
 	// inspectDirty records that inspectTables filled the writer table and no
 	// doacross postprocess has reset it yet. A doacross-executor run always
@@ -292,6 +320,9 @@ func NewRuntime(dataLen int, opts Options) *Runtime {
 	}
 	if opts.AccessCheck {
 		rt.recs = make([]accessRecorder, opts.Workers)
+	}
+	if opts.Tuning != nil {
+		rt.tuner = newTuner(*opts.Tuning)
 	}
 	if opts.UseEpochTables {
 		rt.eIter = flags.NewEpochIterTable(dataLen)
@@ -565,6 +596,7 @@ func (rt *Runtime) RunContext(ctx context.Context, l *Loop, y []float64) (Report
 	rep.PreTime += selTime
 	rep.TotalTime += selTime
 	rep.setCounters(sumCounters(rt.counters))
+	rt.observeTuning(&rep)
 	rt.recordRun(rep.Executor, time.Since(selStart), nil)
 	return rep, nil
 }

@@ -30,6 +30,7 @@ import (
 	"doacross/internal/stencil"
 	"doacross/internal/testloop"
 	"doacross/internal/trisolve"
+	"doacross/internal/tune"
 )
 
 // Nominal cost-model coefficients, in nanoseconds. They approximate a
@@ -304,6 +305,44 @@ func report(w io.Writer, title string, st core.InspectStats, g *depgraph.Graph, 
 		fmt.Fprintln(w, "  wavefront-dynamic not considered (no claim cost)")
 	}
 	fmt.Fprintf(w, "  auto picks        %s\n", pick)
+
+	// The tuning forecast replays the runtime's online self-tuning state
+	// machine (machine.SimulateTuning — the exact tune.PlanState a live
+	// WithOnlineTuning runtime drives) against a deterministic ground truth:
+	// the cost model above is taken as the real executor times, and the
+	// simulated tuner starts from adversarial coefficients — barrier priced
+	// 10x low, flag check 10x high, body weight unknown — that pull the model
+	// toward the wrong executor. The section shows how many measured runs the
+	// feedback needs to settle on the truly fastest executor and how far the
+	// calibrated coefficients travel.
+	truth := machine.TuningTruth{DoacrossNs: tda, WavefrontNs: twf, DynamicNs: tdyn}
+	start := tune.Coeffs{
+		BarrierNs:   costs.BarrierNs / 10,
+		FlagCheckNs: 10 * costs.FlagCheckNs,
+		ClaimNs:     costs.ClaimNs,
+	}
+	const tuningRuns = 32
+	traj := machine.SimulateTuning(truth, start, tune.Stats{
+		Iterations: st.Iterations, Edges: st.Edges, StallWeight: st.StallWeight,
+		Levels: st.Levels, CriticalPathLen: st.CriticalPathLen,
+		ScheduleRounds: st.ScheduleRounds, ReadImbalance: st.ReadImbalance,
+		DynamicClaims: st.DynamicClaims,
+	}, workers, nrhs, tuningRuns, tune.Options{Seed: 1})
+	fmt.Fprintf(w, "\nOnline tuning forecast (%d simulated runs, overheads seeded adversarially 10x off):\n", tuningRuns)
+	if traj.ConvergedAt < 0 {
+		fmt.Fprintf(w, "  settles on        never (within %d runs)\n", tuningRuns)
+	} else {
+		fmt.Fprintf(w, "  settles on        %s at run %d\n",
+			tune.ExecutorName(truth.BestArm()), traj.ConvergedAt)
+	}
+	fmt.Fprintf(w, "  explorations      %d of %d runs\n", traj.Final.Explorations, tuningRuns)
+	fc := traj.Final.Coeffs
+	fmt.Fprintf(w, "  final calibration barrier=%.0f flagCheck=%.1f claim=%.0f iter=%.1f ns\n",
+		fc.BarrierNs, fc.FlagCheckNs, fc.ClaimNs, fc.IterNs)
+	if len(traj.Steps) > 0 {
+		fmt.Fprintf(w, "  prediction error  %.0f ns at run 0, %.0f ns at run %d\n",
+			traj.Steps[0].ErrNs, traj.Steps[len(traj.Steps)-1].ErrNs, len(traj.Steps)-1)
+	}
 
 	// The repair break-even report is purely a function of the graph's size
 	// and the default cost-model ratios, so it is deterministic across hosts:

@@ -56,6 +56,10 @@ type BenchRecord struct {
 	RowsPerStep  int     `json:"rows_per_step,omitempty"`
 	ConeSize     int     `json:"cone_size,omitempty"`
 	RepairedFrac float64 `json:"repaired_frac,omitempty"`
+	// The tuning experiment's field: the 1-based run index at which the
+	// mis-seeded online tuner settled on the measured-best executor for good
+	// (0: never converged within the run budget).
+	ConvergedAtRun int `json:"converged_at_run,omitempty"`
 }
 
 // BenchFile is the envelope of BENCH_results.json.

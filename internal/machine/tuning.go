@@ -1,0 +1,145 @@
+package machine
+
+import (
+	"math"
+
+	"doacross/internal/tune"
+)
+
+// TuningTruth is the ground truth of a simulated tuning run: the actual
+// executor-phase time each executor strategy takes on the loop shape under
+// study, in nanoseconds. It plays the role the wall clock plays for the live
+// tuner (core.Runtime with Options.Tuning): every simulated run of an
+// executor observes exactly its truth time. DynamicNs <= 0 declares the
+// dynamic arm unavailable, matching a live runtime whose cost model carries
+// no claim coefficient.
+type TuningTruth struct {
+	DoacrossNs  float64
+	WavefrontNs float64
+	DynamicNs   float64
+}
+
+// observed returns the truth time of one tune arm.
+func (t TuningTruth) observed(arm int) float64 {
+	switch arm {
+	case tune.Wavefront:
+		return t.WavefrontNs
+	case tune.WavefrontDynamic:
+		return t.DynamicNs
+	default:
+		return t.DoacrossNs
+	}
+}
+
+// BestArm returns the tune arm index of the truly fastest available executor
+// — the pick a converged tuner must settle on. The dynamic arm competes only
+// when DynamicNs is positive.
+func (t TuningTruth) BestArm() int {
+	best, bestNs := tune.Doacross, t.DoacrossNs
+	if t.WavefrontNs < bestNs {
+		best, bestNs = tune.Wavefront, t.WavefrontNs
+	}
+	if t.DynamicNs > 0 && t.DynamicNs < bestNs {
+		best = tune.WavefrontDynamic
+	}
+	return best
+}
+
+// TuningStep records one simulated tuned run: the decision, what the model
+// predicted for the picked arm before observing (from the pre-observation
+// coefficients), what the truth delivered, the resulting prediction error,
+// and the coefficients after the observation was folded in.
+type TuningStep struct {
+	Run         int
+	Pick        int // tune arm index (tune.Doacross, ...)
+	Explored    bool
+	PredictedNs float64
+	ObservedNs  float64
+	// ErrNs is |PredictedNs - ObservedNs|: how wrong the tuned model still
+	// was about the executor it ran. Per arm this shrinks as the calibration
+	// absorbs observations; the acceptance suite asserts it.
+	ErrNs  float64
+	Coeffs tune.Coeffs
+}
+
+// TuningTrajectory is the full simulated history of a tuned plan.
+type TuningTrajectory struct {
+	Steps []TuningStep
+	// Final is the plan's tuner state after the last run — byte-comparable
+	// against a live runtime's state, since both drive the same tune package.
+	Final tune.PlanState
+	// ConvergedAt is the first run index from which every non-explored
+	// decision picked the truth's best arm (explorations are deliberate and
+	// excluded), or -1 if the tuner never settled. 0 means the seed
+	// coefficients already agreed with the truth.
+	ConvergedAt int
+}
+
+// SimulateTuning replays runs tuned decisions against a fixed ground truth:
+// each run asks the plan state to decide exactly as the live runtime's Auto
+// selection does, observes the decided executor's truth time, and folds the
+// measurement back into the calibration. Because it drives the same
+// tune.PlanState the runtime embeds — same decision rule, same EMA, same
+// back-solve, same deterministic exploration RNG — its trajectory is the
+// specification the live tuner is tested against: wrong seed coefficients
+// must flip to the truth's best executor and stay, with the predicted time
+// of whatever runs converging onto its truth.
+//
+// start seeds the coefficients (the live TuningOptions.InitialCosts); st,
+// workers and nrhs describe the plan shape being tuned. When the truth
+// carries no dynamic time the seed's claim coefficient is zeroed so the
+// model excludes the dynamic arm, as a live cost model without a claim
+// coefficient does.
+func SimulateTuning(truth TuningTruth, start tune.Coeffs, st tune.Stats, workers, nrhs, runs int, o tune.Options) TuningTrajectory {
+	o = o.WithDefaults()
+	if truth.DynamicNs <= 0 {
+		start.ClaimNs = 0
+	}
+	rng := tune.NewRNG(o.Seed)
+	ps := tune.NewPlanState(start)
+	traj := TuningTrajectory{ConvergedAt: -1}
+	if runs > 0 {
+		traj.Steps = make([]TuningStep, 0, runs)
+	}
+	for r := 0; r < runs; r++ {
+		pick, explored := ps.Decide(st, workers, nrhs, o, rng)
+		tDa, tWf, tDyn := tune.Predict(ps.Coeffs, st, workers, nrhs)
+		pred := tDa
+		switch pick {
+		case tune.Wavefront:
+			pred = tWf
+		case tune.WavefrontDynamic:
+			pred = tDyn
+		}
+		obs := truth.observed(pick)
+		ps.Observe(pick, st, workers, nrhs, obs, o)
+		traj.Steps = append(traj.Steps, TuningStep{
+			Run:         r,
+			Pick:        pick,
+			Explored:    explored,
+			PredictedNs: pred,
+			ObservedNs:  obs,
+			ErrNs:       math.Abs(pred - obs),
+			Coeffs:      ps.Coeffs,
+		})
+	}
+	traj.Final = ps
+
+	// Converged-at: scan backward for the first suffix whose every greedy
+	// (non-explored) decision picked the truth's best arm. A trailing block
+	// of explorations extends the suffix — they are deliberate detours, not
+	// changes of mind.
+	best := truth.BestArm()
+	converged := -1
+	for i := len(traj.Steps) - 1; i >= 0; i-- {
+		s := traj.Steps[i]
+		if !s.Explored && s.Pick != best {
+			break
+		}
+		if !s.Explored {
+			converged = i
+		}
+	}
+	traj.ConvergedAt = converged
+	return traj
+}

@@ -497,6 +497,27 @@ func LevelChunk(chunk, width, p int) int {
 	return chunk
 }
 
+// CacheLineElems is the number of float64 elements that share one 64-byte
+// cache line — the natural alignment unit for chunked claims over dense
+// solution vectors, where a chunk boundary inside a line makes two workers
+// write the same line (false sharing) and read-locality is per-line anyway.
+const CacheLineElems = 8
+
+// LevelChunkAligned is LevelChunk with the result rounded down to a multiple
+// of align when it is larger than align: chunks claim whole cache lines, so
+// neighbouring claims touch disjoint lines. Rounding only ever shrinks the
+// chunk, so the ≥2-claims-per-worker clamp LevelChunk establishes is
+// preserved; chunks at or below align are left alone (sub-line levels can't
+// be aligned, and correctness never depends on alignment). align < 2 is the
+// identity on LevelChunk.
+func LevelChunkAligned(chunk, width, p, align int) int {
+	c := LevelChunk(chunk, width, p)
+	if align > 1 && c > align {
+		c -= c % align
+	}
+	return c
+}
+
 // DynamicClaims returns the number of chunk claims a dynamic self-scheduled
 // execution of one level of the given width issues: one per successful claim
 // at the level-clamped chunk size (LevelChunk), plus each worker's final

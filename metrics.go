@@ -16,6 +16,14 @@ import (
 // invoking them. MetricsCollector is the ready-made implementation.
 type MetricsSink = core.MetricsSink
 
+// TuningSink is the optional MetricsSink extension for online-tuning
+// feedback events (WithOnlineTuning): RecordTuning fires once per tuned run
+// whose measurement was folded into a plan's calibration, with explored
+// reporting whether the decision deliberately ran a non-best executor. A
+// sink implements it by adding the method — discovery is by type assertion,
+// so existing sinks keep working unchanged. MetricsCollector implements it.
+type TuningSink = core.TuningSink
+
 // MetricsCollector is the ready-made MetricsSink: lock-protected counters,
 // per-executor latency histograms and plan-cache event counts, snapshotted
 // with Snapshot. Construct with NewMetricsCollector; the zero value is not
